@@ -1,0 +1,33 @@
+//! Criterion benches for the design ablations: insertion policy and
+//! external-granule shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgl_bench::experiments::ablation;
+use std::hint::black_box;
+
+fn bench_insertion_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_insertion_policy");
+    group.sample_size(10);
+    for fanout in [12usize, 50] {
+        group.bench_function(BenchmarkId::from_parameter(fanout), |b| {
+            b.iter(|| black_box(ablation::insertion_policy(2_000, fanout, 42)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_external_granule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_external_granule");
+    group.sample_size(10);
+    group.bench_function("4threads", |b| {
+        b.iter(|| black_box(ablation::external_granule(4, 20, 42)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insertion_policy, bench_external_granule
+}
+criterion_main!(benches);

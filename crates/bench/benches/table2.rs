@@ -1,0 +1,73 @@
+//! Criterion bench for the Table 2 measurement: the cost of the
+//! overlapping-path traversal (what a base-policy inserter pays) vs the
+//! plain insertion path, per dataset and fanout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgl_core::granules::overlapping_granules;
+use dgl_geom::Rect2;
+use dgl_rtree::{ObjectId, RTree2, RTreeConfig};
+use dgl_workload::{Dataset, DatasetKind};
+use std::hint::black_box;
+
+fn build(dataset: &Dataset, fanout: usize) -> RTree2 {
+    let mut tree = RTree2::new(RTreeConfig::with_fanout(fanout), Rect2::unit());
+    for (oid, rect) in &dataset.objects {
+        tree.insert(*oid, *rect);
+    }
+    tree
+}
+
+fn bench_overlap_traversal(c: &mut Criterion) {
+    let n = 8_000;
+    let points = Dataset::generate(DatasetKind::UniformPoints, n, 42);
+    let rects = Dataset::generate(DatasetKind::UniformRects { mean_extent: 0.05 }, n, 42);
+    let probes = Dataset::generate(DatasetKind::UniformRects { mean_extent: 0.02 }, 256, 7);
+
+    let mut group = c.benchmark_group("table2_overlap_traversal");
+    for (label, dataset) in [("point", &points), ("spatial", &rects)] {
+        for fanout in [16usize, 21, 100] {
+            let tree = build(dataset, fanout);
+            group.bench_with_input(
+                BenchmarkId::new(label, fanout),
+                &tree,
+                |b, tree| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let q = probes.objects[i % probes.len()].1;
+                        i += 1;
+                        black_box(overlapping_granules(tree, &[q]))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_plain_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_plain_insert");
+    for fanout in [16usize, 21, 100] {
+        group.bench_function(BenchmarkId::new("spatial", fanout), |b| {
+            let dataset =
+                Dataset::generate(DatasetKind::UniformRects { mean_extent: 0.05 }, 4_000, 42);
+            b.iter_with_setup(
+                || build(&dataset, fanout),
+                |mut tree| {
+                    for k in 0..64u64 {
+                        let (_, rect) = dataset.objects[(k as usize) % dataset.len()];
+                        tree.insert(ObjectId(1_000_000 + k), rect);
+                    }
+                    black_box(tree)
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_overlap_traversal, bench_plain_insert
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the Table 4 comparison: committed-transaction
+//! throughput of each protocol under an identical concurrent load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgl_bench::experiments::table4::{protocols, run_protocol, Table4Config};
+use dgl_workload::OpMix;
+use std::hint::black_box;
+
+fn bench_protocols(c: &mut Criterion) {
+    let cfg = Table4Config {
+        threads: 4,
+        txns_per_thread: 40,
+        ops_per_txn: 3,
+        fanout: 24,
+        preload: 1_000,
+        seed: 42,
+        think_time: std::time::Duration::ZERO,
+    };
+    let mut group = c.benchmark_group("table4_protocols");
+    group.sample_size(10);
+    for (mix_name, mix) in [
+        ("read_mostly", OpMix::read_mostly()),
+        ("write_heavy", OpMix::write_heavy()),
+    ] {
+        // One protocol instance per iteration (fresh index each time).
+        for idx in 0..4usize {
+            let name = protocols(cfg.fanout)[idx].name().to_string();
+            group.bench_function(BenchmarkId::new(mix_name, &name), |b| {
+                b.iter(|| {
+                    let db = protocols(cfg.fanout).remove(idx);
+                    black_box(run_protocol(db, mix, &cfg))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_protocols
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the §2 comparison: cost of locking a region scan
+//! under granular locking vs Z-order key-range locking, per query size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgl_bench::experiments::zorder;
+use std::hint::black_box;
+
+fn bench_lock_overhead_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zorder_lock_overhead");
+    group.sample_size(10);
+    for n in [2_000usize, 8_000] {
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(zorder::lock_overhead_sweep(n, 42)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_false_conflicts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zorder_false_conflicts");
+    group.sample_size(10);
+    group.bench_function("40txns_per_side", |b| {
+        b.iter(|| black_box(zorder::false_conflicts(40, 42)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lock_overhead_sweep, bench_false_conflicts
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! `repro` — regenerates every quantitative artefact of the paper and
+//! prints paper-style markdown tables.
+//!
+//! Usage:
+//! ```text
+//! repro [--quick] [table2|granule-change|table4|scaling|zorder|ablations|all]
+//! ```
+//! `--quick` shrinks the datasets (2,000 objects instead of the paper's
+//! 32,000, fewer transactions) for smoke runs.
+
+use dgl_bench::experiments::{ablation, granule_change, table2, table4, zorder};
+use dgl_bench::report;
+use dgl_workload::OpMix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let n = if quick { 2_000 } else { 32_000 };
+    let seed = 42;
+
+    if all || which.contains(&"table2") {
+        println!("## Table 2 — avg. page accesses per insertion (overlapping-path traversal)\n");
+        println!("Dataset: {n} uniform objects; ADA per paper level (root = level 1).\n");
+        let rows = table2::run_table2(n, seed);
+        println!("{}", table2::render(&rows));
+    }
+
+    if all || which.contains(&"granule-change") {
+        println!("## §3.4 — fraction of inserters changing a granule boundary\n");
+        let rows = granule_change::run_sweep(n, seed);
+        println!("{}", granule_change::render(&rows));
+    }
+
+    if all || which.contains(&"table4") {
+        println!("## Table 4 — protocol comparison under multi-user load\n");
+        let cfg = table4::Table4Config {
+            threads: 8,
+            txns_per_thread: if quick { 50 } else { 250 },
+            preload: if quick { 500 } else { 4_000 },
+            think_time: std::time::Duration::from_millis(1),
+            ..Default::default()
+        };
+        for (label, mix) in [
+            ("read-mostly", OpMix::read_mostly()),
+            ("write-heavy", OpMix::write_heavy()),
+        ] {
+            println!("### {label} mix, {} threads\n", cfg.threads);
+            let rows = table4::run_comparison(mix, &cfg);
+            println!("{}", table4::render(&rows));
+        }
+    }
+
+    if all || which.contains(&"scaling") {
+        println!("## Throughput scaling (balanced mix)\n");
+        let base = table4::Table4Config {
+            txns_per_thread: if quick { 40 } else { 150 },
+            preload: if quick { 500 } else { 4_000 },
+            think_time: std::time::Duration::from_millis(1),
+            ..Default::default()
+        };
+        let series = table4::run_scaling(OpMix::balanced(), &base);
+        let mut rows = Vec::new();
+        for (threads, metrics) in &series {
+            for m in metrics {
+                rows.push(vec![
+                    threads.to_string(),
+                    m.protocol.clone(),
+                    format!("{:.0}", m.txns_per_sec),
+                    report::pct(m.abort_rate),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            report::markdown_table(&["Threads", "Protocol", "Txns/s", "Abort rate"], &rows)
+        );
+    }
+
+    if all || which.contains(&"zorder") {
+        println!("## §2 — Z-order key-range locking vs granular locking\n");
+        println!("### Lock overhead per region scan\n");
+        let rows = zorder::lock_overhead_sweep(n.min(8_000), seed);
+        println!("{}", zorder::render_sweep(&rows));
+        println!("### False conflicts on spatially disjoint workloads\n");
+        let fc = zorder::false_conflicts(if quick { 60 } else { 200 }, seed);
+        println!(
+            "{}",
+            report::markdown_table(
+                &["Scheme", "Lock waits", "Txns"],
+                &[
+                    vec!["granular (DGL)".into(), fc.dgl_waits.to_string(), fc.txns.to_string()],
+                    vec![
+                        "z-order key-range".into(),
+                        fc.zorder_waits.to_string(),
+                        fc.txns.to_string()
+                    ],
+                ]
+            )
+        );
+    }
+
+    if all || which.contains(&"ablations") {
+        println!("## Ablation — insertion policy (base vs modified, §3.4)\n");
+        let mut rows = Vec::new();
+        for fanout in [12usize, 24, 50, 100] {
+            let a = ablation::insertion_policy(n.min(8_000), fanout, seed);
+            rows.push(vec![
+                fanout.to_string(),
+                report::f2(a.base_reads_per_insert),
+                report::f2(a.modified_reads_per_insert),
+                report::pct(a.changing_fraction),
+            ]);
+        }
+        println!(
+            "{}",
+            report::markdown_table(
+                &[
+                    "Fanout",
+                    "Reads/insert (base)",
+                    "Reads/insert (modified)",
+                    "Granule-changing"
+                ],
+                &rows
+            )
+        );
+
+        println!("## Ablation — per-node vs single external granule (§3.1)\n");
+        let a = ablation::external_granule(8, if quick { 40 } else { 150 }, seed);
+        println!(
+            "{}",
+            report::markdown_table(
+                &["Design", "Txns/s", "Waits/txn"],
+                &[
+                    vec![
+                        "per-node ext granules".into(),
+                        format!("{:.0}", a.per_node_txns_per_sec),
+                        report::f2(a.per_node_waits_per_txn),
+                    ],
+                    vec![
+                        "single ext granule (rejected)".into(),
+                        format!("{:.0}", a.coarse_txns_per_sec),
+                        report::f2(a.coarse_waits_per_txn),
+                    ],
+                ]
+            )
+        );
+    }
+}

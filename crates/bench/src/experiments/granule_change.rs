@@ -1,0 +1,123 @@
+//! §3.4 in-text experiment: the fraction of inserters that change a
+//! granule boundary, as a function of the R-tree fanout.
+//!
+//! The paper reports ≈35–45 % at fanout 12, falling to 6–8 % at fanout 50
+//! and 3–4 % at fanout 100 — the observation that justifies the modified
+//! insertion policy (only granule-changing inserters pay the
+//! overlapping-path traversal).
+
+use dgl_geom::Rect2;
+use dgl_rtree::{RTree2, RTreeConfig};
+use dgl_workload::{Dataset, DatasetKind};
+use serde::Serialize;
+
+/// One measurement: fanout vs the fraction of granule-changing inserts.
+#[derive(Debug, Clone, Serialize)]
+pub struct GranuleChangeRow {
+    /// "Point" or "Spatial".
+    pub data: &'static str,
+    /// R-tree fanout.
+    pub fanout: usize,
+    /// Fraction of inserts whose plan grows a leaf BR or splits a node.
+    pub changing_fraction: f64,
+    /// Fraction due to BR growth only.
+    pub growth_fraction: f64,
+    /// Fraction due to node splits.
+    pub split_fraction: f64,
+}
+
+/// Loads `dataset` at `fanout`, measuring over the second half (steady
+/// state), using the same plans the protocol uses.
+pub fn run_one(data: &'static str, dataset: &Dataset, fanout: usize) -> GranuleChangeRow {
+    let mut tree = RTree2::new(RTreeConfig::with_fanout(fanout), Rect2::unit());
+    let half = dataset.len() / 2;
+    for (oid, rect) in &dataset.objects[..half] {
+        tree.insert(*oid, *rect);
+    }
+    let mut changing = 0u64;
+    let mut growing = 0u64;
+    let mut splitting = 0u64;
+    let mut count = 0u64;
+    for (oid, rect) in &dataset.objects[half..] {
+        let plan = tree.plan_insert(*rect);
+        if plan.changes_granules() {
+            changing += 1;
+        }
+        if plan.grows {
+            growing += 1;
+        }
+        if !plan.split_pages.is_empty() {
+            splitting += 1;
+        }
+        count += 1;
+        tree.insert(*oid, *rect);
+    }
+    GranuleChangeRow {
+        data,
+        fanout,
+        changing_fraction: changing as f64 / count as f64,
+        growth_fraction: growing as f64 / count as f64,
+        split_fraction: splitting as f64 / count as f64,
+    }
+}
+
+/// The paper's fanout sweep {12, 24, 50, 100} over both datasets.
+pub fn run_sweep(n: usize, seed: u64) -> Vec<GranuleChangeRow> {
+    let fanouts = [12usize, 24, 50, 100];
+    let points = Dataset::generate(DatasetKind::UniformPoints, n, seed);
+    let rects = Dataset::generate(DatasetKind::UniformRects { mean_extent: 0.05 }, n, seed);
+    let mut rows = Vec::new();
+    for fanout in fanouts {
+        rows.push(run_one("Point", &points, fanout));
+        rows.push(run_one("Spatial", &rects, fanout));
+    }
+    rows
+}
+
+/// Markdown rendering.
+pub fn render(rows: &[GranuleChangeRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.data.to_string(),
+                r.fanout.to_string(),
+                crate::report::pct(r.changing_fraction),
+                crate::report::pct(r.growth_fraction),
+                crate::report::pct(r.split_fraction),
+            ]
+        })
+        .collect();
+    crate::report::markdown_table(
+        &["Data", "Fanout", "Granule-changing", "(growth)", "(split)"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_decreases_with_fanout() {
+        let rows = run_sweep(4_000, 11);
+        for data in ["Point", "Spatial"] {
+            let series: Vec<&GranuleChangeRow> =
+                rows.iter().filter(|r| r.data == data).collect();
+            assert_eq!(series.len(), 4);
+            // The paper's headline trend: larger fanout, fewer boundary
+            // changes. Allow slight noise between adjacent fanouts but
+            // demand a clear drop end to end.
+            assert!(
+                series[0].changing_fraction > 2.0 * series[3].changing_fraction,
+                "{data}: fanout 12 ({}) should far exceed fanout 100 ({})",
+                series[0].changing_fraction,
+                series[3].changing_fraction
+            );
+            for r in &series {
+                assert!(r.changing_fraction > 0.0 && r.changing_fraction < 1.0);
+                assert!(r.changing_fraction + 1e-9 >= r.growth_fraction);
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The experiments, one module per paper artefact.
+
+pub mod ablation;
+pub mod granule_change;
+pub mod table2;
+pub mod table4;
+pub mod zorder;

@@ -1,0 +1,253 @@
+//! Table 2: average number of disk pages accessed per insertion, per
+//! tree level, when the inserter follows **all overlapping paths** (to
+//! acquire the base policy's short IX locks).
+//!
+//! The paper builds R-trees of heights 3, 4 and 5 over 32,000 uniformly
+//! distributed points / 5 %-extent rectangles, and reports the average
+//! accesses (ADA) at each level; the root level is always 1 and the
+//! lowest index level is never accessed by the lock traversal (child BRs
+//! live in the parents). The per-inserter I/O *overhead* at a level is
+//! `ADA − 1` because the insertion path itself touches one page per
+//! level; the paper then argues (five-minute rule) that the top three
+//! levels are buffer-resident, leaving overhead only at deeper levels.
+
+use dgl_core::granules::overlapping_granules;
+use dgl_geom::Rect2;
+use dgl_rtree::{Entry, RTree2, RTreeConfig};
+use dgl_workload::Dataset;
+use serde::Serialize;
+
+/// One row of the reproduced Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// "Point" or "Spatial".
+    pub data: &'static str,
+    /// R-tree fanout.
+    pub fanout: usize,
+    /// Resulting tree height.
+    pub height: u32,
+    /// Average pages accessed by the overlap traversal at each level,
+    /// indexed by the paper's level numbering: `ada[0]` is level 1 (the
+    /// root, always 1.0), `ada[h-1]` is the lowest index level (always
+    /// 0 — never accessed).
+    pub ada_per_level: Vec<f64>,
+    /// Average total I/O overhead per insert (sum over levels of
+    /// `ADA − 1`, root and leaf levels excluded), assuming no buffer.
+    pub avg_overhead_no_buffer: f64,
+    /// Average simulated *disk* reads per insert for the overlap
+    /// traversal when the top three levels fit the buffer pool.
+    pub avg_disk_reads_buffered: f64,
+}
+
+/// Runs the Table 2 measurement for one dataset and fanout.
+///
+/// For every insert, the overlap traversal (what a base-policy inserter
+/// must do to lock all overlapping granules) is performed first and its
+/// per-level page accesses recorded; then the object is inserted. The
+/// averages are taken over the second half of the load, when the tree has
+/// reached its final height.
+pub fn run_one(data: &'static str, dataset: &Dataset, fanout: usize) -> Table2Row {
+    let mut tree = RTree2::new(RTreeConfig::with_fanout(fanout), Rect2::unit());
+    // Warm-up: bulk load the first half without measuring.
+    let half = dataset.len() / 2;
+    for (oid, rect) in &dataset.objects[..half] {
+        tree.insert(*oid, *rect);
+    }
+    let height = tree.height() as usize;
+    let mut sums = vec![0u64; height + 2];
+    let mut count = 0u64;
+
+    // Buffer model: top three levels resident (the paper's argument).
+    let top3: usize = count_top_levels(&tree, 3);
+    let mut buffered = dgl_pager::BufferPool::new(top3.max(1));
+    // Pre-warm with the current top levels.
+    warm_top_levels(&tree, 3, &mut buffered);
+    let mut disk_reads = 0u64;
+
+    for (oid, rect) in &dataset.objects[half..] {
+        let set = overlapping_granules(&tree, &[*rect]);
+        for (level, n) in set.accesses_per_level.iter().enumerate() {
+            if level < sums.len() {
+                sums[level] += n;
+            }
+        }
+        // Re-drive the traversal's page accesses through the buffer model
+        // (approximation: pages at the top three levels warmed above stay
+        // hot because every operation touches them).
+        disk_reads += simulate_buffer(&tree, *rect, &mut buffered);
+        count += 1;
+        tree.insert(*oid, *rect);
+    }
+    let final_height = tree.height();
+
+    // Convert to paper numbering: paper level 1 = root (tree level h-1).
+    let h = final_height as usize;
+    let mut ada = vec![0.0; h];
+    for paper_level in 1..=h {
+        let tree_level = h - paper_level; // root -> h-1, leaves -> 0
+        let total = sums.get(tree_level).copied().unwrap_or(0);
+        ada[paper_level - 1] = total as f64 / count as f64;
+    }
+    let avg_overhead_no_buffer: f64 = ada
+        .iter()
+        .skip(1) // root: on the path anyway
+        .take(h.saturating_sub(2)) // lowest level never accessed
+        .map(|a| (a - 1.0).max(0.0))
+        .sum();
+    Table2Row {
+        data,
+        fanout,
+        height: final_height,
+        ada_per_level: ada,
+        avg_overhead_no_buffer,
+        avg_disk_reads_buffered: disk_reads as f64 / count as f64,
+    }
+}
+
+fn count_top_levels(tree: &RTree2, levels: u32) -> usize {
+    let h = tree.height();
+    tree.pages()
+        .filter(|(_, n)| n.level + levels >= h)
+        .count()
+}
+
+fn warm_top_levels(tree: &RTree2, levels: u32, pool: &mut dgl_pager::BufferPool) {
+    let h = tree.height();
+    for (pid, node) in tree.pages() {
+        if node.level + levels >= h {
+            pool.access(pid);
+        }
+    }
+}
+
+/// Replays the overlap traversal's page accesses against the buffer model
+/// and counts misses.
+fn simulate_buffer(tree: &RTree2, rect: Rect2, pool: &mut dgl_pager::BufferPool) -> u64 {
+    let mut misses = 0;
+    let root = tree.root();
+    if pool.access(root) {
+        misses += 1;
+    }
+    let root_node = tree.peek_node(root);
+    if root_node.is_leaf() {
+        return misses;
+    }
+    let mut stack: Vec<dgl_pager::PageId> = vec![root];
+    let mut first = true;
+    while let Some(pid) = stack.pop() {
+        if !first && pool.access(pid) {
+            misses += 1;
+        }
+        first = false;
+        let node = tree.peek_node(pid);
+        for e in &node.entries {
+            if let Entry::Child { mbr, child } = e {
+                if node.level > 1 && mbr.intersects(&rect) {
+                    stack.push(*child);
+                }
+            }
+        }
+    }
+    misses
+}
+
+/// The full Table 2: point + spatial data at fanouts chosen to produce
+/// heights 3, 4 and 5 over `n` objects (the paper uses n = 32,000).
+pub fn run_table2(n: usize, seed: u64) -> Vec<Table2Row> {
+    // Fanout 100 -> height 3, fanout 21 -> height 4, fanout 16 -> height 5
+    // (approximately, at 32k objects and ~55-70 % average fill; exact
+    // heights are measured and reported per row).
+    let fanouts = [100usize, 21, 16];
+    let mut rows = Vec::new();
+    let points = Dataset::generate(dgl_workload::DatasetKind::UniformPoints, n, seed);
+    let rects = Dataset::generate(
+        dgl_workload::DatasetKind::UniformRects { mean_extent: 0.05 },
+        n,
+        seed,
+    );
+    for fanout in fanouts {
+        rows.push(run_one("Point", &points, fanout));
+        rows.push(run_one("Spatial", &rects, fanout));
+    }
+    rows
+}
+
+/// Renders the rows as a paper-style markdown table.
+pub fn render(rows: &[Table2Row]) -> String {
+    let max_h = rows.iter().map(|r| r.height).max().unwrap_or(0) as usize;
+    let mut header: Vec<String> = vec!["Data".into(), "Fanout".into(), "Height".into()];
+    for l in 2..max_h {
+        header.push(format!("ADA L{l}"));
+    }
+    header.push("Overhead (no buffer)".into());
+    header.push("Disk reads (top-3 buffered)".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![
+                r.data.to_string(),
+                r.fanout.to_string(),
+                r.height.to_string(),
+            ];
+            for l in 2..max_h {
+                row.push(match r.ada_per_level.get(l - 1) {
+                    Some(v) if l < r.height as usize => format!("{v:.2}"),
+                    _ => "-".into(),
+                });
+            }
+            row.push(format!("{:.2}", r.avg_overhead_no_buffer));
+            row.push(format!("{:.2}", r.avg_disk_reads_buffered));
+            row
+        })
+        .collect();
+    crate::report::markdown_table(&header_refs, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_table2_has_sane_shape() {
+        let rows = run_table2(2_000, 7);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            // Root ADA is exactly 1 (one root access per traversal).
+            assert!((row.ada_per_level[0] - 1.0).abs() < 1e-9, "{row:?}");
+            // The lowest index level is never accessed.
+            assert_eq!(
+                row.ada_per_level[row.height as usize - 1],
+                0.0,
+                "leaf level untouched: {row:?}"
+            );
+            // Every intermediate ADA is at least 1: the insertion path
+            // itself passes through each level.
+            for l in 1..(row.height as usize - 1) {
+                assert!(row.ada_per_level[l] >= 1.0, "{row:?}");
+            }
+            assert!(row.avg_overhead_no_buffer >= 0.0);
+        }
+        // Smaller fanout means taller tree.
+        assert!(rows[4].height >= rows[0].height);
+    }
+
+    #[test]
+    fn spatial_data_costs_at_least_as_much_as_points() {
+        let rows = run_table2(2_000, 3);
+        // Compare matching fanouts: rectangles overlap more than points,
+        // so the traversal visits at least as many pages on average.
+        for pair in rows.chunks(2) {
+            let (pt, sp) = (&pair[0], &pair[1]);
+            assert_eq!(pt.fanout, sp.fanout);
+            if pt.height == sp.height && pt.height > 2 {
+                let pt_total: f64 = pt.ada_per_level.iter().sum();
+                let sp_total: f64 = sp.ada_per_level.iter().sum();
+                assert!(
+                    sp_total >= pt_total * 0.9,
+                    "spatial {sp_total} vs point {pt_total}"
+                );
+            }
+        }
+    }
+}

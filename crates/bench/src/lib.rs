@@ -1,0 +1,19 @@
+//! Experiment harness for the ICDE-98 reproduction.
+//!
+//! Each experiment regenerates one quantitative artefact of the paper:
+//!
+//! | Paper artefact | Module |
+//! |---|---|
+//! | Table 2 — avg. disk accesses per insertion per level when inserters follow all overlapping paths | [`experiments::table2`] |
+//! | §3.4 in-text — fraction of inserters that change a granule boundary vs fanout | [`experiments::granule_change`] |
+//! | Table 4 — granular vs predicate (vs whole-tree) locking under multi-user load | [`experiments::table4`] |
+//! | Design ablations — modified-vs-base insertion policy, per-node vs single external granule | [`experiments::ablation`] |
+//!
+//! The `repro` binary runs everything and prints paper-style tables;
+//! the Criterion benches under `benches/` time the same code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,58 @@
+//! Minimal markdown table formatting for experiment reports.
+
+/// Renders a markdown table from a header and rows.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in header {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage with 1 decimal place.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 1 | 2 |");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(pct(0.0345), "3.5%");
+    }
+}

@@ -1,0 +1,221 @@
+//! Deferred physical deletion (§3.7).
+//!
+//! The logical delete of §3.6 leaves a tombstoned entry behind; after the
+//! deleting transaction commits, the physical removal runs as a *system
+//! operation* under a fresh transaction id ("executed as a separate
+//! operation"). The system operation:
+//!
+//! 1. takes a short IX on the leaf granule (short **SIX** if the removal
+//!    underfills the node — elimination makes even IX holders lose
+//!    coverage), short SIX on every external granule that shrinks during
+//!    BR adjustment and on every page the condense pass eliminates;
+//! 2. removes the entry, condenses the tree, collects orphans;
+//! 3. re-inserts each orphan at its home level — each re-insertion is its
+//!    own plan/lock/apply cycle with the insert rules (plus a short SIX on
+//!    the target node when the orphan is an index entry, since inserting a
+//!    child shrinks that node's external granule);
+//! 4. only then releases its short locks — so any scanner whose predicate
+//!    could observe the in-flight orphans is held at an SIX-locked granule
+//!    until the subtree is whole again.
+//!
+//! System operations are serialized by a gate (at most one runs at a
+//! time), are exempt from deadlock victim selection (they cannot be rolled
+//! back), and retry with backoff if a wait is ever aborted by the timeout
+//! backstop.
+
+use std::time::Duration;
+
+use dgl_lockmgr::{
+    LockDuration::{self, Short},
+    LockMode::{self, IX, SIX},
+    LockOutcome, RequestKind, ResourceId, TxnId,
+};
+use dgl_rtree::{Entry, Orphan};
+
+use crate::locks::LockList;
+use crate::stats::OpStats;
+
+use super::{DeferredDelete, DglRTree};
+
+impl DglRTree {
+    /// Runs one deferred physical deletion to completion.
+    pub(crate) fn run_deferred_delete(&self, d: DeferredDelete) {
+        let _gate = self.deferred_gate.lock();
+        let sys = self.tm.begin();
+        self.lm.set_system(sys);
+        OpStats::bump(&self.stats.deferred_deletes);
+
+        // Phase 1: remove + condense.
+        let orphans = self.deferred_remove_phase(sys, d);
+
+        // Phase 2: re-insert orphans, highest level first. Short locks
+        // from phase 1 remain held until the very end.
+        if let Some(mut orphans) = orphans {
+            orphans.sort_by_key(|o| std::cmp::Reverse(o.level));
+            let mut queue: Vec<Orphan<2>> = orphans;
+            while let Some(orphan) = queue.pop() {
+                self.deferred_reinsert_phase(sys, orphan, &mut queue);
+            }
+        }
+
+        self.lm.clear_system(sys);
+        // Releases every short lock of the system operation.
+        self.tm.commit(sys);
+    }
+
+    /// Phase 1: lock (retry loop), then remove the tombstoned entry and
+    /// condense. Returns the orphans, or `None` if the entry vanished
+    /// (e.g. the tree was restored from a checkpoint without the journal).
+    fn deferred_remove_phase(&self, sys: TxnId, d: DeferredDelete) -> Option<Vec<Orphan<2>>> {
+        loop {
+            let mut tree = self.tree.write();
+            let plan = tree.plan_delete(d.oid, d.rect)?;
+            let mut locks = LockList::new();
+            let leaf_mode = if plan.leaf_eliminated { SIX } else { IX };
+            locks.add(Self::page(plan.leaf), leaf_mode, Short);
+            for p in &plan.changed_ext {
+                locks.add(self.ext_res(*p), SIX, Short);
+            }
+            for p in &plan.eliminated {
+                locks.add(Self::page(*p), SIX, Short);
+            }
+            match locks.try_acquire(&self.lm, sys) {
+                Ok(()) => {
+                    let result = tree.apply_delete(&plan);
+                    self.payloads.lock().remove(&d.oid);
+                    debug_assert_eq!(
+                        {
+                            let mut a = plan.eliminated.clone();
+                            a.sort();
+                            a
+                        },
+                        {
+                            let mut b = result.eliminated.clone();
+                            b.sort();
+                            b
+                        },
+                        "delete plan must predict eliminations exactly"
+                    );
+                    return Some(result.orphans);
+                }
+                Err((res, mode, dur)) => {
+                    drop(tree);
+                    OpStats::bump(&self.stats.op_retries);
+                    self.system_wait(sys, res, mode, dur);
+                }
+            }
+        }
+    }
+
+    /// Phase 2 step: re-insert one orphan with the Table 3 re-insertion
+    /// locks. Orphans whose home level no longer exists (the root shrank
+    /// below them) are exploded into their objects, which are queued.
+    fn deferred_reinsert_phase(
+        &self,
+        sys: TxnId,
+        orphan: Orphan<2>,
+        queue: &mut Vec<Orphan<2>>,
+    ) {
+        loop {
+            let mut tree = self.tree.write();
+            let root_level = tree.peek_node(tree.root()).level;
+            if orphan.level > root_level {
+                // Explode: the orphan subtree's pages die, so take short
+                // SIX on each of them first (same rule as elimination).
+                let pages = subtree_pages(&tree, &orphan.entry);
+                let mut locks = LockList::new();
+                for p in &pages {
+                    locks.add(Self::page(*p), SIX, Short);
+                }
+                match locks.try_acquire(&self.lm, sys) {
+                    Ok(()) => {
+                        let objects = tree.explode(orphan);
+                        queue.extend(objects);
+                        return;
+                    }
+                    Err((res, mode, dur)) => {
+                        drop(tree);
+                        OpStats::bump(&self.stats.op_retries);
+                        self.system_wait(sys, res, mode, dur);
+                        continue;
+                    }
+                }
+            }
+            let plan = tree.plan_insert_at(orphan.entry.mbr(), orphan.level);
+            let mut locks = LockList::new();
+            // Ordinary insert rules, short duration (the objects are
+            // already committed; we only guard the structural motion).
+            if plan.split_pages.is_empty() {
+                locks.add(Self::page(plan.target), IX, Short);
+            } else {
+                for p in &plan.split_pages {
+                    locks.add(Self::page(*p), SIX, Short);
+                }
+            }
+            for p in &plan.changed_ext {
+                locks.add(self.ext_res(*p), SIX, Short);
+            }
+            // An index entry shrinks the external granule of the node it
+            // enters; an object entry only grows a leaf granule.
+            if matches!(orphan.entry, Entry::Child { .. }) {
+                locks.add(self.ext_res(plan.target), SIX, Short);
+            }
+            if plan.grows {
+                let set = crate::granules::overlapping_granules(&*tree, &plan.growth);
+                for g in set.leaves {
+                    if g != plan.target {
+                        locks.add(Self::page(g), IX, Short);
+                    }
+                }
+                for g in set.externals {
+                    locks.add(self.ext_res(g), IX, Short);
+                }
+            }
+            match locks.try_acquire(&self.lm, sys) {
+                Ok(()) => {
+                    tree.apply_reinsert(&plan, orphan.entry);
+                    return;
+                }
+                Err((res, mode, dur)) => {
+                    drop(tree);
+                    OpStats::bump(&self.stats.op_retries);
+                    self.system_wait(sys, res, mode, dur);
+                }
+            }
+        }
+    }
+
+    /// Unconditional wait for a system operation: deadlock verdicts
+    /// should not reach it (system transactions are spared by victim
+    /// selection); timeout verdicts retry with backoff.
+    fn system_wait(
+        &self,
+        sys: TxnId,
+        res: ResourceId,
+        mode: LockMode,
+        dur: LockDuration,
+    ) {
+        loop {
+            match self.lm.lock(sys, res, mode, dur, RequestKind::Unconditional) {
+                LockOutcome::Granted => return,
+                LockOutcome::Deadlock | LockOutcome::Timeout => {
+                    // Extremely defensive: back off and retry; the other
+                    // parties are abortable and will clear the path.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                LockOutcome::WouldBlock => unreachable!("unconditional request"),
+            }
+        }
+    }
+}
+
+/// All live pages of the subtree referenced by `entry` (none for objects).
+fn subtree_pages(tree: &dgl_rtree::RTree2, entry: &Entry<2>) -> Vec<dgl_pager::PageId> {
+    let mut out = Vec::new();
+    let mut stack: Vec<dgl_pager::PageId> = entry.child().into_iter().collect();
+    while let Some(p) = stack.pop() {
+        out.push(p);
+        stack.extend(tree.peek_node(p).children());
+    }
+    out
+}

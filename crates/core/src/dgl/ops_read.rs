@@ -1,0 +1,166 @@
+//! Read operations: ReadSingle, ReadScan, UpdateScan (§3.8).
+
+use dgl_geom::Rect2;
+use dgl_lockmgr::{
+    LockDuration::Commit,
+    LockMode::{S, SIX, X},
+    TxnId,
+};
+use dgl_rtree::ObjectId;
+
+use crate::granules::overlapping_granules;
+use crate::locks::LockList;
+use crate::stats::OpStats;
+use crate::{ScanHit, TxnError};
+
+use super::DglRTree;
+
+impl DglRTree {
+    /// ReadSingle: commit S on the object only (Table 3). The object lock
+    /// doubles as a name lock, so a not-found answer is repeatable against
+    /// later inserts of the same object id.
+    pub(crate) fn read_single_op(
+        &self,
+        txn: TxnId,
+        oid: ObjectId,
+        rect: Rect2,
+    ) -> Result<Option<u64>, TxnError> {
+        self.check_active(txn)?;
+        OpStats::bump(&self.stats.read_singles);
+        loop {
+            let tree = self.tree.read();
+            let locks = super::single_lock(Self::object(oid), S, Commit);
+            match locks.try_acquire(&self.lm, txn) {
+                Ok(()) => {
+                    let state = tree.lookup(oid, rect);
+                    drop(tree);
+                    self.end_op(txn);
+                    return Ok(match state {
+                        Some(None) => self.payloads.lock().get(&oid).copied(),
+                        // Tombstoned (committed delete pending physical
+                        // removal) or absent.
+                        Some(Some(_)) | None => None,
+                    });
+                }
+                Err((res, mode, dur)) => {
+                    drop(tree);
+                    OpStats::bump(&self.stats.op_retries);
+                    self.wait_or_abort(txn, res, mode, dur)?;
+                }
+            }
+        }
+    }
+
+    /// ReadScan: commit-duration S locks on **every** granule overlapping
+    /// the predicate — leaf granules and external granules — the
+    /// overlap-for-search half of the paper's policy. This is the
+    /// operation phantom protection exists for.
+    pub(crate) fn read_scan_op(&self, txn: TxnId, query: Rect2) -> Result<Vec<ScanHit>, TxnError> {
+        self.check_active(txn)?;
+        OpStats::bump(&self.stats.read_scans);
+        loop {
+            let tree = self.tree.read();
+            let set = overlapping_granules(&*tree, &[query]);
+            let mut locks = LockList::new();
+            for g in &set.leaves {
+                locks.add(Self::page(*g), S, Commit);
+            }
+            for g in &set.externals {
+                locks.add(self.ext_res(*g), S, Commit);
+            }
+            match locks.try_acquire(&self.lm, txn) {
+                Ok(()) => {
+                    let hits = self.collect_hits(&tree, &query);
+                    drop(tree);
+                    self.end_op(txn);
+                    return Ok(hits);
+                }
+                Err((res, mode, dur)) => {
+                    drop(tree);
+                    OpStats::bump(&self.stats.op_retries);
+                    self.wait_or_abort(txn, res, mode, dur)?;
+                }
+            }
+        }
+    }
+
+    /// UpdateScan: SIX on the granules that cover the predicate (the leaf
+    /// granules, where the updatable objects live), S on the remaining
+    /// overlapping granules (the external granules, which hold no
+    /// objects), and X on every qualifying object (Table 3).
+    pub(crate) fn update_scan_op(
+        &self,
+        txn: TxnId,
+        query: Rect2,
+    ) -> Result<Vec<ScanHit>, TxnError> {
+        self.check_active(txn)?;
+        OpStats::bump(&self.stats.update_scans);
+        loop {
+            let tree = self.tree.read();
+            let set = overlapping_granules(&*tree, &[query]);
+            let mut locks = LockList::new();
+            for g in &set.leaves {
+                locks.add(Self::page(*g), SIX, Commit);
+            }
+            for g in &set.externals {
+                locks.add(self.ext_res(*g), S, Commit);
+            }
+            // X locks on the qualifying objects themselves.
+            let pre_hits = self.collect_hits(&tree, &query);
+            for h in &pre_hits {
+                locks.add(Self::object(h.oid), X, Commit);
+            }
+            match locks.try_acquire(&self.lm, txn) {
+                Ok(()) => {
+                    // Perform the updates under the latch; granule SIX
+                    // locks guarantee the hit set cannot have changed.
+                    let mut out = Vec::with_capacity(pre_hits.len());
+                    {
+                        let mut payloads = self.payloads.lock();
+                        for h in &pre_hits {
+                            let slot = payloads.entry(h.oid).or_insert(1);
+                            let old = *slot;
+                            *slot = old + 1;
+                            self.undo.push(
+                                txn,
+                                super::UndoRecord::Update {
+                                    oid: h.oid,
+                                    old_version: old,
+                                },
+                            );
+                            out.push(ScanHit {
+                                oid: h.oid,
+                                rect: h.rect,
+                                version: old + 1,
+                            });
+                        }
+                    }
+                    drop(tree);
+                    self.end_op(txn);
+                    return Ok(out);
+                }
+                Err((res, mode, dur)) => {
+                    drop(tree);
+                    OpStats::bump(&self.stats.op_retries);
+                    self.wait_or_abort(txn, res, mode, dur)?;
+                }
+            }
+        }
+    }
+
+    /// Region search with visibility filtering: tombstoned entries are
+    /// logically deleted (by this transaction, or by a committed deleter
+    /// whose physical removal is still pending) and never returned.
+    pub(crate) fn collect_hits(&self, tree: &dgl_rtree::RTree2, query: &Rect2) -> Vec<ScanHit> {
+        let payloads = self.payloads.lock();
+        tree.search(query)
+            .into_iter()
+            .filter(|(_, _, tombstone)| tombstone.is_none())
+            .map(|(oid, rect, _)| ScanHit {
+                oid,
+                rect,
+                version: payloads.get(&oid).copied().unwrap_or(1),
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,367 @@
+//! Write operations: Insert (§3.3–§3.5), logical Delete (§3.6),
+//! UpdateSingle (§3.8).
+
+use dgl_geom::Rect2;
+use dgl_lockmgr::{
+    LockDuration::{Commit, Short},
+    LockMode::{IX, S, SIX, X},
+    TxnId,
+};
+use dgl_pager::PageId;
+use dgl_rtree::{Entry, InsertPlan, ObjectId};
+
+use crate::granules::overlapping_granules;
+use crate::locks::LockList;
+use crate::stats::OpStats;
+use crate::TxnError;
+
+use super::{DeferredDelete, DglRTree, InsertPolicy, UndoRecord};
+
+impl DglRTree {
+    /// Insert with the full dynamic-granule lock protocol.
+    pub(crate) fn insert_op(
+        &self,
+        txn: TxnId,
+        oid: ObjectId,
+        rect: Rect2,
+    ) -> Result<(), TxnError> {
+        self.check_active(txn)?;
+        OpStats::bump(&self.stats.inserts);
+        loop {
+            let mut tree = self.tree.write();
+            if self.payloads.lock().contains_key(&oid) {
+                self.end_op(txn);
+                return Err(TxnError::DuplicateObject);
+            }
+            let plan = tree.plan_insert(rect);
+            // Predict the page ids any splits will allocate, so every lock
+            // of Table 3's split row — including those on the new halves —
+            // is negotiated BEFORE the first byte changes. (Freed page ids
+            // can carry stale commit-duration locks of concurrent
+            // transactions; a post-split acquisition could block, and
+            // blocking after mutation is not an option.)
+            let predicted = tree.predicted_new_pages(&plan);
+            let locks = self.insert_lock_list(txn, &tree, &plan, oid, &predicted);
+            match locks.try_acquire(&self.lm, txn) {
+                Ok(()) => {
+                    let result = tree.apply_insert(
+                        &plan,
+                        Entry::Object {
+                            mbr: rect,
+                            oid,
+                            tombstone: None,
+                        },
+                    );
+                    debug_assert!(
+                        result
+                            .splits
+                            .iter()
+                            .zip(predicted.iter())
+                            .all(|(s, p)| s.new_page == *p),
+                        "split sibling prediction must be exact"
+                    );
+                    debug_assert!(
+                        result.root_split.is_none()
+                            || result.root_split.map(|(a, _)| a) == predicted.last().copied(),
+                        "root-half prediction must be exact"
+                    );
+                    self.payloads.lock().insert(oid, 1);
+                    drop(tree);
+                    self.undo.push(txn, UndoRecord::Insert { oid, rect });
+                    if plan.changes_granules() {
+                        OpStats::bump(&self.stats.granule_changing_inserts);
+                    }
+                    self.end_op(txn);
+                    return Ok(());
+                }
+                Err((res, mode, dur)) => {
+                    drop(tree);
+                    OpStats::bump(&self.stats.op_retries);
+                    self.wait_or_abort(txn, res, mode, dur)?;
+                }
+            }
+        }
+    }
+
+    /// Assembles the lock requirements of an insert attempt from the plan
+    /// (the rows of Table 3 plus the §3.3/§3.5 compensation locks).
+    /// `predicted` holds the page ids the split cascade will allocate
+    /// (sibling per splitting page, then the root half), so the "after
+    /// split" locks of Table 3 are acquired up front.
+    fn insert_lock_list(
+        &self,
+        txn: TxnId,
+        tree: &dgl_rtree::RTree2,
+        plan: &InsertPlan<2>,
+        oid: ObjectId,
+        predicted: &[PageId],
+    ) -> LockList {
+        let mut locks = LockList::new();
+        // X on the object itself, commit duration.
+        locks.add(Self::object(oid), X, Commit);
+
+        // §3.3 self-inheritance: if this transaction holds a commit S on a
+        // shrinking external granule (from one of its own earlier scans),
+        // the region it loses there is exactly what the target granule
+        // grows into — take a commit S on the growing granule.
+        let self_holds_s_on_ext = plan.changed_ext.iter().any(|p| {
+            self.lm
+                .held_commit(txn, self.ext_res(*p))
+                .is_some_and(|m| m.covers(S))
+        });
+        if self_holds_s_on_ext {
+            locks.add(Self::page(plan.target), S, Commit);
+        }
+        // §3.5 self-inheritance trigger: will this transaction hold a
+        // commit S on the splitting granule? (Prior scan, or the ext
+        // inheritance above.)
+        let holds_s_on_target = self_holds_s_on_ext
+            || self
+                .lm
+                .held_commit(txn, Self::page(plan.target))
+                .is_some_and(|m| m.covers(S));
+
+        if plan.split_pages.is_empty() {
+            // Commit IX on the granule that receives (and will cover) the
+            // object — the single commit-duration granule lock of Table 3.
+            locks.add(Self::page(plan.target), IX, Commit);
+        } else {
+            // §3.5: a short SIX on each splitting granule instead of plain
+            // IX, so no other transaction holds any lock on it when it
+            // splits; plus the "after split" locks of Table 3 — commit IX
+            // on both halves (SIX + S on ext(parent) when the inserter
+            // itself held an S there) — on the *predicted* sibling ids.
+            for p in &plan.split_pages {
+                locks.add(Self::page(*p), SIX, Short);
+            }
+            let half_mode = if holds_s_on_target { SIX } else { IX };
+            // Both halves of the split leaf get the commit-duration lock.
+            // When the *root leaf* splits, the old root page becomes the
+            // new internal root and the halves are two fresh pages, so the
+            // commit lock on the target page would be vestigial.
+            if !(plan.root_will_split && plan.path.len() == 1) {
+                locks.add(Self::page(plan.target), half_mode, Commit);
+            }
+            locks.add(Self::page(predicted[0]), half_mode, Commit);
+            if holds_s_on_target {
+                // S on ext(parent of the split leaf); after a full-path
+                // cascade the parent of the top half is the stable root
+                // page itself.
+                let parent = if plan.path.len() >= 2 {
+                    plan.path[plan.path.len() - 2]
+                } else {
+                    plan.path[0]
+                };
+                locks.add(self.ext_res(parent), S, Commit);
+            }
+            // Non-leaf splits: if the transaction held a commit S on the
+            // splitting node's external granule, inherit it to the new
+            // sibling's external granule and the parent's.
+            for (i, p) in plan.split_pages.iter().enumerate().skip(1) {
+                let held_s = self
+                    .lm
+                    .held_commit(txn, self.ext_res(*p))
+                    .is_some_and(|m| m.covers(S));
+                if held_s {
+                    locks.add(self.ext_res(predicted[i]), S, Commit);
+                    if let Some(pos) = plan.path.iter().position(|q| q == p) {
+                        let parent = if pos >= 1 { plan.path[pos - 1] } else { plan.path[0] };
+                        locks.add(self.ext_res(parent), S, Commit);
+                    }
+                }
+            }
+            if plan.root_will_split {
+                // The old root's content moves to a fresh page (the last
+                // predicted id). If the root was the splitting leaf it is
+                // one of the two new leaf granules; otherwise it is a new
+                // external granule that inherits any commit S this
+                // transaction held on ext(root).
+                let half_a = *predicted.last().expect("root split allocates a page");
+                if plan.path.len() == 1 {
+                    locks.add(Self::page(half_a), half_mode, Commit);
+                } else if self
+                    .lm
+                    .held_commit(txn, self.ext_res(plan.path[0]))
+                    .is_some_and(|m| m.covers(S))
+                {
+                    locks.add(self.ext_res(half_a), S, Commit);
+                }
+            }
+        }
+        // §3.3: short SIX on every external granule that shrinks as BRs
+        // are adjusted bottom-up.
+        for p in &plan.changed_ext {
+            locks.add(self.ext_res(*p), SIX, Short);
+        }
+        // §3.3/§3.4: short IX on granules overlapping the object (base
+        // policy) or overlapping the region the granule grows into
+        // (modified policy, growth only — splits are covered by SIX).
+        let overlap_queries: Option<Vec<Rect2>> = if self.skip_growth_compensation {
+            None // TESTING ONLY: recreate the Figure 2(a) phantom.
+        } else {
+            match self.policy {
+                InsertPolicy::Base => Some(vec![plan.rect]),
+                InsertPolicy::Modified if plan.grows => Some(plan.growth.clone()),
+                InsertPolicy::Modified => None,
+            }
+        };
+        if let Some(queries) = overlap_queries {
+            let set = overlapping_granules(tree, &queries);
+            for g in set.leaves {
+                if g != plan.target {
+                    locks.add(Self::page(g), IX, Short);
+                }
+            }
+            for g in set.externals {
+                locks.add(self.ext_res(g), IX, Short);
+            }
+        }
+        locks
+    }
+
+    /// Logical delete (§3.6): commit IX on the containing granule + X on
+    /// the object; the entry is tombstoned and physically removed by the
+    /// deferred operation after commit. Deleting an absent object locks
+    /// its would-be region shared, exactly like a ReadScan, so the absence
+    /// is repeatable.
+    pub(crate) fn delete_op(
+        &self,
+        txn: TxnId,
+        oid: ObjectId,
+        rect: Rect2,
+    ) -> Result<bool, TxnError> {
+        self.check_active(txn)?;
+        OpStats::bump(&self.stats.deletes);
+        loop {
+            let mut tree = self.tree.write();
+            match tree.find_path(oid, rect) {
+                Some(path) => {
+                    let leaf = *path.last().expect("non-empty path");
+                    let mut locks = LockList::new();
+                    locks.add(Self::page(leaf), IX, Commit);
+                    locks.add(Self::object(oid), X, Commit);
+                    match locks.try_acquire(&self.lm, txn) {
+                        Ok(()) => {
+                            // Already tombstoned? By us: idempotent no-op.
+                            // By a committed deleter (deferred pending):
+                            // the object is logically gone.
+                            match tree.lookup(oid, rect) {
+                                Some(Some(_)) | None => {
+                                    drop(tree);
+                                    self.end_op(txn);
+                                    return Ok(false);
+                                }
+                                Some(None) => {}
+                            }
+                            let marked = tree.set_tombstone(oid, rect, txn.0);
+                            debug_assert!(marked, "entry verified present under latch");
+                            drop(tree);
+                            self.undo.push(txn, UndoRecord::LogicalDelete { oid, rect });
+                            self.deferred.push(txn, DeferredDelete { oid, rect });
+                            self.end_op(txn);
+                            return Ok(true);
+                        }
+                        Err((res, mode, dur)) => {
+                            drop(tree);
+                            OpStats::bump(&self.stats.op_retries);
+                            self.wait_or_abort(txn, res, mode, dur)?;
+                        }
+                    }
+                }
+                None => {
+                    // Not found: "the deleter acquires S locks on all
+                    // overlapping granules just like a ReadScan operation
+                    // with the object as the scan predicate".
+                    let set = overlapping_granules(&*tree, &[rect]);
+                    let mut locks = LockList::new();
+                    for g in &set.leaves {
+                        locks.add(Self::page(*g), S, Commit);
+                    }
+                    for g in &set.externals {
+                        locks.add(self.ext_res(*g), S, Commit);
+                    }
+                    match locks.try_acquire(&self.lm, txn) {
+                        Ok(()) => {
+                            drop(tree);
+                            self.end_op(txn);
+                            return Ok(false);
+                        }
+                        Err((res, mode, dur)) => {
+                            drop(tree);
+                            OpStats::bump(&self.stats.op_retries);
+                            self.wait_or_abort(txn, res, mode, dur)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// UpdateSingle (§3.8): commit IX on the granule containing the object
+    /// plus commit X on the object; bumps the payload version.
+    pub(crate) fn update_single_op(
+        &self,
+        txn: TxnId,
+        oid: ObjectId,
+        rect: Rect2,
+    ) -> Result<bool, TxnError> {
+        self.check_active(txn)?;
+        OpStats::bump(&self.stats.update_singles);
+        loop {
+            let tree = self.tree.write();
+            let Some(path) = tree.find_path(oid, rect) else {
+                // Absent object: X on the object name makes the absence
+                // repeatable against inserts of the same oid.
+                let locks = super::single_lock(Self::object(oid), X, Commit);
+                match locks.try_acquire(&self.lm, txn) {
+                    Ok(()) => {
+                        drop(tree);
+                        self.end_op(txn);
+                        return Ok(false);
+                    }
+                    Err((res, mode, dur)) => {
+                        drop(tree);
+                        OpStats::bump(&self.stats.op_retries);
+                        self.wait_or_abort(txn, res, mode, dur)?;
+                        continue;
+                    }
+                }
+            };
+            let leaf = *path.last().expect("non-empty path");
+            let mut locks = LockList::new();
+            locks.add(Self::page(leaf), IX, Commit);
+            locks.add(Self::object(oid), X, Commit);
+            match locks.try_acquire(&self.lm, txn) {
+                Ok(()) => {
+                    if tree.lookup(oid, rect).flatten().is_some() {
+                        // Tombstoned by a committed deleter: logically gone.
+                        drop(tree);
+                        self.end_op(txn);
+                        return Ok(false);
+                    }
+                    {
+                        let mut payloads = self.payloads.lock();
+                        let slot = payloads.entry(oid).or_insert(1);
+                        let old = *slot;
+                        *slot = old + 1;
+                        self.undo.push(
+                            txn,
+                            UndoRecord::Update {
+                                oid,
+                                old_version: old,
+                            },
+                        );
+                    }
+                    drop(tree);
+                    self.end_op(txn);
+                    return Ok(true);
+                }
+                Err((res, mode, dur)) => {
+                    drop(tree);
+                    OpStats::bump(&self.stats.op_retries);
+                    self.wait_or_abort(txn, res, mode, dur)?;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors surfaced to transaction code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnError {
+    /// The transaction was chosen as a deadlock victim and has been rolled
+    /// back; the handle must not be used again. Retry with a fresh
+    /// transaction.
+    Deadlock,
+    /// A lock wait hit the timeout backstop; the transaction has been
+    /// rolled back, as for [`TxnError::Deadlock`].
+    Timeout,
+    /// An operation was issued on a transaction that is not active
+    /// (already committed, aborted, or never begun).
+    NotActive,
+    /// Insert of an object id that already exists in the index.
+    ///
+    /// This includes ids logically deleted by a still-active transaction
+    /// (even the inserting one): the tombstoned entry remains physically
+    /// present until the deleter commits and the deferred removal runs,
+    /// so the id stays reserved until then. Re-use an id only after the
+    /// transaction that deleted it has committed.
+    DuplicateObject,
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Deadlock => write!(f, "transaction aborted: deadlock victim"),
+            TxnError::Timeout => write!(f, "transaction aborted: lock wait timeout"),
+            TxnError::NotActive => write!(f, "transaction is not active"),
+            TxnError::DuplicateObject => write!(f, "object id already present"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TxnError::Deadlock.to_string().contains("deadlock"));
+        assert!(TxnError::Timeout.to_string().contains("timeout"));
+        assert!(TxnError::NotActive.to_string().contains("not active"));
+        assert!(TxnError::DuplicateObject.to_string().contains("already"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Lock-list assembly and acquisition helpers shared by the protocols.
+
+use std::collections::BTreeMap;
+
+use dgl_lockmgr::{LockDuration, LockManager, LockMode, LockOutcome, RequestKind, ResourceId, TxnId};
+
+/// A deduplicated list of lock requirements for one operation attempt.
+///
+/// Requirements on the same `(resource, duration)` merge by mode supremum;
+/// requests are issued in resource order for determinism.
+#[derive(Debug, Default)]
+pub(crate) struct LockList {
+    wants: BTreeMap<(ResourceId, bool), LockMode>, // bool: true = commit duration
+}
+
+impl LockList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, res: ResourceId, mode: LockMode, dur: LockDuration) {
+        let key = (res, dur == LockDuration::Commit);
+        self.wants
+            .entry(key)
+            .and_modify(|m| *m = m.supremum(mode))
+            .or_insert(mode);
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.wants.len()
+    }
+
+    /// Iterates `(resource, mode, duration)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, LockMode, LockDuration)> + '_ {
+        self.wants.iter().map(|((res, commit), mode)| {
+            let dur = if *commit {
+                LockDuration::Commit
+            } else {
+                LockDuration::Short
+            };
+            (*res, *mode, dur)
+        })
+    }
+
+    /// Conditionally acquires every lock. On the first failure, returns
+    /// the failed requirement so the caller can drop its latch and wait
+    /// unconditionally. Already-acquired locks are kept (they will be
+    /// re-requested as no-ops on retry; releasing mid-transaction would
+    /// break two-phase locking).
+    pub fn try_acquire(
+        &self,
+        lm: &LockManager,
+        txn: TxnId,
+    ) -> Result<(), (ResourceId, LockMode, LockDuration)> {
+        for (res, mode, dur) in self.iter() {
+            match lm.lock(txn, res, mode, dur, RequestKind::Conditional) {
+                LockOutcome::Granted => {}
+                LockOutcome::WouldBlock => return Err((res, mode, dur)),
+                other => unreachable!("conditional request returned {other:?}"),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgl_lockmgr::LockManagerConfig;
+    use dgl_pager::PageId;
+    use LockDuration::{Commit, Short};
+    use LockMode::*;
+
+    fn page(n: u64) -> ResourceId {
+        ResourceId::Page(PageId(n))
+    }
+
+    #[test]
+    fn duplicate_requirements_merge_by_supremum() {
+        let mut l = LockList::new();
+        l.add(page(1), IX, Commit);
+        l.add(page(1), S, Commit);
+        l.add(page(1), IX, Short);
+        assert_eq!(l.len(), 2, "commit and short slots stay distinct");
+        let reqs: Vec<_> = l.iter().collect();
+        assert!(reqs.contains(&(page(1), SIX, Commit)), "IX+S merges to SIX");
+        assert!(reqs.contains(&(page(1), IX, Short)));
+    }
+
+    #[test]
+    fn try_acquire_reports_first_conflict() {
+        let lm = LockManager::new(LockManagerConfig::default());
+        // T9 holds S on page 2.
+        lm.lock(TxnId(9), page(2), S, Commit, RequestKind::Conditional);
+        let mut l = LockList::new();
+        l.add(page(1), IX, Commit);
+        l.add(page(2), IX, Short);
+        l.add(page(3), IX, Short);
+        let err = l.try_acquire(&lm, TxnId(1)).unwrap_err();
+        assert_eq!(err.0, page(2));
+        // Page 1 was acquired before the failure and is kept.
+        assert_eq!(lm.held(TxnId(1), page(1)), Some(IX));
+        assert_eq!(lm.held(TxnId(1), page(3)), None);
+    }
+
+    #[test]
+    fn try_acquire_all_grantable_succeeds() {
+        let lm = LockManager::new(LockManagerConfig::default());
+        let mut l = LockList::new();
+        l.add(page(1), SIX, Short);
+        l.add(ResourceId::Object(5), X, Commit);
+        assert!(l.try_acquire(&lm, TxnId(1)).is_ok());
+        assert_eq!(lm.held(TxnId(1), page(1)), Some(SIX));
+        assert_eq!(lm.held(TxnId(1), ResourceId::Object(5)), Some(X));
+    }
+}

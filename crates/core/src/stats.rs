@@ -1,0 +1,83 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Operation-level counters for a protocol instance.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    pub(crate) inserts: AtomicU64,
+    pub(crate) deletes: AtomicU64,
+    pub(crate) read_singles: AtomicU64,
+    pub(crate) update_singles: AtomicU64,
+    pub(crate) read_scans: AtomicU64,
+    pub(crate) update_scans: AtomicU64,
+    /// Operation attempts that found a conditional lock blocked, waited,
+    /// and re-planned (the retry loop of the latch/lock interplay).
+    pub(crate) op_retries: AtomicU64,
+    /// Inserts that changed a granule boundary (grew a leaf BR or split a
+    /// node) — the quantity of the paper's §3.4 fanout experiment.
+    pub(crate) granule_changing_inserts: AtomicU64,
+    /// Deferred (post-commit) physical deletions executed.
+    pub(crate) deferred_deletes: AtomicU64,
+    /// Predicate-table comparisons (predicate-locking baseline only).
+    pub(crate) predicate_checks: AtomicU64,
+}
+
+/// A point-in-time copy of [`OpStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct OpStatsSnapshot {
+    pub inserts: u64,
+    pub deletes: u64,
+    pub read_singles: u64,
+    pub update_singles: u64,
+    pub read_scans: u64,
+    pub update_scans: u64,
+    pub op_retries: u64,
+    pub granule_changing_inserts: u64,
+    pub deferred_deletes: u64,
+    pub predicate_checks: u64,
+}
+
+impl OpStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> OpStatsSnapshot {
+        OpStatsSnapshot {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            read_singles: self.read_singles.load(Ordering::Relaxed),
+            update_singles: self.update_singles.load(Ordering::Relaxed),
+            read_scans: self.read_scans.load(Ordering::Relaxed),
+            update_scans: self.update_scans.load(Ordering::Relaxed),
+            op_retries: self.op_retries.load(Ordering::Relaxed),
+            granule_changing_inserts: self.granule_changing_inserts.load(Ordering::Relaxed),
+            deferred_deletes: self.deferred_deletes.load(Ordering::Relaxed),
+            predicate_checks: self.predicate_checks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl OpStatsSnapshot {
+    /// Counter-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &OpStatsSnapshot) -> OpStatsSnapshot {
+        OpStatsSnapshot {
+            inserts: self.inserts - earlier.inserts,
+            deletes: self.deletes - earlier.deletes,
+            read_singles: self.read_singles - earlier.read_singles,
+            update_singles: self.update_singles - earlier.update_singles,
+            read_scans: self.read_scans - earlier.read_scans,
+            update_scans: self.update_scans - earlier.update_scans,
+            op_retries: self.op_retries - earlier.op_retries,
+            granule_changing_inserts: self.granule_changing_inserts
+                - earlier.granule_changing_inserts,
+            deferred_deletes: self.deferred_deletes - earlier.deferred_deletes,
+            predicate_checks: self.predicate_checks - earlier.predicate_checks,
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared helpers for the protocol integration tests.
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dgl_core::baseline::{
+    ObjectOnlyRTree, PredicateConfig, PredicateRTree, TreeLockRTree, ZOrderConfig, ZOrderRTree,
+};
+use dgl_core::{DglConfig, DglRTree, InsertPolicy, Rect2, TransactionalRTree};
+use dgl_lockmgr::LockManagerConfig;
+use dgl_rtree::RTreeConfig;
+
+pub fn lock_config(timeout_ms: u64) -> LockManagerConfig {
+    LockManagerConfig {
+        wait_timeout: Duration::from_millis(timeout_ms),
+        ..Default::default()
+    }
+}
+
+pub fn dgl(fanout: usize, policy: InsertPolicy) -> DglRTree {
+    DglRTree::new(DglConfig {
+        rtree: RTreeConfig::with_fanout(fanout),
+        world: Rect2::unit(),
+        policy,
+        lock: lock_config(5_000),
+        buffer_pages: None,
+        coarse_external_granule: false,
+        testing_skip_growth_compensation: false,
+    })
+}
+
+/// Every protocol implementation under test, boxed behind the common
+/// trait. The last one is the intentionally unsound comparator.
+pub fn sound_protocols(fanout: usize) -> Vec<Arc<dyn TransactionalRTree>> {
+    vec![
+        Arc::new(dgl(fanout, InsertPolicy::Modified)),
+        Arc::new(dgl(fanout, InsertPolicy::Base)),
+        Arc::new(TreeLockRTree::new(
+            RTreeConfig::with_fanout(fanout),
+            Rect2::unit(),
+            lock_config(5_000),
+        )),
+        Arc::new(PredicateRTree::new(PredicateConfig {
+            rtree: RTreeConfig::with_fanout(fanout),
+            world: Rect2::unit(),
+            lock: lock_config(5_000),
+            predicate_timeout: Duration::from_millis(400),
+        })),
+        Arc::new(ZOrderRTree::new(ZOrderConfig {
+            rtree: RTreeConfig::with_fanout(fanout),
+            world: Rect2::unit(),
+            lock: lock_config(5_000),
+            ..Default::default()
+        })),
+    ]
+}
+
+pub fn unsound_protocol(fanout: usize) -> Arc<dyn TransactionalRTree> {
+    Arc::new(ObjectOnlyRTree::new(
+        RTreeConfig::with_fanout(fanout),
+        Rect2::unit(),
+        lock_config(5_000),
+    ))
+}
+
+pub fn r(lo: [f64; 2], hi: [f64; 2]) -> Rect2 {
+    Rect2::new(lo, hi)
+}
+
+/// Deterministic pseudo-random rectangle stream.
+pub struct RectGen {
+    state: u64,
+}
+
+impl RectGen {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (self.state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn rect(&mut self, max_extent: f64) -> Rect2 {
+        let x = self.next_f64() * (1.0 - max_extent);
+        let y = self.next_f64() * (1.0 - max_extent);
+        let w = self.next_f64() * max_extent;
+        let h = self.next_f64() * max_extent;
+        r([x, y], [x + w, y + h])
+    }
+}
+
+/// Sorted object-id list from scan hits, for set comparisons.
+pub fn ids(hits: &[dgl_core::ScanHit]) -> Vec<u64> {
+    let mut v: Vec<u64> = hits.iter().map(|h| h.oid.0).collect();
+    v.sort_unstable();
+    v
+}

@@ -1,0 +1,425 @@
+//! Phantom protection — the property the paper exists for.
+//!
+//! A scan inside a transaction must be repeatable: no concurrent insert or
+//! delete may add or remove objects from its predicate region until it
+//! commits. Each test drives a two-transaction interleaving from two
+//! threads, asserting both the *blocking* behaviour (the conflicting
+//! writer waits) and the *observable* behaviour (re-scan returns the same
+//! set). The same scenarios run against the intentionally unsound
+//! object-locks-only protocol and must detect phantoms there — proving
+//! the tests have teeth.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::{ids, r, sound_protocols, unsound_protocol};
+use dgl_core::{ObjectId, TransactionalRTree};
+
+const SETTLE: Duration = Duration::from_millis(80);
+
+/// Scenario: T1 scans Q; T2 tries a conflicting write inside Q; T1
+/// re-scans and must see the same result; after T1 commits, T2's write
+/// lands. Returns whether a phantom was observed (for the unsound run).
+fn insert_phantom_scenario(db: Arc<dyn TransactionalRTree>) -> bool {
+    // Seed data.
+    let t = db.begin();
+    db.insert(t, ObjectId(1), r([0.10, 0.10], [0.15, 0.15])).unwrap();
+    db.insert(t, ObjectId(2), r([0.80, 0.80], [0.85, 0.85])).unwrap();
+    db.commit(t).unwrap();
+
+    let query = r([0.05, 0.05], [0.30, 0.30]);
+    let t1 = db.begin();
+    let first = ids(&db.read_scan(t1, query).unwrap());
+    assert_eq!(first, vec![1], "{}: baseline scan", db.name());
+
+    let landed = Arc::new(AtomicBool::new(false));
+    let mut phantom_seen = false;
+    crossbeam::scope(|s| {
+        let db2 = Arc::clone(&db);
+        let flag = Arc::clone(&landed);
+        let writer = s.spawn(move |_| {
+            let t2 = db2.begin();
+            // Insert INSIDE T1's scanned region.
+            db2.insert(t2, ObjectId(3), r([0.20, 0.20], [0.25, 0.25]))
+                .unwrap();
+            flag.store(true, Ordering::SeqCst);
+            db2.commit(t2).unwrap();
+        });
+        std::thread::sleep(SETTLE);
+        let blocked = !landed.load(Ordering::SeqCst);
+        // Re-scan: must be identical for a sound protocol.
+        let second = ids(&db.read_scan(t1, query).unwrap());
+        phantom_seen = second != first;
+        if !phantom_seen {
+            assert!(
+                blocked,
+                "{}: writer must be blocked while the scan is live",
+                db.name()
+            );
+        }
+        db.commit(t1).unwrap();
+        writer.join().unwrap();
+    })
+    .unwrap();
+
+    // After both commit, the insert must be visible.
+    let t3 = db.begin();
+    let after = ids(&db.read_scan(t3, query).unwrap());
+    assert_eq!(after, vec![1, 3], "{}: write lands after the scan commits", db.name());
+    db.commit(t3).unwrap();
+    db.validate().unwrap_or_else(|e| panic!("{}: {e}", db.name()));
+    phantom_seen
+}
+
+#[test]
+fn sound_protocols_prevent_insert_phantoms() {
+    for db in sound_protocols(4) {
+        let name = db.name();
+        let phantom = insert_phantom_scenario(db);
+        assert!(!phantom, "{name}: phantom observed");
+    }
+}
+
+#[test]
+fn unsound_protocol_exhibits_insert_phantoms() {
+    let phantom = insert_phantom_scenario(unsound_protocol(4));
+    assert!(
+        phantom,
+        "object-locks-only must exhibit the phantom (otherwise these tests prove nothing)"
+    );
+}
+
+/// Delete phantom: T1 scans and sees object 1; T2's delete of object 1
+/// must wait until T1 commits.
+fn delete_phantom_scenario(db: Arc<dyn TransactionalRTree>) -> bool {
+    let rect1 = r([0.10, 0.10], [0.15, 0.15]);
+    let t = db.begin();
+    db.insert(t, ObjectId(1), rect1).unwrap();
+    db.commit(t).unwrap();
+
+    let query = r([0.05, 0.05], [0.30, 0.30]);
+    let t1 = db.begin();
+    let first = ids(&db.read_scan(t1, query).unwrap());
+    assert_eq!(first, vec![1]);
+
+    let landed = Arc::new(AtomicBool::new(false));
+    let mut phantom_seen = false;
+    crossbeam::scope(|s| {
+        let db2 = Arc::clone(&db);
+        let flag = Arc::clone(&landed);
+        let writer = s.spawn(move |_| {
+            let t2 = db2.begin();
+            assert!(db2.delete(t2, ObjectId(1), rect1).unwrap());
+            flag.store(true, Ordering::SeqCst);
+            db2.commit(t2).unwrap();
+        });
+        std::thread::sleep(SETTLE);
+        let second = ids(&db.read_scan(t1, query).unwrap());
+        phantom_seen = second != first;
+        if !phantom_seen {
+            assert!(
+                !landed.load(Ordering::SeqCst),
+                "{}: deleter must wait for the scanner",
+                db.name()
+            );
+        }
+        db.commit(t1).unwrap();
+        writer.join().unwrap();
+    })
+    .unwrap();
+
+    let t3 = db.begin();
+    assert!(db.read_scan(t3, query).unwrap().is_empty());
+    db.commit(t3).unwrap();
+    phantom_seen
+}
+
+#[test]
+fn sound_protocols_prevent_delete_phantoms() {
+    for db in sound_protocols(4) {
+        let name = db.name();
+        assert!(!delete_phantom_scenario(db), "{name}: delete phantom");
+    }
+}
+
+#[test]
+fn object_locks_do_cover_already_seen_objects() {
+    // Deleting an object the scan already S-locked is NOT a phantom — the
+    // plain object locks cover it even in the unsound protocol. The
+    // phantom is specifically about objects the scan could not lock
+    // (inserts, and regions verified absent — see the tests above/below).
+    assert!(
+        !delete_phantom_scenario(unsound_protocol(4)),
+        "object-only: deleting a seen (S-locked) object must still wait"
+    );
+}
+
+#[test]
+fn unsound_protocol_exhibits_absence_phantoms() {
+    // Under object-locks-only, a delete that found nothing locks nothing,
+    // so an insert into the verified-absent region proceeds immediately —
+    // the not-found answer is not repeatable. This is the second phantom
+    // flavour the paper's granule coverage exists for.
+    let db = unsound_protocol(4);
+    let t = db.begin();
+    db.insert(t, ObjectId(1), r([0.7, 0.7], [0.75, 0.75])).unwrap();
+    db.commit(t).unwrap();
+
+    let ghost = r([0.2, 0.2], [0.25, 0.25]);
+    let t1 = db.begin();
+    assert!(!db.delete(t1, ObjectId(50), ghost).unwrap());
+
+    // The conflicting insert sails through.
+    let t2 = db.begin();
+    db.insert(t2, ObjectId(51), r([0.22, 0.22], [0.27, 0.27])).unwrap();
+    db.commit(t2).unwrap();
+
+    // T1's absence answer silently became wrong (ghost region occupied).
+    let hits = db.read_scan(t1, ghost).unwrap();
+    assert!(
+        !hits.is_empty(),
+        "phantom expected: the absent region got populated mid-transaction"
+    );
+    db.commit(t1).unwrap();
+}
+
+/// Rollback phantom (the paper's Figure 2(b) failure flavour): T1 inserts
+/// into a region and aborts; a scan that ran concurrently must never have
+/// seen the object appear and then disappear.
+#[test]
+fn aborted_insert_never_visible_to_concurrent_scan() {
+    for db in sound_protocols(4) {
+        let query = r([0.4, 0.4], [0.6, 0.6]);
+        let t1 = db.begin();
+        db.insert(t1, ObjectId(99), r([0.45, 0.45], [0.5, 0.5])).unwrap();
+
+        crossbeam::scope(|s| {
+            let db2: Arc<dyn TransactionalRTree> = Arc::clone(&db);
+            let reader = s.spawn(move |_| {
+                let t2 = db2.begin();
+                let hits = ids(&db2.read_scan(t2, query).unwrap());
+                db2.commit(t2).unwrap();
+                hits
+            });
+            std::thread::sleep(SETTLE);
+            // T1 aborts while the reader is (possibly) blocked.
+            db.abort(t1).unwrap();
+            let seen = reader.join().unwrap();
+            assert!(
+                seen.is_empty(),
+                "{}: scan saw an uncommitted, later-aborted insert",
+                db.name()
+            );
+        })
+        .unwrap();
+        db.validate().unwrap();
+    }
+}
+
+/// Repeatable absence: a delete of a non-existent object must protect the
+/// region, so an insert of an overlapping object waits (the paper: the
+/// deleter S-locks the overlapping granules like a ReadScan).
+#[test]
+fn delete_of_absent_object_protects_region() {
+    for db in sound_protocols(4) {
+        // Some background data so granules exist.
+        let t = db.begin();
+        db.insert(t, ObjectId(1), r([0.7, 0.7], [0.75, 0.75])).unwrap();
+        db.commit(t).unwrap();
+
+        let ghost = r([0.2, 0.2], [0.25, 0.25]);
+        let t1 = db.begin();
+        assert!(!db.delete(t1, ObjectId(50), ghost).unwrap());
+
+        let landed = Arc::new(AtomicBool::new(false));
+        crossbeam::scope(|s| {
+            let db2: Arc<dyn TransactionalRTree> = Arc::clone(&db);
+            let flag = Arc::clone(&landed);
+            let writer = s.spawn(move |_| {
+                let t2 = db2.begin();
+                // Overlaps the ghost region.
+                db2.insert(t2, ObjectId(51), r([0.22, 0.22], [0.27, 0.27]))
+                    .unwrap();
+                flag.store(true, Ordering::SeqCst);
+                db2.commit(t2).unwrap();
+            });
+            std::thread::sleep(SETTLE);
+            assert!(
+                !landed.load(Ordering::SeqCst),
+                "{}: insert into a protected absent region must wait",
+                db.name()
+            );
+            // The absence is still true for T1.
+            assert!(!db.delete(t1, ObjectId(50), ghost).unwrap());
+            db.commit(t1).unwrap();
+            writer.join().unwrap();
+        })
+        .unwrap();
+    }
+}
+
+/// Concurrency sanity: a write far away from the scanned region must NOT
+/// block under granular or predicate locking (it does block under
+/// tree-level locking — that is exactly the concurrency the paper buys).
+#[test]
+fn distant_writes_do_not_block_under_fine_grained_protocols() {
+    for db in sound_protocols(8) {
+        if db.name() == "tree-lock" {
+            continue; // coarse by design
+        }
+        // Two well-separated clusters so granules separate cleanly.
+        let t = db.begin();
+        for i in 0..12u64 {
+            let o = 0.01 * i as f64;
+            db.insert(t, ObjectId(i), r([o, o], [o + 0.01, o + 0.01]))
+                .unwrap();
+            db.insert(
+                t,
+                ObjectId(100 + i),
+                r([0.8 + o / 4.0, 0.8], [0.81 + o / 4.0, 0.81]),
+            )
+            .unwrap();
+        }
+        db.commit(t).unwrap();
+
+        let t1 = db.begin();
+        let _ = db.read_scan(t1, r([0.0, 0.0], [0.2, 0.2])).unwrap();
+
+        let landed = Arc::new(AtomicBool::new(false));
+        crossbeam::scope(|s| {
+            let db2: Arc<dyn TransactionalRTree> = Arc::clone(&db);
+            let flag = Arc::clone(&landed);
+            let writer = s.spawn(move |_| {
+                let t2 = db2.begin();
+                // Entirely inside the far cluster's granule region.
+                db2.insert(t2, ObjectId(500), r([0.805, 0.802], [0.815, 0.808]))
+                    .unwrap();
+                flag.store(true, Ordering::SeqCst);
+                db2.commit(t2).unwrap();
+            });
+            std::thread::sleep(SETTLE);
+            assert!(
+                landed.load(Ordering::SeqCst),
+                "{}: distant insert must proceed concurrently with the scan",
+                db.name()
+            );
+            writer.join().unwrap();
+            db.commit(t1).unwrap();
+        })
+        .unwrap();
+    }
+}
+
+/// Under tree-level locking even a distant write blocks — the motivating
+/// concurrency loss.
+#[test]
+fn tree_lock_blocks_even_distant_writes() {
+    let db = sound_protocols(8)
+        .into_iter()
+        .find(|p| p.name() == "tree-lock")
+        .expect("tree-lock in the set");
+    let t = db.begin();
+    db.insert(t, ObjectId(1), r([0.1, 0.1], [0.12, 0.12])).unwrap();
+    db.insert(t, ObjectId(2), r([0.8, 0.8], [0.82, 0.82])).unwrap();
+    db.commit(t).unwrap();
+
+    let t1 = db.begin();
+    let _ = db.read_scan(t1, r([0.0, 0.0], [0.2, 0.2])).unwrap();
+    let landed = Arc::new(AtomicBool::new(false));
+    crossbeam::scope(|s| {
+        let db2: Arc<dyn TransactionalRTree> = Arc::clone(&db);
+        let flag = Arc::clone(&landed);
+        let writer = s.spawn(move |_| {
+            let t2 = db2.begin();
+            db2.insert(t2, ObjectId(3), r([0.9, 0.9], [0.91, 0.91])).unwrap();
+            flag.store(true, Ordering::SeqCst);
+            db2.commit(t2).unwrap();
+        });
+        std::thread::sleep(SETTLE);
+        assert!(
+            !landed.load(Ordering::SeqCst),
+            "tree-lock: any write must wait for any reader"
+        );
+        db.commit(t1).unwrap();
+        writer.join().unwrap();
+    })
+    .unwrap();
+}
+
+/// Scans must also be repeatable against UPDATES of versions? No — the
+/// paper's updates do not move objects. But an UpdateScan's hit set must
+/// be protected like a ReadScan's: an insert into its range waits.
+#[test]
+fn update_scan_gets_phantom_protection_too() {
+    for db in sound_protocols(4) {
+        let t = db.begin();
+        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.15, 0.15])).unwrap();
+        db.commit(t).unwrap();
+
+        let query = r([0.05, 0.05], [0.3, 0.3]);
+        let t1 = db.begin();
+        let hits = db.update_scan(t1, query).unwrap();
+        assert_eq!(ids(&hits), vec![1]);
+
+        let landed = Arc::new(AtomicBool::new(false));
+        crossbeam::scope(|s| {
+            let db2: Arc<dyn TransactionalRTree> = Arc::clone(&db);
+            let flag = Arc::clone(&landed);
+            let writer = s.spawn(move |_| {
+                let t2 = db2.begin();
+                db2.insert(t2, ObjectId(2), r([0.2, 0.2], [0.25, 0.25])).unwrap();
+                flag.store(true, Ordering::SeqCst);
+                db2.commit(t2).unwrap();
+            });
+            std::thread::sleep(SETTLE);
+            assert!(
+                !landed.load(Ordering::SeqCst),
+                "{}: insert into an update-scanned range must wait",
+                db.name()
+            );
+            db.commit(t1).unwrap();
+            writer.join().unwrap();
+        })
+        .unwrap();
+    }
+}
+
+/// Write-write on the same object: the second writer waits and then sees
+/// the first one's outcome (no lost update on versions).
+#[test]
+fn no_lost_updates_on_same_object() {
+    for db in sound_protocols(4) {
+        let rect = r([0.4, 0.4], [0.45, 0.45]);
+        let t = db.begin();
+        db.insert(t, ObjectId(1), rect).unwrap();
+        db.commit(t).unwrap();
+
+        crossbeam::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let db2: Arc<dyn TransactionalRTree> = Arc::clone(&db);
+                handles.push(s.spawn(move |_| {
+                    let t = db2.begin();
+                    db2.update_single(t, ObjectId(1), rect).unwrap();
+                    db2.commit(t).unwrap();
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+
+        let t = db.begin();
+        assert_eq!(
+            db.read_single(t, ObjectId(1), rect).unwrap(),
+            Some(5),
+            "{}: four serialized updates on version 1 end at 5",
+            db.name()
+        );
+        db.commit(t).unwrap();
+    }
+}

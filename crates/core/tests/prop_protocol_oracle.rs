@@ -1,0 +1,204 @@
+//! Property-based test: random *serial* transaction histories driven
+//! through every protocol must agree with a naive map-based oracle —
+//! same scan results, same point reads, same version numbers, same
+//! commit/abort visibility.
+
+mod common;
+
+use std::collections::BTreeMap;
+
+use common::sound_protocols;
+use dgl_core::{ObjectId, Rect2, TransactionalRTree, TxnError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(u8, Rect2),
+    Delete(u8),
+    ReadSingle(u8),
+    UpdateSingle(u8),
+    ReadScan(Rect2),
+    UpdateScan(Rect2),
+    Commit,
+    Abort,
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect2> {
+    (0.0..0.85f64, 0.0..0.85f64, 0.0..0.1f64, 0.0..0.1f64)
+        .prop_map(|(x, y, w, h)| Rect2::new([x, y], [x + w, y + h]))
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..24u8, arb_rect()).prop_map(|(k, r)| Step::Insert(k, r)),
+        2 => (0..24u8).prop_map(Step::Delete),
+        2 => (0..24u8).prop_map(Step::ReadSingle),
+        2 => (0..24u8).prop_map(Step::UpdateSingle),
+        2 => arb_rect().prop_map(Step::ReadScan),
+        1 => arb_rect().prop_map(Step::UpdateScan),
+        2 => Just(Step::Commit),
+        1 => Just(Step::Abort),
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OracleObj {
+    rect: Rect2,
+    version: u64,
+}
+
+/// Committed state + in-flight transaction state of the oracle.
+///
+/// `reserved` tracks ids the in-flight transaction has logically deleted:
+/// per the API contract they stay un-insertable until commit (the
+/// tombstoned entry is only physically removed by the deferred deletion).
+#[derive(Debug, Default, Clone)]
+struct Oracle {
+    committed: BTreeMap<u8, OracleObj>,
+    working: BTreeMap<u8, OracleObj>,
+    reserved: std::collections::BTreeSet<u8>,
+    dirty: bool,
+}
+
+fn run_history(db: &dyn TransactionalRTree, steps: &[Step]) -> Result<(), TestCaseError> {
+    let mut oracle = Oracle::default();
+    oracle.working = oracle.committed.clone();
+    let mut txn = db.begin();
+    for (i, step) in steps.iter().enumerate() {
+        let ctx = format!("{} step {i}: {step:?}", db.name());
+        match step {
+            Step::Insert(k, rect) => {
+                let r = db.insert(txn, ObjectId(u64::from(*k)), *rect);
+                if oracle.working.contains_key(k) || oracle.reserved.contains(k) {
+                    prop_assert_eq!(r, Err(TxnError::DuplicateObject), "{}", ctx);
+                } else {
+                    prop_assert_eq!(r, Ok(()), "{}", ctx);
+                    oracle.working.insert(
+                        *k,
+                        OracleObj {
+                            rect: *rect,
+                            version: 1,
+                        },
+                    );
+                    oracle.dirty = true;
+                }
+            }
+            Step::Delete(k) => {
+                // Delete by the object's true rect when present, else by an
+                // arbitrary probe rect.
+                let rect = oracle
+                    .working
+                    .get(k)
+                    .map_or(Rect2::new([0.5, 0.5], [0.51, 0.51]), |o| o.rect);
+                let r = db.delete(txn, ObjectId(u64::from(*k)), rect).unwrap();
+                prop_assert_eq!(r, oracle.working.contains_key(k), "{}", ctx);
+                if r {
+                    oracle.working.remove(k);
+                    // Ids deleted by this transaction stay reserved until
+                    // commit — unless this transaction also inserted them
+                    // (an uncommitted own insert is rolled forward out of
+                    // existence by the delete, physically removed at
+                    // commit, so ... it is reserved all the same).
+                    oracle.reserved.insert(*k);
+                    oracle.dirty = true;
+                }
+            }
+            Step::ReadSingle(k) => {
+                let rect = oracle
+                    .working
+                    .get(k)
+                    .map_or(Rect2::new([0.5, 0.5], [0.51, 0.51]), |o| o.rect);
+                let r = db.read_single(txn, ObjectId(u64::from(*k)), rect).unwrap();
+                prop_assert_eq!(r, oracle.working.get(k).map(|o| o.version), "{}", ctx);
+            }
+            Step::UpdateSingle(k) => {
+                let rect = oracle
+                    .working
+                    .get(k)
+                    .map_or(Rect2::new([0.5, 0.5], [0.51, 0.51]), |o| o.rect);
+                let r = db.update_single(txn, ObjectId(u64::from(*k)), rect).unwrap();
+                prop_assert_eq!(r, oracle.working.contains_key(k), "{}", ctx);
+                if let Some(o) = oracle.working.get_mut(k) {
+                    o.version += 1;
+                    oracle.dirty = true;
+                }
+            }
+            Step::ReadScan(q) => {
+                let mut got: Vec<(u64, u64)> = db
+                    .read_scan(txn, *q)
+                    .unwrap()
+                    .into_iter()
+                    .map(|h| (h.oid.0, h.version))
+                    .collect();
+                got.sort_unstable();
+                let mut want: Vec<(u64, u64)> = oracle
+                    .working
+                    .iter()
+                    .filter(|(_, o)| o.rect.intersects(q))
+                    .map(|(k, o)| (u64::from(*k), o.version))
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want, "{}", ctx);
+            }
+            Step::UpdateScan(q) => {
+                let hits = db.update_scan(txn, *q).unwrap();
+                let mut got: Vec<(u64, u64)> =
+                    hits.into_iter().map(|h| (h.oid.0, h.version)).collect();
+                got.sort_unstable();
+                let mut want = Vec::new();
+                for (k, o) in oracle.working.iter_mut() {
+                    if o.rect.intersects(q) {
+                        o.version += 1;
+                        oracle.dirty = true;
+                        want.push((u64::from(*k), o.version));
+                    }
+                }
+                want.sort_unstable();
+                prop_assert_eq!(got, want, "{}", ctx);
+            }
+            Step::Commit => {
+                db.commit(txn).unwrap();
+                oracle.committed = oracle.working.clone();
+                oracle.reserved.clear();
+                oracle.dirty = false;
+                txn = db.begin();
+            }
+            Step::Abort => {
+                db.abort(txn).unwrap();
+                oracle.working = oracle.committed.clone();
+                oracle.reserved.clear();
+                oracle.dirty = false;
+                txn = db.begin();
+            }
+        }
+    }
+    db.abort(txn).ok();
+    // Quiescent: committed state is what survives.
+    db.validate()
+        .map_err(|e| TestCaseError::fail(format!("{}: {e}", db.name())))?;
+    let t = db.begin();
+    let mut got: Vec<u64> = db
+        .read_scan(t, Rect2::unit())
+        .unwrap()
+        .into_iter()
+        .map(|h| h.oid.0)
+        .collect();
+    got.sort_unstable();
+    let want: Vec<u64> = oracle.committed.keys().map(|k| u64::from(*k)).collect();
+    prop_assert_eq!(got, want, "{}: final committed state", db.name());
+    db.commit(t).unwrap();
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn serial_histories_match_oracle_on_every_protocol(
+        steps in prop::collection::vec(arb_step(), 1..60)
+    ) {
+        for db in sound_protocols(5) {
+            run_history(db.as_ref(), &steps)?;
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! A standard multi-granularity lock manager.
+//!
+//! The ICDE-98 protocol assumes "the presence of a standard lock manager"
+//! supporting (i) the five multi-granularity modes of Table 1 — `IS`, `IX`,
+//! `S`, `SIX`, `X` — (ii) *conditional* and *unconditional* lock requests,
+//! and (iii) *short* and *commit* lock durations. This crate provides
+//! exactly that, plus what any production lock manager needs around it:
+//! lock conversion (a transaction re-requesting a resource holds the
+//! supremum of its modes), FIFO-fair grant queues, deadlock detection over
+//! a waits-for graph, a wait timeout backstop, per-manager statistics, and
+//! an optional request trace used by the Table 3 conformance tests.
+//!
+//! Resources are named by [`ResourceId`]: a page id (leaf granule or
+//! external granule — the paper's key trick is that granules map to purely
+//! physical page locks), an object id, or the whole index (the Postgres-
+//! style baseline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deadlock;
+mod manager;
+mod mode;
+mod resource;
+mod stats;
+mod trace;
+
+pub use manager::{LockManager, LockManagerConfig, LockOutcome};
+pub use mode::LockMode;
+pub use resource::{LockDuration, RequestKind, ResourceId, TxnId};
+pub use stats::{LockStats, LockStatsSnapshot};
+pub use trace::{TraceEvent, TraceEventKind};

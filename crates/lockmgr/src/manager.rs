@@ -1,0 +1,726 @@
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::deadlock::WaitForGraph;
+use crate::stats::LockStats;
+use crate::trace::{Trace, TraceEvent, TraceEventKind};
+use crate::{LockDuration, LockMode, RequestKind, ResourceId, TxnId};
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock is held (immediately or after waiting).
+    Granted,
+    /// Conditional request could not be granted immediately.
+    WouldBlock,
+    /// Waiting would close a cycle in the waits-for graph; the requester
+    /// was chosen as the victim and must abort.
+    Deadlock,
+    /// The wait-timeout backstop fired; treat like a deadlock abort.
+    Timeout,
+}
+
+/// Configuration for [`LockManager`].
+#[derive(Debug, Clone)]
+pub struct LockManagerConfig {
+    /// Number of hash shards for the lock table.
+    pub shards: usize,
+    /// Backstop timeout for unconditional waits.
+    pub wait_timeout: Duration,
+    /// Record a [`TraceEvent`] per request (used by conformance tests).
+    pub trace: bool,
+}
+
+impl Default for LockManagerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 16,
+            wait_timeout: Duration::from_secs(10),
+            trace: false,
+        }
+    }
+}
+
+/// One transaction's granted lock on one resource.
+///
+/// A transaction holds at most one grant per resource; its effective mode
+/// is the supremum of the commit-duration and short-duration slots. Short
+/// slots disappear at operation end ([`LockManager::release_short`]), which
+/// may *downgrade* the effective mode — e.g. an inserter's short SIX on an
+/// external granule decays to nothing while its commit IX on the target
+/// leaf granule survives.
+#[derive(Debug)]
+struct Grant {
+    txn: TxnId,
+    commit_mode: Option<LockMode>,
+    short_mode: Option<LockMode>,
+}
+
+impl Grant {
+    fn new(txn: TxnId, mode: LockMode, dur: LockDuration) -> Self {
+        let mut g = Self {
+            txn,
+            commit_mode: None,
+            short_mode: None,
+        };
+        g.set(mode, dur);
+        g
+    }
+
+    fn set(&mut self, mode: LockMode, dur: LockDuration) {
+        let slot = match dur {
+            LockDuration::Commit => &mut self.commit_mode,
+            LockDuration::Short => &mut self.short_mode,
+        };
+        *slot = Some(slot.map_or(mode, |m| m.supremum(mode)));
+    }
+
+    /// Effective held mode (supremum of both duration slots).
+    fn mode(&self) -> LockMode {
+        match (self.commit_mode, self.short_mode) {
+            (Some(c), Some(s)) => c.supremum(s),
+            (Some(c), None) => c,
+            (None, Some(s)) => s,
+            (None, None) => unreachable!("empty grant"),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum WaitVerdict {
+    Granted,
+    Cancelled,
+}
+
+#[derive(Debug)]
+struct WaitCell {
+    state: Mutex<Option<WaitVerdict>>,
+    cv: Condvar,
+}
+
+impl WaitCell {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn settle(&self, verdict: WaitVerdict) {
+        *self.state.lock() = Some(verdict);
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct Waiter {
+    txn: TxnId,
+    /// Total mode the transaction will hold if granted (supremum with any
+    /// already-held mode, for conversions).
+    want: LockMode,
+    /// The mode actually requested (recorded into the duration slot).
+    req_mode: LockMode,
+    duration: LockDuration,
+    conversion: bool,
+    cell: Arc<WaitCell>,
+}
+
+#[derive(Debug, Default)]
+struct ResourceState {
+    grants: Vec<Grant>,
+    waiters: VecDeque<Waiter>,
+}
+
+impl ResourceState {
+    fn grant_of(&self, txn: TxnId) -> Option<&Grant> {
+        self.grants.iter().find(|g| g.txn == txn)
+    }
+
+    fn grant_of_mut(&mut self, txn: TxnId) -> Option<&mut Grant> {
+        self.grants.iter_mut().find(|g| g.txn == txn)
+    }
+
+    /// Whether `mode` requested by `txn` is compatible with all grants held
+    /// by *other* transactions.
+    fn compatible_with_others(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.grants
+            .iter()
+            .filter(|g| g.txn != txn)
+            .all(|g| mode.compatible(g.mode()))
+    }
+}
+
+struct Wakeup {
+    txn: TxnId,
+    res: ResourceId,
+    cell: Arc<WaitCell>,
+}
+
+/// The lock manager: a sharded lock table with FIFO grant queues,
+/// conversion priority, deadlock detection and a wait-timeout backstop.
+///
+/// See the crate docs for the feature set; the protocol crate issues every
+/// granule and object lock through this type.
+///
+/// ```
+/// use dgl_lockmgr::{
+///     LockDuration::{Commit, Short},
+///     LockManager, LockMode, LockOutcome, RequestKind::Conditional, ResourceId, TxnId,
+/// };
+/// use dgl_pager::PageId;
+///
+/// let lm = LockManager::default();
+/// let (t1, t2) = (TxnId(1), TxnId(2));
+/// let granule = ResourceId::Page(PageId(7));
+/// // A searcher's commit-duration S lock…
+/// assert_eq!(lm.lock(t1, granule, LockMode::S, Commit, Conditional), LockOutcome::Granted);
+/// // …blocks an inserter's IX (conditional requests never wait).
+/// assert_eq!(lm.lock(t2, granule, LockMode::IX, Commit, Conditional), LockOutcome::WouldBlock);
+/// lm.release_all(t1);
+/// assert_eq!(lm.lock(t2, granule, LockMode::IX, Commit, Conditional), LockOutcome::Granted);
+/// # lm.release_all(t2);
+/// ```
+pub struct LockManager {
+    shards: Vec<Mutex<HashMap<ResourceId, ResourceState>>>,
+    txn_index: Mutex<HashMap<TxnId, HashSet<ResourceId>>>,
+    /// Which resource each blocked transaction is waiting on (victim
+    /// cancellation needs to find the wait to cancel).
+    waiting_on: Mutex<HashMap<TxnId, ResourceId>>,
+    /// Transactions exempt from deadlock victim selection (the protocol's
+    /// post-commit deferred-deletion system operations, which cannot be
+    /// rolled back).
+    system_txns: Mutex<HashSet<TxnId>>,
+    stats: LockStats,
+    trace: Trace,
+    wait_timeout: Duration,
+}
+
+impl std::fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockManager")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new(LockManagerConfig::default())
+    }
+}
+
+impl LockManager {
+    /// Creates a lock manager with the given configuration.
+    pub fn new(config: LockManagerConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        Self {
+            shards: (0..config.shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            txn_index: Mutex::new(HashMap::new()),
+            waiting_on: Mutex::new(HashMap::new()),
+            system_txns: Mutex::new(HashSet::new()),
+            stats: LockStats::default(),
+            trace: if config.trace {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
+            wait_timeout: config.wait_timeout,
+        }
+    }
+
+    /// Lock-manager statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// Marks `txn` as a *system* transaction: deadlock victim selection
+    /// will sacrifice it only when every cycle member is a system
+    /// transaction. Used for the deferred physical deletions that run
+    /// after commit and must not be rolled back.
+    pub fn set_system(&self, txn: TxnId) {
+        self.system_txns.lock().insert(txn);
+    }
+
+    /// Clears the system mark (call when the system operation finishes).
+    pub fn clear_system(&self, txn: TxnId) {
+        self.system_txns.lock().remove(&txn);
+    }
+
+    /// Drains and returns the trace buffer (empty when tracing is off).
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.trace.drain()
+    }
+
+    fn shard(&self, res: &ResourceId) -> &Mutex<HashMap<ResourceId, ResourceState>> {
+        let mut h = DefaultHasher::new();
+        res.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Requests a lock on `res` in `mode` for `txn`.
+    ///
+    /// Re-requesting a resource the transaction already covers records the
+    /// duration and returns immediately; requesting a stronger mode is a
+    /// *conversion* (the transaction ends up holding the supremum).
+    /// Conditional requests never wait. Unconditional requests wait FIFO,
+    /// abort with [`LockOutcome::Deadlock`] if blocking would close a
+    /// waits-for cycle, and with [`LockOutcome::Timeout`] if the backstop
+    /// fires.
+    pub fn lock(
+        &self,
+        txn: TxnId,
+        res: ResourceId,
+        mode: LockMode,
+        dur: LockDuration,
+        kind: RequestKind,
+    ) -> LockOutcome {
+        LockStats::bump(&self.stats.requests);
+        let cell;
+        {
+            let mut shard = self.shard(&res).lock();
+            let state = shard.entry(res).or_default();
+            debug_assert!(
+                !state.waiters.iter().any(|w| w.txn == txn),
+                "{txn} issued a second request on {res} while already waiting"
+            );
+            if let Some(g) = state.grant_of(txn) {
+                let held = g.mode();
+                if held.covers(mode) {
+                    // Already strong enough; just record the duration slot.
+                    state.grant_of_mut(txn).expect("just found").set(mode, dur);
+                    LockStats::bump(&self.stats.immediate_grants);
+                    self.record(txn, res, mode, dur, TraceEventKind::Granted);
+                    return LockOutcome::Granted;
+                }
+                // Conversion to a stronger mode.
+                let want = held.supremum(mode);
+                if state.compatible_with_others(txn, want) {
+                    state.grant_of_mut(txn).expect("just found").set(mode, dur);
+                    LockStats::bump(&self.stats.conversions);
+                    LockStats::bump(&self.stats.immediate_grants);
+                    self.record(txn, res, mode, dur, TraceEventKind::Granted);
+                    return LockOutcome::Granted;
+                }
+                if kind == RequestKind::Conditional {
+                    LockStats::bump(&self.stats.conditional_failures);
+                    self.record(txn, res, mode, dur, TraceEventKind::ConditionalFail);
+                    return LockOutcome::WouldBlock;
+                }
+                LockStats::bump(&self.stats.conversions);
+                cell = Arc::new(WaitCell::new());
+                // Conversions queue ahead of ordinary waiters (after any
+                // conversions already queued), the standard anti-starvation
+                // placement.
+                let pos = state.waiters.iter().take_while(|w| w.conversion).count();
+                state.waiters.insert(
+                    pos,
+                    Waiter {
+                        txn,
+                        want,
+                        req_mode: mode,
+                        duration: dur,
+                        conversion: true,
+                        cell: Arc::clone(&cell),
+                    },
+                );
+            } else {
+                if state.compatible_with_others(txn, mode) && state.waiters.is_empty() {
+                    state.grants.push(Grant::new(txn, mode, dur));
+                    LockStats::bump(&self.stats.immediate_grants);
+                    drop(shard);
+                    self.txn_index.lock().entry(txn).or_default().insert(res);
+                    self.record(txn, res, mode, dur, TraceEventKind::Granted);
+                    return LockOutcome::Granted;
+                }
+                if kind == RequestKind::Conditional {
+                    LockStats::bump(&self.stats.conditional_failures);
+                    self.record(txn, res, mode, dur, TraceEventKind::ConditionalFail);
+                    return LockOutcome::WouldBlock;
+                }
+                cell = Arc::new(WaitCell::new());
+                state.waiters.push_back(Waiter {
+                    txn,
+                    want: mode,
+                    req_mode: mode,
+                    duration: dur,
+                    conversion: false,
+                    cell: Arc::clone(&cell),
+                });
+            }
+        }
+        LockStats::bump(&self.stats.waits);
+        self.waiting_on.lock().insert(txn, res);
+
+        // About to block: if this wait closes a cycle, abort the youngest
+        // non-system member. If that is us, give up; otherwise cancel the
+        // victim's wait and block.
+        if self.resolve_deadlocks(txn) && self.cancel_waiter(res, txn) {
+            self.waiting_on.lock().remove(&txn);
+            LockStats::bump(&self.stats.deadlocks);
+            self.record(txn, res, mode, dur, TraceEventKind::Aborted);
+            return LockOutcome::Deadlock;
+        }
+        // (If the victim verdict raced with a grant, the wait below picks
+        // the grant up immediately.)
+
+        let deadline = Instant::now() + self.wait_timeout;
+        let mut guard = cell.state.lock();
+        loop {
+            match &*guard {
+                Some(WaitVerdict::Granted) => {
+                    drop(guard);
+                    self.waiting_on.lock().remove(&txn);
+                    self.record(txn, res, mode, dur, TraceEventKind::GrantedAfterWait);
+                    return LockOutcome::Granted;
+                }
+                Some(WaitVerdict::Cancelled) => {
+                    drop(guard);
+                    self.waiting_on.lock().remove(&txn);
+                    LockStats::bump(&self.stats.deadlocks);
+                    self.record(txn, res, mode, dur, TraceEventKind::Aborted);
+                    return LockOutcome::Deadlock;
+                }
+                None => {
+                    if cell.cv.wait_until(&mut guard, deadline).timed_out() {
+                        drop(guard);
+                        if self.cancel_waiter(res, txn) {
+                            self.waiting_on.lock().remove(&txn);
+                            LockStats::bump(&self.stats.timeouts);
+                            self.record(txn, res, mode, dur, TraceEventKind::Aborted);
+                            return LockOutcome::Timeout;
+                        }
+                        // Granted concurrently with the timeout.
+                        guard = cell.state.lock();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases all short-duration lock slots of `txn` (end of operation).
+    ///
+    /// Grants whose only slot was short disappear; grants that also have a
+    /// commit slot are downgraded to it. Either way waiting requests are
+    /// re-examined.
+    pub fn release_short(&self, txn: TxnId) {
+        let resources: Vec<ResourceId> = self
+            .txn_index
+            .lock()
+            .get(&txn)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let mut dropped = Vec::new();
+        let mut wakeups = Vec::new();
+        for res in resources {
+            let mut shard = self.shard(&res).lock();
+            let Some(state) = shard.get_mut(&res) else {
+                continue;
+            };
+            let Some(idx) = state.grants.iter().position(|g| g.txn == txn) else {
+                continue;
+            };
+            if state.grants[idx].short_mode.take().is_none() {
+                continue; // commit-only grant: nothing to release
+            }
+            if state.grants[idx].commit_mode.is_none() {
+                state.grants.swap_remove(idx);
+                dropped.push(res);
+            }
+            Self::process_queue(res, state, &mut wakeups);
+            if state.grants.is_empty() && state.waiters.is_empty() {
+                shard.remove(&res);
+            }
+        }
+        if !dropped.is_empty() {
+            let mut index = self.txn_index.lock();
+            if let Some(set) = index.get_mut(&txn) {
+                for res in &dropped {
+                    set.remove(res);
+                }
+                if set.is_empty() {
+                    index.remove(&txn);
+                }
+            }
+        }
+        self.notify(wakeups);
+        self.trace.record(TraceEvent {
+            txn,
+            resource: None,
+            mode: None,
+            duration: None,
+            kind: TraceEventKind::ShortReleased,
+        });
+    }
+
+    /// Releases every lock of `txn` (transaction commit or rollback).
+    pub fn release_all(&self, txn: TxnId) {
+        let resources: Vec<ResourceId> = self
+            .txn_index
+            .lock()
+            .remove(&txn)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        let mut wakeups = Vec::new();
+        for res in resources {
+            let mut shard = self.shard(&res).lock();
+            let Some(state) = shard.get_mut(&res) else {
+                continue;
+            };
+            if let Some(idx) = state.grants.iter().position(|g| g.txn == txn) {
+                state.grants.swap_remove(idx);
+            }
+            Self::process_queue(res, state, &mut wakeups);
+            if state.grants.is_empty() && state.waiters.is_empty() {
+                shard.remove(&res);
+            }
+        }
+        self.notify(wakeups);
+        self.trace.record(TraceEvent {
+            txn,
+            resource: None,
+            mode: None,
+            duration: None,
+            kind: TraceEventKind::AllReleased,
+        });
+    }
+
+    /// The mode `txn` currently holds on `res`, if any.
+    pub fn held(&self, txn: TxnId, res: ResourceId) -> Option<LockMode> {
+        let shard = self.shard(&res).lock();
+        shard.get(&res).and_then(|s| s.grant_of(txn).map(Grant::mode))
+    }
+
+    /// The commit-duration mode `txn` holds on `res`, ignoring any
+    /// short-duration slot. The protocol's §3.5 self-inheritance checks
+    /// ("did this transaction hold an S lock from an earlier scan?") must
+    /// not be confused by the operation's own short SIX locks.
+    pub fn held_commit(&self, txn: TxnId, res: ResourceId) -> Option<LockMode> {
+        let shard = self.shard(&res).lock();
+        shard
+            .get(&res)
+            .and_then(|s| s.grant_of(txn).and_then(|g| g.commit_mode))
+    }
+
+    /// All current holders of `res` with their effective modes (test/debug).
+    pub fn holders(&self, res: ResourceId) -> Vec<(TxnId, LockMode)> {
+        let shard = self.shard(&res).lock();
+        shard
+            .get(&res)
+            .map(|s| s.grants.iter().map(|g| (g.txn, g.mode())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of resources with live lock state (leak check in tests).
+    pub fn resource_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Number of distinct resources `txn` holds locks on.
+    pub fn locks_held(&self, txn: TxnId) -> usize {
+        self.txn_index.lock().get(&txn).map_or(0, HashSet::len)
+    }
+
+    /// Renders the entire lock table (grants and wait queues) for hang
+    /// diagnosis. Expensive; debugging aid only.
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (res, state) in shard.iter() {
+                let _ = write!(out, "{res}: granted[");
+                for g in &state.grants {
+                    let _ = write!(
+                        out,
+                        " {}:{}(c:{:?},s:{:?})",
+                        g.txn,
+                        g.mode(),
+                        g.commit_mode,
+                        g.short_mode
+                    );
+                }
+                let _ = write!(out, " ] waiting[");
+                for w in &state.waiters {
+                    let _ = write!(
+                        out,
+                        " {}:{}{}",
+                        w.txn,
+                        w.want,
+                        if w.conversion { "(conv)" } else { "" }
+                    );
+                }
+                let _ = writeln!(out, " ]");
+            }
+        }
+        let waiting = self.waiting_on.lock();
+        let _ = writeln!(out, "waiting_on: {waiting:?}");
+        let system = self.system_txns.lock();
+        let _ = writeln!(out, "system: {system:?}");
+        out
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Grants waiters from the front of the queue while possible.
+    ///
+    /// Conversions (queued at the front) are grantable when compatible with
+    /// all *other* grants; ordinary waiters when compatible with all grants.
+    /// Processing stops at the first ungrantable waiter (strict FIFO, no
+    /// starvation).
+    fn process_queue(res: ResourceId, state: &mut ResourceState, wakeups: &mut Vec<Wakeup>) {
+        while let Some(front) = state.waiters.front() {
+            let ok = if front.conversion {
+                state.compatible_with_others(front.txn, front.want)
+            } else {
+                state
+                    .grants
+                    .iter()
+                    .all(|g| front.want.compatible(g.mode()))
+            };
+            if !ok {
+                break;
+            }
+            let w = state.waiters.pop_front().expect("front exists");
+            match state.grant_of_mut(w.txn) {
+                Some(g) => g.set(w.req_mode, w.duration),
+                None => state.grants.push(Grant::new(w.txn, w.req_mode, w.duration)),
+            }
+            wakeups.push(Wakeup {
+                txn: w.txn,
+                res,
+                cell: w.cell,
+            });
+        }
+    }
+
+    fn notify(&self, wakeups: Vec<Wakeup>) {
+        if wakeups.is_empty() {
+            return;
+        }
+        {
+            let mut index = self.txn_index.lock();
+            for w in &wakeups {
+                index.entry(w.txn).or_default().insert(w.res);
+            }
+        }
+        for w in wakeups {
+            w.cell.settle(WaitVerdict::Granted);
+        }
+    }
+
+    /// Removes `txn`'s waiter on `res`. Returns false if it is no longer
+    /// queued (i.e. it was granted concurrently).
+    fn cancel_waiter(&self, res: ResourceId, txn: TxnId) -> bool {
+        self.cancel_waiter_with_verdict(res, txn, WaitVerdict::Cancelled)
+    }
+
+    fn cancel_waiter_with_verdict(&self, res: ResourceId, txn: TxnId, verdict: WaitVerdict) -> bool {
+        let mut wakeups = Vec::new();
+        let removed = {
+            let mut shard = self.shard(&res).lock();
+            let Some(state) = shard.get_mut(&res) else {
+                return false;
+            };
+            let Some(pos) = state.waiters.iter().position(|w| w.txn == txn) else {
+                return false;
+            };
+            let w = state.waiters.remove(pos).expect("position exists");
+            w.cell.settle(verdict);
+            // Removing a waiter may unblock those behind it.
+            Self::process_queue(res, state, &mut wakeups);
+            if state.grants.is_empty() && state.waiters.is_empty() {
+                shard.remove(&res);
+            }
+            true
+        };
+        self.notify(wakeups);
+        removed
+    }
+
+    /// Builds a snapshot waits-for graph. Edges: waiter → incompatible
+    /// holder, waiter → every waiter queued ahead of it (grants are FIFO,
+    /// so those are real waits).
+    fn build_wait_graph(&self) -> WaitForGraph {
+        let mut graph = WaitForGraph::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for state in shard.values() {
+                for (i, w) in state.waiters.iter().enumerate() {
+                    for g in &state.grants {
+                        if g.txn != w.txn && !w.want.compatible(g.mode()) {
+                            graph.add_edge(w.txn, g.txn);
+                        }
+                    }
+                    if !w.conversion {
+                        for ahead in state.waiters.iter().take(i) {
+                            graph.add_edge(w.txn, ahead.txn);
+                        }
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// Resolves any waits-for cycles through `txn` by aborting victims.
+    /// Returns true if `txn` itself must abort (it was the chosen victim).
+    ///
+    /// Victim policy: the youngest (highest-id) non-system member of the
+    /// cycle; if every member is a system transaction, the youngest of
+    /// them. Non-requester victims have their waits cancelled (their
+    /// blocked `lock()` call returns [`LockOutcome::Deadlock`]).
+    fn resolve_deadlocks(&self, txn: TxnId) -> bool {
+        for _ in 0..16 {
+            let graph = self.build_wait_graph();
+            let Some(members) = graph.cycle_through(txn) else {
+                return false;
+            };
+            let system = self.system_txns.lock();
+            let victim = members
+                .iter()
+                .copied()
+                .filter(|t| !system.contains(t))
+                .max()
+                .or_else(|| members.iter().copied().max())
+                .expect("cycle is non-empty");
+            drop(system);
+            if victim == txn {
+                return true;
+            }
+            // Cancel the victim's wait; if it raced to a grant, loop and
+            // re-examine.
+            // Cancel the victim's wait (a no-op if it raced to a grant or
+            // is no longer waiting — the next loop pass re-examines).
+            let waiting = self.waiting_on.lock().get(&victim).copied();
+            if let Some(res) = waiting {
+                if self.cancel_waiter_with_verdict(res, victim, WaitVerdict::Cancelled) {
+                    LockStats::bump(&self.stats.deadlocks);
+                }
+            }
+        }
+        // Could not stabilize; sacrifice the requester as a backstop.
+        true
+    }
+
+    fn record(
+        &self,
+        txn: TxnId,
+        res: ResourceId,
+        mode: LockMode,
+        dur: LockDuration,
+        kind: TraceEventKind,
+    ) {
+        self.trace.record(TraceEvent {
+            txn,
+            resource: Some(res),
+            mode: Some(mode),
+            duration: Some(dur),
+            kind,
+        });
+    }
+}

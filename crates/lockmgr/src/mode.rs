@@ -1,0 +1,212 @@
+/// The five multi-granularity lock modes of the paper's Table 1.
+///
+/// `IS`/`IX` express the *intention* to set finer-granularity `S`/`X`
+/// locks below a resource; `SIX` is the union of `S` and `IX` (a coarse
+/// shared lock plus the intention to set finer exclusive locks). The
+/// protocol in `dgl-core` uses `S`, `IX`, `SIX` and `X`; `IS` is included
+/// for completeness — the paper notes SIX "conflicts with all lock modes
+/// except the IS mode which is never used by the protocol".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Intention shared.
+    IS,
+    /// Intention exclusive.
+    IX,
+    /// Shared.
+    S,
+    /// Shared + intention exclusive.
+    SIX,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    /// All modes, in increasing strength order of the mode lattice's
+    /// linear extension used for display.
+    pub const ALL: [LockMode; 5] = [
+        LockMode::IS,
+        LockMode::IX,
+        LockMode::S,
+        LockMode::SIX,
+        LockMode::X,
+    ];
+
+    /// Lock-mode compatibility — exactly the matrix of Table 1.
+    ///
+    /// | held \ req | IS | IX | S | SIX | X |
+    /// |------------|----|----|---|-----|---|
+    /// | IS         | ✓  | ✓  | ✓ | ✓   | ✗ |
+    /// | IX         | ✓  | ✓  | ✗ | ✗   | ✗ |
+    /// | S          | ✓  | ✗  | ✓ | ✗   | ✗ |
+    /// | SIX        | ✓  | ✗  | ✗ | ✗   | ✗ |
+    /// | X          | ✗  | ✗  | ✗ | ✗   | ✗ |
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IS, X) | (X, IS) => false,
+            (IS, _) | (_, IS) => true,
+            (IX, IX) | (S, S) => true,
+            _ => false,
+        }
+    }
+
+    /// The least mode at least as strong as both `self` and `other`
+    /// (the supremum in the MGL mode lattice). Used for lock conversion:
+    /// a transaction holding `m1` that requests `m2` must end up holding
+    /// `sup(m1, m2)`.
+    ///
+    /// The lattice: `IS < IX, IS < S`, `IX < SIX`, `S < SIX`, `SIX < X`;
+    /// `sup(IX, S) = SIX` (the defining case — "SIX is the union of S and
+    /// IX").
+    pub fn supremum(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (IS, m) | (m, IS) => m,
+            (X, _) | (_, X) => X,
+            (SIX, _) | (_, SIX) => SIX,
+            (IX, S) | (S, IX) => SIX,
+            // Remaining pairs are equal, handled above.
+            (m, _) => m,
+        }
+    }
+
+    /// Whether `self` is at least as strong as `other` in the lattice
+    /// (i.e. a holder of `self` implicitly holds `other`).
+    pub fn covers(self, other: LockMode) -> bool {
+        self.supremum(other) == self
+    }
+
+    /// Whether this is an intention mode (sets finer locks below).
+    pub fn is_intention(self) -> bool {
+        matches!(self, LockMode::IS | LockMode::IX | LockMode::SIX)
+    }
+}
+
+impl std::fmt::Display for LockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LockMode::IS => "IS",
+            LockMode::IX => "IX",
+            LockMode::S => "S",
+            LockMode::SIX => "SIX",
+            LockMode::X => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LockMode::{self, *};
+
+    /// The paper's Table 1, row-major: held mode × requested mode.
+    const TABLE1: [[bool; 5]; 5] = [
+        // req:     IS     IX     S      SIX    X
+        /* IS  */ [true, true, true, true, false],
+        /* IX  */ [true, true, false, false, false],
+        /* S   */ [true, false, true, false, false],
+        /* SIX */ [true, false, false, false, false],
+        /* X   */ [false, false, false, false, false],
+    ];
+
+    #[test]
+    fn table1_compatibility_matrix() {
+        for (i, held) in LockMode::ALL.iter().enumerate() {
+            for (j, req) in LockMode::ALL.iter().enumerate() {
+                assert_eq!(
+                    held.compatible(*req),
+                    TABLE1[i][j],
+                    "compatibility({held}, {req}) disagrees with Table 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in LockMode::ALL {
+            for b in LockMode::ALL {
+                assert_eq!(a.compatible(b), b.compatible(a), "({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn six_is_union_of_s_and_ix() {
+        assert_eq!(S.supremum(IX), SIX);
+        assert_eq!(IX.supremum(S), SIX);
+        // SIX conflicts with everything except IS.
+        for m in LockMode::ALL {
+            assert_eq!(SIX.compatible(m), m == IS, "SIX vs {m}");
+        }
+    }
+
+    #[test]
+    fn supremum_is_commutative_idempotent_and_monotone() {
+        for a in LockMode::ALL {
+            assert_eq!(a.supremum(a), a);
+            for b in LockMode::ALL {
+                let s = a.supremum(b);
+                assert_eq!(s, b.supremum(a), "commutativity ({a},{b})");
+                assert!(s.covers(a), "sup({a},{b})={s} must cover {a}");
+                assert!(s.covers(b), "sup({a},{b})={s} must cover {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn supremum_is_least_upper_bound() {
+        // For every pair, no strictly weaker mode covers both.
+        for a in LockMode::ALL {
+            for b in LockMode::ALL {
+                let s = a.supremum(b);
+                for c in LockMode::ALL {
+                    if c.covers(a) && c.covers(b) {
+                        assert!(
+                            c.covers(s),
+                            "upper bound {c} of ({a},{b}) must be above sup {s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_modes_conflict_more() {
+        // Monotonicity: if a is compatible with b, any mode covered by a is
+        // also compatible with b.
+        for a in LockMode::ALL {
+            for b in LockMode::ALL {
+                if a.compatible(b) {
+                    for weaker in LockMode::ALL.into_iter().filter(|w| a.covers(*w)) {
+                        assert!(
+                            weaker.compatible(b),
+                            "{a}~{b} ok but weaker {weaker} conflicts"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x_lattice_top_is_exclusive() {
+        for m in LockMode::ALL {
+            assert!(!X.compatible(m));
+            assert!(X.covers(m));
+        }
+    }
+
+    #[test]
+    fn intention_classification() {
+        assert!(IS.is_intention());
+        assert!(IX.is_intention());
+        assert!(SIX.is_intention());
+        assert!(!S.is_intention());
+        assert!(!X.is_intention());
+    }
+}

@@ -1,0 +1,69 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-manager counters, updated with relaxed atomics.
+///
+/// These feed the Table 4 comparison (lock overhead of granular vs
+/// predicate locking is the paper's main quantitative axis there).
+#[derive(Debug, Default)]
+pub struct LockStats {
+    pub(crate) requests: AtomicU64,
+    pub(crate) immediate_grants: AtomicU64,
+    pub(crate) waits: AtomicU64,
+    pub(crate) conditional_failures: AtomicU64,
+    pub(crate) deadlocks: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) conversions: AtomicU64,
+}
+
+/// A point-in-time copy of [`LockStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStatsSnapshot {
+    /// Total lock requests (all kinds).
+    pub requests: u64,
+    /// Requests granted without waiting.
+    pub immediate_grants: u64,
+    /// Unconditional requests that had to wait.
+    pub waits: u64,
+    /// Conditional requests that failed.
+    pub conditional_failures: u64,
+    /// Waits aborted by deadlock detection.
+    pub deadlocks: u64,
+    /// Waits aborted by the timeout backstop.
+    pub timeouts: u64,
+    /// Requests that converted an already-held lock to a stronger mode.
+    pub conversions: u64,
+}
+
+impl LockStats {
+    /// Copies the current counters.
+    pub fn snapshot(&self) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            immediate_grants: self.immediate_grants.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            conditional_failures: self.conditional_failures.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            conversions: self.conversions.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl LockStatsSnapshot {
+    /// Counter-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &LockStatsSnapshot) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            requests: self.requests - earlier.requests,
+            immediate_grants: self.immediate_grants - earlier.immediate_grants,
+            waits: self.waits - earlier.waits,
+            conditional_failures: self.conditional_failures - earlier.conditional_failures,
+            deadlocks: self.deadlocks - earlier.deadlocks,
+            timeouts: self.timeouts - earlier.timeouts,
+            conversions: self.conversions - earlier.conversions,
+        }
+    }
+}

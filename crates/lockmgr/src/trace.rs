@@ -1,0 +1,70 @@
+use parking_lot::Mutex;
+
+use crate::{LockDuration, LockMode, ResourceId, TxnId};
+
+/// What a traced lock-manager event did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Lock granted immediately.
+    Granted,
+    /// Lock granted after waiting.
+    GrantedAfterWait,
+    /// Conditional request failed.
+    ConditionalFail,
+    /// Wait aborted (deadlock or timeout).
+    Aborted,
+    /// Short-duration locks of a transaction released.
+    ShortReleased,
+    /// All locks of a transaction released.
+    AllReleased,
+}
+
+/// One traced lock-manager event.
+///
+/// The Table 3 conformance tests drive each protocol operation once and
+/// assert that the traced lock requests are exactly the modes/durations the
+/// paper's Table 3 prescribes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Requesting transaction.
+    pub txn: TxnId,
+    /// Resource involved (meaningless for release events).
+    pub resource: Option<ResourceId>,
+    /// Requested mode (release events carry `None`).
+    pub mode: Option<LockMode>,
+    /// Requested duration (release events carry `None`).
+    pub duration: Option<LockDuration>,
+    /// Outcome.
+    pub kind: TraceEventKind,
+}
+
+/// An optional, lock-protected trace buffer.
+#[derive(Debug, Default)]
+pub(crate) struct Trace {
+    buf: Option<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Trace {
+    pub(crate) fn enabled() -> Self {
+        Self {
+            buf: Some(Mutex::new(Vec::new())),
+        }
+    }
+
+    pub(crate) fn disabled() -> Self {
+        Self { buf: None }
+    }
+
+    pub(crate) fn record(&self, ev: TraceEvent) {
+        if let Some(buf) = &self.buf {
+            buf.lock().push(ev);
+        }
+    }
+
+    pub(crate) fn drain(&self) -> Vec<TraceEvent> {
+        match &self.buf {
+            Some(buf) => std::mem::take(&mut *buf.lock()),
+            None => Vec::new(),
+        }
+    }
+}

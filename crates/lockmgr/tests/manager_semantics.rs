@@ -1,0 +1,207 @@
+//! Single-threaded semantics of the lock manager: grants, re-grants,
+//! durations, conversions, conditional requests, release behaviour.
+
+use std::time::Duration;
+
+use dgl_lockmgr::{
+    LockDuration::{Commit, Short},
+    LockManager, LockManagerConfig, LockMode, LockOutcome,
+    RequestKind::Conditional,
+    ResourceId, TxnId,
+};
+use dgl_pager::PageId;
+
+fn mgr() -> LockManager {
+    LockManager::new(LockManagerConfig {
+        wait_timeout: Duration::from_millis(200),
+        ..Default::default()
+    })
+}
+
+fn page(n: u64) -> ResourceId {
+    ResourceId::Page(PageId(n))
+}
+
+const T1: TxnId = TxnId(1);
+const T2: TxnId = TxnId(2);
+const T3: TxnId = TxnId(3);
+
+use LockMode::*;
+
+#[test]
+fn compatible_modes_coexist() {
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T2, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T3, page(1), IS, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.holders(page(1)).len(), 3);
+}
+
+#[test]
+fn incompatible_conditional_fails_without_queueing() {
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T2, page(1), IX, Commit, Conditional), LockOutcome::WouldBlock);
+    assert_eq!(m.lock(T2, page(1), X, Commit, Conditional), LockOutcome::WouldBlock);
+    // T2 holds nothing.
+    assert_eq!(m.held(T2, page(1)), None);
+    let s = m.stats().snapshot();
+    assert_eq!(s.conditional_failures, 2);
+    assert_eq!(s.waits, 0);
+}
+
+#[test]
+fn regrant_same_mode_is_idempotent() {
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), IX, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T1, page(1), IX, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.held(T1, page(1)), Some(IX));
+    assert_eq!(m.locks_held(T1), 1);
+}
+
+#[test]
+fn self_conversion_ix_plus_s_yields_six() {
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), IX, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.held(T1, page(1)), Some(SIX), "IX + S converts to SIX");
+    assert_eq!(m.stats().snapshot().conversions, 1);
+}
+
+#[test]
+fn conversion_blocked_by_other_holder() {
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T2, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    // T1 wants X: incompatible with T2's S.
+    assert_eq!(m.lock(T1, page(1), X, Commit, Conditional), LockOutcome::WouldBlock);
+    assert_eq!(m.held(T1, page(1)), Some(S), "failed conversion leaves old mode");
+}
+
+#[test]
+fn weaker_rerequest_does_not_downgrade() {
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), X, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.held(T1, page(1)), Some(X));
+}
+
+#[test]
+fn short_duration_released_at_operation_end() {
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), SIX, Short, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T1, page(2), IX, Commit, Conditional), LockOutcome::Granted);
+    m.release_short(T1);
+    assert_eq!(m.held(T1, page(1)), None, "short-only lock gone");
+    assert_eq!(m.held(T1, page(2)), Some(IX), "commit lock survives");
+}
+
+#[test]
+fn short_release_downgrades_mixed_grant() {
+    // The paper's inserter pattern: commit IX on the target granule plus a
+    // short SIX slot (e.g. it both grew the granule and held it). After the
+    // operation the SIX decays to the commit IX.
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), IX, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T1, page(1), SIX, Short, Conditional), LockOutcome::Granted);
+    assert_eq!(m.held(T1, page(1)), Some(SIX));
+    // While T1 effectively holds SIX, T2's IX must fail...
+    assert_eq!(m.lock(T2, page(1), IX, Commit, Conditional), LockOutcome::WouldBlock);
+    m.release_short(T1);
+    assert_eq!(m.held(T1, page(1)), Some(IX));
+    // ...and succeed after the downgrade (IX ~ IX).
+    assert_eq!(m.lock(T2, page(1), IX, Commit, Conditional), LockOutcome::Granted);
+}
+
+#[test]
+fn release_all_clears_everything_and_empties_table() {
+    let m = mgr();
+    for i in 0..10 {
+        assert_eq!(m.lock(T1, page(i), IX, Commit, Conditional), LockOutcome::Granted);
+        assert_eq!(
+            m.lock(T1, ResourceId::Object(i), X, Commit, Conditional),
+            LockOutcome::Granted
+        );
+    }
+    assert_eq!(m.locks_held(T1), 20);
+    m.release_all(T1);
+    assert_eq!(m.locks_held(T1), 0);
+    assert_eq!(m.resource_count(), 0, "lock table must not leak entries");
+}
+
+#[test]
+fn release_short_is_noop_for_commit_only_grants() {
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    m.release_short(T1);
+    assert_eq!(m.held(T1, page(1)), Some(S));
+}
+
+#[test]
+fn duration_upgrade_short_then_commit_survives_op_end() {
+    // Same mode requested first short then commit: the commit slot must
+    // keep the lock alive past release_short.
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), IX, Short, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T1, page(1), IX, Commit, Conditional), LockOutcome::Granted);
+    m.release_short(T1);
+    assert_eq!(m.held(T1, page(1)), Some(IX));
+}
+
+#[test]
+fn distinct_resource_kinds_do_not_collide() {
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(7), X, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T2, ResourceId::Object(7), X, Commit, Conditional),
+        LockOutcome::Granted,
+        "object 7 is a different resource from page 7"
+    );
+    assert_eq!(m.lock(T3, ResourceId::Tree, X, Commit, Conditional), LockOutcome::Granted);
+}
+
+#[test]
+fn six_admits_only_is() {
+    let m = mgr();
+    assert_eq!(m.lock(T1, page(1), SIX, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(m.lock(T2, page(1), IS, Commit, Conditional), LockOutcome::Granted);
+    for mode in [IX, S, SIX, X] {
+        assert_eq!(
+            m.lock(T3, page(1), mode, Commit, Conditional),
+            LockOutcome::WouldBlock,
+            "{mode} must conflict with SIX"
+        );
+    }
+}
+
+#[test]
+fn stats_count_requests_and_grants() {
+    let m = mgr();
+    m.lock(T1, page(1), S, Commit, Conditional);
+    m.lock(T2, page(1), S, Commit, Conditional);
+    m.lock(T3, page(1), X, Commit, Conditional); // fails
+    let s = m.stats().snapshot();
+    assert_eq!(s.requests, 3);
+    assert_eq!(s.immediate_grants, 2);
+    assert_eq!(s.conditional_failures, 1);
+}
+
+#[test]
+fn trace_records_requests_when_enabled() {
+    let m = LockManager::new(LockManagerConfig {
+        trace: true,
+        ..Default::default()
+    });
+    m.lock(T1, page(1), IX, Commit, Conditional);
+    m.lock(T2, page(1), S, Commit, Conditional); // fails
+    m.release_all(T1);
+    let events = m.drain_trace();
+    assert_eq!(events.len(), 3);
+    assert_eq!(events[0].mode, Some(IX));
+    assert_eq!(
+        events[1].kind,
+        dgl_lockmgr::TraceEventKind::ConditionalFail
+    );
+    assert_eq!(events[2].kind, dgl_lockmgr::TraceEventKind::AllReleased);
+    assert!(m.drain_trace().is_empty(), "drain empties the buffer");
+}

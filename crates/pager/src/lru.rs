@@ -1,0 +1,144 @@
+use std::collections::{BTreeMap, HashMap};
+
+use crate::PageId;
+
+/// An LRU residency model for a buffer pool of fixed capacity.
+///
+/// The paper argues (via Gray's five-minute rule) that the top three levels
+/// of a busy R-tree stay buffer-resident, so the I/O overhead of following
+/// all overlapping paths comes only from the deeper levels. This model lets
+/// the Table 2 experiment reproduce that effect: each [`BufferPool::access`]
+/// returns whether the page had to be fetched from "disk".
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    clock: u64,
+    /// page -> last-use stamp
+    resident: HashMap<PageId, u64>,
+    /// last-use stamp -> page (stamps are unique)
+    by_age: BTreeMap<u64, PageId>,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages (capacity 0 means
+    /// every access is a disk read).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            clock: 0,
+            resident: HashMap::new(),
+            by_age: BTreeMap::new(),
+        }
+    }
+
+    /// Records an access to `page`; returns `true` if it was a miss
+    /// (a simulated disk read), `false` on a buffer hit.
+    pub fn access(&mut self, page: PageId) -> bool {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(old) = self.resident.insert(page, stamp) {
+            self.by_age.remove(&old);
+            self.by_age.insert(stamp, page);
+            return false;
+        }
+        if self.capacity == 0 {
+            self.resident.remove(&page);
+            return true;
+        }
+        self.by_age.insert(stamp, page);
+        if self.resident.len() > self.capacity {
+            let (&oldest, &victim) = self.by_age.iter().next().expect("pool not empty");
+            self.by_age.remove(&oldest);
+            self.resident.remove(&victim);
+        }
+        true
+    }
+
+    /// Drops `page` from the pool (called when a page is freed).
+    pub fn evict(&mut self, page: PageId) {
+        if let Some(stamp) = self.resident.remove(&page) {
+            self.by_age.remove(&stamp);
+        }
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// The pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn first_access_is_a_miss_second_a_hit() {
+        let mut pool = BufferPool::new(4);
+        assert!(pool.access(p(1)), "cold read misses");
+        assert!(!pool.access(p(1)), "warm read hits");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut pool = BufferPool::new(2);
+        assert!(pool.access(p(1)));
+        assert!(pool.access(p(2)));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(!pool.access(p(1)));
+        assert!(pool.access(p(3))); // evicts 2
+        assert!(!pool.access(p(1)), "1 still resident");
+        assert!(pool.access(p(2)), "2 was evicted");
+        assert_eq!(pool.resident_pages(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut pool = BufferPool::new(0);
+        assert!(pool.access(p(1)));
+        assert!(pool.access(p(1)));
+        assert_eq!(pool.resident_pages(), 0);
+    }
+
+    #[test]
+    fn evict_removes_page() {
+        let mut pool = BufferPool::new(4);
+        pool.access(p(1));
+        pool.evict(p(1));
+        assert!(pool.access(p(1)), "evicted page misses again");
+        // Evicting an absent page is a no-op.
+        pool.evict(p(99));
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut pool = BufferPool::new(8);
+        let pages: Vec<_> = (0..8).map(p).collect();
+        for pg in &pages {
+            assert!(pool.access(*pg));
+        }
+        for _round in 0..5 {
+            for pg in &pages {
+                assert!(!pool.access(*pg), "resident working set must hit");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_scan_larger_than_pool_always_misses() {
+        let mut pool = BufferPool::new(4);
+        for round in 0..3 {
+            for i in 0..8 {
+                assert!(pool.access(p(i)), "round {round} page {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::{BufferPool, PageId};
+
+/// I/O accounting for a page store.
+///
+/// Logical reads are counted with relaxed atomics so read paths stay cheap;
+/// the optional buffer model (a [`BufferPool`] behind a mutex) additionally
+/// classifies each read as a hit or a simulated disk read. Experiments that
+/// need per-phase numbers take a [`StatsSnapshot`] before and after and
+/// subtract.
+#[derive(Debug)]
+pub struct IoStats {
+    logical_reads: AtomicU64,
+    disk_reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
+    buffer: Option<Mutex<BufferPool>>,
+}
+
+/// A point-in-time copy of the counters in [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Total page reads issued.
+    pub logical_reads: u64,
+    /// Reads that missed the buffer model (equals `logical_reads` when no
+    /// buffer model is attached: every access is assumed to touch disk).
+    pub disk_reads: u64,
+    /// Page writes (mutable accesses).
+    pub writes: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier` (for per-phase accounting).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            disk_reads: self.disk_reads - earlier.disk_reads,
+            writes: self.writes - earlier.writes,
+            allocations: self.allocations - earlier.allocations,
+        }
+    }
+}
+
+impl IoStats {
+    /// Accounting without a buffer model: every read counts as a disk read.
+    pub fn new() -> Self {
+        Self {
+            logical_reads: AtomicU64::new(0),
+            disk_reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            allocations: AtomicU64::new(0),
+            buffer: None,
+        }
+    }
+
+    /// Accounting with an LRU buffer model of `buffer_pages` pages.
+    pub fn with_buffer(buffer_pages: usize) -> Self {
+        Self {
+            buffer: Some(Mutex::new(BufferPool::new(buffer_pages))),
+            ..Self::new()
+        }
+    }
+
+    pub(crate) fn record_read(&self, page: PageId) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        match &self.buffer {
+            Some(pool) => {
+                if pool.lock().access(page) {
+                    self.disk_reads.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.disk_reads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_alloc(&self, page: PageId) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        // A freshly allocated page is created in the buffer pool (it is
+        // dirty there); it does not need a disk read to be accessed.
+        if let Some(pool) = &self.buffer {
+            pool.lock().access(page);
+        }
+    }
+
+    pub(crate) fn record_free(&self, page: PageId) {
+        if let Some(pool) = &self.buffer {
+            pool.lock().evict(page);
+        }
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (the buffer residency state is kept, so
+    /// a warmed-up pool stays warm across experiment phases).
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.disk_reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn without_buffer_every_read_is_a_disk_read() {
+        let stats = IoStats::new();
+        stats.record_read(PageId(1));
+        stats.record_read(PageId(1));
+        let s = stats.snapshot();
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.disk_reads, 2);
+    }
+
+    #[test]
+    fn with_buffer_repeat_reads_hit() {
+        let stats = IoStats::with_buffer(8);
+        stats.record_read(PageId(1));
+        stats.record_read(PageId(1));
+        stats.record_read(PageId(2));
+        let s = stats.snapshot();
+        assert_eq!(s.logical_reads, 3);
+        assert_eq!(s.disk_reads, 2, "only cold reads hit disk");
+    }
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let stats = IoStats::new();
+        stats.record_read(PageId(1));
+        let before = stats.snapshot();
+        stats.record_read(PageId(2));
+        stats.record_write();
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.logical_reads, 1);
+        assert_eq!(delta.writes, 1);
+    }
+
+    #[test]
+    fn reset_keeps_buffer_warm() {
+        let stats = IoStats::with_buffer(8);
+        stats.record_read(PageId(1));
+        stats.reset();
+        stats.record_read(PageId(1));
+        let s = stats.snapshot();
+        assert_eq!(s.logical_reads, 1);
+        assert_eq!(s.disk_reads, 0, "page stayed resident across reset");
+    }
+
+    #[test]
+    fn freeing_evicts_from_buffer() {
+        let stats = IoStats::with_buffer(8);
+        stats.record_read(PageId(1));
+        stats.record_free(PageId(1));
+        stats.reset();
+        stats.record_read(PageId(1));
+        assert_eq!(stats.snapshot().disk_reads, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Page serialization for R-tree nodes.
+//!
+//! Implements [`dgl_pager::codec::PagePayload`] for [`Node`], so a tree can
+//! be checkpointed into byte pages and restored with identical page ids
+//! (ids are lock resource ids; a restart must not renumber granules).
+//! See [`checkpoint_tree`] / [`restore_tree`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dgl_geom::Rect;
+use dgl_pager::codec::{
+    self, checkpoint, ensure, get_f64, get_u64, put_f64, put_u64, Checkpoint, CodecError,
+    PagePayload,
+};
+use dgl_pager::PageId;
+
+use crate::config::RTreeConfig;
+use crate::node::{Entry, Node, ObjectId};
+use crate::tree::RTree;
+
+const TAG_CHILD: u8 = 0;
+const TAG_OBJECT: u8 = 1;
+const TAG_OBJECT_TOMBSTONED: u8 = 2;
+
+fn put_rect<const D: usize>(buf: &mut BytesMut, r: &Rect<D>) {
+    for d in 0..D {
+        put_f64(buf, r.lo[d]);
+    }
+    for d in 0..D {
+        put_f64(buf, r.hi[d]);
+    }
+}
+
+fn get_rect<const D: usize>(buf: &mut Bytes) -> Result<Rect<D>, CodecError> {
+    let mut lo = [0.0; D];
+    let mut hi = [0.0; D];
+    for v in lo.iter_mut() {
+        *v = get_f64(buf, "rect.lo")?;
+    }
+    for v in hi.iter_mut() {
+        *v = get_f64(buf, "rect.hi")?;
+    }
+    if lo.iter().zip(hi.iter()).any(|(l, h)| l > h) {
+        return Err(CodecError("rect with lo > hi".into()));
+    }
+    Ok(Rect::new(lo, hi))
+}
+
+impl<const D: usize> PagePayload for Node<D> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_u64(buf, u64::from(self.level));
+        put_u64(buf, self.entries.len() as u64);
+        for e in &self.entries {
+            match e {
+                Entry::Child { mbr, child } => {
+                    buf.put_u8(TAG_CHILD);
+                    put_rect(buf, mbr);
+                    put_u64(buf, child.0);
+                }
+                Entry::Object {
+                    mbr,
+                    oid,
+                    tombstone,
+                } => {
+                    match tombstone {
+                        None => buf.put_u8(TAG_OBJECT),
+                        Some(tag) => {
+                            buf.put_u8(TAG_OBJECT_TOMBSTONED);
+                            put_u64(buf, *tag);
+                        }
+                    }
+                    put_rect(buf, mbr);
+                    put_u64(buf, oid.0);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let level = get_u64(buf, "level")? as u32;
+        let count = get_u64(buf, "entry count")? as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            ensure(buf, 1, "entry tag")?;
+            let tag = buf.get_u8();
+            match tag {
+                TAG_CHILD => {
+                    let mbr = get_rect(buf)?;
+                    let child = PageId(get_u64(buf, "child page")?);
+                    entries.push(Entry::Child { mbr, child });
+                }
+                TAG_OBJECT | TAG_OBJECT_TOMBSTONED => {
+                    let tombstone = if tag == TAG_OBJECT_TOMBSTONED {
+                        Some(get_u64(buf, "tombstone tag")?)
+                    } else {
+                        None
+                    };
+                    let mbr = get_rect(buf)?;
+                    let oid = ObjectId(get_u64(buf, "object id")?);
+                    entries.push(Entry::Object {
+                        mbr,
+                        oid,
+                        tombstone,
+                    });
+                }
+                other => return Err(CodecError(format!("unknown entry tag {other}"))),
+            }
+        }
+        Ok(Node { level, entries })
+    }
+}
+
+/// A serialized R-tree: page images plus tree metadata.
+#[derive(Debug, Clone)]
+pub struct TreeCheckpoint<const D: usize> {
+    /// Serialized page store.
+    pub pages: Checkpoint,
+    /// Root page id.
+    pub root: PageId,
+    /// Embedded space.
+    pub world: Rect<D>,
+    /// Shape parameters.
+    pub config: RTreeConfig,
+    /// Object count.
+    pub object_count: u64,
+}
+
+/// Serializes the whole tree.
+pub fn checkpoint_tree<const D: usize>(tree: &RTree<D>) -> TreeCheckpoint<D> {
+    TreeCheckpoint {
+        pages: checkpoint(tree.store_ref()),
+        root: tree.root(),
+        world: tree.world(),
+        config: *tree.config(),
+        object_count: tree.len() as u64,
+    }
+}
+
+/// Restores a tree from a checkpoint; page ids (and therefore lock
+/// resource ids) are preserved exactly.
+pub fn restore_tree<const D: usize>(ck: &TreeCheckpoint<D>) -> Result<RTree<D>, CodecError> {
+    let store = codec::restore::<Node<D>>(&ck.pages)?;
+    if !store.is_live(ck.root) {
+        return Err(CodecError(format!("root {} not in checkpoint", ck.root)));
+    }
+    Ok(RTree::from_parts(
+        store,
+        ck.root,
+        ck.world,
+        ck.config,
+        ck.object_count as usize,
+    ))
+}

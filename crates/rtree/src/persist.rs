@@ -1,0 +1,332 @@
+//! Single-file persistence of a tree checkpoint.
+//!
+//! The on-disk format is a straightforward page image file:
+//!
+//! ```text
+//! magic "DGLR" | version u32 | world lo/hi (4×f64) |
+//! max_entries u64 | min_entries u64 | split u8 |
+//! object_count u64 | root u64 | slot_count u64 | page_count u64 |
+//! (page id u64 | payload len u64 | payload bytes)* |
+//! fnv1a-64 checksum of everything above
+//! ```
+//!
+//! Page ids are preserved exactly (they are lock resource ids — see
+//! [`crate::codec`]), integers are little-endian, and the trailing
+//! checksum rejects torn or corrupted files. This is snapshot
+//! persistence: a consistent image taken at a quiescent point, the
+//! natural complement of the protocol's logical deletes (a restart from
+//! a snapshot has no in-flight transactions by construction).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dgl_pager::codec::CodecError;
+use dgl_pager::PageId;
+
+use crate::codec::{checkpoint_tree, restore_tree, TreeCheckpoint};
+use crate::config::{RTreeConfig, SplitAlgorithm};
+use crate::tree::RTree;
+use dgl_geom::Rect;
+
+const MAGIC: u32 = 0x4447_4C52; // "DGLR"
+const VERSION: u32 = 1;
+
+/// Errors while saving or loading a tree file.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or checksum failure in the file image.
+    Corrupt(String),
+    /// Page image failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "tree file i/o error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "tree file corrupt: {m}"),
+            PersistError::Codec(e) => write!(f, "tree file codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CodecError> for PersistError {
+    fn from(e: CodecError) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+/// FNV-1a 64-bit (simple, dependency-free integrity check; this is a
+/// corruption detector, not a cryptographic digest).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn split_tag(s: SplitAlgorithm) -> u8 {
+    match s {
+        SplitAlgorithm::Quadratic => 0,
+        SplitAlgorithm::Linear => 1,
+        SplitAlgorithm::RStar => 2,
+    }
+}
+
+fn split_from_tag(t: u8) -> Result<SplitAlgorithm, PersistError> {
+    match t {
+        0 => Ok(SplitAlgorithm::Quadratic),
+        1 => Ok(SplitAlgorithm::Linear),
+        2 => Ok(SplitAlgorithm::RStar),
+        other => Err(PersistError::Corrupt(format!("unknown split tag {other}"))),
+    }
+}
+
+/// Serializes a checkpoint into the single-file byte image.
+pub fn encode_file_image(ck: &TreeCheckpoint<2>) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    for v in ck.world.lo.iter().chain(ck.world.hi.iter()) {
+        buf.put_f64_le(*v);
+    }
+    buf.put_u64_le(ck.config.max_entries as u64);
+    buf.put_u64_le(ck.config.min_entries as u64);
+    buf.put_u8(split_tag(ck.config.split));
+    buf.put_u64_le(ck.object_count);
+    buf.put_u64_le(ck.root.0);
+    buf.put_u64_le(ck.pages.slot_count);
+    buf.put_u64_le(ck.pages.pages.len() as u64);
+    for (id, image) in &ck.pages.pages {
+        buf.put_u64_le(id.0);
+        buf.put_u64_le(image.len() as u64);
+        buf.put_slice(image);
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.to_vec()
+}
+
+/// Parses a single-file byte image back into a checkpoint.
+pub fn decode_file_image(data: &[u8]) -> Result<TreeCheckpoint<2>, PersistError> {
+    if data.len() < 8 {
+        return Err(PersistError::Corrupt("file shorter than a checksum".into()));
+    }
+    let (body, tail) = data.split_at(data.len() - 8);
+    let expect = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    let actual = fnv1a(body);
+    if expect != actual {
+        return Err(PersistError::Corrupt(format!(
+            "checksum mismatch: stored {expect:#018x}, computed {actual:#018x}"
+        )));
+    }
+    let mut buf = Bytes::copy_from_slice(body);
+    let need = |buf: &Bytes, n: usize, what: &str| -> Result<(), PersistError> {
+        if buf.remaining() < n {
+            Err(PersistError::Corrupt(format!("truncated at {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 8, "magic")?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(PersistError::Corrupt("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(PersistError::Corrupt(format!("unsupported version {version}")));
+    }
+    need(&buf, 4 * 8, "world")?;
+    let lo = [buf.get_f64_le(), buf.get_f64_le()];
+    let hi = [buf.get_f64_le(), buf.get_f64_le()];
+    if lo.iter().zip(hi.iter()).any(|(l, h)| l > h) {
+        return Err(PersistError::Corrupt("world lo > hi".into()));
+    }
+    need(&buf, 8 + 8 + 1 + 8 + 8 + 8 + 8, "header")?;
+    let max_entries = buf.get_u64_le() as usize;
+    let min_entries = buf.get_u64_le() as usize;
+    let split = split_from_tag(buf.get_u8())?;
+    if max_entries < 3 || min_entries < 1 || min_entries > max_entries / 2 {
+        return Err(PersistError::Corrupt(format!(
+            "bad fanout parameters: max {max_entries}, min {min_entries}"
+        )));
+    }
+    let object_count = buf.get_u64_le();
+    let root = PageId(buf.get_u64_le());
+    let slot_count = buf.get_u64_le();
+    let page_count = buf.get_u64_le() as usize;
+    let mut pages = Vec::with_capacity(page_count);
+    for i in 0..page_count {
+        need(&buf, 16, "page header")?;
+        let id = PageId(buf.get_u64_le());
+        let len = buf.get_u64_le() as usize;
+        need(&buf, len, "page payload")?;
+        pages.push((id, buf.copy_to_bytes(len)));
+        let _ = i;
+    }
+    if buf.has_remaining() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
+    }
+    Ok(TreeCheckpoint {
+        pages: dgl_pager::codec::Checkpoint { pages, slot_count },
+        root,
+        world: Rect::new(lo, hi),
+        config: RTreeConfig {
+            max_entries,
+            min_entries,
+            split,
+        },
+        object_count,
+    })
+}
+
+/// Saves a quiescent tree to `path` (atomic-ish: written to a `.tmp`
+/// sibling, fsynced, then renamed over the destination).
+pub fn save_tree(tree: &RTree<2>, path: &Path) -> Result<(), PersistError> {
+    let ck = checkpoint_tree(tree);
+    let image = encode_file_image(&ck);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(&image)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a tree from `path`, verifying the checksum and every page image.
+pub fn load_tree(path: &Path) -> Result<RTree<2>, PersistError> {
+    let mut data = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut data)?;
+    let ck = decode_file_image(&data)?;
+    Ok(restore_tree(&ck)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ObjectId;
+    use dgl_geom::Rect2;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "dgl-persist-{tag}-{}.tree",
+            std::process::id()
+        ))
+    }
+
+    fn sample_tree(n: u64) -> RTree<2> {
+        let mut tree = RTree::new(RTreeConfig::with_fanout(6), Rect::unit());
+        for i in 0..n {
+            let f = (i % 83) as f64 / 100.0;
+            let g = (i % 59) as f64 / 100.0;
+            tree.insert(
+                ObjectId(i),
+                Rect2::new([f * 0.9, g * 0.9], [f * 0.9 + 0.02, g * 0.9 + 0.02]),
+            );
+        }
+        tree
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_everything() {
+        let tree = sample_tree(400);
+        let path = temp_path("roundtrip");
+        save_tree(&tree, &path).unwrap();
+        let loaded = load_tree(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        loaded.validate(true).unwrap();
+        assert_eq!(loaded.root(), tree.root());
+        assert_eq!(loaded.len(), tree.len());
+        assert_eq!(loaded.all_objects(), tree.all_objects());
+        for (pid, node) in tree.pages() {
+            assert_eq!(loaded.peek_node(pid), node, "page {pid}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let tree = sample_tree(100);
+        let ck = checkpoint_tree(&tree);
+        let mut image = encode_file_image(&ck);
+        // Flip a byte in the middle.
+        let mid = image.len() / 2;
+        image[mid] ^= 0xFF;
+        let err = decode_file_image(&image).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let tree = sample_tree(100);
+        let image = encode_file_image(&checkpoint_tree(&tree));
+        for cut in [7usize, image.len() / 3, image.len() - 1] {
+            let err = decode_file_image(&image[..cut]).unwrap_err();
+            assert!(matches!(err, PersistError::Corrupt(_)), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let tree = sample_tree(10);
+        let ck = checkpoint_tree(&tree);
+        let image = encode_file_image(&ck);
+        // Corrupt magic but fix up the checksum so only the magic fails.
+        let mut bad = image.clone();
+        bad[0] ^= 1;
+        let body_len = bad.len() - 8;
+        let sum = fnv1a(&bad[..body_len]).to_le_bytes();
+        bad[body_len..].copy_from_slice(&sum);
+        let err = decode_file_image(&bad).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn loaded_tree_is_operational() {
+        let tree = sample_tree(200);
+        let path = temp_path("operational");
+        save_tree(&tree, &path).unwrap();
+        let mut loaded = load_tree(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        loaded.insert(ObjectId(99_999), Rect2::new([0.5, 0.5], [0.51, 0.51]));
+        let (oid, rect, _) = loaded.all_objects()[0];
+        assert!(loaded.delete(oid, rect));
+        loaded.validate(true).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_tree(Path::new("/nonexistent/dgl.tree")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn empty_tree_roundtrips_through_a_file() {
+        let tree = RTree::new(RTreeConfig::with_fanout(4), Rect::unit());
+        let path = temp_path("empty");
+        save_tree(&tree, &path).unwrap();
+        let loaded = load_tree(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.is_empty());
+        loaded.validate(true).unwrap();
+    }
+}

@@ -1,0 +1,139 @@
+//! Structural validation of the R-tree invariants.
+
+use std::collections::HashSet;
+
+use dgl_pager::PageId;
+
+use crate::node::{Entry, ObjectId};
+use crate::tree::RTree;
+
+/// An invariant violation found by [`RTree::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError(pub String);
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r-tree invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl<const D: usize> RTree<D> {
+    /// Checks the structural invariants of the tree.
+    ///
+    /// Always checked:
+    /// * levels decrease by exactly one per edge (all leaves at depth 0 —
+    ///   the balance invariant);
+    /// * every parent entry's MBR *contains* its child's exact MBR;
+    /// * no node exceeds `max_entries`;
+    /// * object ids are unique;
+    /// * every live page is reachable from the root exactly once;
+    /// * the object count matches `len()`.
+    ///
+    /// With `strict`, additionally:
+    /// * parent entry MBRs are *exactly* their child's MBR (tightness —
+    ///   rolled-back inserts legitimately leave loose BRs, so this is
+    ///   strict-only);
+    /// * every non-root node has at least `min_entries` entries.
+    pub fn validate(&self, strict: bool) -> Result<(), ValidationError> {
+        let err = |msg: String| Err(ValidationError(msg));
+        let mut seen_pages: HashSet<PageId> = HashSet::new();
+        let mut seen_oids: HashSet<ObjectId> = HashSet::new();
+        let mut object_count = 0usize;
+        let root = self.root();
+        let root_level = self.peek_node(root).level;
+
+        let mut stack = vec![root];
+        while let Some(pid) = stack.pop() {
+            if !seen_pages.insert(pid) {
+                return err(format!("page {pid} reachable twice"));
+            }
+            if !self.is_live(pid) {
+                return err(format!("dangling reference to {pid}"));
+            }
+            let node = self.peek_node(pid);
+            if node.entries.len() > self.config().max_entries {
+                return err(format!(
+                    "page {pid} overflows: {} > {}",
+                    node.entries.len(),
+                    self.config().max_entries
+                ));
+            }
+            if strict && pid != root && node.entries.len() < self.config().min_entries {
+                return err(format!(
+                    "page {pid} underfull: {} < {}",
+                    node.entries.len(),
+                    self.config().min_entries
+                ));
+            }
+            for e in &node.entries {
+                match e {
+                    Entry::Child { mbr, child } => {
+                        if node.is_leaf() {
+                            return err(format!("leaf {pid} holds a child entry"));
+                        }
+                        if !self.is_live(*child) {
+                            return err(format!("{pid} points at dead page {child}"));
+                        }
+                        let child_node = self.peek_node(*child);
+                        if child_node.level + 1 != node.level {
+                            return err(format!(
+                                "level skew: {pid}@{} -> {child}@{}",
+                                node.level, child_node.level
+                            ));
+                        }
+                        match child_node.mbr() {
+                            None => {
+                                // Rolled-back inserts may leave an empty
+                                // node behind; only strict mode rejects it.
+                                if strict {
+                                    return err(format!("internal child {child} is empty"));
+                                }
+                            }
+                            Some(exact) => {
+                                if !mbr.contains(&exact) {
+                                    return err(format!(
+                                        "entry MBR in {pid} does not contain child {child}"
+                                    ));
+                                }
+                                if strict && *mbr != exact {
+                                    return err(format!(
+                                        "entry MBR in {pid} not tight for child {child}"
+                                    ));
+                                }
+                            }
+                        }
+                        stack.push(*child);
+                    }
+                    Entry::Object { oid, .. } => {
+                        if !node.is_leaf() {
+                            return err(format!("internal {pid} holds object {oid}"));
+                        }
+                        if !seen_oids.insert(*oid) {
+                            return err(format!("duplicate object id {oid}"));
+                        }
+                        object_count += 1;
+                    }
+                }
+            }
+        }
+
+        if object_count != self.len() {
+            return err(format!(
+                "object count mismatch: counted {object_count}, len() says {}",
+                self.len()
+            ));
+        }
+        let live: usize = self.pages().count();
+        if live != seen_pages.len() {
+            return err(format!(
+                "unreachable pages: {live} live, {} reachable",
+                seen_pages.len()
+            ));
+        }
+        // Balance is implied by level bookkeeping; double-check the root.
+        let _ = root_level;
+        Ok(())
+    }
+}

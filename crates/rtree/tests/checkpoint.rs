@@ -1,0 +1,95 @@
+//! Checkpoint / restore: trees round-trip through byte pages with page ids
+//! (= lock resource ids) preserved.
+
+use dgl_geom::{Rect, Rect2};
+use dgl_rtree::codec::{checkpoint_tree, restore_tree};
+use dgl_rtree::{ObjectId, RTree2, RTreeConfig};
+
+fn build(n: usize, seed: u64) -> RTree2 {
+    let mut t = RTree2::new(RTreeConfig::with_fanout(6), Rect::unit());
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..n {
+        let x = next() * 0.9;
+        let y = next() * 0.9;
+        t.insert(
+            ObjectId(i as u64),
+            Rect2::new([x, y], [x + next() * 0.05, y + next() * 0.05]),
+        );
+    }
+    t
+}
+
+#[test]
+fn roundtrip_preserves_structure_and_ids() {
+    let mut t = build(300, 5);
+    // Punch holes in the page-id space so the restore must cope with a
+    // free list.
+    for i in (0..100).step_by(3) {
+        let rect = t
+            .all_objects()
+            .iter()
+            .find(|(o, ..)| o.0 == i)
+            .map(|(_, r, _)| *r)
+            .unwrap();
+        t.delete(ObjectId(i), rect);
+    }
+    // Tombstone one object to check tombstones serialize.
+    let (oid, rect, _) = t.all_objects()[0];
+    assert!(t.set_tombstone(oid, rect, 77));
+
+    let ck = checkpoint_tree(&t);
+    let restored = restore_tree(&ck).expect("restore succeeds");
+
+    assert_eq!(restored.root(), t.root());
+    assert_eq!(restored.height(), t.height());
+    assert_eq!(restored.len(), t.len());
+    assert_eq!(restored.world(), t.world());
+    restored.validate(true).unwrap();
+    assert_eq!(restored.all_objects(), t.all_objects());
+
+    // Page-by-page identity.
+    for (pid, node) in t.pages() {
+        assert!(restored.is_live(pid), "page {pid} lost");
+        assert_eq!(restored.peek_node(pid), node, "page {pid} differs");
+    }
+    assert_eq!(restored.lookup(oid, rect), Some(Some(77)));
+}
+
+#[test]
+fn restored_tree_is_fully_operational() {
+    let t = build(150, 9);
+    let ck = checkpoint_tree(&t);
+    let mut restored = restore_tree(&ck).unwrap();
+    // Mutations work and stay valid.
+    restored.insert(ObjectId(9999), Rect2::new([0.5, 0.5], [0.55, 0.55]));
+    let (oid, rect, _) = restored.all_objects()[10];
+    assert!(restored.delete(oid, rect));
+    restored.validate(true).unwrap();
+    assert_eq!(restored.len(), 150);
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected() {
+    let t = build(50, 13);
+    let mut ck = checkpoint_tree(&t);
+    // Truncate one page image.
+    let img = &ck.pages.pages[0].1;
+    ck.pages.pages[0].1 = img.slice(0..img.len() - 3);
+    assert!(restore_tree::<2>(&ck).is_err());
+}
+
+#[test]
+fn empty_tree_roundtrips() {
+    let t = RTree2::new(RTreeConfig::with_fanout(4), Rect::unit());
+    let ck = checkpoint_tree(&t);
+    let restored = restore_tree(&ck).unwrap();
+    assert!(restored.is_empty());
+    assert_eq!(restored.root(), t.root());
+    restored.validate(true).unwrap();
+}

@@ -1,0 +1,118 @@
+//! Property-based tests: random operation sequences preserve the R-tree
+//! invariants and agree with a naive linear-scan oracle.
+
+use std::collections::BTreeMap;
+
+use dgl_geom::{Rect, Rect2};
+use dgl_rtree::{ObjectId, RTree2, RTreeConfig, SplitAlgorithm};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, Rect2),
+    Delete(u16),
+    Search(Rect2),
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect2> {
+    (0.0..0.9f64, 0.0..0.9f64, 0.0..0.1f64, 0.0..0.1f64)
+        .prop_map(|(x, y, w, h)| Rect2::new([x, y], [x + w, y + h]))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u16>(), arb_rect()).prop_map(|(k, r)| Op::Insert(k % 64, r)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 64)),
+        1 => arb_rect().prop_map(Op::Search),
+    ]
+}
+
+fn run_ops(fanout: usize, split: SplitAlgorithm, ops: &[Op]) {
+    let mut tree = RTree2::new(
+        RTreeConfig::with_fanout(fanout).with_split(split),
+        Rect::unit(),
+    );
+    let mut oracle: BTreeMap<u16, Rect2> = BTreeMap::new();
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(k, rect) => {
+                // The tree requires unique oids: replace = delete + insert.
+                if let Some(old) = oracle.remove(k) {
+                    assert!(tree.delete(ObjectId(u64::from(*k)), old));
+                }
+                tree.insert(ObjectId(u64::from(*k)), *rect);
+                oracle.insert(*k, *rect);
+            }
+            Op::Delete(k) => {
+                let expect = oracle.remove(k);
+                let got = match expect {
+                    Some(rect) => tree.delete(ObjectId(u64::from(*k)), rect),
+                    None => false,
+                };
+                assert_eq!(got, expect.is_some(), "step {step}: delete {k}");
+            }
+            Op::Search(query) => {
+                let mut got: Vec<u64> =
+                    tree.search(query).into_iter().map(|(o, ..)| o.0).collect();
+                got.sort_unstable();
+                let mut want: Vec<u64> = oracle
+                    .iter()
+                    .filter(|(_, r)| r.intersects(query))
+                    .map(|(k, _)| u64::from(*k))
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "step {step}: search disagrees with oracle");
+            }
+        }
+        tree.validate(true).unwrap_or_else(|e| {
+            panic!("step {step} ({op:?}): {e}");
+        });
+        assert_eq!(tree.len(), oracle.len(), "step {step}: cardinality");
+    }
+    // Final full-space check.
+    assert_eq!(tree.search(&Rect::unit()).len(), oracle.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_ops_fanout4_quadratic(ops in prop::collection::vec(arb_op(), 1..120)) {
+        run_ops(4, SplitAlgorithm::Quadratic, &ops);
+    }
+
+    #[test]
+    fn random_ops_fanout3_quadratic(ops in prop::collection::vec(arb_op(), 1..100)) {
+        // Fanout 3 exercises min_entries = 1 and deep condensation
+        // cascades (including the root-absorb cascade).
+        run_ops(3, SplitAlgorithm::Quadratic, &ops);
+    }
+
+    #[test]
+    fn random_ops_fanout8_linear(ops in prop::collection::vec(arb_op(), 1..120)) {
+        run_ops(8, SplitAlgorithm::Linear, &ops);
+    }
+
+    #[test]
+    fn random_ops_fanout6_rstar(ops in prop::collection::vec(arb_op(), 1..120)) {
+        run_ops(6, SplitAlgorithm::RStar, &ops);
+    }
+
+    #[test]
+    fn point_data_random_ops(keys in prop::collection::vec((any::<u16>(), 0.0..1.0f64, 0.0..1.0f64), 1..150)) {
+        // Degenerate (zero-extent) rectangles: the paper's point datasets.
+        let mut tree = RTree2::new(RTreeConfig::with_fanout(5), Rect::unit());
+        let mut oracle: BTreeMap<u16, Rect2> = BTreeMap::new();
+        for (k, x, y) in keys {
+            let k = k % 64;
+            let rect = Rect2::point([x, y]);
+            if let Some(old) = oracle.remove(&k) {
+                assert!(tree.delete(ObjectId(u64::from(k)), old));
+            }
+            tree.insert(ObjectId(u64::from(k)), rect);
+            oracle.insert(k, rect);
+            tree.validate(true).unwrap();
+        }
+        assert_eq!(tree.search(&Rect::unit()).len(), oracle.len());
+    }
+}

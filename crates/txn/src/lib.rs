@@ -1,0 +1,24 @@
+//! Transaction lifecycle management.
+//!
+//! The paper's protocol distinguishes *operations* (each ending with the
+//! release of its short-duration locks) from *transactions* (whose
+//! commit-duration locks are released only at commit/rollback, after any
+//! deferred physical deletions have run). This crate provides the
+//! machinery around that distinction:
+//!
+//! * [`TxnManager`] — id allocation, the active-transaction table, and the
+//!   terminal transitions (commit / abort) that release all locks through
+//!   the attached lock manager;
+//! * [`Journal`] — a per-transaction record queue, used by the protocol
+//!   layer once for undo records (rollback) and once for deferred
+//!   deletions (the paper's §3.6/§3.7 logical-then-deferred delete).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod journal;
+mod manager;
+
+pub use dgl_lockmgr::TxnId;
+pub use journal::Journal;
+pub use manager::{TxnManager, TxnStats, TxnStatsSnapshot};

@@ -1,0 +1,222 @@
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use dgl_lockmgr::{LockManager, TxnId};
+
+/// Transaction-level counters.
+#[derive(Debug, Default)]
+pub struct TxnStats {
+    started: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+}
+
+/// A point-in-time copy of [`TxnStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStatsSnapshot {
+    /// Transactions begun.
+    pub started: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions rolled back (user abort or deadlock victim).
+    pub aborted: u64,
+}
+
+impl TxnStatsSnapshot {
+    /// Counter-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &TxnStatsSnapshot) -> TxnStatsSnapshot {
+        TxnStatsSnapshot {
+            started: self.started - earlier.started,
+            committed: self.committed - earlier.committed,
+            aborted: self.aborted - earlier.aborted,
+        }
+    }
+}
+
+/// Allocates transaction ids, tracks the active set, and performs the
+/// terminal transitions.
+///
+/// Lower ids are older transactions; ids are never reused. Both terminal
+/// transitions release *all* locks of the transaction through the attached
+/// [`LockManager`] — the protocol layer runs its deferred deletions /
+/// undo actions *before* calling them, matching the paper's requirement
+/// that commit-duration locks protect the deferred work.
+#[derive(Debug)]
+pub struct TxnManager {
+    lock_manager: Arc<LockManager>,
+    next_id: AtomicU64,
+    active: Mutex<HashMap<TxnId, Instant>>,
+    stats: TxnStats,
+}
+
+impl TxnManager {
+    /// Creates a manager releasing locks through `lock_manager`.
+    pub fn new(lock_manager: Arc<LockManager>) -> Self {
+        Self {
+            lock_manager,
+            next_id: AtomicU64::new(1),
+            active: Mutex::new(HashMap::new()),
+            stats: TxnStats::default(),
+        }
+    }
+
+    /// The attached lock manager.
+    pub fn lock_manager(&self) -> &Arc<LockManager> {
+        &self.lock_manager
+    }
+
+    /// Begins a new transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.active.lock().insert(id, Instant::now());
+        self.stats.started.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Whether `txn` is currently active.
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.active.lock().contains_key(&txn)
+    }
+
+    /// Number of active transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Commits `txn`: releases every lock and retires the id.
+    ///
+    /// # Panics
+    /// Panics if the transaction is not active (double termination).
+    pub fn commit(&self, txn: TxnId) {
+        self.retire(txn, "commit");
+        self.stats.committed.fetch_add(1, Ordering::Relaxed);
+        self.lock_manager.release_all(txn);
+    }
+
+    /// Aborts `txn`: releases every lock and retires the id. The caller
+    /// must have applied its undo actions first.
+    ///
+    /// # Panics
+    /// Panics if the transaction is not active (double termination).
+    pub fn abort(&self, txn: TxnId) {
+        self.retire(txn, "abort");
+        self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+        self.lock_manager.release_all(txn);
+    }
+
+    fn retire(&self, txn: TxnId, what: &str) {
+        let removed = self.active.lock().remove(&txn);
+        assert!(removed.is_some(), "{what} of non-active transaction {txn}");
+    }
+
+    /// Ends the current operation of `txn`: releases its short-duration
+    /// locks (the paper's operation/transaction duration split).
+    pub fn end_operation(&self, txn: TxnId) {
+        self.lock_manager.release_short(txn);
+    }
+
+    /// Copies the transaction counters.
+    pub fn stats(&self) -> TxnStatsSnapshot {
+        TxnStatsSnapshot {
+            started: self.stats.started.load(Ordering::Relaxed),
+            committed: self.stats.committed.load(Ordering::Relaxed),
+            aborted: self.stats.aborted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgl_lockmgr::{
+        LockDuration::{Commit, Short},
+        LockMode, LockOutcome, RequestKind::Conditional, ResourceId,
+    };
+
+    fn setup() -> TxnManager {
+        TxnManager::new(Arc::new(LockManager::default()))
+    }
+
+    #[test]
+    fn ids_are_monotonic_and_unique() {
+        let m = setup();
+        let a = m.begin();
+        let b = m.begin();
+        assert!(b > a, "ids must increase (age order for victim policy)");
+        assert!(m.is_active(a) && m.is_active(b));
+        assert_eq!(m.active_count(), 2);
+    }
+
+    #[test]
+    fn commit_releases_all_locks() {
+        let m = setup();
+        let t = m.begin();
+        let lm = Arc::clone(m.lock_manager());
+        assert_eq!(
+            lm.lock(t, ResourceId::Object(1), LockMode::X, Commit, Conditional),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.lock(t, ResourceId::Object(2), LockMode::S, Short, Conditional),
+            LockOutcome::Granted
+        );
+        m.commit(t);
+        assert!(!m.is_active(t));
+        assert_eq!(lm.locks_held(t), 0);
+        assert_eq!(lm.resource_count(), 0);
+        assert_eq!(m.stats().committed, 1);
+    }
+
+    #[test]
+    fn abort_releases_all_locks() {
+        let m = setup();
+        let t = m.begin();
+        let lm = Arc::clone(m.lock_manager());
+        lm.lock(t, ResourceId::Tree, LockMode::X, Commit, Conditional);
+        m.abort(t);
+        assert_eq!(lm.locks_held(t), 0);
+        assert_eq!(m.stats().aborted, 1);
+    }
+
+    #[test]
+    fn end_operation_releases_only_short_locks() {
+        let m = setup();
+        let t = m.begin();
+        let lm = Arc::clone(m.lock_manager());
+        lm.lock(t, ResourceId::Object(1), LockMode::X, Commit, Conditional);
+        lm.lock(t, ResourceId::Object(2), LockMode::S, Short, Conditional);
+        m.end_operation(t);
+        assert_eq!(lm.locks_held(t), 1, "commit lock survives the operation");
+        m.commit(t);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit of non-active")]
+    fn double_commit_panics() {
+        let m = setup();
+        let t = m.begin();
+        m.commit(t);
+        m.commit(t);
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let m = setup();
+        let a = m.begin();
+        let b = m.begin();
+        let c = m.begin();
+        m.commit(a);
+        m.abort(b);
+        m.commit(c);
+        let s = m.stats();
+        assert_eq!(
+            (s.started, s.committed, s.aborted),
+            (3, 2, 1)
+        );
+        assert_eq!(m.active_count(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+use dgl_geom::Rect2;
+use dgl_rtree::ObjectId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which spatial distribution to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DatasetKind {
+    /// Uniformly distributed points (zero-extent rectangles) — the paper's
+    /// "point data".
+    UniformPoints,
+    /// Uniformly distributed rectangles whose per-dimension extent is
+    /// drawn uniformly from `[0, 2·mean_extent]` (so the *average* extent
+    /// matches the paper's "on average 5 % of the extent of the total
+    /// region"). The paper's "spatial data" is
+    /// `UniformRects { mean_extent: 0.05 }`.
+    UniformRects {
+        /// Mean per-dimension extent as a fraction of the space.
+        mean_extent: f64,
+    },
+    /// Gaussian clusters (ablation workload: skewed key distribution,
+    /// which stresses the *dynamic adaptation* of the granules).
+    Clustered {
+        /// Number of cluster centers.
+        clusters: usize,
+        /// Standard deviation of each cluster.
+        sigma: f64,
+    },
+}
+
+/// A reproducible dataset of `(oid, rect)` pairs in the unit square.
+///
+/// ```
+/// use dgl_workload::{Dataset, DatasetKind};
+///
+/// let d = Dataset::generate(DatasetKind::UniformPoints, 100, 42);
+/// assert_eq!(d.len(), 100);
+/// // Deterministic per seed.
+/// assert_eq!(d.objects, Dataset::generate(DatasetKind::UniformPoints, 100, 42).objects);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Generated objects, oid `0..n`.
+    pub objects: Vec<(ObjectId, Rect2)>,
+    /// The generating distribution.
+    pub kind: DatasetKind,
+    /// The generating seed.
+    pub seed: u64,
+}
+
+impl Dataset {
+    /// Generates `n` objects of the given kind from `seed`.
+    pub fn generate(kind: DatasetKind, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut objects = Vec::with_capacity(n);
+        // Pre-draw cluster centers if needed.
+        let centers: Vec<[f64; 2]> = match kind {
+            DatasetKind::Clustered { clusters, .. } => (0..clusters)
+                .map(|_| [rng.random_range(0.1..0.9), rng.random_range(0.1..0.9)])
+                .collect(),
+            _ => Vec::new(),
+        };
+        for i in 0..n {
+            let rect = match kind {
+                DatasetKind::UniformPoints => {
+                    let x = rng.random_range(0.0..1.0);
+                    let y = rng.random_range(0.0..1.0);
+                    Rect2::point([x, y])
+                }
+                DatasetKind::UniformRects { mean_extent } => {
+                    let w = rng.random_range(0.0..(2.0 * mean_extent));
+                    let h = rng.random_range(0.0..(2.0 * mean_extent));
+                    let x = rng.random_range(0.0..(1.0 - w));
+                    let y = rng.random_range(0.0..(1.0 - h));
+                    Rect2::new([x, y], [x + w, y + h])
+                }
+                DatasetKind::Clustered { clusters, sigma } => {
+                    let c = centers[i % clusters];
+                    let gauss = |rng: &mut StdRng| {
+                        // Box–Muller.
+                        let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.random_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                    };
+                    let x = (c[0] + sigma * gauss(&mut rng)).clamp(0.0, 0.999);
+                    let y = (c[1] + sigma * gauss(&mut rng)).clamp(0.0, 0.999);
+                    let e = 0.001;
+                    Rect2::new([x, y], [(x + e).min(1.0), (y + e).min(1.0)])
+                }
+            };
+            objects.push((ObjectId(i as u64), rect));
+        }
+        Self {
+            objects,
+            kind,
+            seed,
+        }
+    }
+
+    /// The paper's point dataset: 32,000 uniform points.
+    pub fn paper_points(seed: u64) -> Self {
+        Self::generate(DatasetKind::UniformPoints, 32_000, seed)
+    }
+
+    /// The paper's spatial dataset: 32,000 uniform rectangles, 5 % average
+    /// extent per dimension.
+    pub fn paper_rects(seed: u64) -> Self {
+        Self::generate(DatasetKind::UniformRects { mean_extent: 0.05 }, 32_000, seed)
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(DatasetKind::UniformPoints, 100, 7);
+        let b = Dataset::generate(DatasetKind::UniformPoints, 100, 7);
+        assert_eq!(a.objects, b.objects);
+        let c = Dataset::generate(DatasetKind::UniformPoints, 100, 8);
+        assert_ne!(a.objects, c.objects);
+    }
+
+    #[test]
+    fn points_have_zero_extent_inside_unit_square() {
+        let d = Dataset::generate(DatasetKind::UniformPoints, 500, 1);
+        for (_, r) in &d.objects {
+            assert!(r.is_degenerate());
+            assert!(Rect2::unit().contains(r));
+        }
+    }
+
+    #[test]
+    fn rect_extents_average_the_requested_mean() {
+        let d = Dataset::generate(DatasetKind::UniformRects { mean_extent: 0.05 }, 4_000, 2);
+        let mean_w: f64 =
+            d.objects.iter().map(|(_, r)| r.extent(0)).sum::<f64>() / d.len() as f64;
+        let mean_h: f64 =
+            d.objects.iter().map(|(_, r)| r.extent(1)).sum::<f64>() / d.len() as f64;
+        assert!((mean_w - 0.05).abs() < 0.005, "mean width {mean_w}");
+        assert!((mean_h - 0.05).abs() < 0.005, "mean height {mean_h}");
+        for (_, r) in &d.objects {
+            assert!(Rect2::unit().contains(r), "rect {r:?} escapes the space");
+        }
+    }
+
+    #[test]
+    fn clustered_data_actually_clusters() {
+        let d = Dataset::generate(
+            DatasetKind::Clustered {
+                clusters: 4,
+                sigma: 0.01,
+            },
+            2_000,
+            3,
+        );
+        // With tiny sigma, the bounding box of all objects is much smaller
+        // than the full space only if... no — centers spread. Instead
+        // check density: the average pairwise distance within a 500-sample
+        // subset is far below the uniform expectation (~0.52).
+        let pts: Vec<_> = d.objects.iter().take(500).map(|(_, r)| r.center()).collect();
+        let mut sum = 0.0;
+        let mut cnt = 0.0;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len().min(i + 20) {
+                sum += pts[i].dist2(&pts[j]).sqrt();
+                cnt += 1.0;
+            }
+        }
+        let _ = sum / cnt; // distribution sanity only; clusters share ids mod k
+        // Objects from the same cluster index are near their center.
+        let first_cluster: Vec<_> = d
+            .objects
+            .iter()
+            .step_by(4)
+            .take(50)
+            .map(|(_, r)| r.center())
+            .collect();
+        let c0 = first_cluster[0];
+        for p in &first_cluster {
+            assert!(c0.dist2(p).sqrt() < 0.2, "cluster members stay close");
+        }
+    }
+
+    #[test]
+    fn paper_datasets_have_paper_sizes() {
+        assert_eq!(Dataset::paper_points(1).len(), 32_000);
+        assert_eq!(Dataset::paper_rects(1).len(), 32_000);
+    }
+}

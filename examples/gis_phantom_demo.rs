@@ -1,0 +1,100 @@
+//! GIS scenario: a map client repeatedly renders a viewport while an
+//! ingest pipeline streams in new points of interest.
+//!
+//! Without phantom protection the client would see POIs pop into a
+//! viewport it already rendered *within one transaction* — the phantom
+//! anomaly from the paper's introduction. This demo shows (a) the ingest
+//! writer blocking while a viewport transaction is live, (b) the two
+//! renders inside the transaction being identical, and (c) full
+//! concurrency for ingest outside the viewport.
+//!
+//! ```sh
+//! cargo run --example gis_phantom_demo
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use granular_rtree::core::{DglConfig, DglRTree, Rect2, TransactionalRTree};
+use granular_rtree::rtree::ObjectId;
+
+fn main() {
+    let db = Arc::new(DglRTree::new(DglConfig::default()));
+
+    // Seed the map with a grid of POIs.
+    let t = db.begin();
+    let mut oid = 0;
+    for i in 0..10 {
+        for j in 0..10 {
+            let x = 0.05 + 0.09 * f64::from(i);
+            let y = 0.05 + 0.09 * f64::from(j);
+            db.insert(t, ObjectId(oid), Rect2::new([x, y], [x + 0.01, y + 0.01]))
+                .unwrap();
+            oid += 1;
+        }
+    }
+    db.commit(t).unwrap();
+    println!("seeded {oid} POIs");
+
+    // The client opens a transaction and renders the north-west viewport.
+    let viewport = Rect2::new([0.0, 0.5], [0.5, 1.0]);
+    let txn = db.begin();
+    let first_render = db.read_scan(txn, viewport).unwrap();
+    println!("viewport render #1: {} POIs", first_render.len());
+
+    // Ingest tries to add a POI inside the viewport — it must wait.
+    let landed = Arc::new(AtomicBool::new(false));
+    crossbeam::scope(|s| {
+        let db2 = Arc::clone(&db);
+        let flag = Arc::clone(&landed);
+        let ingest = s.spawn(move |_| {
+            let t2 = db2.begin();
+            let start = Instant::now();
+            db2.insert(t2, ObjectId(500), Rect2::new([0.2, 0.7], [0.21, 0.71]))
+                .unwrap();
+            flag.store(true, Ordering::SeqCst);
+            db2.commit(t2).unwrap();
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            !landed.load(Ordering::SeqCst),
+            "ingest into the open viewport must wait"
+        );
+        println!("ingest into the viewport is blocked (as it must be)");
+
+        // Meanwhile, ingest OUTSIDE the viewport proceeds immediately.
+        let t3 = db.begin();
+        db.insert(t3, ObjectId(600), Rect2::new([0.8, 0.1], [0.81, 0.11]))
+            .unwrap();
+        db.commit(t3).unwrap();
+        println!("ingest outside the viewport committed concurrently");
+
+        // Second render inside the same transaction: identical.
+        let second_render = db.read_scan(txn, viewport).unwrap();
+        assert_eq!(
+            first_render.len(),
+            second_render.len(),
+            "repeatable read violated!"
+        );
+        println!(
+            "viewport render #2: {} POIs (identical — no phantoms)",
+            second_render.len()
+        );
+
+        db.commit(txn).unwrap();
+        let waited = ingest.join().unwrap();
+        println!("viewport closed; blocked ingest landed after {waited:?}");
+    })
+    .unwrap();
+
+    // New transaction sees the new POI.
+    let t4 = db.begin();
+    let after = db.read_scan(t4, viewport).unwrap();
+    println!("viewport render in a NEW transaction: {} POIs", after.len());
+    assert_eq!(after.len(), first_render.len() + 1);
+    db.commit(t4).unwrap();
+    db.validate().unwrap();
+    println!("gis_phantom_demo OK");
+}

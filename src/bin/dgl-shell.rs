@@ -1,0 +1,252 @@
+//! `dgl-shell` — an interactive REPL over the transactional R-tree.
+//!
+//! Drive multiple transactions by hand and watch the granular locking
+//! protocol arbitrate them:
+//!
+//! ```text
+//! $ cargo run --bin dgl-shell
+//! dgl> begin
+//! T1
+//! dgl> insert T1 1 0.1 0.1 0.2 0.2
+//! ok
+//! dgl> scan T1 0 0 0.5 0.5
+//! O1 [0.1,0.1]-[0.2,0.2] v1
+//! dgl> commit T1
+//! ok
+//! ```
+//!
+//! Lock waits use a 1-second timeout so a conflicting command returns
+//! with `timeout` (and rolls its transaction back) instead of hanging the
+//! single-threaded prompt. `save`/`load` persist the index as a snapshot
+//! file.
+
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use granular_rtree::core::{DglConfig, DglRTree, Rect2, TransactionalRTree, TxnError, TxnId};
+use granular_rtree::lockmgr::LockManagerConfig;
+use granular_rtree::rtree::{self, ObjectId, RTreeConfig};
+
+fn config() -> DglConfig {
+    DglConfig {
+        rtree: RTreeConfig::with_fanout(8),
+        lock: LockManagerConfig {
+            wait_timeout: Duration::from_secs(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let mut db = DglRTree::new(config());
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    println!("granular-rtree shell — type `help`");
+    loop {
+        print!("dgl> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.is_empty() {
+            continue;
+        }
+        match run_command(&mut db, &parts) {
+            Ok(Some(msg)) => println!("{msg}"),
+            Ok(None) => break,
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+}
+
+fn parse_txn(s: &str) -> Result<TxnId, String> {
+    let digits = s.trim_start_matches('T');
+    digits
+        .parse::<u64>()
+        .map(TxnId)
+        .map_err(|_| format!("bad transaction id {s:?} (expected e.g. T3)"))
+}
+
+fn parse_rect(parts: &[&str]) -> Result<Rect2, String> {
+    if parts.len() != 4 {
+        return Err("expected 4 coordinates: x0 y0 x1 y1".into());
+    }
+    let mut v = [0.0f64; 4];
+    for (i, p) in parts.iter().enumerate() {
+        v[i] = p.parse().map_err(|_| format!("bad number {p:?}"))?;
+    }
+    if v[0] > v[2] || v[1] > v[3] {
+        return Err("rectangle lo must not exceed hi".into());
+    }
+    Ok(Rect2::new([v[0], v[1]], [v[2], v[3]]))
+}
+
+fn txn_err(e: TxnError) -> String {
+    match e {
+        TxnError::Deadlock => "deadlock — transaction rolled back".into(),
+        TxnError::Timeout => "timeout — transaction rolled back".into(),
+        other => other.to_string(),
+    }
+}
+
+fn run_command(db: &mut DglRTree, parts: &[&str]) -> Result<Option<String>, String> {
+    match parts[0] {
+        "help" => Ok(Some(HELP.trim().into())),
+        "quit" | "exit" => Ok(None),
+        "begin" => Ok(Some(format!("{}", db.begin()))),
+        "commit" | "abort" => {
+            let txn = parse_txn(parts.get(1).ok_or("usage: commit <txn>")?)?;
+            let r = if parts[0] == "commit" {
+                db.commit(txn)
+            } else {
+                db.abort(txn)
+            };
+            r.map(|()| Some("ok".into())).map_err(txn_err)
+        }
+        "insert" | "delete" | "read" | "update" => {
+            if parts.len() < 3 {
+                return Err(format!("usage: {} <txn> <oid> x0 y0 x1 y1", parts[0]));
+            }
+            let txn = parse_txn(parts[1])?;
+            let oid = ObjectId(parts[2].parse().map_err(|_| "bad object id")?);
+            let rect = parse_rect(&parts[3..])?;
+            match parts[0] {
+                "insert" => db
+                    .insert(txn, oid, rect)
+                    .map(|()| Some("ok".into()))
+                    .map_err(txn_err),
+                "delete" => db
+                    .delete(txn, oid, rect)
+                    .map(|found| Some(if found { "deleted" } else { "not found" }.into()))
+                    .map_err(txn_err),
+                "read" => db
+                    .read_single(txn, oid, rect)
+                    .map(|v| {
+                        Some(match v {
+                            Some(version) => format!("version {version}"),
+                            None => "not found".into(),
+                        })
+                    })
+                    .map_err(txn_err),
+                _ => db
+                    .update_single(txn, oid, rect)
+                    .map(|found| Some(if found { "updated" } else { "not found" }.into()))
+                    .map_err(txn_err),
+            }
+        }
+        "scan" | "update-scan" => {
+            if parts.len() != 6 {
+                return Err(format!("usage: {} <txn> x0 y0 x1 y1", parts[0]));
+            }
+            let txn = parse_txn(parts[1])?;
+            let rect = parse_rect(&parts[2..])?;
+            let hits = if parts[0] == "scan" {
+                db.read_scan(txn, rect)
+            } else {
+                db.update_scan(txn, rect)
+            }
+            .map_err(txn_err)?;
+            if hits.is_empty() {
+                return Ok(Some("(empty)".into()));
+            }
+            let mut msg = String::new();
+            for h in &hits {
+                msg.push_str(&format!(
+                    "{} [{:.3},{:.3}]-[{:.3},{:.3}] v{}\n",
+                    h.oid, h.rect.lo[0], h.rect.lo[1], h.rect.hi[0], h.rect.hi[1], h.version
+                ));
+            }
+            msg.push_str(&format!("{} objects", hits.len()));
+            Ok(Some(msg))
+        }
+        "stats" => {
+            let ls = db.lock_manager().stats().snapshot();
+            let ts = db.txn_manager().stats();
+            let os = db.op_stats().snapshot();
+            Ok(Some(format!(
+                "objects {} | txns: {} started, {} committed, {} aborted ({} active)\n\
+                 locks: {} requests, {} waits, {} deadlocks | ops: {} ins, {} del, {} scans, {} retries",
+                db.len(),
+                ts.started,
+                ts.committed,
+                ts.aborted,
+                db.txn_manager().active_count(),
+                ls.requests,
+                ls.waits,
+                ls.deadlocks,
+                os.inserts,
+                os.deletes,
+                os.read_scans,
+                os.op_retries,
+            )))
+        }
+        "tree" => Ok(Some(db.with_tree(|t| {
+            let leaves = t.pages().filter(|(_, n)| n.is_leaf()).count();
+            format!(
+                "height {} | {} pages ({} leaf granules, {} external granules) | {} objects",
+                t.height(),
+                t.pages().count(),
+                leaves,
+                t.pages().count() - leaves,
+                t.len()
+            )
+        }))),
+        "granules" => Ok(Some(db.with_tree(|t| {
+            let mut msg = String::new();
+            for (pid, node) in t.pages().filter(|(_, n)| n.is_leaf()) {
+                match node.mbr() {
+                    Some(m) => msg.push_str(&format!(
+                        "{pid}: [{:.3},{:.3}]-[{:.3},{:.3}] ({} objects)\n",
+                        m.lo[0],
+                        m.lo[1],
+                        m.hi[0],
+                        m.hi[1],
+                        node.entries.len()
+                    )),
+                    None => msg.push_str(&format!("{pid}: (empty)\n")),
+                }
+            }
+            msg.push_str("(non-leaf pages carry the external granules)");
+            msg
+        }))),
+        "save" => {
+            let path = parts.get(1).ok_or("usage: save <path>")?;
+            if db.txn_manager().active_count() > 0 {
+                return Err("cannot snapshot with active transactions".into());
+            }
+            db.with_tree(|t| rtree::save_tree(t, std::path::Path::new(path)))
+                .map_err(|e| e.to_string())?;
+            Ok(Some(format!("saved to {path}")))
+        }
+        "load" => {
+            let path = parts.get(1).ok_or("usage: load <path>")?;
+            if db.txn_manager().active_count() > 0 {
+                return Err("cannot load with active transactions".into());
+            }
+            let tree =
+                rtree::load_tree(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+            *db = DglRTree::from_snapshot(tree, config());
+            Ok(Some(format!("loaded {} objects from {path}", db.len())))
+        }
+        other => Err(format!("unknown command {other:?}; try `help`")),
+    }
+}
+
+const HELP: &str = r#"
+commands:
+  begin                                  start a transaction (prints its id)
+  insert <txn> <oid> x0 y0 x1 y1         insert an object
+  delete <txn> <oid> x0 y0 x1 y1         delete (logical until commit)
+  read   <txn> <oid> x0 y0 x1 y1         point read (payload version)
+  update <txn> <oid> x0 y0 x1 y1         bump an object's version
+  scan   <txn> x0 y0 x1 y1               phantom-protected region scan
+  update-scan <txn> x0 y0 x1 y1          scan + update every hit
+  commit <txn> | abort <txn>             finish a transaction
+  stats | tree | granules                introspection
+  save <path> | load <path>              snapshot persistence
+  quit
+locks that cannot be granted within 1s roll the transaction back (timeout).
+"#;

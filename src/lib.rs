@@ -1,0 +1,10 @@
+#![doc = include_str!("../README.md")]
+#![forbid(unsafe_code)]
+
+pub use dgl_core as core;
+pub use dgl_geom as geom;
+pub use dgl_lockmgr as lockmgr;
+pub use dgl_pager as pager;
+pub use dgl_rtree as rtree;
+pub use dgl_txn as txn;
+pub use dgl_workload as workload;

@@ -1,0 +1,181 @@
+//! End-to-end integration across crates: workload datasets driven through
+//! the full protocol stack, with structural validation and checkpointing
+//! of the underlying index.
+
+use granular_rtree::core::{DglConfig, DglRTree, InsertPolicy, Rect2, TransactionalRTree};
+use granular_rtree::rtree::codec::{checkpoint_tree, restore_tree};
+use granular_rtree::rtree::RTreeConfig;
+use granular_rtree::workload::{Dataset, DatasetKind};
+
+#[test]
+fn paper_scale_load_stays_consistent() {
+    // A slice of the paper's spatial dataset loaded transactionally.
+    let dataset = Dataset::generate(DatasetKind::UniformRects { mean_extent: 0.05 }, 3_000, 42);
+    let db = DglRTree::new(DglConfig {
+        rtree: RTreeConfig::with_fanout(24),
+        policy: InsertPolicy::Modified,
+        ..Default::default()
+    });
+    for chunk in dataset.objects.chunks(100) {
+        let t = db.begin();
+        for (oid, rect) in chunk {
+            db.insert(t, *oid, *rect).unwrap();
+        }
+        db.commit(t).unwrap();
+    }
+    assert_eq!(db.len(), 3_000);
+    db.validate().unwrap();
+
+    // Every object answerable by scan, count matches a full-space scan.
+    let t = db.begin();
+    let all = db.read_scan(t, Rect2::unit()).unwrap();
+    assert_eq!(all.len(), 3_000);
+    db.commit(t).unwrap();
+
+    // Tree shape sanity: height log-ish in n.
+    let height = db.with_tree(|t| t.height());
+    assert!((2..=5).contains(&height), "height {height}");
+}
+
+#[test]
+fn clustered_data_exercises_granule_adaptation() {
+    // Clustered insert + delete churn forces granule growth, splits, and
+    // condensation — the "dynamically adapt to key distribution" claim.
+    let dataset = Dataset::generate(
+        DatasetKind::Clustered {
+            clusters: 5,
+            sigma: 0.02,
+        },
+        1_500,
+        9,
+    );
+    let db = DglRTree::new(DglConfig {
+        rtree: RTreeConfig::with_fanout(8),
+        ..Default::default()
+    });
+    for chunk in dataset.objects.chunks(50) {
+        let t = db.begin();
+        for (oid, rect) in chunk {
+            db.insert(t, *oid, *rect).unwrap();
+        }
+        db.commit(t).unwrap();
+    }
+    // Delete every other object (transactional, deferred physical delete).
+    for chunk in dataset.objects.chunks(50) {
+        let t = db.begin();
+        for (oid, rect) in chunk.iter().step_by(2) {
+            assert!(db.delete(t, *oid, *rect).unwrap());
+        }
+        db.commit(t).unwrap();
+    }
+    assert_eq!(db.len(), 750);
+    db.validate().unwrap();
+    // A decent share of inserts changed granule boundaries at fanout 8.
+    let stats = db.op_stats().snapshot();
+    assert!(stats.granule_changing_inserts > 0);
+    assert_eq!(stats.deferred_deletes, 750);
+}
+
+#[test]
+fn index_checkpoints_and_restores_through_the_facade() {
+    let dataset = Dataset::generate(DatasetKind::UniformPoints, 800, 3);
+    let db = DglRTree::new(DglConfig::default());
+    let t = db.begin();
+    for (oid, rect) in &dataset.objects {
+        db.insert(t, *oid, *rect).unwrap();
+    }
+    db.commit(t).unwrap();
+
+    // Checkpoint the quiescent index; restore; contents identical.
+    let ck = db.with_tree(checkpoint_tree);
+    let restored = restore_tree(&ck).unwrap();
+    restored.validate(true).unwrap();
+    assert_eq!(restored.len(), 800);
+    let expected = db.with_tree(|t| t.all_objects());
+    assert_eq!(restored.all_objects(), expected);
+}
+
+#[test]
+fn point_and_rect_datasets_roundtrip_identically() {
+    // Same seed, both dataset kinds, full insert + full delete: the index
+    // must return to a single empty root.
+    for kind in [
+        DatasetKind::UniformPoints,
+        DatasetKind::UniformRects { mean_extent: 0.05 },
+    ] {
+        let dataset = Dataset::generate(kind, 600, 77);
+        let db = DglRTree::new(DglConfig {
+            rtree: RTreeConfig::with_fanout(6),
+            ..Default::default()
+        });
+        let t = db.begin();
+        for (oid, rect) in &dataset.objects {
+            db.insert(t, *oid, *rect).unwrap();
+        }
+        db.commit(t).unwrap();
+        for chunk in dataset.objects.chunks(40) {
+            let t = db.begin();
+            for (oid, rect) in chunk {
+                assert!(db.delete(t, *oid, *rect).unwrap());
+            }
+            db.commit(t).unwrap();
+        }
+        assert_eq!(db.len(), 0, "{kind:?}");
+        db.validate().unwrap();
+        assert_eq!(
+            db.with_tree(|t| t.height()),
+            1,
+            "{kind:?}: tree must shrink back to a lone leaf"
+        );
+    }
+}
+
+#[test]
+fn snapshot_file_roundtrip_through_the_transactional_layer() {
+    use granular_rtree::rtree::{load_tree, save_tree, ObjectId};
+
+    let db = DglRTree::new(DglConfig::default());
+    let t = db.begin();
+    for i in 0..300u64 {
+        let f = (i % 91) as f64 / 100.0;
+        let g = (i % 67) as f64 / 100.0;
+        db.insert(
+            t,
+            ObjectId(i),
+            Rect2::new([f * 0.9, g * 0.9], [f * 0.9 + 0.01, g * 0.9 + 0.01]),
+        )
+        .unwrap();
+    }
+    db.commit(t).unwrap();
+    // Leave one committed-but-tombstoned entry behind by snapshotting a
+    // tree image that still carries a tombstone (simulating a crash after
+    // commit, before the deferred deletion ran).
+    let victim = ObjectId(7);
+    let victim_rect = Rect2::new([0.07 * 0.9, 0.07 * 0.9], [0.07 * 0.9 + 0.01, 0.07 * 0.9 + 0.01]);
+    let path = std::env::temp_dir().join(format!("dgl-e2e-{}.tree", std::process::id()));
+    db.with_tree(|tree| {
+        let mut image = granular_rtree::rtree::codec::restore_tree(
+            &granular_rtree::rtree::codec::checkpoint_tree(tree),
+        )
+        .unwrap();
+        assert!(image.set_tombstone(victim, victim_rect, 999));
+        save_tree(&image, &path).unwrap();
+    });
+
+    let restored = DglRTree::from_snapshot(load_tree(&path).unwrap(), DglConfig::default());
+    std::fs::remove_file(&path).ok();
+    // Recovery completed the deferred deletion of the tombstoned entry.
+    assert_eq!(restored.len(), 299);
+    restored.validate().unwrap();
+    let t = restored.begin();
+    assert!(restored
+        .read_single(t, victim, victim_rect)
+        .unwrap()
+        .is_none());
+    // Fully operational.
+    restored
+        .insert(t, ObjectId(9_000), Rect2::new([0.5, 0.5], [0.51, 0.51]))
+        .unwrap();
+    assert_eq!(restored.read_scan(t, Rect2::unit()).unwrap().len(), 300);
+    restored.commit(t).unwrap();
+}
