@@ -27,18 +27,14 @@ fn bench_overlap_traversal(c: &mut Criterion) {
     for (label, dataset) in [("point", &points), ("spatial", &rects)] {
         for fanout in [16usize, 21, 100] {
             let tree = build(dataset, fanout);
-            group.bench_with_input(
-                BenchmarkId::new(label, fanout),
-                &tree,
-                |b, tree| {
-                    let mut i = 0;
-                    b.iter(|| {
-                        let q = probes.objects[i % probes.len()].1;
-                        i += 1;
-                        black_box(overlapping_granules(tree, &[q]))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, fanout), &tree, |b, tree| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = probes.objects[i % probes.len()].1;
+                    i += 1;
+                    black_box(overlapping_granules(tree, &[q]))
+                });
+            });
         }
     }
     group.finish();

@@ -42,9 +42,7 @@ fn run_tracked(
                             Op::Delete(oid, rect) => db.delete(txn, oid, rect).map(|_| ()),
                             Op::ReadScan(q) => db.read_scan(txn, q).map(|_| ()),
                             Op::UpdateScan(q) => db.update_scan(txn, q).map(|_| ()),
-                            Op::ReadSingle(oid, rect) => {
-                                db.read_single(txn, oid, rect).map(|_| ())
-                            }
+                            Op::ReadSingle(oid, rect) => db.read_single(txn, oid, rect).map(|_| ()),
                             Op::UpdateSingle(oid, rect) => {
                                 db.update_single(txn, oid, rect).map(|_| ())
                             }
@@ -146,7 +144,10 @@ fn main() {
                     db_watch.txn_manager().active_count(),
                     db_watch.latch_probe(),
                 );
-                eprintln!("lock stats: {:?}", db_watch.lock_manager().stats().snapshot());
+                eprintln!(
+                    "lock stats: {:?}",
+                    db_watch.lock_manager().stats().snapshot()
+                );
                 eprintln!("op stats: {:?}", db_watch.op_stats().snapshot());
                 for (i, p) in phases_watch.lock().iter().enumerate() {
                     eprintln!("worker {i}: {p}");

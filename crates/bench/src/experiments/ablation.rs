@@ -104,12 +104,8 @@ pub fn external_granule(threads: u64, txns_per_thread: u64, seed: u64) -> Extern
         for k in 0..40u64 {
             let cx = 0.1 + 0.2 * (k % 4) as f64;
             let cy = 0.1 + 0.2 * (k / 10) as f64;
-            db.insert(
-                t,
-                ObjectId(k),
-                Rect2::new([cx, cy], [cx + 0.01, cy + 0.01]),
-            )
-            .unwrap();
+            db.insert(t, ObjectId(k), Rect2::new([cx, cy], [cx + 0.01, cy + 0.01]))
+                .unwrap();
         }
         db.commit(t).unwrap();
 

@@ -102,8 +102,7 @@ mod tests {
     fn fraction_decreases_with_fanout() {
         let rows = run_sweep(4_000, 11);
         for data in ["Point", "Spatial"] {
-            let series: Vec<&GranuleChangeRow> =
-                rows.iter().filter(|r| r.data == data).collect();
+            let series: Vec<&GranuleChangeRow> = rows.iter().filter(|r| r.data == data).collect();
             assert_eq!(series.len(), 4);
             // The paper's headline trend: larger fanout, fewer boundary
             // changes. Allow slight noise between adjacent fanouts but

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod granule_change;
+pub mod maintenance;
 pub mod table2;
 pub mod table4;
 pub mod zorder;

@@ -64,7 +64,21 @@ pub fn run_one(data: &'static str, dataset: &Dataset, fanout: usize) -> Table2Ro
     warm_top_levels(&tree, 3, &mut buffered);
     let mut disk_reads = 0u64;
 
+    let mut measured_height = tree.height();
     for (oid, rect) in &dataset.objects[half..] {
+        // Per-level sums are only meaningful at a fixed height: a root
+        // split mid-measurement would shift every earlier sample down one
+        // level. Restart the averages whenever the tree grows so the
+        // reported row reflects the final height only.
+        if tree.height() != measured_height {
+            measured_height = tree.height();
+            sums.iter_mut().for_each(|s| *s = 0);
+            count = 0;
+            disk_reads = 0;
+            let top3 = count_top_levels(&tree, 3);
+            buffered = dgl_pager::BufferPool::new(top3.max(1));
+            warm_top_levels(&tree, 3, &mut buffered);
+        }
         let set = overlapping_granules(&tree, &[*rect]);
         for (level, n) in set.accesses_per_level.iter().enumerate() {
             if level < sums.len() {
@@ -78,7 +92,10 @@ pub fn run_one(data: &'static str, dataset: &Dataset, fanout: usize) -> Table2Ro
         count += 1;
         tree.insert(*oid, *rect);
     }
-    let final_height = tree.height();
+    let count = count.max(1);
+    // Report the height the surviving samples were measured at (the last
+    // insert may have split the root after the final measurement).
+    let final_height = measured_height;
 
     // Convert to paper numbering: paper level 1 = root (tree level h-1).
     let h = final_height as usize;
@@ -106,9 +123,7 @@ pub fn run_one(data: &'static str, dataset: &Dataset, fanout: usize) -> Table2Ro
 
 fn count_top_levels(tree: &RTree2, levels: u32) -> usize {
     let h = tree.height();
-    tree.pages()
-        .filter(|(_, n)| n.level + levels >= h)
-        .count()
+    tree.pages().filter(|(_, n)| n.level + levels >= h).count()
 }
 
 fn warm_top_levels(tree: &RTree2, levels: u32, pool: &mut dgl_pager::BufferPool) {

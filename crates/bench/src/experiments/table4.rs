@@ -157,8 +157,7 @@ pub fn run_protocol(
                             }
                             Op::UpdateSingle(oid, rect) => db.update_single(txn, oid, rect),
                         };
-                        let was_scan =
-                            matches!(op, Op::ReadScan(_) | Op::UpdateScan(_));
+                        let was_scan = matches!(op, Op::ReadScan(_) | Op::UpdateScan(_));
                         match result {
                             Ok(_) => applied.push(op),
                             Err(dgl_core::TxnError::DuplicateObject) => {}

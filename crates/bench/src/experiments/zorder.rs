@@ -57,7 +57,10 @@ pub fn lock_overhead_sweep(n: usize, seed: u64) -> Vec<LockOverheadRow> {
     const SCANS: usize = 64;
     for query_edge in [0.01, 0.02, 0.05, 0.1, 0.2, 0.4] {
         let mut per_db = [0.0f64; 2];
-        for (i, db) in [&dgl as &dyn TransactionalRTree, &zorder].into_iter().enumerate() {
+        for (i, db) in [&dgl as &dyn TransactionalRTree, &zorder]
+            .into_iter()
+            .enumerate()
+        {
             let before = db.lock_stats().0;
             let mut state = seed | 1;
             for _ in 0..SCANS {
@@ -204,12 +207,20 @@ pub fn render_sweep(rows: &[LockOverheadRow]) -> String {
                 format!("{:.2}", r.query_edge),
                 format!("{:.1}", r.dgl_locks_per_scan),
                 format!("{:.1}", r.zorder_locks_per_scan),
-                format!("{:.1}x", r.zorder_locks_per_scan / r.dgl_locks_per_scan.max(0.001)),
+                format!(
+                    "{:.1}x",
+                    r.zorder_locks_per_scan / r.dgl_locks_per_scan.max(0.001)
+                ),
             ]
         })
         .collect();
     crate::report::markdown_table(
-        &["Query edge", "DGL locks/scan", "Z-order locks/scan", "ratio"],
+        &[
+            "Query edge",
+            "DGL locks/scan",
+            "Z-order locks/scan",
+            "ratio",
+        ],
         &body,
     )
 }

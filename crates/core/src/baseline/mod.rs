@@ -46,9 +46,19 @@ use crate::{ScanHit, TxnError};
 /// Undo records for the baselines (physical-immediate deletes).
 #[derive(Debug)]
 pub(crate) enum BaseUndo {
-    Insert { oid: ObjectId, rect: Rect2 },
-    Delete { oid: ObjectId, rect: Rect2, version: u64 },
-    Update { oid: ObjectId, old_version: u64 },
+    Insert {
+        oid: ObjectId,
+        rect: Rect2,
+    },
+    Delete {
+        oid: ObjectId,
+        rect: Rect2,
+        version: u64,
+    },
+    Update {
+        oid: ObjectId,
+        old_version: u64,
+    },
 }
 
 /// State shared by all baseline protocols.
@@ -156,12 +166,7 @@ impl BaseInner {
         if self.payloads.lock().contains_key(&oid) {
             return Err(TxnError::DuplicateObject);
         }
-        if self
-            .reserved
-            .lock()
-            .values()
-            .any(|set| set.contains(&oid))
-        {
+        if self.reserved.lock().values().any(|set| set.contains(&oid)) {
             // Deleted by a still-active transaction: the id stays
             // reserved until that transaction commits.
             return Err(TxnError::DuplicateObject);

@@ -14,8 +14,9 @@
 use dgl_geom::Rect2;
 use dgl_lockmgr::{
     LockDuration::Commit,
+    LockManagerConfig,
     LockMode::{self, S, X},
-    LockManagerConfig, LockOutcome, RequestKind, ResourceId, TxnId,
+    LockOutcome, RequestKind, ResourceId, TxnId,
 };
 use dgl_rtree::{ObjectId, RTreeConfig};
 
@@ -91,12 +92,7 @@ impl TransactionalRTree for ObjectOnlyRTree {
         Ok(self.inner.do_delete(txn, oid, rect))
     }
 
-    fn read_single(
-        &self,
-        txn: TxnId,
-        oid: ObjectId,
-        rect: Rect2,
-    ) -> Result<Option<u64>, TxnError> {
+    fn read_single(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<Option<u64>, TxnError> {
         self.inner.check_active(txn)?;
         OpStats::bump(&self.inner.stats.read_singles);
         self.obj_lock(txn, oid, S)?;

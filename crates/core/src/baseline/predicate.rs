@@ -21,8 +21,9 @@ use parking_lot::{Condvar, Mutex};
 use dgl_geom::Rect2;
 use dgl_lockmgr::{
     LockDuration::Commit,
+    LockManagerConfig,
     LockMode::{self, S, X},
-    LockManagerConfig, LockOutcome, RequestKind, ResourceId, TxnId,
+    LockOutcome, RequestKind, ResourceId, TxnId,
 };
 use dgl_rtree::{ObjectId, RTreeConfig};
 
@@ -103,12 +104,7 @@ impl PredicateRTree {
 
     /// Waits until `rect` in `mode` conflicts with no predicate of another
     /// active transaction, then registers it.
-    fn register_predicate(
-        &self,
-        txn: TxnId,
-        rect: Rect2,
-        mode: PredMode,
-    ) -> Result<(), TxnError> {
+    fn register_predicate(&self, txn: TxnId, rect: Rect2, mode: PredMode) -> Result<(), TxnError> {
         self.register_predicates(txn, &[(rect, mode)])
     }
 
@@ -244,12 +240,7 @@ impl TransactionalRTree for PredicateRTree {
         Ok(self.inner.do_delete(txn, oid, rect))
     }
 
-    fn read_single(
-        &self,
-        txn: TxnId,
-        oid: ObjectId,
-        rect: Rect2,
-    ) -> Result<Option<u64>, TxnError> {
+    fn read_single(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<Option<u64>, TxnError> {
         self.inner.check_active(txn)?;
         OpStats::bump(&self.inner.stats.read_singles);
         self.obj_lock(txn, oid, S)?;
@@ -285,10 +276,7 @@ impl TransactionalRTree for PredicateRTree {
         // SIX-equivalent: both a read predicate (repeatable hit set) and a
         // write predicate (other scans must not read past us), installed
         // atomically to avoid the upgrade deadlock.
-        self.register_predicates(
-            txn,
-            &[(query, PredMode::Read), (query, PredMode::Write)],
-        )?;
+        self.register_predicates(txn, &[(query, PredMode::Read), (query, PredMode::Write)])?;
         let mut hits = {
             let tree = self.inner.tree.read();
             self.inner.hits(&tree, &query)

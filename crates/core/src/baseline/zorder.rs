@@ -28,8 +28,9 @@
 use dgl_geom::Rect2;
 use dgl_lockmgr::{
     LockDuration::Commit,
+    LockManagerConfig,
     LockMode::{self, IX, S, X},
-    LockManagerConfig, LockOutcome, RequestKind, ResourceId, TxnId,
+    LockOutcome, RequestKind, ResourceId, TxnId,
 };
 use dgl_rtree::{ObjectId, RTreeConfig};
 
@@ -151,7 +152,11 @@ impl ZOrderRTree {
             // Key-range granules live in the object namespace offset by a
             // high tag bit so they never collide with object ids.
             let res = ResourceId::Object(1 << 63 | g);
-            match self.inner.lm.lock(txn, res, mode, Commit, RequestKind::Unconditional) {
+            match self
+                .inner
+                .lm
+                .lock(txn, res, mode, Commit, RequestKind::Unconditional)
+            {
                 LockOutcome::Granted => {}
                 LockOutcome::Deadlock => {
                     self.inner.rollback_now(txn);
@@ -226,12 +231,7 @@ impl TransactionalRTree for ZOrderRTree {
         Ok(self.inner.do_delete(txn, oid, rect))
     }
 
-    fn read_single(
-        &self,
-        txn: TxnId,
-        oid: ObjectId,
-        rect: Rect2,
-    ) -> Result<Option<u64>, TxnError> {
+    fn read_single(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<Option<u64>, TxnError> {
         self.inner.check_active(txn)?;
         OpStats::bump(&self.inner.stats.read_singles);
         self.obj_lock(txn, oid, S)?;
@@ -370,7 +370,10 @@ mod tests {
         let large = Rect2::new([0.1, 0.1], [0.9, 0.9]);
         let n_small = db.granules_for(&small).count();
         let n_large = db.granules_for(&large).count();
-        assert!(n_large > 50 * n_small.max(1), "large {n_large} vs small {n_small}");
+        assert!(
+            n_large > 50 * n_small.max(1),
+            "large {n_large} vs small {n_small}"
+        );
     }
 
     #[test]

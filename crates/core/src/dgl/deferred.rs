@@ -35,9 +35,9 @@ use dgl_rtree::{Entry, Orphan};
 use crate::locks::LockList;
 use crate::stats::OpStats;
 
-use super::{DeferredDelete, DglRTree};
+use super::{DeferredDelete, DglCore};
 
-impl DglRTree {
+impl DglCore {
     /// Runs one deferred physical deletion to completion.
     pub(crate) fn run_deferred_delete(&self, d: DeferredDelete) {
         let _gate = self.deferred_gate.lock();
@@ -101,6 +101,7 @@ impl DglRTree {
                 Err((res, mode, dur)) => {
                     drop(tree);
                     OpStats::bump(&self.stats.op_retries);
+                    OpStats::bump(&self.stats.deferred_retries);
                     self.system_wait(sys, res, mode, dur);
                 }
             }
@@ -110,12 +111,7 @@ impl DglRTree {
     /// Phase 2 step: re-insert one orphan with the Table 3 re-insertion
     /// locks. Orphans whose home level no longer exists (the root shrank
     /// below them) are exploded into their objects, which are queued.
-    fn deferred_reinsert_phase(
-        &self,
-        sys: TxnId,
-        orphan: Orphan<2>,
-        queue: &mut Vec<Orphan<2>>,
-    ) {
+    fn deferred_reinsert_phase(&self, sys: TxnId, orphan: Orphan<2>, queue: &mut Vec<Orphan<2>>) {
         loop {
             let mut tree = self.tree.write();
             let root_level = tree.peek_node(tree.root()).level;
@@ -136,6 +132,7 @@ impl DglRTree {
                     Err((res, mode, dur)) => {
                         drop(tree);
                         OpStats::bump(&self.stats.op_retries);
+                        OpStats::bump(&self.stats.deferred_retries);
                         self.system_wait(sys, res, mode, dur);
                         continue;
                     }
@@ -179,6 +176,7 @@ impl DglRTree {
                 Err((res, mode, dur)) => {
                     drop(tree);
                     OpStats::bump(&self.stats.op_retries);
+                    OpStats::bump(&self.stats.deferred_retries);
                     self.system_wait(sys, res, mode, dur);
                 }
             }
@@ -188,20 +186,22 @@ impl DglRTree {
     /// Unconditional wait for a system operation: deadlock verdicts
     /// should not reach it (system transactions are spared by victim
     /// selection); timeout verdicts retry with backoff.
-    fn system_wait(
-        &self,
-        sys: TxnId,
-        res: ResourceId,
-        mode: LockMode,
-        dur: LockDuration,
-    ) {
+    fn system_wait(&self, sys: TxnId, res: ResourceId, mode: LockMode, dur: LockDuration) {
         loop {
-            match self.lm.lock(sys, res, mode, dur, RequestKind::Unconditional) {
+            match self
+                .lm
+                .lock(sys, res, mode, dur, RequestKind::Unconditional)
+            {
                 LockOutcome::Granted => return,
                 LockOutcome::Deadlock | LockOutcome::Timeout => {
                     // Extremely defensive: back off and retry; the other
                     // parties are abortable and will clear the path.
-                    std::thread::sleep(Duration::from_millis(1));
+                    let nap = Duration::from_millis(1);
+                    std::thread::sleep(nap);
+                    OpStats::add(
+                        &self.stats.backoff_nanos,
+                        u64::try_from(nap.as_nanos()).unwrap_or(u64::MAX),
+                    );
                 }
                 LockOutcome::WouldBlock => unreachable!("unconditional request"),
             }

@@ -1,0 +1,234 @@
+//! Background maintenance: deferred physical deletions off the commit path.
+//!
+//! §3.6 makes Delete logical (a tombstone) and §3.7 runs the physical
+//! removal — node elimination and orphan re-insertion included — as a
+//! *system operation* after the deleting transaction commits. The paper
+//! does not say *when* that system operation runs, only that it is
+//! "executed as a separate operation"; a real system runs it from a
+//! maintenance daemon so user commits do not pay for tree condensation.
+//!
+//! This module provides both schedules behind [`MaintenanceConfig`]:
+//!
+//! * [`MaintenanceMode::Inline`] (default) — `commit` executes each
+//!   deferred deletion synchronously before returning. Deterministic;
+//!   what the protocol test-suite runs under.
+//! * [`MaintenanceMode::Background`] — `commit` pushes the records onto a
+//!   bounded queue consumed by a dedicated worker thread. Each record
+//!   still runs as its own system operation (fresh transaction id,
+//!   conditional-then-wait locking, deadlock-victim exemption) — only the
+//!   *schedule* changes, not the locking discipline. `quiesce` blocks
+//!   until the queue is empty and nothing is mid-flight.
+//!
+//! Correctness across the widened window rests on what already held for
+//! the inline window between `tm.commit` and the system operation:
+//! tombstoned entries are invisible to scans and reads, and the object id
+//! stays reserved (inserts of it report `DuplicateObject`) until the
+//! physical deletion removes the payload entry. Background mode only
+//! lengthens that window; `quiesce` bounds it on demand.
+//!
+//! The queue is bounded: a commit finding it full blocks until the worker
+//! catches up (backpressure, never unbounded memory). Dropping the index
+//! shuts the worker down gracefully — it drains every queued record first,
+//! because each one is a *committed* deletion that must not be lost.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::OpStats;
+
+use super::{DeferredDelete, DglCore};
+
+/// When deferred physical deletions execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// Synchronously inside `commit` (deterministic; the default).
+    #[default]
+    Inline,
+    /// On a background worker thread; `commit` only enqueues.
+    Background,
+}
+
+/// Configuration of the maintenance subsystem
+/// ([`crate::DglConfig::maintenance`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MaintenanceConfig {
+    /// Execution schedule for deferred physical deletions.
+    pub mode: MaintenanceMode,
+    /// Bounded queue capacity (background mode only). A commit that finds
+    /// the queue full waits for the worker — backpressure instead of
+    /// unbounded growth.
+    pub queue_capacity: usize,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        Self {
+            mode: MaintenanceMode::Inline,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// The per-index maintenance facility: either a no-op (inline mode) or a
+/// handle to the background worker.
+pub(crate) enum MaintenanceHandle {
+    Inline,
+    Background(MaintenanceWorker),
+}
+
+impl MaintenanceHandle {
+    pub(crate) fn new(core: &Arc<DglCore>, config: MaintenanceConfig) -> Self {
+        match config.mode {
+            MaintenanceMode::Inline => Self::Inline,
+            MaintenanceMode::Background => {
+                Self::Background(MaintenanceWorker::spawn(Arc::clone(core), config))
+            }
+        }
+    }
+
+    /// Hands one committed deferred deletion to the subsystem: runs it now
+    /// (inline) or enqueues it (background).
+    pub(crate) fn dispatch(&self, core: &DglCore, d: DeferredDelete) {
+        OpStats::bump(&core.stats.maint_enqueued);
+        match self {
+            Self::Inline => {
+                core.run_deferred_delete(d);
+                OpStats::bump(&core.stats.maint_completed);
+            }
+            Self::Background(w) => w.enqueue(core, d),
+        }
+    }
+
+    /// Blocks until every dispatched deletion has finished executing.
+    pub(crate) fn quiesce(&self) {
+        if let Self::Background(w) = self {
+            w.quiesce();
+        }
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<DeferredDelete>,
+    /// Records popped but still executing.
+    running: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    cond: Condvar,
+}
+
+/// Owns the background worker thread. Dropping it requests shutdown and
+/// joins; the worker drains the queue before exiting.
+pub(crate) struct MaintenanceWorker {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MaintenanceWorker {
+    fn spawn(core: Arc<DglCore>, config: MaintenanceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            capacity: config.queue_capacity.max(1),
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                running: 0,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("dgl-maintenance".into())
+            .spawn(move || worker_loop(&core, &worker_shared))
+            .expect("spawn maintenance worker");
+        Self {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    fn enqueue(&self, core: &DglCore, d: DeferredDelete) {
+        let mut st = self.shared.state.lock();
+        while st.queue.len() >= self.shared.capacity && !st.shutdown {
+            self.shared.cond.wait(&mut st);
+        }
+        if st.shutdown {
+            // The index is being torn down around this commit; the
+            // deletion is committed and must still be applied.
+            drop(st);
+            core.run_deferred_delete(d);
+            OpStats::bump(&core.stats.maint_completed);
+            return;
+        }
+        st.queue.push_back(d);
+        OpStats::raise(
+            &core.stats.maint_queue_peak,
+            (st.queue.len() + st.running) as u64,
+        );
+        self.shared.cond.notify_all();
+    }
+
+    fn quiesce(&self) {
+        let mut st = self.shared.state.lock();
+        while !st.queue.is_empty() || st.running > 0 {
+            self.shared.cond.wait(&mut st);
+        }
+    }
+}
+
+impl Drop for MaintenanceWorker {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Decrements `running` and wakes `quiesce` waiters even if the deletion
+/// panics — otherwise a dead worker would leave `running` stuck above
+/// zero and `quiesce` blocked forever.
+struct RunningGuard<'a>(&'a Shared);
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock();
+        st.running -= 1;
+        self.0.cond.notify_all();
+    }
+}
+
+fn worker_loop(core: &DglCore, shared: &Shared) {
+    loop {
+        let next = {
+            let mut st = shared.state.lock();
+            loop {
+                if let Some(d) = st.queue.pop_front() {
+                    st.running += 1;
+                    // A capacity slot freed: wake blocked committers.
+                    shared.cond.notify_all();
+                    break Some(d);
+                }
+                // Shutdown is honoured only once the queue is drained —
+                // every queued record is a committed deletion.
+                if st.shutdown {
+                    break None;
+                }
+                shared.cond.wait(&mut st);
+            }
+        };
+        let Some(d) = next else { return };
+        let _guard = RunningGuard(shared);
+        core.run_deferred_delete(d);
+        OpStats::bump(&core.stats.maint_completed);
+    }
+}

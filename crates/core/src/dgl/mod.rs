@@ -24,8 +24,13 @@
 //! they are re-granted instantly on retry.
 
 mod deferred;
+mod maintenance;
 mod ops_read;
 mod ops_write;
+
+pub use maintenance::{MaintenanceConfig, MaintenanceMode};
+
+use maintenance::MaintenanceHandle;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -74,6 +79,9 @@ pub struct DglConfig {
     pub lock: LockManagerConfig,
     /// Optional LRU buffer model (pages) for disk-access accounting.
     pub buffer_pages: Option<usize>,
+    /// Maintenance subsystem: when (and where) deferred physical
+    /// deletions run — inline in `commit` or on a background worker.
+    pub maintenance: MaintenanceConfig,
     /// ABLATION: collapse every external granule onto one shared resource
     /// — the "single extra lockable granule which covers the space that is
     /// not covered by the R-tree leaf granules" design that §3.1 rejects
@@ -97,6 +105,7 @@ impl Default for DglConfig {
             policy: InsertPolicy::default(),
             lock: LockManagerConfig::default(),
             buffer_pages: None,
+            maintenance: MaintenanceConfig::default(),
             coarse_external_granule: false,
             testing_skip_growth_compensation: false,
         }
@@ -116,6 +125,25 @@ pub(crate) enum UndoRecord {
 pub(crate) struct DeferredDelete {
     pub oid: ObjectId,
     pub rect: Rect2,
+}
+
+/// The protocol state and implementation, shared between the public
+/// [`DglRTree`] facade and the background maintenance worker (which holds
+/// its own `Arc` so deferred system operations can run off-thread).
+pub(crate) struct DglCore {
+    pub(crate) tree: RwLock<RTree2>,
+    pub(crate) lm: Arc<LockManager>,
+    pub(crate) tm: TxnManager,
+    pub(crate) undo: Journal<UndoRecord>,
+    pub(crate) deferred: Journal<DeferredDelete>,
+    /// Payload versions of live objects (also the duplicate-oid check).
+    pub(crate) payloads: Mutex<HashMap<ObjectId, u64>>,
+    /// Serializes post-commit deferred deletions (system operations).
+    pub(crate) deferred_gate: Mutex<()>,
+    pub(crate) policy: InsertPolicy,
+    pub(crate) coarse_external: bool,
+    pub(crate) skip_growth_compensation: bool,
+    pub(crate) stats: OpStats,
 }
 
 /// An R-tree with transactional phantom protection via dynamic granular
@@ -138,25 +166,16 @@ pub(crate) struct DeferredDelete {
 /// # Ok::<(), dgl_core::TxnError>(())
 /// ```
 pub struct DglRTree {
-    pub(crate) tree: RwLock<RTree2>,
-    pub(crate) lm: Arc<LockManager>,
-    pub(crate) tm: TxnManager,
-    pub(crate) undo: Journal<UndoRecord>,
-    pub(crate) deferred: Journal<DeferredDelete>,
-    /// Payload versions of live objects (also the duplicate-oid check).
-    pub(crate) payloads: Mutex<HashMap<ObjectId, u64>>,
-    /// Serializes post-commit deferred deletions (system operations).
-    pub(crate) deferred_gate: Mutex<()>,
-    pub(crate) policy: InsertPolicy,
-    pub(crate) coarse_external: bool,
-    pub(crate) skip_growth_compensation: bool,
-    pub(crate) stats: OpStats,
+    // Declared before `core` so a drop tears the worker down (which joins
+    // the thread) while the core it references is still guaranteed alive.
+    maint: MaintenanceHandle,
+    core: Arc<DglCore>,
 }
 
 impl std::fmt::Debug for DglRTree {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DglRTree")
-            .field("policy", &self.policy)
+            .field("policy", &self.core.policy)
             .finish_non_exhaustive()
     }
 }
@@ -164,12 +183,13 @@ impl std::fmt::Debug for DglRTree {
 impl DglRTree {
     /// Creates an empty index.
     pub fn new(config: DglConfig) -> Self {
+        let maintenance = config.maintenance;
         let lm = Arc::new(LockManager::new(config.lock));
         let tree = match config.buffer_pages {
             Some(pages) => RTree2::with_buffer(config.rtree, config.world, pages),
             None => RTree2::new(config.rtree, config.world),
         };
-        Self {
+        let core = Arc::new(DglCore {
             tree: RwLock::new(tree),
             tm: TxnManager::new(Arc::clone(&lm)),
             lm,
@@ -181,6 +201,10 @@ impl DglRTree {
             coarse_external: config.coarse_external_granule,
             skip_growth_compensation: config.testing_skip_growth_compensation,
             stats: OpStats::default(),
+        });
+        Self {
+            maint: MaintenanceHandle::new(&core, maintenance),
+            core,
         }
     }
 
@@ -190,29 +214,29 @@ impl DglRTree {
     /// Snapshots are taken at quiescent points, but a snapshot written by
     /// a crashed process may still contain tombstoned entries whose
     /// deferred physical deletion never ran; those deletes were already
-    /// committed, so recovery completes them here (physical removal plus
-    /// condensation) before any transaction starts. Payload versions are
-    /// not part of the tree image and restart at 1.
+    /// committed, so recovery feeds them through the maintenance subsystem
+    /// — the same system-operation path (removal, condensation, orphan
+    /// re-insertion) a live commit uses — and drains it before returning,
+    /// so the first user transaction sees a fully recovered tree. Payload
+    /// versions are not part of the tree image and restart at 1.
     pub fn from_snapshot(tree: RTree2, config: DglConfig) -> Self {
-        let mut tree = tree;
-        // Recovery: finish committed-but-unapplied deferred deletions.
-        let pending: Vec<(ObjectId, Rect2)> = tree
+        let maintenance = config.maintenance;
+        // Tombstoned entries are committed-but-unapplied deletions; they
+        // stay in the tree (and in `payloads`, keeping their ids reserved)
+        // until the maintenance pass below removes them.
+        let pending: Vec<DeferredDelete> = tree
             .all_objects()
             .into_iter()
             .filter(|(_, _, tombstone)| tombstone.is_some())
-            .map(|(oid, rect, _)| (oid, rect))
+            .map(|(oid, rect, _)| DeferredDelete { oid, rect })
             .collect();
-        for (oid, rect) in pending {
-            let deleted = tree.delete(oid, rect);
-            debug_assert!(deleted, "tombstoned entry must be deletable");
-        }
         let payloads: HashMap<ObjectId, u64> = tree
             .all_objects()
             .into_iter()
             .map(|(oid, ..)| (oid, 1))
             .collect();
         let lm = Arc::new(LockManager::new(config.lock));
-        Self {
+        let core = Arc::new(DglCore {
             tree: RwLock::new(tree),
             tm: TxnManager::new(Arc::clone(&lm)),
             lm,
@@ -224,46 +248,71 @@ impl DglRTree {
             coarse_external: config.coarse_external_granule,
             skip_growth_compensation: config.testing_skip_growth_compensation,
             stats: OpStats::default(),
+        });
+        let db = Self {
+            maint: MaintenanceHandle::new(&core, maintenance),
+            core,
+        };
+        for d in pending {
+            db.maint.dispatch(&db.core, d);
         }
+        // Recovery completes before the first user transaction.
+        db.maint.quiesce();
+        debug_assert_eq!(db.core.tm.active_count(), 0);
+        db
     }
 
     /// The lock manager (statistics, tracing).
     pub fn lock_manager(&self) -> &Arc<LockManager> {
-        &self.lm
+        &self.core.lm
     }
 
     /// The transaction manager (statistics).
     pub fn txn_manager(&self) -> &TxnManager {
-        &self.tm
+        &self.core.tm
     }
 
     /// Protocol operation statistics.
     pub fn op_stats(&self) -> &OpStats {
-        &self.stats
+        &self.core.stats
     }
 
     /// Read access to the underlying tree (experiments; takes the latch).
     pub fn with_tree<T>(&self, f: impl FnOnce(&RTree2) -> T) -> T {
-        f(&self.tree.read())
+        f(&self.core.tree.read())
     }
 
     /// Diagnostic latch probe: `(read_available, write_available)` at this
     /// instant. Debugging aid for hang analysis.
     pub fn latch_probe(&self) -> (bool, bool) {
-        let r = self.tree.try_read().is_some();
-        let w = self.tree.try_write().is_some();
+        let r = self.core.tree.try_read().is_some();
+        let w = self.core.tree.try_write().is_some();
         (r, w)
     }
 
     /// The configured insertion policy.
     pub fn policy(&self) -> InsertPolicy {
-        self.policy
+        self.core.policy
     }
 
+    /// Blocks until the background maintenance queue is drained and no
+    /// deferred deletion is mid-flight. Immediate in inline mode. After
+    /// this returns (and absent concurrent commits), every committed
+    /// physical deletion has been applied: tombstones are gone and their
+    /// object ids are free again.
+    pub fn quiesce(&self) {
+        self.maint.quiesce();
+    }
+}
+
+impl DglCore {
     // --- latch/lock interplay helpers ----------------------------------
 
     pub(crate) fn check_active(&self, txn: TxnId) -> Result<(), TxnError> {
-        if self.tm.is_active(txn) {
+        // System transactions (deferred physical deletions) are internal;
+        // their ids must not be reachable through the user-facing API —
+        // aborting one would kill a maintenance operation mid-flight.
+        if self.tm.is_active(txn) && !self.lm.is_system(txn) {
             Ok(())
         } else {
             Err(TxnError::NotActive)
@@ -280,7 +329,10 @@ impl DglRTree {
         mode: LockMode,
         dur: LockDuration,
     ) -> Result<(), TxnError> {
-        match self.lm.lock(txn, res, mode, dur, RequestKind::Unconditional) {
+        match self
+            .lm
+            .lock(txn, res, mode, dur, RequestKind::Unconditional)
+        {
             LockOutcome::Granted => Ok(()),
             LockOutcome::Deadlock => {
                 self.rollback_now(txn);
@@ -347,67 +399,9 @@ impl DglRTree {
     }
 }
 
-impl TransactionalRTree for DglRTree {
-    fn begin(&self) -> TxnId {
-        self.tm.begin()
-    }
-
-    fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
-        self.check_active(txn)?;
-        let deferred = self.deferred.take(txn);
-        let _ = self.undo.take(txn);
-        // Release all locks first: the deferred deletions run as *system
-        // operations* under fresh ids ("executed as a separate operation",
-        // §3.6) and would otherwise block on this transaction's own
-        // commit-duration locks. Visibility stays correct in the window:
-        // the tombstones persist until each deferred deletion runs.
-        self.tm.commit(txn);
-        for d in deferred {
-            self.run_deferred_delete(d);
-        }
-        Ok(())
-    }
-
-    fn abort(&self, txn: TxnId) -> Result<(), TxnError> {
-        self.check_active(txn)?;
-        self.rollback_now(txn);
-        Ok(())
-    }
-
-    fn insert(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<(), TxnError> {
-        self.insert_op(txn, oid, rect)
-    }
-
-    fn delete(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<bool, TxnError> {
-        self.delete_op(txn, oid, rect)
-    }
-
-    fn read_single(
-        &self,
-        txn: TxnId,
-        oid: ObjectId,
-        rect: Rect2,
-    ) -> Result<Option<u64>, TxnError> {
-        self.read_single_op(txn, oid, rect)
-    }
-
-    fn update_single(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<bool, TxnError> {
-        self.update_single_op(txn, oid, rect)
-    }
-
-    fn read_scan(&self, txn: TxnId, query: Rect2) -> Result<Vec<crate::ScanHit>, TxnError> {
-        self.read_scan_op(txn, query)
-    }
-
-    fn update_scan(&self, txn: TxnId, query: Rect2) -> Result<Vec<crate::ScanHit>, TxnError> {
-        self.update_scan_op(txn, query)
-    }
-
-    fn len(&self) -> usize {
-        self.tree.read().len()
-    }
-
-    fn validate(&self) -> Result<(), String> {
+impl DglCore {
+    /// Quiescent-state invariant check (tree shape + payload map).
+    fn validate_core(&self) -> Result<(), String> {
         let tree = self.tree.read();
         tree.validate(false).map_err(|e| e.to_string())?;
         // Payload map must exactly describe the live objects.
@@ -427,29 +421,103 @@ impl TransactionalRTree for DglRTree {
         }
         Ok(())
     }
+}
+
+impl TransactionalRTree for DglRTree {
+    fn begin(&self) -> TxnId {
+        self.core.tm.begin()
+    }
+
+    fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
+        let start = std::time::Instant::now();
+        self.core.check_active(txn)?;
+        let deferred = self.core.deferred.take(txn);
+        let _ = self.core.undo.take(txn);
+        // Release all locks first: the deferred deletions run as *system
+        // operations* under fresh ids ("executed as a separate operation",
+        // §3.6) and would otherwise block on this transaction's own
+        // commit-duration locks. Visibility stays correct in the window:
+        // the tombstones persist until each deferred deletion runs.
+        self.core.tm.commit(txn);
+        // Inline mode executes the deletions here; background mode only
+        // enqueues them — the commit-latency split the maintenance
+        // subsystem exists for.
+        for d in deferred {
+            self.maint.dispatch(&self.core, d);
+        }
+        OpStats::bump(&self.core.stats.commits);
+        OpStats::add(
+            &self.core.stats.commit_nanos,
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        Ok(())
+    }
+
+    fn abort(&self, txn: TxnId) -> Result<(), TxnError> {
+        self.core.check_active(txn)?;
+        self.core.rollback_now(txn);
+        Ok(())
+    }
+
+    fn insert(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<(), TxnError> {
+        self.core.insert_op(txn, oid, rect)
+    }
+
+    fn delete(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<bool, TxnError> {
+        self.core.delete_op(txn, oid, rect)
+    }
+
+    fn read_single(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<Option<u64>, TxnError> {
+        self.core.read_single_op(txn, oid, rect)
+    }
+
+    fn update_single(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<bool, TxnError> {
+        self.core.update_single_op(txn, oid, rect)
+    }
+
+    fn read_scan(&self, txn: TxnId, query: Rect2) -> Result<Vec<crate::ScanHit>, TxnError> {
+        self.core.read_scan_op(txn, query)
+    }
+
+    fn update_scan(&self, txn: TxnId, query: Rect2) -> Result<Vec<crate::ScanHit>, TxnError> {
+        self.core.update_scan_op(txn, query)
+    }
+
+    fn len(&self) -> usize {
+        self.core.tree.read().len()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        // Validation assumes a quiescent state; drain the maintenance
+        // queue first so in-flight physical deletions (tombstones still
+        // present, payload entries still reserved) don't read as
+        // corruption.
+        self.quiesce();
+        self.core.validate_core()
+    }
 
     fn name(&self) -> &'static str {
-        if self.coarse_external {
+        if self.core.coarse_external {
             return "dgl-coarse-ext";
         }
-        match self.policy {
+        match self.core.policy {
             InsertPolicy::Base => "dgl-base",
             InsertPolicy::Modified => "dgl-modified",
         }
     }
 
     fn lock_stats(&self) -> (u64, u64) {
-        let s = self.lm.stats().snapshot();
+        let s = self.core.lm.stats().snapshot();
         (s.requests, s.waits)
+    }
+
+    fn quiesce(&self) {
+        DglRTree::quiesce(self);
     }
 }
 
 /// Builds a lock list with one entry (helper used across op modules).
-pub(crate) fn single_lock(
-    res: ResourceId,
-    mode: LockMode,
-    dur: LockDuration,
-) -> LockList {
+pub(crate) fn single_lock(res: ResourceId, mode: LockMode, dur: LockDuration) -> LockList {
     let mut l = LockList::new();
     l.add(res, mode, dur);
     l

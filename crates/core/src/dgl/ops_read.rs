@@ -13,9 +13,9 @@ use crate::locks::LockList;
 use crate::stats::OpStats;
 use crate::{ScanHit, TxnError};
 
-use super::DglRTree;
+use super::DglCore;
 
-impl DglRTree {
+impl DglCore {
     /// ReadSingle: commit S on the object only (Table 3). The object lock
     /// doubles as a name lock, so a not-found answer is repeatable against
     /// later inserts of the same object id.

@@ -15,21 +15,32 @@ use crate::locks::LockList;
 use crate::stats::OpStats;
 use crate::TxnError;
 
-use super::{DeferredDelete, DglRTree, InsertPolicy, UndoRecord};
+use super::{DeferredDelete, DglCore, InsertPolicy, UndoRecord};
 
-impl DglRTree {
+impl DglCore {
     /// Insert with the full dynamic-granule lock protocol.
-    pub(crate) fn insert_op(
-        &self,
-        txn: TxnId,
-        oid: ObjectId,
-        rect: Rect2,
-    ) -> Result<(), TxnError> {
+    pub(crate) fn insert_op(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<(), TxnError> {
         self.check_active(txn)?;
         OpStats::bump(&self.stats.inserts);
         loop {
             let mut tree = self.tree.write();
+            // The commit-duration X on the object name must be held BEFORE
+            // consulting `payloads`: a concurrent inserter publishes its
+            // entry there while still uncommitted, so an unlocked check can
+            // observe dirty state and report DuplicateObject for an insert
+            // that later aborts. Under the X lock the entry is stable — the
+            // other inserter held the same X until it committed (entry
+            // stays) or aborted (rollback removed it).
+            let name_lock = super::single_lock(Self::object(oid), X, Commit);
+            if let Err((res, mode, dur)) = name_lock.try_acquire(&self.lm, txn) {
+                drop(tree);
+                OpStats::bump(&self.stats.op_retries);
+                self.wait_or_abort(txn, res, mode, dur)?;
+                continue;
+            }
             if self.payloads.lock().contains_key(&oid) {
+                // Keep the X lock: it makes the duplicate observation
+                // repeatable for the rest of this transaction.
                 self.end_op(txn);
                 return Err(TxnError::DuplicateObject);
             }
@@ -41,7 +52,7 @@ impl DglRTree {
             // transactions; a post-split acquisition could block, and
             // blocking after mutation is not an option.)
             let predicted = tree.predicted_new_pages(&plan);
-            let locks = self.insert_lock_list(txn, &tree, &plan, oid, &predicted);
+            let locks = self.insert_lock_list(txn, &tree, &plan, &predicted);
             match locks.try_acquire(&self.lm, txn) {
                 Ok(()) => {
                     let result = tree.apply_insert(
@@ -93,12 +104,11 @@ impl DglRTree {
         txn: TxnId,
         tree: &dgl_rtree::RTree2,
         plan: &InsertPlan<2>,
-        oid: ObjectId,
         predicted: &[PageId],
     ) -> LockList {
         let mut locks = LockList::new();
-        // X on the object itself, commit duration.
-        locks.add(Self::object(oid), X, Commit);
+        // (The commit-duration X on the object name is acquired by
+        // `insert_op` before the duplicate check, ahead of this list.)
 
         // §3.3 self-inheritance: if this transaction holds a commit S on a
         // shrinking external granule (from one of its own earlier scans),
@@ -165,8 +175,20 @@ impl DglRTree {
                 if held_s {
                     locks.add(self.ext_res(predicted[i]), S, Commit);
                     if let Some(pos) = plan.path.iter().position(|q| q == p) {
-                        let parent = if pos >= 1 { plan.path[pos - 1] } else { plan.path[0] };
-                        locks.add(self.ext_res(parent), S, Commit);
+                        if pos >= 1 {
+                            // The pre-existing parent's external granule
+                            // may pick up region the splitting node's
+                            // granule loses.
+                            locks.add(self.ext_res(plan.path[pos - 1]), S, Commit);
+                        } else {
+                            // p is the root: its content moves to the last
+                            // predicted page and the stable root id becomes
+                            // the new parent node. The held S on ext(p)
+                            // keeps covering the parent (same resource id);
+                            // the relocated half needs its own inherited S.
+                            let half_a = *predicted.last().expect("root split allocates a page");
+                            locks.add(self.ext_res(half_a), S, Commit);
+                        }
                     }
                 }
             }
@@ -234,9 +256,11 @@ impl DglRTree {
         OpStats::bump(&self.stats.deletes);
         loop {
             let mut tree = self.tree.write();
-            match tree.find_path(oid, rect) {
-                Some(path) => {
-                    let leaf = *path.last().expect("non-empty path");
+            // locate_leaf (not find_path): the entry may sit in a subtree a
+            // system operation holds disconnected mid-condense; it is still
+            // present and its leaf granule is still the right lock target.
+            match tree.locate_leaf(oid, rect) {
+                Some(leaf) => {
                     let mut locks = LockList::new();
                     locks.add(Self::page(leaf), IX, Commit);
                     locks.add(Self::object(oid), X, Commit);
@@ -309,7 +333,7 @@ impl DglRTree {
         OpStats::bump(&self.stats.update_singles);
         loop {
             let tree = self.tree.write();
-            let Some(path) = tree.find_path(oid, rect) else {
+            let Some(leaf) = tree.locate_leaf(oid, rect) else {
                 // Absent object: X on the object name makes the absence
                 // repeatable against inserts of the same oid.
                 let locks = super::single_lock(Self::object(oid), X, Commit);
@@ -327,7 +351,6 @@ impl DglRTree {
                     }
                 }
             };
-            let leaf = *path.last().expect("non-empty path");
             let mut locks = LockList::new();
             locks.add(Self::page(leaf), IX, Commit);
             locks.add(Self::object(oid), X, Commit);

@@ -2,7 +2,9 @@
 
 use std::collections::BTreeMap;
 
-use dgl_lockmgr::{LockDuration, LockManager, LockMode, LockOutcome, RequestKind, ResourceId, TxnId};
+use dgl_lockmgr::{
+    LockDuration, LockManager, LockMode, LockOutcome, RequestKind, ResourceId, TxnId,
+};
 
 /// A deduplicated list of lock requirements for one operation attempt.
 ///

@@ -19,6 +19,24 @@ pub struct OpStats {
     pub(crate) deferred_deletes: AtomicU64,
     /// Predicate-table comparisons (predicate-locking baseline only).
     pub(crate) predicate_checks: AtomicU64,
+    /// Deferred deletions handed to the maintenance subsystem (inline runs
+    /// and background enqueues alike).
+    pub(crate) maint_enqueued: AtomicU64,
+    /// Deferred deletions the maintenance subsystem finished executing.
+    pub(crate) maint_completed: AtomicU64,
+    /// High-water mark of the background maintenance queue depth.
+    pub(crate) maint_queue_peak: AtomicU64,
+    /// Lock-acquisition retries inside deferred-deletion system operations
+    /// (subset of `op_retries`).
+    pub(crate) deferred_retries: AtomicU64,
+    /// Nanoseconds system operations spent sleeping in retry backoff.
+    pub(crate) backoff_nanos: AtomicU64,
+    /// Committed transactions (commit-path latency denominator).
+    pub(crate) commits: AtomicU64,
+    /// Total nanoseconds spent inside `commit` — including inline deferred
+    /// deletions in inline mode, excluding them in background mode; the
+    /// quantity the maintenance subsystem exists to shrink.
+    pub(crate) commit_nanos: AtomicU64,
 }
 
 /// A point-in-time copy of [`OpStats`].
@@ -35,6 +53,13 @@ pub struct OpStatsSnapshot {
     pub granule_changing_inserts: u64,
     pub deferred_deletes: u64,
     pub predicate_checks: u64,
+    pub maint_enqueued: u64,
+    pub maint_completed: u64,
+    pub maint_queue_peak: u64,
+    pub deferred_retries: u64,
+    pub backoff_nanos: u64,
+    pub commits: u64,
+    pub commit_nanos: u64,
 }
 
 impl OpStats {
@@ -44,6 +69,18 @@ impl OpStats {
 
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn raise(counter: &AtomicU64, candidate: u64) {
+        counter.fetch_max(candidate, Ordering::Relaxed);
+    }
+
+    /// Current depth of the background maintenance queue (enqueued minus
+    /// completed; includes the item being executed right now).
+    pub fn maintenance_backlog(&self) -> u64 {
+        self.maint_enqueued
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.maint_completed.load(Ordering::Relaxed))
     }
 
     /// Copies the counters.
@@ -59,6 +96,13 @@ impl OpStats {
             granule_changing_inserts: self.granule_changing_inserts.load(Ordering::Relaxed),
             deferred_deletes: self.deferred_deletes.load(Ordering::Relaxed),
             predicate_checks: self.predicate_checks.load(Ordering::Relaxed),
+            maint_enqueued: self.maint_enqueued.load(Ordering::Relaxed),
+            maint_completed: self.maint_completed.load(Ordering::Relaxed),
+            maint_queue_peak: self.maint_queue_peak.load(Ordering::Relaxed),
+            deferred_retries: self.deferred_retries.load(Ordering::Relaxed),
+            backoff_nanos: self.backoff_nanos.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            commit_nanos: self.commit_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -78,6 +122,19 @@ impl OpStatsSnapshot {
                 - earlier.granule_changing_inserts,
             deferred_deletes: self.deferred_deletes - earlier.deferred_deletes,
             predicate_checks: self.predicate_checks - earlier.predicate_checks,
+            maint_enqueued: self.maint_enqueued - earlier.maint_enqueued,
+            maint_completed: self.maint_completed - earlier.maint_completed,
+            // A high-water mark, not a counter: keep the later value.
+            maint_queue_peak: self.maint_queue_peak,
+            deferred_retries: self.deferred_retries - earlier.deferred_retries,
+            backoff_nanos: self.backoff_nanos - earlier.backoff_nanos,
+            commits: self.commits - earlier.commits,
+            commit_nanos: self.commit_nanos - earlier.commit_nanos,
         }
+    }
+
+    /// Average commit-path latency in nanoseconds (0 when no commits).
+    pub fn avg_commit_nanos(&self) -> u64 {
+        self.commit_nanos.checked_div(self.commits).unwrap_or(0)
     }
 }

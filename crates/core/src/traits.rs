@@ -53,8 +53,7 @@ pub trait TransactionalRTree: Send + Sync {
 
     /// Reads a single object by id + rectangle; returns its payload
     /// version if present and visible.
-    fn read_single(&self, txn: TxnId, oid: ObjectId, rect: Rect2)
-        -> Result<Option<u64>, TxnError>;
+    fn read_single(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<Option<u64>, TxnError>;
 
     /// Updates (bumps the payload version of) a single object. Returns
     /// whether it existed. Indexed attributes are immutable per the paper —
@@ -95,4 +94,10 @@ pub trait TransactionalRTree: Send + Sync {
     fn predicate_checks(&self) -> u64 {
         0
     }
+
+    /// Blocks until any background maintenance (deferred physical
+    /// deletions queued by committed transactions) has been fully applied.
+    /// Protocols without background machinery return immediately — the
+    /// default.
+    fn quiesce(&self) {}
 }

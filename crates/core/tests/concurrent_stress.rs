@@ -162,10 +162,7 @@ fn stress(db: Arc<dyn TransactionalRTree>, threads: u64, txns_per_thread: u64) {
     // Quiescent checks: tree invariants, then exact content vs ledgers.
     db.validate()
         .unwrap_or_else(|e| panic!("{}: post-stress validation: {e}", db.name()));
-    let mut expected: Vec<u64> = final_sets
-        .iter()
-        .flat_map(|m| m.keys().copied())
-        .collect();
+    let mut expected: Vec<u64> = final_sets.iter().flat_map(|m| m.keys().copied()).collect();
     expected.sort_unstable();
     let t = db.begin();
     let got = ids(&db.read_scan(t, Rect2::unit()).unwrap());

@@ -25,8 +25,12 @@ fn two_granule_setup(db: &DglRTree) -> (Rect2, Rect2) {
     let mut oid = 0;
     for i in 0..6 {
         let o = 0.01 * f64::from(i);
-        db.insert(t, ObjectId(oid), r([0.05 + o, 0.05 + o], [0.07 + o, 0.07 + o]))
-            .unwrap();
+        db.insert(
+            t,
+            ObjectId(oid),
+            r([0.05 + o, 0.05 + o], [0.07 + o, 0.07 + o]),
+        )
+        .unwrap();
         oid += 1;
         db.insert(
             t,
@@ -43,11 +47,17 @@ fn two_granule_setup(db: &DglRTree) -> (Rect2, Rect2) {
             .filter_map(|(_, n)| n.mbr())
             .collect()
     });
-    assert!(leaves.len() >= 2, "setup must create at least two leaf granules");
+    assert!(
+        leaves.len() >= 2,
+        "setup must create at least two leaf granules"
+    );
     leaves.sort_by(|a, b| a.lo[0].total_cmp(&b.lo[0]));
     let left = leaves[0];
     let right = *leaves.last().expect("non-empty");
-    assert!(!left.intersects(&right), "clusters must separate into disjoint granules");
+    assert!(
+        !left.intersects(&right),
+        "clusters must separate into disjoint granules"
+    );
     (left, right)
 }
 
@@ -122,10 +132,7 @@ fn figure_2b_scan_waits_for_uncommitted_insert_under_grown_granule() {
     // IX-IX compatibility lets the two inserters proceed concurrently —
     // exactly the situation of Figure 2(b).
     let t2 = db.begin();
-    let r4 = Rect2::new(
-        [r3.lo[0], r3.lo[1]],
-        [right.hi[0], right.hi[1]],
-    );
+    let r4 = Rect2::new([r3.lo[0], r3.lo[1]], [right.hi[0], right.hi[1]]);
     db.insert(t2, ObjectId(2001), r4).unwrap();
     db.commit(t2).unwrap();
 
@@ -171,8 +178,12 @@ fn figure_3_growth_into_external_granule_blocks_on_searcher() {
     let t = db.begin();
     for i in 0..14u64 {
         let o = 0.005 * i as f64;
-        db.insert(t, ObjectId(i), r([0.02 + o, 0.02 + o], [0.04 + o, 0.04 + o]))
-            .unwrap();
+        db.insert(
+            t,
+            ObjectId(i),
+            r([0.02 + o, 0.02 + o], [0.04 + o, 0.04 + o]),
+        )
+        .unwrap();
     }
     db.commit(t).unwrap();
 
@@ -181,7 +192,10 @@ fn figure_3_growth_into_external_granule_blocks_on_searcher() {
     db.with_tree(|tree| {
         for (_, n) in tree.pages().filter(|(_, n)| n.is_leaf()) {
             if let Some(mbr) = n.mbr() {
-                assert!(!mbr.intersects(&q), "setup: query must lie in uncovered space");
+                assert!(
+                    !mbr.intersects(&q),
+                    "setup: query must lie in uncovered space"
+                );
             }
         }
     });
@@ -199,7 +213,8 @@ fn figure_3_growth_into_external_granule_blocks_on_searcher() {
         let flag = Arc::clone(&landed);
         let writer = s.spawn(move |_| {
             let t2 = db2.begin();
-            db2.insert(t2, ObjectId(3000), r([0.62, 0.62], [0.64, 0.64])).unwrap();
+            db2.insert(t2, ObjectId(3000), r([0.62, 0.62], [0.64, 0.64]))
+                .unwrap();
             flag.store(true, Ordering::SeqCst);
             db2.commit(t2).unwrap();
         });
@@ -208,7 +223,10 @@ fn figure_3_growth_into_external_granule_blocks_on_searcher() {
             !landed.load(Ordering::SeqCst),
             "Figure 3: growth into scanned external space must wait"
         );
-        assert!(db.read_scan(t1, q).unwrap().is_empty(), "still empty for T1");
+        assert!(
+            db.read_scan(t1, q).unwrap().is_empty(),
+            "still empty for T1"
+        );
         db.commit(t1).unwrap();
         writer.join().unwrap();
     })
@@ -234,9 +252,19 @@ fn figure_1_disjoint_ops_in_uncovered_space_are_concurrent() {
     let mut oid = 0u64;
     for i in 0..8 {
         let o = 0.008 * f64::from(i);
-        db.insert(t, ObjectId(oid), r([0.05 + o, 0.05 + o], [0.06 + o, 0.06 + o])).unwrap();
+        db.insert(
+            t,
+            ObjectId(oid),
+            r([0.05 + o, 0.05 + o], [0.06 + o, 0.06 + o]),
+        )
+        .unwrap();
         oid += 1;
-        db.insert(t, ObjectId(oid), r([0.9 + o / 2.0, 0.9], [0.91 + o / 2.0, 0.91])).unwrap();
+        db.insert(
+            t,
+            ObjectId(oid),
+            r([0.9 + o / 2.0, 0.9], [0.91 + o / 2.0, 0.91]),
+        )
+        .unwrap();
         oid += 1;
     }
     db.commit(t).unwrap();
@@ -256,7 +284,8 @@ fn figure_1_disjoint_ops_in_uncovered_space_are_concurrent() {
         let flag = Arc::clone(&landed);
         let writer = s.spawn(move |_| {
             let t2 = db2.begin();
-            db2.insert(t2, ObjectId(4000), r([0.905, 0.902], [0.915, 0.908])).unwrap();
+            db2.insert(t2, ObjectId(4000), r([0.905, 0.902], [0.915, 0.908]))
+                .unwrap();
             flag.store(true, Ordering::SeqCst);
             db2.commit(t2).unwrap();
         });
@@ -293,12 +322,20 @@ fn figure_2a_phantom_appears_without_growth_compensation() {
     let mut oid = 0;
     for i in 0..5 {
         let o = 0.002 * f64::from(i);
-        db.insert(t, ObjectId(oid), r([0.05 + o, 0.05 + o], [0.06 + o, 0.06 + o]))
-            .unwrap();
+        db.insert(
+            t,
+            ObjectId(oid),
+            r([0.05 + o, 0.05 + o], [0.06 + o, 0.06 + o]),
+        )
+        .unwrap();
         oid += 1;
         let p = 0.05 * f64::from(i);
-        db.insert(t, ObjectId(oid), r([0.6 + p, 0.6 + p], [0.63 + p, 0.63 + p]))
-            .unwrap();
+        db.insert(
+            t,
+            ObjectId(oid),
+            r([0.6 + p, 0.6 + p], [0.63 + p, 0.63 + p]),
+        )
+        .unwrap();
         oid += 1;
     }
     db.commit(t).unwrap();

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use common::{ids, r, sound_protocols, unsound_protocol};
-use dgl_core::{ObjectId, TransactionalRTree};
+use dgl_core::{ObjectId, TransactionalRTree, TxnError};
 
 const SETTLE: Duration = Duration::from_millis(80);
 
@@ -26,8 +26,10 @@ const SETTLE: Duration = Duration::from_millis(80);
 fn insert_phantom_scenario(db: Arc<dyn TransactionalRTree>) -> bool {
     // Seed data.
     let t = db.begin();
-    db.insert(t, ObjectId(1), r([0.10, 0.10], [0.15, 0.15])).unwrap();
-    db.insert(t, ObjectId(2), r([0.80, 0.80], [0.85, 0.85])).unwrap();
+    db.insert(t, ObjectId(1), r([0.10, 0.10], [0.15, 0.15]))
+        .unwrap();
+    db.insert(t, ObjectId(2), r([0.80, 0.80], [0.85, 0.85]))
+        .unwrap();
     db.commit(t).unwrap();
 
     let query = r([0.05, 0.05], [0.30, 0.30]);
@@ -68,9 +70,15 @@ fn insert_phantom_scenario(db: Arc<dyn TransactionalRTree>) -> bool {
     // After both commit, the insert must be visible.
     let t3 = db.begin();
     let after = ids(&db.read_scan(t3, query).unwrap());
-    assert_eq!(after, vec![1, 3], "{}: write lands after the scan commits", db.name());
+    assert_eq!(
+        after,
+        vec![1, 3],
+        "{}: write lands after the scan commits",
+        db.name()
+    );
     db.commit(t3).unwrap();
-    db.validate().unwrap_or_else(|e| panic!("{}: {e}", db.name()));
+    db.validate()
+        .unwrap_or_else(|e| panic!("{}: {e}", db.name()));
     phantom_seen
 }
 
@@ -165,7 +173,8 @@ fn unsound_protocol_exhibits_absence_phantoms() {
     // flavour the paper's granule coverage exists for.
     let db = unsound_protocol(4);
     let t = db.begin();
-    db.insert(t, ObjectId(1), r([0.7, 0.7], [0.75, 0.75])).unwrap();
+    db.insert(t, ObjectId(1), r([0.7, 0.7], [0.75, 0.75]))
+        .unwrap();
     db.commit(t).unwrap();
 
     let ghost = r([0.2, 0.2], [0.25, 0.25]);
@@ -174,7 +183,8 @@ fn unsound_protocol_exhibits_absence_phantoms() {
 
     // The conflicting insert sails through.
     let t2 = db.begin();
-    db.insert(t2, ObjectId(51), r([0.22, 0.22], [0.27, 0.27])).unwrap();
+    db.insert(t2, ObjectId(51), r([0.22, 0.22], [0.27, 0.27]))
+        .unwrap();
     db.commit(t2).unwrap();
 
     // T1's absence answer silently became wrong (ghost region occupied).
@@ -194,7 +204,8 @@ fn aborted_insert_never_visible_to_concurrent_scan() {
     for db in sound_protocols(4) {
         let query = r([0.4, 0.4], [0.6, 0.6]);
         let t1 = db.begin();
-        db.insert(t1, ObjectId(99), r([0.45, 0.45], [0.5, 0.5])).unwrap();
+        db.insert(t1, ObjectId(99), r([0.45, 0.45], [0.5, 0.5]))
+            .unwrap();
 
         crossbeam::scope(|s| {
             let db2: Arc<dyn TransactionalRTree> = Arc::clone(&db);
@@ -227,7 +238,8 @@ fn delete_of_absent_object_protects_region() {
     for db in sound_protocols(4) {
         // Some background data so granules exist.
         let t = db.begin();
-        db.insert(t, ObjectId(1), r([0.7, 0.7], [0.75, 0.75])).unwrap();
+        db.insert(t, ObjectId(1), r([0.7, 0.7], [0.75, 0.75]))
+            .unwrap();
         db.commit(t).unwrap();
 
         let ghost = r([0.2, 0.2], [0.25, 0.25]);
@@ -322,8 +334,10 @@ fn tree_lock_blocks_even_distant_writes() {
         .find(|p| p.name() == "tree-lock")
         .expect("tree-lock in the set");
     let t = db.begin();
-    db.insert(t, ObjectId(1), r([0.1, 0.1], [0.12, 0.12])).unwrap();
-    db.insert(t, ObjectId(2), r([0.8, 0.8], [0.82, 0.82])).unwrap();
+    db.insert(t, ObjectId(1), r([0.1, 0.1], [0.12, 0.12]))
+        .unwrap();
+    db.insert(t, ObjectId(2), r([0.8, 0.8], [0.82, 0.82]))
+        .unwrap();
     db.commit(t).unwrap();
 
     let t1 = db.begin();
@@ -334,7 +348,8 @@ fn tree_lock_blocks_even_distant_writes() {
         let flag = Arc::clone(&landed);
         let writer = s.spawn(move |_| {
             let t2 = db2.begin();
-            db2.insert(t2, ObjectId(3), r([0.9, 0.9], [0.91, 0.91])).unwrap();
+            db2.insert(t2, ObjectId(3), r([0.9, 0.9], [0.91, 0.91]))
+                .unwrap();
             flag.store(true, Ordering::SeqCst);
             db2.commit(t2).unwrap();
         });
@@ -356,7 +371,8 @@ fn tree_lock_blocks_even_distant_writes() {
 fn update_scan_gets_phantom_protection_too() {
     for db in sound_protocols(4) {
         let t = db.begin();
-        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.15, 0.15])).unwrap();
+        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.15, 0.15]))
+            .unwrap();
         db.commit(t).unwrap();
 
         let query = r([0.05, 0.05], [0.3, 0.3]);
@@ -370,7 +386,8 @@ fn update_scan_gets_phantom_protection_too() {
             let flag = Arc::clone(&landed);
             let writer = s.spawn(move |_| {
                 let t2 = db2.begin();
-                db2.insert(t2, ObjectId(2), r([0.2, 0.2], [0.25, 0.25])).unwrap();
+                db2.insert(t2, ObjectId(2), r([0.2, 0.2], [0.25, 0.25]))
+                    .unwrap();
                 flag.store(true, Ordering::SeqCst);
                 db2.commit(t2).unwrap();
             });
@@ -384,6 +401,63 @@ fn update_scan_gets_phantom_protection_too() {
             writer.join().unwrap();
         })
         .unwrap();
+    }
+}
+
+/// Regression: insert's duplicate-id check must run *under* the
+/// commit-duration object lock, not before it. T1 holds an uncommitted
+/// insert of id 7; T2's insert of the same id must wait on T1's object
+/// lock instead of dirty-reading the uncommitted entry as a duplicate.
+/// After T1 aborts, T2's insert succeeds; after a committed insert it
+/// reports DuplicateObject.
+#[test]
+fn duplicate_check_waits_for_uncommitted_insert() {
+    for db in sound_protocols(4) {
+        let rect = r([0.3, 0.3], [0.35, 0.35]);
+        let t1 = db.begin();
+        db.insert(t1, ObjectId(7), rect).unwrap();
+
+        let decided = Arc::new(AtomicBool::new(false));
+        crossbeam::scope(|s| {
+            let db2: Arc<dyn TransactionalRTree> = Arc::clone(&db);
+            let flag = Arc::clone(&decided);
+            let contender = s.spawn(move |_| {
+                let t2 = db2.begin();
+                let res = db2.insert(t2, ObjectId(7), rect);
+                flag.store(true, Ordering::SeqCst);
+                db2.commit(t2).unwrap();
+                res
+            });
+            std::thread::sleep(SETTLE);
+            assert!(
+                !decided.load(Ordering::SeqCst),
+                "{}: the duplicate check must block on T1's object lock, \
+                 not answer from T1's uncommitted insert",
+                db.name()
+            );
+            db.abort(t1).unwrap();
+            let res = contender.join().unwrap();
+            assert_eq!(
+                res,
+                Ok(()),
+                "{}: after the aborted insert rolls back the id is free",
+                db.name()
+            );
+        })
+        .unwrap();
+
+        // The id is now committed: a fresh transaction gets a repeatable
+        // DuplicateObject answer without blocking.
+        let t3 = db.begin();
+        assert_eq!(
+            db.insert(t3, ObjectId(7), rect),
+            Err(TxnError::DuplicateObject),
+            "{}",
+            db.name()
+        );
+        db.commit(t3).unwrap();
+        db.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", db.name()));
     }
 }
 

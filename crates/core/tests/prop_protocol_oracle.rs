@@ -116,7 +116,9 @@ fn run_history(db: &dyn TransactionalRTree, steps: &[Step]) -> Result<(), TestCa
                     .working
                     .get(k)
                     .map_or(Rect2::new([0.5, 0.5], [0.51, 0.51]), |o| o.rect);
-                let r = db.update_single(txn, ObjectId(u64::from(*k)), rect).unwrap();
+                let r = db
+                    .update_single(txn, ObjectId(u64::from(*k)), rect)
+                    .unwrap();
                 prop_assert_eq!(r, oracle.working.contains_key(k), "{}", ctx);
                 if let Some(o) = oracle.working.get_mut(k) {
                     o.version += 1;
@@ -200,5 +202,24 @@ proptest! {
         for db in sound_protocols(5) {
             run_history(db.as_ref(), &steps)?;
         }
+    }
+}
+
+/// Regression promoted from the saved proptest seed (the offline proptest
+/// shim does not replay `.proptest-regressions` files): re-inserting an id
+/// this transaction logically deleted must fail with DuplicateObject — the
+/// tombstoned entry is only physically removed after commit, so the id
+/// stays reserved.
+#[test]
+fn reinsert_of_own_logically_deleted_id_stays_reserved() {
+    let point = Rect2::new([0.0, 0.0], [0.0, 0.0]);
+    let steps = [
+        Step::Insert(1, point),
+        Step::Insert(0, point),
+        Step::Delete(1),
+        Step::Insert(1, point),
+    ];
+    for db in sound_protocols(5) {
+        run_history(db.as_ref(), &steps).unwrap();
     }
 }

@@ -106,7 +106,8 @@ fn predicted_sibling_ids_match_reality_under_churn() {
         if i % 3 == 2 {
             // Delete an older object: condensation frees pages.
             let victim = i - 2;
-            db.delete(t, ObjectId(victim), rects[victim as usize]).unwrap();
+            db.delete(t, ObjectId(victim), rects[victim as usize])
+                .unwrap();
         }
         db.commit(t).unwrap();
     }

@@ -16,16 +16,23 @@ fn for_each_protocol(f: impl Fn(&dyn TransactionalRTree)) {
 fn insert_commit_read_back() {
     for_each_protocol(|db| {
         let t = db.begin();
-        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.2, 0.2])).unwrap();
+        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.2, 0.2]))
+            .unwrap();
         // Visible to the inserting transaction itself.
         let hits = db.read_scan(t, Rect2::unit()).unwrap();
         assert_eq!(ids(&hits), vec![1], "{}: own insert visible", db.name());
         db.commit(t).unwrap();
         let t2 = db.begin();
         let hits = db.read_scan(t2, Rect2::unit()).unwrap();
-        assert_eq!(ids(&hits), vec![1], "{}: committed insert visible", db.name());
         assert_eq!(
-            db.read_single(t2, ObjectId(1), r([0.1, 0.1], [0.2, 0.2])).unwrap(),
+            ids(&hits),
+            vec![1],
+            "{}: committed insert visible",
+            db.name()
+        );
+        assert_eq!(
+            db.read_single(t2, ObjectId(1), r([0.1, 0.1], [0.2, 0.2]))
+                .unwrap(),
             Some(1),
             "{}: initial version is 1",
             db.name()
@@ -39,7 +46,8 @@ fn insert_commit_read_back() {
 fn abort_undoes_insert() {
     for_each_protocol(|db| {
         let t = db.begin();
-        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.2, 0.2])).unwrap();
+        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.2, 0.2]))
+            .unwrap();
         db.abort(t).unwrap();
         let t2 = db.begin();
         assert!(
@@ -75,7 +83,12 @@ fn delete_commit_removes_object() {
         let t = db.begin();
         assert!(db.read_scan(t, Rect2::unit()).unwrap().is_empty());
         db.commit(t).unwrap();
-        assert_eq!(db.len(), 0, "{}: physically removed after commit", db.name());
+        assert_eq!(
+            db.len(),
+            0,
+            "{}: physically removed after commit",
+            db.name()
+        );
         db.validate().unwrap();
     });
 }
@@ -94,7 +107,12 @@ fn abort_undoes_delete() {
 
         let t = db.begin();
         let hits = db.read_scan(t, Rect2::unit()).unwrap();
-        assert_eq!(ids(&hits), vec![7], "{}: aborted delete restored", db.name());
+        assert_eq!(
+            ids(&hits),
+            vec![7],
+            "{}: aborted delete restored",
+            db.name()
+        );
         assert_eq!(db.read_single(t, ObjectId(7), rect).unwrap(), Some(1));
         db.commit(t).unwrap();
         db.validate().unwrap();
@@ -105,7 +123,9 @@ fn abort_undoes_delete() {
 fn delete_absent_returns_false() {
     for_each_protocol(|db| {
         let t = db.begin();
-        assert!(!db.delete(t, ObjectId(9), r([0.5, 0.5], [0.6, 0.6])).unwrap());
+        assert!(!db
+            .delete(t, ObjectId(9), r([0.5, 0.5], [0.6, 0.6]))
+            .unwrap());
         db.commit(t).unwrap();
     });
 }
@@ -114,7 +134,8 @@ fn delete_absent_returns_false() {
 fn duplicate_insert_rejected() {
     for_each_protocol(|db| {
         let t = db.begin();
-        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.2, 0.2])).unwrap();
+        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.2, 0.2]))
+            .unwrap();
         let err = db.insert(t, ObjectId(1), r([0.5, 0.5], [0.6, 0.6]));
         assert_eq!(err, Err(TxnError::DuplicateObject), "{}", db.name());
         db.commit(t).unwrap();
@@ -158,9 +179,12 @@ fn updates_bump_versions_and_abort_restores() {
 fn update_scan_bumps_exactly_the_matching_objects() {
     for_each_protocol(|db| {
         let t = db.begin();
-        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.2, 0.2])).unwrap();
-        db.insert(t, ObjectId(2), r([0.15, 0.15], [0.25, 0.25])).unwrap();
-        db.insert(t, ObjectId(3), r([0.8, 0.8], [0.9, 0.9])).unwrap();
+        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.2, 0.2]))
+            .unwrap();
+        db.insert(t, ObjectId(2), r([0.15, 0.15], [0.25, 0.25]))
+            .unwrap();
+        db.insert(t, ObjectId(3), r([0.8, 0.8], [0.9, 0.9]))
+            .unwrap();
         db.commit(t).unwrap();
 
         let t = db.begin();
@@ -171,7 +195,8 @@ fn update_scan_bumps_exactly_the_matching_objects() {
 
         let t = db.begin();
         assert_eq!(
-            db.read_single(t, ObjectId(3), r([0.8, 0.8], [0.9, 0.9])).unwrap(),
+            db.read_single(t, ObjectId(3), r([0.8, 0.8], [0.9, 0.9]))
+                .unwrap(),
             Some(1),
             "{}: non-matching object untouched",
             db.name()
@@ -184,7 +209,9 @@ fn update_scan_bumps_exactly_the_matching_objects() {
 fn update_absent_object_returns_false() {
     for_each_protocol(|db| {
         let t = db.begin();
-        assert!(!db.update_single(t, ObjectId(42), r([0.1, 0.1], [0.2, 0.2])).unwrap());
+        assert!(!db
+            .update_single(t, ObjectId(42), r([0.1, 0.1], [0.2, 0.2]))
+            .unwrap());
         db.commit(t).unwrap();
     });
 }
@@ -232,7 +259,8 @@ fn bulk_workload_keeps_every_protocol_consistent() {
             removed.push(oid);
         }
         assert_eq!(db.len(), 100, "{}", db.name());
-        db.validate().unwrap_or_else(|e| panic!("{}: {e}", db.name()));
+        db.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", db.name()));
         // Survivors all present, removed all gone.
         let t = db.begin();
         let hits = db.read_scan(t, Rect2::unit()).unwrap();
@@ -253,10 +281,14 @@ fn bulk_workload_keeps_every_protocol_consistent() {
 fn scan_in_empty_space_returns_empty() {
     for_each_protocol(|db| {
         let t = db.begin();
-        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.2, 0.2])).unwrap();
+        db.insert(t, ObjectId(1), r([0.1, 0.1], [0.2, 0.2]))
+            .unwrap();
         db.commit(t).unwrap();
         let t = db.begin();
-        assert!(db.read_scan(t, r([0.7, 0.7], [0.8, 0.8])).unwrap().is_empty());
+        assert!(db
+            .read_scan(t, r([0.7, 0.7], [0.8, 0.8]))
+            .unwrap()
+            .is_empty());
         db.commit(t).unwrap();
     });
 }

@@ -9,9 +9,11 @@ use std::time::Duration;
 use dgl_core::{DglConfig, DglRTree, InsertPolicy, ObjectId, Rect2, TransactionalRTree};
 use dgl_lockmgr::{
     LockDuration::{self, Commit, Short},
+    LockManagerConfig,
     LockMode::{self, IX, S, SIX, X},
-    LockManagerConfig, ResourceId, TraceEventKind,
+    ResourceId, TraceEventKind,
 };
+use dgl_pager::PageId;
 use dgl_rtree::RTreeConfig;
 
 use common::r;
@@ -26,9 +28,7 @@ fn traced_db(fanout: usize, policy: InsertPolicy) -> DglRTree {
             wait_timeout: Duration::from_secs(5),
             ..Default::default()
         },
-        buffer_pages: None,
-        coarse_external_granule: false,
-        testing_skip_growth_compensation: false,
+        ..Default::default()
     })
 }
 
@@ -65,12 +65,14 @@ fn insert_without_granule_change_takes_exactly_ix_g_and_x_object() {
     let db = traced_db(8, InsertPolicy::Modified);
     let t = db.begin();
     // Seed a granule whose BR will cover the probe insert.
-    db.insert(t, ObjectId(1), r([0.1, 0.1], [0.3, 0.3])).unwrap();
+    db.insert(t, ObjectId(1), r([0.1, 0.1], [0.3, 0.3]))
+        .unwrap();
     db.commit(t).unwrap();
     clear_trace(&db);
 
     let t = db.begin();
-    db.insert(t, ObjectId(2), r([0.15, 0.15], [0.2, 0.2])).unwrap();
+    db.insert(t, ObjectId(2), r([0.15, 0.15], [0.2, 0.2]))
+        .unwrap();
     let got = grants(&db);
     assert_eq!(
         got,
@@ -91,15 +93,20 @@ fn insert_with_granule_change_adds_short_ix_and_short_six() {
     // fanout 8, a few objects in one corner.
     for i in 0..3u32 {
         let o = 0.02 * f64::from(i);
-        db.insert(t, ObjectId(u64::from(i)), r([0.1 + o, 0.1 + o], [0.12 + o, 0.12 + o]))
-            .unwrap();
+        db.insert(
+            t,
+            ObjectId(u64::from(i)),
+            r([0.1 + o, 0.1 + o], [0.12 + o, 0.12 + o]),
+        )
+        .unwrap();
     }
     db.commit(t).unwrap();
     clear_trace(&db);
 
     // Insert outside the current leaf BR: the granule grows.
     let t = db.begin();
-    db.insert(t, ObjectId(50), r([0.5, 0.5], [0.55, 0.55])).unwrap();
+    db.insert(t, ObjectId(50), r([0.5, 0.5], [0.55, 0.55]))
+        .unwrap();
     let got = grants(&db);
     // Single-leaf-root tree: the growing granule IS the root leaf; there
     // are no external granules, and the only overlapping granule of the
@@ -113,7 +120,8 @@ fn insert_with_granule_change_adds_short_ix_and_short_six() {
     let t = db.begin();
     for i in 10..40u64 {
         let o = 0.004 * i as f64;
-        db.insert(t, ObjectId(i), r([0.1 + o, 0.1], [0.11 + o, 0.11])).unwrap();
+        db.insert(t, ObjectId(i), r([0.1 + o, 0.1], [0.11 + o, 0.11]))
+            .unwrap();
     }
     db.commit(t).unwrap();
     assert!(db.with_tree(|t| t.height()) > 1, "need a real tree");
@@ -121,7 +129,8 @@ fn insert_with_granule_change_adds_short_ix_and_short_six() {
 
     let t = db.begin();
     // Grow some leaf into open space.
-    db.insert(t, ObjectId(99), r([0.9, 0.9], [0.95, 0.95])).unwrap();
+    db.insert(t, ObjectId(99), r([0.9, 0.9], [0.95, 0.95]))
+        .unwrap();
     let got = grants(&db);
     // Must contain the commit IX + X pair...
     assert!(got.contains(&(true, IX, Commit)), "commit IX on g: {got:?}");
@@ -153,7 +162,8 @@ fn base_policy_insert_locks_all_overlapping_granules() {
     let t = db.begin();
     for i in 0..12u64 {
         let o = 0.01 * i as f64;
-        db.insert(t, ObjectId(i), r([0.1 + o, 0.1 + o], [0.2 + o, 0.2 + o])).unwrap();
+        db.insert(t, ObjectId(i), r([0.1 + o, 0.1 + o], [0.2 + o, 0.2 + o]))
+            .unwrap();
     }
     db.commit(t).unwrap();
     assert!(db.with_tree(|t| t.height()) > 1);
@@ -161,7 +171,8 @@ fn base_policy_insert_locks_all_overlapping_granules() {
 
     // This rect is covered by several overlapping leaf granules.
     let t = db.begin();
-    db.insert(t, ObjectId(100), r([0.15, 0.15], [0.16, 0.16])).unwrap();
+    db.insert(t, ObjectId(100), r([0.15, 0.15], [0.16, 0.16]))
+        .unwrap();
     let got = grants(&db);
     let short_ix_pages = got
         .iter()
@@ -182,19 +193,25 @@ fn modified_policy_covered_insert_takes_no_extra_locks() {
     let t = db.begin();
     for i in 0..12u64 {
         let o = 0.01 * i as f64;
-        db.insert(t, ObjectId(i), r([0.1 + o, 0.1 + o], [0.2 + o, 0.2 + o])).unwrap();
+        db.insert(t, ObjectId(i), r([0.1 + o, 0.1 + o], [0.2 + o, 0.2 + o]))
+            .unwrap();
     }
     db.commit(t).unwrap();
     clear_trace(&db);
 
     let t = db.begin();
-    db.insert(t, ObjectId(100), r([0.15, 0.15], [0.16, 0.16])).unwrap();
+    db.insert(t, ObjectId(100), r([0.15, 0.15], [0.16, 0.16]))
+        .unwrap();
     let got = grants(&db);
     assert!(
         got.iter().all(|(_, _, d)| *d == Commit),
         "modified policy, covered insert: no short locks, got {got:?}"
     );
-    assert_eq!(got.iter().filter(|(p, ..)| *p).count(), 1, "single granule lock");
+    assert_eq!(
+        got.iter().filter(|(p, ..)| *p).count(),
+        1,
+        "single granule lock"
+    );
     db.commit(t).unwrap();
 }
 
@@ -207,14 +224,16 @@ fn insert_causing_split_takes_short_six_then_commit_ix_on_halves() {
     // Fill the root leaf exactly to capacity (fanout 4).
     for i in 0..4u64 {
         let o = 0.05 * i as f64;
-        db.insert(t, ObjectId(i), r([0.1 + o, 0.1 + o], [0.12 + o, 0.12 + o])).unwrap();
+        db.insert(t, ObjectId(i), r([0.1 + o, 0.1 + o], [0.12 + o, 0.12 + o]))
+            .unwrap();
     }
     db.commit(t).unwrap();
     assert_eq!(db.with_tree(|t| t.height()), 1);
     clear_trace(&db);
 
     let t = db.begin();
-    db.insert(t, ObjectId(10), r([0.8, 0.8], [0.85, 0.85])).unwrap();
+    db.insert(t, ObjectId(10), r([0.8, 0.8], [0.85, 0.85]))
+        .unwrap();
     assert!(db.with_tree(|t| t.height()) > 1, "split must have happened");
     let got = grants(&db);
     assert!(
@@ -237,7 +256,8 @@ fn logical_delete_takes_ix_g_and_x_object() {
     let rect = r([0.2, 0.2], [0.25, 0.25]);
     let t = db.begin();
     db.insert(t, ObjectId(1), rect).unwrap();
-    db.insert(t, ObjectId(2), r([0.22, 0.22], [0.27, 0.27])).unwrap();
+    db.insert(t, ObjectId(2), r([0.22, 0.22], [0.27, 0.27]))
+        .unwrap();
     db.commit(t).unwrap();
     clear_trace(&db);
 
@@ -258,9 +278,7 @@ fn logical_delete_takes_ix_g_and_x_object() {
         "deferred delete takes only short granule locks: {deferred:?}"
     );
     assert!(
-        deferred
-            .iter()
-            .all(|(_, m, _)| *m == IX || *m == SIX),
+        deferred.iter().all(|(_, m, _)| *m == IX || *m == SIX),
         "deferred delete modes are IX / SIX: {deferred:?}"
     );
 }
@@ -271,12 +289,15 @@ fn delete_of_absent_object_scans_shared() {
     // overlapping the object, like a ReadScan.
     let db = traced_db(8, InsertPolicy::Modified);
     let t = db.begin();
-    db.insert(t, ObjectId(1), r([0.1, 0.1], [0.15, 0.15])).unwrap();
+    db.insert(t, ObjectId(1), r([0.1, 0.1], [0.15, 0.15]))
+        .unwrap();
     db.commit(t).unwrap();
     clear_trace(&db);
 
     let t = db.begin();
-    assert!(!db.delete(t, ObjectId(9), r([0.6, 0.6], [0.65, 0.65])).unwrap());
+    assert!(!db
+        .delete(t, ObjectId(9), r([0.6, 0.6], [0.65, 0.65]))
+        .unwrap());
     let got = grants(&db);
     assert!(!got.is_empty());
     assert!(
@@ -309,7 +330,8 @@ fn read_scan_takes_commit_s_on_overlapping_granules_only() {
     let t = db.begin();
     for i in 0..20u64 {
         let o = 0.02 * i as f64;
-        db.insert(t, ObjectId(i), r([0.1 + o, 0.1], [0.12 + o, 0.12])).unwrap();
+        db.insert(t, ObjectId(i), r([0.1 + o, 0.1], [0.12 + o, 0.12]))
+            .unwrap();
     }
     db.commit(t).unwrap();
     clear_trace(&db);
@@ -326,6 +348,79 @@ fn read_scan_takes_commit_s_on_overlapping_granules_only() {
 }
 
 #[test]
+fn root_split_inherits_scanner_ext_s_onto_new_granules() {
+    // Table 3 inheritance, root-split flavour: a transaction holding a
+    // commit S on ext(root) — from its own earlier scan of uncovered
+    // space — must inherit that S onto the external granules of BOTH
+    // pages a root split creates: the new sibling and the fresh page the
+    // old root's content relocates to (the stable root id becomes the new
+    // one-level-higher root, which the held S keeps covering). The buggy
+    // fallback re-requested ext(root) itself, leaving the relocated half
+    // uncovered.
+    let db = traced_db(4, InsertPolicy::Modified);
+    let t = db.begin();
+    for i in 0..10u64 {
+        let o = 0.03 * i as f64;
+        db.insert(t, ObjectId(i), r([0.1 + o, 0.1], [0.12 + o, 0.12]))
+            .unwrap();
+    }
+    db.commit(t).unwrap();
+    assert_eq!(db.with_tree(|t| t.height()), 2, "need a two-level tree");
+
+    let t = db.begin();
+    // Scan far from all leaf BRs: overlaps only the root's external
+    // granule, leaving this transaction a commit S on ext(root).
+    let hits = db.read_scan(t, r([0.7, 0.7], [0.9, 0.9])).unwrap();
+    assert!(hits.is_empty());
+
+    // Keep inserting into the crowded strip until a leaf split cascades
+    // into the root; for the splitting insert, record which pages existed
+    // beforehand so the fresh ones are identifiable in the trace.
+    let mut split_grants = None;
+    for i in 100..160u64 {
+        let before: Vec<PageId> = db.with_tree(|tr| tr.pages().map(|(pid, _)| pid).collect());
+        clear_trace(&db);
+        let o = 0.002 * (i - 100) as f64;
+        db.insert(t, ObjectId(i), r([0.2 + o, 0.1], [0.21 + o, 0.11]))
+            .unwrap();
+        if db.with_tree(|tr| tr.height()) > 2 {
+            let fresh_s: Vec<PageId> = db
+                .lock_manager()
+                .drain_trace()
+                .into_iter()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        TraceEventKind::Granted | TraceEventKind::GrantedAfterWait
+                    ) && e.mode == Some(S)
+                        && e.duration == Some(Commit)
+                })
+                .filter_map(|e| match e.resource {
+                    Some(ResourceId::Page(p)) if !before.contains(&p) => Some(p),
+                    _ => None,
+                })
+                .collect();
+            split_grants = Some(fresh_s);
+            break;
+        }
+    }
+    let mut fresh_s = split_grants.expect("an insert must have split the root");
+    fresh_s.sort_unstable();
+    fresh_s.dedup();
+    // The root split creates exactly one new non-leaf sibling plus the
+    // relocated old-root half; both external granules inherit the S (and
+    // nothing else fresh may be S-locked — the new leaf halves get IX/SIX).
+    assert_eq!(
+        fresh_s.len(),
+        2,
+        "commit S must be inherited onto exactly the two new external \
+         granules (sibling + relocated root half), got {fresh_s:?}"
+    );
+    db.commit(t).unwrap();
+    db.validate().unwrap();
+}
+
+#[test]
 fn update_single_takes_ix_g_and_x_object() {
     // Table 3 row "UpdateSingle".
     let db = traced_db(8, InsertPolicy::Modified);
@@ -337,10 +432,7 @@ fn update_single_takes_ix_g_and_x_object() {
 
     let t = db.begin();
     assert!(db.update_single(t, ObjectId(1), rect).unwrap());
-    assert_eq!(
-        grants(&db),
-        vec![(false, X, Commit), (true, IX, Commit)]
-    );
+    assert_eq!(grants(&db), vec![(false, X, Commit), (true, IX, Commit)]);
     db.commit(t).unwrap();
 }
 
@@ -352,7 +444,8 @@ fn update_scan_takes_six_cover_s_rest_x_objects() {
     let t = db.begin();
     for i in 0..20u64 {
         let o = 0.02 * i as f64;
-        db.insert(t, ObjectId(i), r([0.1 + o, 0.1], [0.12 + o, 0.12])).unwrap();
+        db.insert(t, ObjectId(i), r([0.1 + o, 0.1], [0.12 + o, 0.12]))
+            .unwrap();
     }
     db.commit(t).unwrap();
     clear_trace(&db);

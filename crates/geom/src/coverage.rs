@@ -202,10 +202,7 @@ mod tests {
     #[test]
     fn covers_with_overlapping_rects() {
         let q = r([0.0, 0.0], [4.0, 1.0]);
-        let rects = [
-            r([-1.0, -1.0], [2.5, 2.0]),
-            r([2.0, -0.5], [5.0, 1.5]),
-        ];
+        let rects = [r([-1.0, -1.0], [2.5, 2.0]), r([2.0, -0.5], [5.0, 1.5])];
         assert!(covers(&q, &rects));
     }
 

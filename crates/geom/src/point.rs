@@ -1,4 +1,3 @@
-
 use crate::Rect;
 
 /// A point in `D`-dimensional space.

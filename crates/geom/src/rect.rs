@@ -1,4 +1,3 @@
-
 use crate::Point;
 
 /// An axis-aligned, closed rectangle in `D`-dimensional space.

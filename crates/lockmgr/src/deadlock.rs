@@ -75,12 +75,7 @@ impl WaitForGraph {
     }
 
     fn successors(&self, t: TxnId) -> Vec<TxnId> {
-        self.edges
-            .get(&t)
-            .into_iter()
-            .flatten()
-            .copied()
-            .collect()
+        self.edges.get(&t).into_iter().flatten().copied().collect()
     }
 
     #[cfg(test)]
@@ -122,7 +117,10 @@ mod tests {
         g.add_edge(t(2), t(3));
         g.add_edge(t(3), t(4));
         g.add_edge(t(4), t(2)); // cycle 2→3→4→2, excludes 1
-        assert!(!g.has_cycle_through(t(1)), "1 feeds the cycle but is not in it");
+        assert!(
+            !g.has_cycle_through(t(1)),
+            "1 feeds the cycle but is not in it"
+        );
         assert!(g.has_cycle_through(t(2)));
         assert!(g.has_cycle_through(t(3)));
         assert!(g.has_cycle_through(t(4)));

@@ -219,7 +219,9 @@ impl LockManager {
     pub fn new(config: LockManagerConfig) -> Self {
         assert!(config.shards > 0, "need at least one shard");
         Self {
-            shards: (0..config.shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..config.shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             txn_index: Mutex::new(HashMap::new()),
             waiting_on: Mutex::new(HashMap::new()),
             system_txns: Mutex::new(HashSet::new()),
@@ -249,6 +251,11 @@ impl LockManager {
     /// Clears the system mark (call when the system operation finishes).
     pub fn clear_system(&self, txn: TxnId) {
         self.system_txns.lock().remove(&txn);
+    }
+
+    /// Whether `txn` is currently marked as a system transaction.
+    pub fn is_system(&self, txn: TxnId) -> bool {
+        self.system_txns.lock().contains(&txn)
     }
 
     /// Drains and returns the trace buffer (empty when tracing is off).
@@ -492,7 +499,9 @@ impl LockManager {
     /// The mode `txn` currently holds on `res`, if any.
     pub fn held(&self, txn: TxnId, res: ResourceId) -> Option<LockMode> {
         let shard = self.shard(&res).lock();
-        shard.get(&res).and_then(|s| s.grant_of(txn).map(Grant::mode))
+        shard
+            .get(&res)
+            .and_then(|s| s.grant_of(txn).map(Grant::mode))
     }
 
     /// The commit-duration mode `txn` holds on `res`, ignoring any
@@ -577,10 +586,7 @@ impl LockManager {
             let ok = if front.conversion {
                 state.compatible_with_others(front.txn, front.want)
             } else {
-                state
-                    .grants
-                    .iter()
-                    .all(|g| front.want.compatible(g.mode()))
+                state.grants.iter().all(|g| front.want.compatible(g.mode()))
             };
             if !ok {
                 break;
@@ -619,7 +625,12 @@ impl LockManager {
         self.cancel_waiter_with_verdict(res, txn, WaitVerdict::Cancelled)
     }
 
-    fn cancel_waiter_with_verdict(&self, res: ResourceId, txn: TxnId, verdict: WaitVerdict) -> bool {
+    fn cancel_waiter_with_verdict(
+        &self,
+        res: ResourceId,
+        txn: TxnId,
+        verdict: WaitVerdict,
+    ) -> bool {
         let mut wakeups = Vec::new();
         let removed = {
             let mut shard = self.shard(&res).lock();

@@ -105,7 +105,8 @@ mod tests {
     /// The paper's Table 1, row-major: held mode × requested mode.
     const TABLE1: [[bool; 5]; 5] = [
         // req:     IS     IX     S      SIX    X
-        /* IS  */ [true, true, true, true, false],
+        /* IS  */
+        [true, true, true, true, false],
         /* IX  */ [true, true, false, false, false],
         /* S   */ [true, false, true, false, false],
         /* SIX */ [true, false, false, false, false],

@@ -106,7 +106,11 @@ fn fifo_queue_prevents_reader_starvation_of_writer() {
         m.release_all(TxnId(1));
         assert_eq!(writer.join().unwrap(), LockOutcome::Granted);
         // Writer must have been first.
-        assert_eq!(order.load(Ordering::SeqCst), 2, "X waiter granted before late S");
+        assert_eq!(
+            order.load(Ordering::SeqCst),
+            2,
+            "X waiter granted before late S"
+        );
         m.release_all(TxnId(2));
         assert_eq!(reader.join().unwrap(), LockOutcome::Granted);
     })
@@ -311,7 +315,11 @@ fn youngest_transaction_is_chosen_as_victim() {
         // The victim observes Deadlock and aborts (releasing its locks).
         assert_eq!(h9.join().unwrap(), LockOutcome::Deadlock);
         m.release_all(TxnId(9));
-        assert_eq!(h1.join().unwrap(), LockOutcome::Granted, "survivor proceeds");
+        assert_eq!(
+            h1.join().unwrap(),
+            LockOutcome::Granted,
+            "survivor proceeds"
+        );
         m.release_all(TxnId(1));
     })
     .unwrap();
@@ -339,9 +347,17 @@ fn system_transactions_are_spared() {
         // victim even though the system txn is younger.
         let m4 = Arc::clone(&m);
         let h9 = s.spawn(move |_| m4.lock(TxnId(9), page(1), X, Commit, Unconditional));
-        assert_eq!(h3.join().unwrap(), LockOutcome::Deadlock, "ordinary txn dies");
+        assert_eq!(
+            h3.join().unwrap(),
+            LockOutcome::Deadlock,
+            "ordinary txn dies"
+        );
         m.release_all(TxnId(3));
-        assert_eq!(h9.join().unwrap(), LockOutcome::Granted, "system txn survives");
+        assert_eq!(
+            h9.join().unwrap(),
+            LockOutcome::Granted,
+            "system txn survives"
+        );
         m.release_all(TxnId(9));
         m.clear_system(TxnId(9));
     })

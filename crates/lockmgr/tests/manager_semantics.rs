@@ -31,18 +31,36 @@ use LockMode::*;
 #[test]
 fn compatible_modes_coexist() {
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T2, page(1), S, Commit, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T3, page(1), IS, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(1), S, Commit, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T2, page(1), S, Commit, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T3, page(1), IS, Commit, Conditional),
+        LockOutcome::Granted
+    );
     assert_eq!(m.holders(page(1)).len(), 3);
 }
 
 #[test]
 fn incompatible_conditional_fails_without_queueing() {
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T2, page(1), IX, Commit, Conditional), LockOutcome::WouldBlock);
-    assert_eq!(m.lock(T2, page(1), X, Commit, Conditional), LockOutcome::WouldBlock);
+    assert_eq!(
+        m.lock(T1, page(1), S, Commit, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T2, page(1), IX, Commit, Conditional),
+        LockOutcome::WouldBlock
+    );
+    assert_eq!(
+        m.lock(T2, page(1), X, Commit, Conditional),
+        LockOutcome::WouldBlock
+    );
     // T2 holds nothing.
     assert_eq!(m.held(T2, page(1)), None);
     let s = m.stats().snapshot();
@@ -53,8 +71,14 @@ fn incompatible_conditional_fails_without_queueing() {
 #[test]
 fn regrant_same_mode_is_idempotent() {
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), IX, Commit, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T1, page(1), IX, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(1), IX, Commit, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T1, page(1), IX, Commit, Conditional),
+        LockOutcome::Granted
+    );
     assert_eq!(m.held(T1, page(1)), Some(IX));
     assert_eq!(m.locks_held(T1), 1);
 }
@@ -62,8 +86,14 @@ fn regrant_same_mode_is_idempotent() {
 #[test]
 fn self_conversion_ix_plus_s_yields_six() {
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), IX, Commit, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(1), IX, Commit, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T1, page(1), S, Commit, Conditional),
+        LockOutcome::Granted
+    );
     assert_eq!(m.held(T1, page(1)), Some(SIX), "IX + S converts to SIX");
     assert_eq!(m.stats().snapshot().conversions, 1);
 }
@@ -71,26 +101,51 @@ fn self_conversion_ix_plus_s_yields_six() {
 #[test]
 fn conversion_blocked_by_other_holder() {
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T2, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(1), S, Commit, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T2, page(1), S, Commit, Conditional),
+        LockOutcome::Granted
+    );
     // T1 wants X: incompatible with T2's S.
-    assert_eq!(m.lock(T1, page(1), X, Commit, Conditional), LockOutcome::WouldBlock);
-    assert_eq!(m.held(T1, page(1)), Some(S), "failed conversion leaves old mode");
+    assert_eq!(
+        m.lock(T1, page(1), X, Commit, Conditional),
+        LockOutcome::WouldBlock
+    );
+    assert_eq!(
+        m.held(T1, page(1)),
+        Some(S),
+        "failed conversion leaves old mode"
+    );
 }
 
 #[test]
 fn weaker_rerequest_does_not_downgrade() {
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), X, Commit, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(1), X, Commit, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T1, page(1), S, Commit, Conditional),
+        LockOutcome::Granted
+    );
     assert_eq!(m.held(T1, page(1)), Some(X));
 }
 
 #[test]
 fn short_duration_released_at_operation_end() {
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), SIX, Short, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T1, page(2), IX, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(1), SIX, Short, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T1, page(2), IX, Commit, Conditional),
+        LockOutcome::Granted
+    );
     m.release_short(T1);
     assert_eq!(m.held(T1, page(1)), None, "short-only lock gone");
     assert_eq!(m.held(T1, page(2)), Some(IX), "commit lock survives");
@@ -102,22 +157,37 @@ fn short_release_downgrades_mixed_grant() {
     // short SIX slot (e.g. it both grew the granule and held it). After the
     // operation the SIX decays to the commit IX.
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), IX, Commit, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T1, page(1), SIX, Short, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(1), IX, Commit, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T1, page(1), SIX, Short, Conditional),
+        LockOutcome::Granted
+    );
     assert_eq!(m.held(T1, page(1)), Some(SIX));
     // While T1 effectively holds SIX, T2's IX must fail...
-    assert_eq!(m.lock(T2, page(1), IX, Commit, Conditional), LockOutcome::WouldBlock);
+    assert_eq!(
+        m.lock(T2, page(1), IX, Commit, Conditional),
+        LockOutcome::WouldBlock
+    );
     m.release_short(T1);
     assert_eq!(m.held(T1, page(1)), Some(IX));
     // ...and succeed after the downgrade (IX ~ IX).
-    assert_eq!(m.lock(T2, page(1), IX, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T2, page(1), IX, Commit, Conditional),
+        LockOutcome::Granted
+    );
 }
 
 #[test]
 fn release_all_clears_everything_and_empties_table() {
     let m = mgr();
     for i in 0..10 {
-        assert_eq!(m.lock(T1, page(i), IX, Commit, Conditional), LockOutcome::Granted);
+        assert_eq!(
+            m.lock(T1, page(i), IX, Commit, Conditional),
+            LockOutcome::Granted
+        );
         assert_eq!(
             m.lock(T1, ResourceId::Object(i), X, Commit, Conditional),
             LockOutcome::Granted
@@ -132,7 +202,10 @@ fn release_all_clears_everything_and_empties_table() {
 #[test]
 fn release_short_is_noop_for_commit_only_grants() {
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), S, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(1), S, Commit, Conditional),
+        LockOutcome::Granted
+    );
     m.release_short(T1);
     assert_eq!(m.held(T1, page(1)), Some(S));
 }
@@ -142,8 +215,14 @@ fn duration_upgrade_short_then_commit_survives_op_end() {
     // Same mode requested first short then commit: the commit slot must
     // keep the lock alive past release_short.
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), IX, Short, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T1, page(1), IX, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(1), IX, Short, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T1, page(1), IX, Commit, Conditional),
+        LockOutcome::Granted
+    );
     m.release_short(T1);
     assert_eq!(m.held(T1, page(1)), Some(IX));
 }
@@ -151,20 +230,32 @@ fn duration_upgrade_short_then_commit_survives_op_end() {
 #[test]
 fn distinct_resource_kinds_do_not_collide() {
     let m = mgr();
-    assert_eq!(m.lock(T1, page(7), X, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(7), X, Commit, Conditional),
+        LockOutcome::Granted
+    );
     assert_eq!(
         m.lock(T2, ResourceId::Object(7), X, Commit, Conditional),
         LockOutcome::Granted,
         "object 7 is a different resource from page 7"
     );
-    assert_eq!(m.lock(T3, ResourceId::Tree, X, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T3, ResourceId::Tree, X, Commit, Conditional),
+        LockOutcome::Granted
+    );
 }
 
 #[test]
 fn six_admits_only_is() {
     let m = mgr();
-    assert_eq!(m.lock(T1, page(1), SIX, Commit, Conditional), LockOutcome::Granted);
-    assert_eq!(m.lock(T2, page(1), IS, Commit, Conditional), LockOutcome::Granted);
+    assert_eq!(
+        m.lock(T1, page(1), SIX, Commit, Conditional),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        m.lock(T2, page(1), IS, Commit, Conditional),
+        LockOutcome::Granted
+    );
     for mode in [IX, S, SIX, X] {
         assert_eq!(
             m.lock(T3, page(1), mode, Commit, Conditional),
@@ -198,10 +289,7 @@ fn trace_records_requests_when_enabled() {
     let events = m.drain_trace();
     assert_eq!(events.len(), 3);
     assert_eq!(events[0].mode, Some(IX));
-    assert_eq!(
-        events[1].kind,
-        dgl_lockmgr::TraceEventKind::ConditionalFail
-    );
+    assert_eq!(events[1].kind, dgl_lockmgr::TraceEventKind::ConditionalFail);
     assert_eq!(events[2].kind, dgl_lockmgr::TraceEventKind::AllReleased);
     assert!(m.drain_trace().is_empty(), "drain empties the buffer");
 }

@@ -174,9 +174,7 @@ impl<T> Store<T> {
 
     /// Whether `id` currently names a live page.
     pub fn is_live(&self, id: PageId) -> bool {
-        self.slots
-            .get(id.0 as usize)
-            .is_some_and(Option::is_some)
+        self.slots.get(id.0 as usize).is_some_and(Option::is_some)
     }
 
     /// Number of live pages.

@@ -43,7 +43,7 @@ mod validate;
 
 pub use config::{RTreeConfig, SplitAlgorithm};
 pub use node::{Entry, Node, ObjectId};
+pub use persist::{load_tree, save_tree, PersistError};
 pub use plan::{DeletePlan, InsertPlan};
 pub use tree::{DeleteResult, InsertResult, Orphan, RTree, RTree2, SplitRecord};
-pub use persist::{load_tree, save_tree, PersistError};
 pub use validate::ValidationError;

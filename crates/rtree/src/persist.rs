@@ -148,7 +148,9 @@ pub fn decode_file_image(data: &[u8]) -> Result<TreeCheckpoint<2>, PersistError>
     }
     let version = buf.get_u32_le();
     if version != VERSION {
-        return Err(PersistError::Corrupt(format!("unsupported version {version}")));
+        return Err(PersistError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
     need(&buf, 4 * 8, "world")?;
     let lo = [buf.get_f64_le(), buf.get_f64_le()];
@@ -228,10 +230,7 @@ mod tests {
     use dgl_geom::Rect2;
 
     fn temp_path(tag: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join(format!(
-            "dgl-persist-{tag}-{}.tree",
-            std::process::id()
-        ))
+        std::env::temp_dir().join(format!("dgl-persist-{tag}-{}.tree", std::process::id()))
     }
 
     fn sample_tree(n: u64) -> RTree<2> {

@@ -232,13 +232,7 @@ impl<const D: usize> RTree<D> {
                         .entries
                         .iter()
                         .enumerate()
-                        .filter_map(|(j, e)| {
-                            if j == idx {
-                                new_child
-                            } else {
-                                Some(e.mbr())
-                            }
-                        })
+                        .filter_map(|(j, e)| if j == idx { new_child } else { Some(e.mbr()) })
                         .collect();
                     (node.entries.len(), mbrs)
                 }

@@ -58,7 +58,14 @@ fn quadratic<const D: usize>(mut entries: Vec<Entry<D>>, min_entries: usize) -> 
     let mut mbr_a = group_a[0].mbr();
     let mut mbr_b = group_b[0].mbr();
 
-    while let Some(next) = pick_next_or_force(&entries, &mbr_a, &mbr_b, group_a.len(), group_b.len(), min_entries) {
+    while let Some(next) = pick_next_or_force(
+        &entries,
+        &mbr_a,
+        &mbr_b,
+        group_a.len(),
+        group_b.len(),
+        min_entries,
+    ) {
         match next {
             PickNext::ForceA => {
                 for e in entries.drain(..) {
@@ -354,8 +361,10 @@ mod tests {
         let g = split_entries(entries, 2, SplitAlgorithm::Quadratic);
         check_split(&g, 10, 2);
         // Each group should be one cluster: zero overlap between group MBRs.
-        let mbr_a = Rect::union_all(g.a.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
-        let mbr_b = Rect::union_all(g.b.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
+        let mbr_a =
+            Rect::union_all(g.a.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
+        let mbr_b =
+            Rect::union_all(g.b.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
         assert_eq!(mbr_a.overlap_area(&mbr_b), 0.0, "clusters must separate");
     }
 
@@ -364,8 +373,10 @@ mod tests {
         let entries = cluster_entries();
         let g = split_entries(entries, 2, SplitAlgorithm::Linear);
         check_split(&g, 10, 2);
-        let mbr_a = Rect::union_all(g.a.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
-        let mbr_b = Rect::union_all(g.b.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
+        let mbr_a =
+            Rect::union_all(g.a.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
+        let mbr_b =
+            Rect::union_all(g.b.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
         assert_eq!(mbr_a.overlap_area(&mbr_b), 0.0);
     }
 
@@ -406,8 +417,10 @@ mod tests {
         let entries = cluster_entries();
         let g = split_entries(entries, 2, SplitAlgorithm::RStar);
         check_split(&g, 10, 2);
-        let mbr_a = Rect::union_all(g.a.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
-        let mbr_b = Rect::union_all(g.b.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
+        let mbr_a =
+            Rect::union_all(g.a.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
+        let mbr_b =
+            Rect::union_all(g.b.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
         assert_eq!(mbr_a.overlap_area(&mbr_b), 0.0);
     }
 
@@ -423,8 +436,14 @@ mod tests {
             .collect();
         let g = split_entries(entries, 3, SplitAlgorithm::RStar);
         check_split(&g, 10, 3);
-        let mbr_a = Rect::union_all(g.a.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
-        let mbr_b = Rect::union_all(g.b.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
-        assert_eq!(mbr_a.overlap_area(&mbr_b), 0.0, "abutting line splits cleanly");
+        let mbr_a =
+            Rect::union_all(g.a.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
+        let mbr_b =
+            Rect::union_all(g.b.iter().map(|e| e.mbr()).collect::<Vec<_>>().iter()).unwrap();
+        assert_eq!(
+            mbr_a.overlap_area(&mbr_b),
+            0.0,
+            "abutting line splits cleanly"
+        );
     }
 }

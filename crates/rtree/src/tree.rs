@@ -238,9 +238,7 @@ impl<const D: usize> RTree<D> {
                 let cand = (enlargement, area, child);
                 let better = match &best {
                     None => true,
-                    Some((be, ba, bc)) => {
-                        (enlargement, area, child.0) < (*be, *ba, bc.0)
-                    }
+                    Some((be, ba, bc)) => (enlargement, area, child.0) < (*be, *ba, bc.0),
                 };
                 if better {
                     best = Some(cand);
@@ -261,9 +259,10 @@ impl<const D: usize> RTree<D> {
             let pid = *path.last().expect("non-empty path");
             let node = self.node(pid);
             if node.is_leaf() {
-                if node.position_of_object(oid).is_some_and(|i| {
-                    node.entries[i].mbr() == rect
-                }) {
+                if node
+                    .position_of_object(oid)
+                    .is_some_and(|i| node.entries[i].mbr() == rect)
+                {
                     return Some(path);
                 }
                 continue;
@@ -316,13 +315,35 @@ impl<const D: usize> RTree<D> {
     /// Exact lookup of `(oid, rect)`: returns the tombstone state if
     /// present.
     pub fn lookup(&self, oid: ObjectId, rect: Rect<D>) -> Option<Option<u64>> {
-        let path = self.find_path(oid, rect)?;
-        let leaf = self.peek_node(*path.last().expect("non-empty"));
+        let leaf = self.peek_node(self.locate_leaf(oid, rect)?);
         let idx = leaf.position_of_object(oid)?;
         match &leaf.entries[idx] {
             Entry::Object { tombstone, .. } => Some(*tombstone),
             Entry::Child { .. } => unreachable!("leaf holds objects"),
         }
+    }
+
+    /// The leaf page holding `(oid, rect)`, found by root descent when the
+    /// leaf is reachable, else by scanning every live page.
+    ///
+    /// The fallback matters while a system operation (deferred physical
+    /// deletion, §3.7) has eliminated an internal node and holds its child
+    /// subtrees as orphans: pages inside an orphaned subtree are live but
+    /// temporarily unreachable from the root. An entry covered by a
+    /// commit-duration lock never leaves its leaf page during that window
+    /// (leaf elimination, explosion and leaf splits all take SIX, which
+    /// conflicts with the holder's IX), so the store scan always finds it.
+    pub fn locate_leaf(&self, oid: ObjectId, rect: Rect<D>) -> Option<PageId> {
+        if let Some(path) = self.find_path(oid, rect) {
+            return path.last().copied();
+        }
+        self.store.iter().find_map(|(pid, node)| {
+            (node.is_leaf()
+                && node
+                    .position_of_object(oid)
+                    .is_some_and(|i| node.entries[i].mbr() == rect))
+            .then_some(pid)
+        })
     }
 
     /// Every object in the tree (test oracle; uncounted reads).
@@ -349,10 +370,9 @@ impl<const D: usize> RTree<D> {
     /// Marks `(oid, rect)` as logically deleted by `tag`. Returns false if
     /// the object is absent or already tombstoned by another tag.
     pub fn set_tombstone(&mut self, oid: ObjectId, rect: Rect<D>, tag: u64) -> bool {
-        let Some(path) = self.find_path(oid, rect) else {
+        let Some(leaf) = self.locate_leaf(oid, rect) else {
             return false;
         };
-        let leaf = *path.last().expect("non-empty");
         let node = self.store.read_mut(leaf);
         let Some(idx) = node.position_of_object(oid) else {
             return false;
@@ -372,10 +392,9 @@ impl<const D: usize> RTree<D> {
     /// Clears a tombstone (rollback of a logical delete). Returns whether
     /// a tombstone was cleared.
     pub fn clear_tombstone(&mut self, oid: ObjectId, rect: Rect<D>) -> bool {
-        let Some(path) = self.find_path(oid, rect) else {
+        let Some(leaf) = self.locate_leaf(oid, rect) else {
             return false;
         };
-        let leaf = *path.last().expect("non-empty");
         let node = self.store.read_mut(leaf);
         let Some(idx) = node.position_of_object(oid) else {
             return false;
@@ -446,7 +465,9 @@ impl<const D: usize> RTree<D> {
         }
         // Updated MBR of the page at the current walk level.
         let mut level_mbrs = Some((
-            self.peek_node(target).mbr().expect("non-empty after insert"),
+            self.peek_node(target)
+                .mbr()
+                .expect("non-empty after insert"),
             level_page,
         ));
 
@@ -483,16 +504,10 @@ impl<const D: usize> RTree<D> {
                     old_page: parent,
                     new_page,
                 });
-                pending_new = Some((
-                    new_page,
-                    self.peek_node(new_page).mbr().expect("non-empty"),
-                ));
+                pending_new = Some((new_page, self.peek_node(new_page).mbr().expect("non-empty")));
             }
             level_page = parent;
-            level_mbrs = Some((
-                self.peek_node(parent).mbr().expect("non-empty"),
-                parent,
-            ));
+            level_mbrs = Some((self.peek_node(parent).mbr().expect("non-empty"), parent));
         }
 
         // 3. Root split: move both halves to fresh pages, keep the root id.
@@ -727,10 +742,9 @@ impl<const D: usize> RTree<D> {
     /// non-minimal (valid, just loose) so that no other transaction's
     /// granule coverage changes. Returns whether the entry was found.
     pub fn remove_entry_raw(&mut self, oid: ObjectId, rect: Rect<D>) -> bool {
-        let Some(path) = self.find_path(oid, rect) else {
+        let Some(leaf) = self.locate_leaf(oid, rect) else {
             return false;
         };
-        let leaf = *path.last().expect("non-empty");
         let node = self.store.read_mut(leaf);
         let Some(idx) = node.position_of_object(oid) else {
             return false;

@@ -39,10 +39,15 @@ fn build(fanout: usize, n: u64) -> (RTree2, Vec<Rect2>) {
 #[test]
 fn deleting_down_to_one_object_collapses_all_levels() {
     let (mut tree, rects) = build(3, 120);
-    assert!(tree.height() >= 4, "need a deep tree, got {}", tree.height());
+    assert!(
+        tree.height() >= 4,
+        "need a deep tree, got {}",
+        tree.height()
+    );
     for i in 0..119u64 {
         assert!(tree.delete(ObjectId(i), rects[i as usize]), "delete {i}");
-        tree.validate(true).unwrap_or_else(|e| panic!("after delete {i}: {e}"));
+        tree.validate(true)
+            .unwrap_or_else(|e| panic!("after delete {i}: {e}"));
     }
     assert_eq!(tree.len(), 1);
     assert_eq!(tree.height(), 1, "single object lives in a leaf root");
@@ -67,7 +72,8 @@ fn alternating_insert_delete_thrash_at_min_fill_boundary() {
         let rect = r([0.3, 0.3], [0.32, 0.32]);
         tree.insert(oid, rect);
         assert!(tree.delete(oid, rect));
-        tree.validate(true).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        tree.validate(true)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
     }
     assert_eq!(tree.len(), 8);
 }
@@ -110,7 +116,11 @@ fn explode_dissolves_a_subtree_into_objects() {
     // Detach it from the parent first so the clone stays consistent.
     detach(&mut clone, child_page);
     let out = clone.explode(orphan);
-    assert_eq!(out.len(), objects_under, "every object surfaces as an orphan");
+    assert_eq!(
+        out.len(),
+        objects_under,
+        "every object surfaces as an orphan"
+    );
     assert!(out.iter().all(|o| matches!(o.entry, Entry::Object { .. })));
     assert!(out.iter().all(|o| o.level == 0));
     assert!(

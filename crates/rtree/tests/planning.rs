@@ -68,7 +68,10 @@ fn plan_predicts_split_cascade() {
     assert_eq!(plan.split_pages, vec![t.root()]);
     assert!(plan.root_will_split);
     let result = t.apply_insert(&plan, obj(99, plan.rect));
-    assert!(result.root_split.is_some(), "apply must agree with the plan");
+    assert!(
+        result.root_split.is_some(),
+        "apply must agree with the plan"
+    );
     t.validate(true).unwrap();
 }
 
@@ -84,7 +87,10 @@ fn plan_and_apply_agree_over_bulk_load() {
         if plan.root_will_split {
             assert!(result.root_split.is_some(), "insert {i}: root split missed");
         } else {
-            assert!(result.root_split.is_none(), "insert {i}: surprise root split");
+            assert!(
+                result.root_split.is_none(),
+                "insert {i}: surprise root split"
+            );
             assert_eq!(
                 applied_splits, plan.split_pages,
                 "insert {i}: split pages disagree"
@@ -194,8 +200,12 @@ fn delete_plan_predicts_eliminations() {
 fn delete_plan_for_absent_object_is_none() {
     let mut t = RTree2::new(RTreeConfig::with_fanout(4), Rect::unit());
     t.insert(ObjectId(1), r([0.1, 0.1], [0.2, 0.2]));
-    assert!(t.plan_delete(ObjectId(2), r([0.1, 0.1], [0.2, 0.2])).is_none());
-    assert!(t.plan_delete(ObjectId(1), r([0.5, 0.5], [0.6, 0.6])).is_none());
+    assert!(t
+        .plan_delete(ObjectId(2), r([0.1, 0.1], [0.2, 0.2]))
+        .is_none());
+    assert!(t
+        .plan_delete(ObjectId(1), r([0.5, 0.5], [0.6, 0.6]))
+        .is_none());
 }
 
 #[test]

@@ -52,8 +52,7 @@ fn run_ops(fanout: usize, split: SplitAlgorithm, ops: &[Op]) {
                 assert_eq!(got, expect.is_some(), "step {step}: delete {k}");
             }
             Op::Search(query) => {
-                let mut got: Vec<u64> =
-                    tree.search(query).into_iter().map(|(o, ..)| o.0).collect();
+                let mut got: Vec<u64> = tree.search(query).into_iter().map(|(o, ..)| o.0).collect();
                 got.sort_unstable();
                 let mut want: Vec<u64> = oracle
                     .iter()

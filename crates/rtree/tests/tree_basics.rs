@@ -146,7 +146,10 @@ fn delete_everything_leaves_empty_valid_tree() {
 fn delete_absent_object_returns_false() {
     let mut t = small_tree(4);
     t.insert(ObjectId(1), r([0.1, 0.1], [0.2, 0.2]));
-    assert!(!t.delete(ObjectId(2), r([0.1, 0.1], [0.2, 0.2])), "wrong oid");
+    assert!(
+        !t.delete(ObjectId(2), r([0.1, 0.1], [0.2, 0.2])),
+        "wrong oid"
+    );
     assert!(
         !t.delete(ObjectId(1), r([0.3, 0.3], [0.4, 0.4])),
         "wrong rect"

@@ -134,7 +134,9 @@ mod tests {
     use super::*;
     use dgl_lockmgr::{
         LockDuration::{Commit, Short},
-        LockMode, LockOutcome, RequestKind::Conditional, ResourceId,
+        LockMode, LockOutcome,
+        RequestKind::Conditional,
+        ResourceId,
     };
 
     fn setup() -> TxnManager {
@@ -213,10 +215,7 @@ mod tests {
         m.abort(b);
         m.commit(c);
         let s = m.stats();
-        assert_eq!(
-            (s.started, s.committed, s.aborted),
-            (3, 2, 1)
-        );
+        assert_eq!((s.started, s.committed, s.aborted), (3, 2, 1));
         assert_eq!(m.active_count(), 0);
     }
 }

@@ -105,7 +105,11 @@ impl Dataset {
     /// The paper's spatial dataset: 32,000 uniform rectangles, 5 % average
     /// extent per dimension.
     pub fn paper_rects(seed: u64) -> Self {
-        Self::generate(DatasetKind::UniformRects { mean_extent: 0.05 }, 32_000, seed)
+        Self::generate(
+            DatasetKind::UniformRects { mean_extent: 0.05 },
+            32_000,
+            seed,
+        )
     }
 
     /// Number of objects.
@@ -144,10 +148,8 @@ mod tests {
     #[test]
     fn rect_extents_average_the_requested_mean() {
         let d = Dataset::generate(DatasetKind::UniformRects { mean_extent: 0.05 }, 4_000, 2);
-        let mean_w: f64 =
-            d.objects.iter().map(|(_, r)| r.extent(0)).sum::<f64>() / d.len() as f64;
-        let mean_h: f64 =
-            d.objects.iter().map(|(_, r)| r.extent(1)).sum::<f64>() / d.len() as f64;
+        let mean_w: f64 = d.objects.iter().map(|(_, r)| r.extent(0)).sum::<f64>() / d.len() as f64;
+        let mean_h: f64 = d.objects.iter().map(|(_, r)| r.extent(1)).sum::<f64>() / d.len() as f64;
         assert!((mean_w - 0.05).abs() < 0.005, "mean width {mean_w}");
         assert!((mean_h - 0.05).abs() < 0.005, "mean height {mean_h}");
         for (_, r) in &d.objects {
@@ -169,7 +171,12 @@ mod tests {
         // than the full space only if... no — centers spread. Instead
         // check density: the average pairwise distance within a 500-sample
         // subset is far below the uniform expectation (~0.52).
-        let pts: Vec<_> = d.objects.iter().take(500).map(|(_, r)| r.center()).collect();
+        let pts: Vec<_> = d
+            .objects
+            .iter()
+            .take(500)
+            .map(|(_, r)| r.center())
+            .collect();
         let mut sum = 0.0;
         let mut cnt = 0.0;
         for i in 0..pts.len() {
@@ -179,7 +186,7 @@ mod tests {
             }
         }
         let _ = sum / cnt; // distribution sanity only; clusters share ids mod k
-        // Objects from the same cluster index are near their center.
+                           // Objects from the same cluster index are near their center.
         let first_cluster: Vec<_> = d
             .objects
             .iter()

@@ -85,7 +85,11 @@ impl OpMix {
     }
 
     fn total(&self) -> u32 {
-        self.insert + self.delete + self.read_scan + self.update_scan + self.read_single
+        self.insert
+            + self.delete
+            + self.read_scan
+            + self.update_scan
+            + self.read_single
             + self.update_single
     }
 }
@@ -199,7 +203,10 @@ mod tests {
     fn first_op_is_always_an_insert() {
         // With no live objects, object-targeting ops degrade to inserts.
         let mut s = OpStream::new(OpMix::read_mostly(), 0, 1);
-        assert!(matches!(s.next_op(), Op::Insert(..) | Op::ReadScan(_) | Op::UpdateScan(_)));
+        assert!(matches!(
+            s.next_op(),
+            Op::Insert(..) | Op::ReadScan(_) | Op::UpdateScan(_)
+        ));
     }
 
     #[test]

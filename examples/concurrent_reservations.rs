@@ -82,7 +82,10 @@ fn main() {
             }
         }
     }
-    assert_eq!(conflicts, 0, "phantom protection must prevent double booking");
+    assert_eq!(
+        conflicts, 0,
+        "phantom protection must prevent double booking"
+    );
     db.validate().unwrap();
 
     let stats = db.txn_manager().stats();

@@ -44,9 +44,13 @@ fn main() {
     // Deletes are logical until commit: the object vanishes for this
     // transaction immediately, and is physically removed (with R-tree
     // condensation) after commit by a deferred system operation.
-    assert!(db.delete(t, ObjectId(2), Rect2::new([0.40, 0.40], [0.45, 0.45])).unwrap());
+    assert!(db
+        .delete(t, ObjectId(2), Rect2::new([0.40, 0.40], [0.45, 0.45]))
+        .unwrap());
     assert_eq!(
-        db.read_scan(t, Rect2::new([0.0, 0.0], [0.5, 0.5])).unwrap().len(),
+        db.read_scan(t, Rect2::new([0.0, 0.0], [0.5, 0.5]))
+            .unwrap()
+            .len(),
         1
     );
     db.commit(t).unwrap();

@@ -1,0 +1,243 @@
+//! Offline shim for the `criterion` API subset this workspace's benches
+//! use. It is a plain timed-loop runner: each benchmark warms up briefly,
+//! then runs a fixed number of timed batches and prints mean ns/iter.
+//! Adequate for relative comparisons; not statistically rigorous.
+//!
+//! Run with `cargo bench`. When the binary is invoked by `cargo test`
+//! (no `--bench` flag), every benchmark executes exactly one iteration so
+//! the suite stays fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings; the shim honors `sample_size` loosely (it bounds
+/// the number of timed batches).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench`; anything else
+        // (e.g. `cargo test` target selection) runs in check mode.
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Self {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_benchmark(&label, self.sample_size, self.test_mode, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, samples, self.criterion.test_mode, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    /// Mean nanoseconds per iteration over the timed batches.
+    mean_ns: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters_done = 1;
+            return;
+        }
+        // Warm-up + batch sizing: aim for batches of >= 1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 8;
+        }
+        let mut total_ns: u128 = 0;
+        let mut total_iters: u64 = 0;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_ns += t0.elapsed().as_nanos();
+            total_iters += batch;
+        }
+        self.mean_ns = total_ns as f64 / total_iters as f64;
+        self.iters_done = total_iters;
+    }
+
+    /// Per-iteration setup excluded from the measurement (timed
+    /// per-iteration rather than batched, which is accurate enough for
+    /// the routines this workspace benchmarks).
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut f: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(f(setup()));
+            self.iters_done = 1;
+            return;
+        }
+        let mut total_ns: u128 = 0;
+        let mut total_iters: u64 = 0;
+        for _ in 0..self.samples.max(1) * 16 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(f(input));
+            total_ns += t0.elapsed().as_nanos();
+            total_iters += 1;
+        }
+        self.mean_ns = total_ns as f64 / total_iters as f64;
+        self.iters_done = total_iters;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, test_mode: bool, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        test_mode,
+        mean_ns: 0.0,
+        iters_done: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("bench {label}: ok (test mode, 1 iteration)");
+    } else {
+        println!(
+            "bench {label}: {:.1} ns/iter ({} iterations)",
+            b.mean_ns, b.iters_done
+        );
+    }
+}
+
+/// `criterion_group!` — both the list form and the struct form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,70 @@
+//! Offline shim for `crossbeam::scope`, backed by `std::thread::scope`.
+//!
+//! Difference from real crossbeam: a panicking child thread propagates the
+//! panic out of `scope` (std semantics) instead of surfacing it as `Err`.
+
+use std::any::Any;
+use std::thread as sys;
+
+pub mod thread {
+    use super::*;
+
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure (crossbeam's signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope sys::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: sys::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(sys::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawns_and_joins_with_nested_spawn() {
+        let mut data = vec![1, 2, 3];
+        let total = crate::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 10).join().unwrap();
+                inner + 1
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 11);
+        data.push(4);
+        assert_eq!(data.len(), 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Configuration, error type and deterministic random stream for the
+//! shimmed `proptest!` harness.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Subset of proptest's `Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed; the run aborts and reports.
+    Fail(String),
+    /// The input was rejected (e.g. a filter); the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail(r) => write!(f, "test case failed: {r}"),
+            Self::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic random stream (splitmix64). Each `proptest!` function
+/// seeds one from its own module path, so runs are reproducible and
+/// distinct tests see distinct streams.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        Self {
+            state: h.finish() | 1,
+        }
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline shim for `serde`: a marker `Serialize` trait plus the no-op
+//! derive. The workspace derives `Serialize` on benchmark report structs
+//! but never feeds them to a serializer, so no methods are needed.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+macro_rules! impl_serialize_prim {
+    ($($t:ty),*) => {$( impl Serialize for $t {} )*};
+}
+
+impl_serialize_prim!(
+    (),
+    bool,
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    char,
+    String
+);
+
+impl Serialize for &str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Serialize> Serialize for &T {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}

@@ -1,0 +1,75 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` expands to an
+//! empty `Serialize` impl. The workspace only derives the trait for report
+//! structs (no serializer is ever invoked), so a marker impl suffices.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts the type name following `struct`/`enum`, plus the names of any
+/// generic parameters, from the raw derive input.
+fn type_header(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" {
+            continue;
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(n)) => n.to_string(),
+            _ => return None,
+        };
+        // Collect simple generic parameter names out of `<...>`, if any.
+        let mut generics = Vec::new();
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expecting_param = true;
+            for tt in tokens.by_ref() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expecting_param = true;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                        expecting_param = false;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                        generics.push(id.to_string());
+                        expecting_param = false;
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::None => {}
+                    _ => {}
+                }
+            }
+        }
+        return Some((name, generics));
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Some((name, generics)) = type_header(input) else {
+        return TokenStream::new();
+    };
+    let impl_line = if generics.is_empty() {
+        format!("impl serde::Serialize for {name} {{}}")
+    } else {
+        let params = generics.join(", ");
+        let bounds = generics
+            .iter()
+            .map(|g| format!("{g}: serde::Serialize"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("impl<{params}> serde::Serialize for {name}<{params}> where {bounds} {{}}")
+    };
+    impl_line.parse().unwrap_or_default()
+}

@@ -19,19 +19,32 @@
 //! with `timeout` (and rolls its transaction back) instead of hanging the
 //! single-threaded prompt. `save`/`load` persist the index as a snapshot
 //! file.
+//!
+//! With `--background`, deferred physical deletions run on the
+//! maintenance worker instead of inline at commit. This matters in a
+//! single-threaded shell: inline, a commit whose physical deletion
+//! conflicts with another session's scan locks stalls the prompt until
+//! that scanner finishes — which, with only one prompt, is never.
 
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
-use granular_rtree::core::{DglConfig, DglRTree, Rect2, TransactionalRTree, TxnError, TxnId};
+use granular_rtree::core::{
+    DglConfig, DglRTree, MaintenanceConfig, MaintenanceMode, Rect2, TransactionalRTree, TxnError,
+    TxnId,
+};
 use granular_rtree::lockmgr::LockManagerConfig;
 use granular_rtree::rtree::{self, ObjectId, RTreeConfig};
 
-fn config() -> DglConfig {
+fn config(mode: MaintenanceMode) -> DglConfig {
     DglConfig {
         rtree: RTreeConfig::with_fanout(8),
         lock: LockManagerConfig {
             wait_timeout: Duration::from_secs(1),
+            ..Default::default()
+        },
+        maintenance: MaintenanceConfig {
+            mode,
             ..Default::default()
         },
         ..Default::default()
@@ -39,7 +52,12 @@ fn config() -> DglConfig {
 }
 
 fn main() {
-    let mut db = DglRTree::new(config());
+    let mode = if std::env::args().any(|a| a == "--background") {
+        MaintenanceMode::Background
+    } else {
+        MaintenanceMode::Inline
+    };
+    let mut db = DglRTree::new(config(mode));
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     println!("granular-rtree shell — type `help`");
@@ -54,7 +72,7 @@ fn main() {
         if parts.is_empty() {
             continue;
         }
-        match run_command(&mut db, &parts) {
+        match run_command(&mut db, mode, &parts) {
             Ok(Some(msg)) => println!("{msg}"),
             Ok(None) => break,
             Err(msg) => println!("error: {msg}"),
@@ -92,7 +110,11 @@ fn txn_err(e: TxnError) -> String {
     }
 }
 
-fn run_command(db: &mut DglRTree, parts: &[&str]) -> Result<Option<String>, String> {
+fn run_command(
+    db: &mut DglRTree,
+    mode: MaintenanceMode,
+    parts: &[&str],
+) -> Result<Option<String>, String> {
     match parts[0] {
         "help" => Ok(Some(HELP.trim().into())),
         "quit" | "exit" => Ok(None),
@@ -168,7 +190,8 @@ fn run_command(db: &mut DglRTree, parts: &[&str]) -> Result<Option<String>, Stri
             let os = db.op_stats().snapshot();
             Ok(Some(format!(
                 "objects {} | txns: {} started, {} committed, {} aborted ({} active)\n\
-                 locks: {} requests, {} waits, {} deadlocks | ops: {} ins, {} del, {} scans, {} retries",
+                 locks: {} requests, {} waits, {} deadlocks | ops: {} ins, {} del, {} scans, {} retries\n\
+                 maintenance: {} enqueued, {} completed, {} pending | avg commit {}µs",
                 db.len(),
                 ts.started,
                 ts.committed,
@@ -181,6 +204,10 @@ fn run_command(db: &mut DglRTree, parts: &[&str]) -> Result<Option<String>, Stri
                 os.deletes,
                 os.read_scans,
                 os.op_retries,
+                os.maint_enqueued,
+                os.maint_completed,
+                db.op_stats().maintenance_backlog(),
+                os.avg_commit_nanos() / 1_000,
             )))
         }
         "tree" => Ok(Some(db.with_tree(|t| {
@@ -226,10 +253,13 @@ fn run_command(db: &mut DglRTree, parts: &[&str]) -> Result<Option<String>, Stri
             if db.txn_manager().active_count() > 0 {
                 return Err("cannot load with active transactions".into());
             }
-            let tree =
-                rtree::load_tree(std::path::Path::new(path)).map_err(|e| e.to_string())?;
-            *db = DglRTree::from_snapshot(tree, config());
+            let tree = rtree::load_tree(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+            *db = DglRTree::from_snapshot(tree, config(mode));
             Ok(Some(format!("loaded {} objects from {path}", db.len())))
+        }
+        "quiesce" => {
+            db.quiesce();
+            Ok(Some("ok (maintenance queue drained)".into()))
         }
         other => Err(format!("unknown command {other:?}; try `help`")),
     }
@@ -246,7 +276,10 @@ commands:
   update-scan <txn> x0 y0 x1 y1          scan + update every hit
   commit <txn> | abort <txn>             finish a transaction
   stats | tree | granules                introspection
+  quiesce                                drain the background maintenance queue
   save <path> | load <path>              snapshot persistence
   quit
 locks that cannot be granted within 1s roll the transaction back (timeout).
+start with --background to run deferred physical deletions on the
+maintenance worker instead of inline at commit.
 "#;

@@ -151,7 +151,10 @@ fn snapshot_file_roundtrip_through_the_transactional_layer() {
     // tree image that still carries a tombstone (simulating a crash after
     // commit, before the deferred deletion ran).
     let victim = ObjectId(7);
-    let victim_rect = Rect2::new([0.07 * 0.9, 0.07 * 0.9], [0.07 * 0.9 + 0.01, 0.07 * 0.9 + 0.01]);
+    let victim_rect = Rect2::new(
+        [0.07 * 0.9, 0.07 * 0.9],
+        [0.07 * 0.9 + 0.01, 0.07 * 0.9 + 0.01],
+    );
     let path = std::env::temp_dir().join(format!("dgl-e2e-{}.tree", std::process::id()));
     db.with_tree(|tree| {
         let mut image = granular_rtree::rtree::codec::restore_tree(
