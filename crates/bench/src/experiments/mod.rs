@@ -5,4 +5,5 @@ pub mod granule_change;
 pub mod maintenance;
 pub mod table2;
 pub mod table4;
+pub mod throughput;
 pub mod zorder;

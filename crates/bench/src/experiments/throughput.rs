@@ -1,0 +1,423 @@
+//! Multi-threaded aggregate throughput: optimistic vs pessimistic write
+//! path vs whole-tree locking, swept over threads × operation mix.
+//!
+//! This is the perf artefact for the optimistic plan/validate/apply
+//! split: the pessimistic contender is the *same* DGL protocol with
+//! [`WritePathMode::Pessimistic`] (plan and apply under one exclusive
+//! latch hold — the historical single-writer behavior), so the delta
+//! between the two isolates exactly what the optimistic split buys.
+//! `tree-lock` rides along as the coarse-locking floor.
+//!
+//! Emitted as `BENCH_throughput.json` by the `throughput` binary.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dgl_core::baseline::TreeLockRTree;
+use dgl_core::{DglConfig, DglRTree, InsertPolicy, TransactionalRTree, WritePathMode};
+use dgl_lockmgr::LockManagerConfig;
+use dgl_rtree::RTreeConfig;
+use dgl_workload::{Op, OpMix, OpStream};
+
+/// Sweep shape.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Thread counts to sweep.
+    pub threads: Vec<u64>,
+    /// Committed transactions per thread at each point.
+    pub txns_per_thread: u64,
+    /// Operations per transaction.
+    pub ops_per_txn: u64,
+    /// R-tree fanout.
+    pub fanout: usize,
+    /// Objects preloaded before timing starts.
+    pub preload: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        Self {
+            threads: vec![1, 2, 4, 8],
+            txns_per_thread: 400,
+            ops_per_txn: 2,
+            fanout: 16,
+            preload: 4_000,
+            seed: 42,
+        }
+    }
+}
+
+impl ThroughputConfig {
+    /// Tiny run for CI smoke checks: the sweep still crosses every code
+    /// path (both latch modes, contention at 8 threads) in ~a second.
+    pub fn smoke() -> Self {
+        Self {
+            threads: vec![2, 8],
+            txns_per_thread: 30,
+            preload: 400,
+            ..Self::default()
+        }
+    }
+}
+
+/// The read-heavy 90/10 mix (90 % reads, 10 % writes) the scalability
+/// target is stated against, plus the stock mixes.
+pub fn mixes() -> Vec<(&'static str, OpMix)> {
+    let read_heavy = OpMix {
+        insert: 4,
+        delete: 2,
+        read_scan: 55,
+        update_scan: 0,
+        read_single: 35,
+        update_single: 4,
+        scan_extent: 0.06,
+        object_extent: 0.01,
+    };
+    vec![
+        ("read-heavy-90-10", read_heavy),
+        ("balanced", OpMix::balanced()),
+        ("write-heavy", OpMix::write_heavy()),
+    ]
+}
+
+/// One contender: the trait object the workload drives, plus the
+/// concrete DGL handle (when there is one) for the optimistic-path
+/// counters that are not part of the common trait.
+struct Contender {
+    label: &'static str,
+    db: Arc<dyn TransactionalRTree>,
+    dgl: Option<Arc<DglRTree>>,
+}
+
+fn contenders(fanout: usize) -> Vec<Contender> {
+    let lock = LockManagerConfig {
+        wait_timeout: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let dgl_with = |write_path: WritePathMode| {
+        Arc::new(DglRTree::new(DglConfig {
+            rtree: RTreeConfig::with_fanout(fanout),
+            policy: InsertPolicy::Modified,
+            write_path,
+            lock: lock.clone(),
+            ..Default::default()
+        }))
+    };
+    let optimistic = dgl_with(WritePathMode::Optimistic);
+    let pessimistic = dgl_with(WritePathMode::Pessimistic);
+    vec![
+        Contender {
+            label: "dgl-optimistic",
+            db: Arc::<DglRTree>::clone(&optimistic) as Arc<dyn TransactionalRTree>,
+            dgl: Some(optimistic),
+        },
+        Contender {
+            label: "dgl-pessimistic",
+            db: Arc::<DglRTree>::clone(&pessimistic) as Arc<dyn TransactionalRTree>,
+            dgl: Some(pessimistic),
+        },
+        Contender {
+            label: "tree-lock",
+            db: Arc::new(TreeLockRTree::new(
+                RTreeConfig::with_fanout(fanout),
+                dgl_core::Rect2::unit(),
+                lock,
+            )),
+            dgl: None,
+        },
+    ]
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Contender label (`dgl-optimistic`, `dgl-pessimistic`, `tree-lock`).
+    pub protocol: String,
+    /// Mix label.
+    pub mix: String,
+    /// Worker threads.
+    pub threads: u64,
+    /// Aggregate successful operations per second across all threads.
+    pub ops_per_sec: f64,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transactions (deadlock/timeout victims).
+    pub aborts: u64,
+    /// Wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// Optimistic replans forced by stale-plan detection (DGL only).
+    pub optimistic_replans: u64,
+    /// Stale plans detected under the exclusive latch (DGL only).
+    pub plan_validation_failures: u64,
+    /// Mean exclusive-latch hold of the write path, nanoseconds (DGL only).
+    pub avg_x_latch_nanos: u64,
+    /// Total nanoseconds the tree was exclusively latched (readers shut
+    /// out) over the measured interval (DGL only).
+    pub x_latch_total_nanos: u64,
+}
+
+/// Preload on a high thread id so worker oid spaces stay disjoint. Runs
+/// once per contender per mix (the thread sweep reuses the index).
+fn preload(db: &Arc<dyn TransactionalRTree>, mix: OpMix, cfg: &ThroughputConfig) {
+    let mut stream = OpStream::new(mix, 10_000, cfg.seed);
+    let t = db.begin();
+    let mut loaded = 0;
+    while loaded < cfg.preload {
+        if let Op::Insert(oid, rect) = stream.next_op() {
+            db.insert(t, oid, rect).expect("preload insert");
+            stream.committed(&Op::Insert(oid, rect));
+            loaded += 1;
+        }
+    }
+    db.commit(t).unwrap();
+}
+
+fn run_point(
+    c: &Contender,
+    mix_label: &str,
+    mix: OpMix,
+    threads: u64,
+    cfg: &ThroughputConfig,
+) -> ThroughputRow {
+    let before = c.dgl.as_ref().map(|d| d.op_stats().snapshot());
+    let db = &c.db;
+    let start = Instant::now();
+    let (ops, commits, aborts): (u64, u64, u64) = crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let db = Arc::clone(db);
+            // Offset per-point so reruns on the same contender (the sweep
+            // reuses one index per mix) never collide on object ids.
+            let stream_id = threads * 1_000 + tid;
+            let cfg = cfg.clone();
+            handles.push(s.spawn(move |_| {
+                let mut stream = OpStream::new(mix, stream_id, cfg.seed);
+                let (mut ops, mut commits, mut aborts) = (0u64, 0u64, 0u64);
+                while commits < cfg.txns_per_thread {
+                    let txn = db.begin();
+                    let mut applied: Vec<Op> = Vec::new();
+                    let mut failed = false;
+                    for _ in 0..cfg.ops_per_txn {
+                        let op = stream.next_op();
+                        let result = match op {
+                            Op::Insert(oid, rect) => db.insert(txn, oid, rect).map(|()| true),
+                            Op::Delete(oid, rect) => db.delete(txn, oid, rect),
+                            Op::ReadScan(q) => db.read_scan(txn, q).map(|_| true),
+                            Op::UpdateScan(q) => db.update_scan(txn, q).map(|_| true),
+                            Op::ReadSingle(oid, rect) => {
+                                db.read_single(txn, oid, rect).map(|_| true)
+                            }
+                            Op::UpdateSingle(oid, rect) => db.update_single(txn, oid, rect),
+                        };
+                        match result {
+                            Ok(_) => applied.push(op),
+                            Err(dgl_core::TxnError::DuplicateObject) => {}
+                            Err(_) => {
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if failed {
+                        aborts += 1;
+                        continue;
+                    }
+                    db.commit(txn).expect("commit");
+                    ops += applied.len() as u64;
+                    for op in &applied {
+                        stream.committed(op);
+                    }
+                    commits += 1;
+                }
+                (ops, commits, aborts)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0, 0, 0), |(o, c, a), (do_, dc, da)| {
+                (o + do_, c + dc, a + da)
+            })
+    })
+    .unwrap();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let (replans, failures, avg_x, total_x) = match (&c.dgl, before) {
+        (Some(d), Some(before)) => {
+            let delta = d.op_stats().snapshot().since(&before);
+            (
+                delta.optimistic_replans,
+                delta.plan_validation_failures,
+                delta.avg_x_latch_nanos(),
+                delta.x_latch_nanos,
+            )
+        }
+        _ => (0, 0, 0, 0),
+    };
+    ThroughputRow {
+        protocol: c.label.to_string(),
+        mix: mix_label.to_string(),
+        threads,
+        ops_per_sec: ops as f64 / elapsed,
+        commits,
+        aborts,
+        elapsed_secs: elapsed,
+        optimistic_replans: replans,
+        plan_validation_failures: failures,
+        avg_x_latch_nanos: avg_x,
+        x_latch_total_nanos: total_x,
+    }
+}
+
+/// Runs the full sweep: every contender × mix × thread count. Each
+/// contender gets a fresh index per mix; thread counts run back-to-back
+/// on it (the index keeps growing, matching a long-lived system).
+pub fn run_sweep(cfg: &ThroughputConfig) -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for (mix_label, mix) in mixes() {
+        for c in contenders(cfg.fanout) {
+            preload(&c.db, mix, cfg);
+            for &threads in &cfg.threads {
+                rows.push(run_point(&c, mix_label, mix, threads, cfg));
+            }
+        }
+    }
+    rows
+}
+
+/// Hand-rolled JSON (the offline `serde` shim is marker-only).
+pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"throughput\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"threads\": {:?}, \"txns_per_thread\": {}, \"ops_per_txn\": {}, \"fanout\": {}, \"preload\": {}, \"seed\": {}}},\n",
+        cfg.threads, cfg.txns_per_thread, cfg.ops_per_txn, cfg.fanout, cfg.preload, cfg.seed
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}}}{}\n",
+            r.protocol,
+            r.mix,
+            r.threads,
+            r.ops_per_sec,
+            r.commits,
+            r.aborts,
+            r.elapsed_secs,
+            r.optimistic_replans,
+            r.plan_validation_failures,
+            r.avg_x_latch_nanos,
+            r.x_latch_total_nanos,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Markdown rendering of the sweep.
+pub fn render(rows: &[ThroughputRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mix.clone(),
+                r.protocol.clone(),
+                r.threads.to_string(),
+                format!("{:.0}", r.ops_per_sec),
+                r.commits.to_string(),
+                r.aborts.to_string(),
+                r.optimistic_replans.to_string(),
+                format!("{:.1}", r.avg_x_latch_nanos as f64 / 1_000.0),
+            ]
+        })
+        .collect();
+    crate::report::markdown_table(
+        &[
+            "Mix",
+            "Protocol",
+            "Threads",
+            "Ops/s",
+            "Commits",
+            "Aborts",
+            "Replans",
+            "X-latch µs",
+        ],
+        &body,
+    )
+}
+
+/// The headline ratio: optimistic over pessimistic aggregate ops/sec on
+/// the read-heavy mix at the highest swept thread count.
+pub fn headline_speedup(rows: &[ThroughputRow]) -> Option<f64> {
+    let max_threads = rows.iter().map(|r| r.threads).max()?;
+    let pick = |proto: &str| {
+        rows.iter()
+            .find(|r| {
+                r.protocol == proto && r.mix == "read-heavy-90-10" && r.threads == max_threads
+            })
+            .map(|r| r.ops_per_sec)
+    };
+    Some(pick("dgl-optimistic")? / pick("dgl-pessimistic")?)
+}
+
+/// Exclusive-latch hold-time reduction on the same point: pessimistic
+/// over optimistic mean hold. This is the quantity the split directly
+/// shrinks, and unlike aggregate ops/sec it is meaningful even when the
+/// harness runs on fewer cores than threads (a saturated single core
+/// caps ops/sec at work/sec regardless of how short the critical
+/// section is — the shorter hold only converts to throughput once
+/// readers can actually run in parallel).
+pub fn headline_x_latch_reduction(rows: &[ThroughputRow]) -> Option<f64> {
+    let max_threads = rows.iter().map(|r| r.threads).max()?;
+    let pick = |proto: &str| {
+        rows.iter()
+            .find(|r| {
+                r.protocol == proto && r.mix == "read-heavy-90-10" && r.threads == max_threads
+            })
+            .map(|r| r.avg_x_latch_nanos as f64)
+    };
+    let opt = pick("dgl-optimistic")?;
+    if opt == 0.0 {
+        return None;
+    }
+    Some(pick("dgl-pessimistic")? / opt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_runs_and_serializes() {
+        // Deliberately tiny: timing-based tests (table4, maintenance)
+        // share this test binary and must not be starved of cores.
+        let cfg = ThroughputConfig {
+            threads: vec![1, 2],
+            txns_per_thread: 5,
+            ops_per_txn: 2,
+            fanout: 8,
+            preload: 60,
+            seed: 3,
+        };
+        let rows = run_sweep(&cfg);
+        // 3 mixes × 3 contenders × 2 thread counts.
+        assert_eq!(rows.len(), 18);
+        for r in &rows {
+            assert!(r.ops_per_sec > 0.0, "{r:?}");
+            assert_eq!(r.commits, r.threads * cfg.txns_per_thread);
+        }
+        // tree-lock never reports optimistic counters.
+        assert!(rows
+            .iter()
+            .filter(|r| r.protocol == "tree-lock")
+            .all(|r| r.optimistic_replans == 0 && r.avg_x_latch_nanos == 0));
+        let json = to_json(&cfg, &rows);
+        assert!(json.contains("\"bench\": \"throughput\""));
+        assert!(json.contains("dgl-pessimistic"));
+        assert!(json.contains("x_latch_total_nanos"));
+        assert!(headline_speedup(&rows).unwrap() > 0.0);
+        assert!(headline_x_latch_reduction(&rows).unwrap() > 0.0);
+    }
+}

@@ -68,8 +68,12 @@ impl DglCore {
     /// (e.g. the tree was restored from a checkpoint without the journal).
     fn deferred_remove_phase(&self, sys: TxnId, d: DeferredDelete) -> Option<Vec<Orphan<2>>> {
         loop {
-            let mut tree = self.tree.write();
-            let plan = tree.plan_delete(d.oid, d.rect)?;
+            // Same optimistic plan/validate/apply split as user writes:
+            // the planning traversal and conditional lock calls run under
+            // the shared latch, so a system operation grinding through a
+            // big condense no longer stalls every concurrent scan.
+            let latch = self.plan_latch();
+            let plan = latch.tree().plan_delete(d.oid, d.rect)?;
             let mut locks = LockList::new();
             let leaf_mode = if plan.leaf_eliminated { SIX } else { IX };
             locks.add(Self::page(plan.leaf), leaf_mode, Short);
@@ -81,8 +85,15 @@ impl DglCore {
             }
             match locks.try_acquire(&self.lm, sys) {
                 Ok(()) => {
-                    let result = tree.apply_delete(&plan);
-                    self.payloads.lock().remove(&d.oid);
+                    let Some(mut apply) = self.upgrade(latch) else {
+                        continue;
+                    };
+                    let result = apply.apply_delete(&plan);
+                    // Tree entry and payload entry vanish atomically under
+                    // the exclusive latch — the latchless duplicate probe
+                    // in `insert_op` depends on this.
+                    self.payload_table().remove(&d.oid);
+                    drop(apply);
                     debug_assert_eq!(
                         {
                             let mut a = plan.eliminated.clone();
@@ -99,7 +110,7 @@ impl DglCore {
                     return Some(result.orphans);
                 }
                 Err((res, mode, dur)) => {
-                    drop(tree);
+                    drop(latch);
                     OpStats::bump(&self.stats.op_retries);
                     OpStats::bump(&self.stats.deferred_retries);
                     self.system_wait(sys, res, mode, dur);
@@ -113,24 +124,27 @@ impl DglCore {
     /// below them) are exploded into their objects, which are queued.
     fn deferred_reinsert_phase(&self, sys: TxnId, orphan: Orphan<2>, queue: &mut Vec<Orphan<2>>) {
         loop {
-            let mut tree = self.tree.write();
-            let root_level = tree.peek_node(tree.root()).level;
+            let latch = self.plan_latch();
+            let root_level = latch.tree().peek_node(latch.tree().root()).level;
             if orphan.level > root_level {
                 // Explode: the orphan subtree's pages die, so take short
                 // SIX on each of them first (same rule as elimination).
-                let pages = subtree_pages(&tree, &orphan.entry);
+                let pages = subtree_pages(latch.tree(), &orphan.entry);
                 let mut locks = LockList::new();
                 for p in &pages {
                     locks.add(Self::page(*p), SIX, Short);
                 }
                 match locks.try_acquire(&self.lm, sys) {
                     Ok(()) => {
-                        let objects = tree.explode(orphan);
+                        let Some(mut apply) = self.upgrade(latch) else {
+                            continue;
+                        };
+                        let objects = apply.explode(orphan);
                         queue.extend(objects);
                         return;
                     }
                     Err((res, mode, dur)) => {
-                        drop(tree);
+                        drop(latch);
                         OpStats::bump(&self.stats.op_retries);
                         OpStats::bump(&self.stats.deferred_retries);
                         self.system_wait(sys, res, mode, dur);
@@ -138,7 +152,9 @@ impl DglCore {
                     }
                 }
             }
-            let plan = tree.plan_insert_at(orphan.entry.mbr(), orphan.level);
+            let plan = latch
+                .tree()
+                .plan_insert_at(orphan.entry.mbr(), orphan.level);
             let mut locks = LockList::new();
             // Ordinary insert rules, short duration (the objects are
             // already committed; we only guard the structural motion).
@@ -158,7 +174,7 @@ impl DglCore {
                 locks.add(self.ext_res(plan.target), SIX, Short);
             }
             if plan.grows {
-                let set = crate::granules::overlapping_granules(&*tree, &plan.growth);
+                let set = crate::granules::overlapping_granules(latch.tree(), &plan.growth);
                 for g in set.leaves {
                     if g != plan.target {
                         locks.add(Self::page(g), IX, Short);
@@ -170,11 +186,14 @@ impl DglCore {
             }
             match locks.try_acquire(&self.lm, sys) {
                 Ok(()) => {
-                    tree.apply_reinsert(&plan, orphan.entry);
+                    let Some(mut apply) = self.upgrade(latch) else {
+                        continue;
+                    };
+                    apply.apply_reinsert(&plan, orphan.entry);
                     return;
                 }
                 Err((res, mode, dur)) => {
-                    drop(tree);
+                    drop(latch);
                     OpStats::bump(&self.stats.op_retries);
                     OpStats::bump(&self.stats.deferred_retries);
                     self.system_wait(sys, res, mode, dur);

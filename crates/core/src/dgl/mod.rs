@@ -10,18 +10,52 @@
 //!   (commit runs deferred deletions; abort undoes in reverse), and the
 //!   latch/lock interplay helpers.
 //!
-//! # Latch vs lock discipline
+//! # Latch vs lock discipline: optimistic plan / validate / apply
 //!
-//! Physical consistency uses a tree latch (`RwLock`): scans latch shared,
-//! structure modifications latch exclusive, held only for the duration of
-//! one attempt. Transactional locks are acquired **conditionally while
-//! latched, before any modification**. If a conditional request would
-//! block, the attempt aborts cleanly: the latch is dropped, the lock is
-//! awaited *unconditionally* (this is where deadlock detection applies),
-//! and the whole operation replans — the paper's reason for requiring
-//! conditional requests from the lock manager. Locks acquired by failed
-//! attempts are retained (releasing mid-transaction would break 2PL);
-//! they are re-granted instantly on retry.
+//! Physical consistency uses a tree latch (`RwLock`). Scans latch shared.
+//! Write operations run an **optimistic latch-coupling** split:
+//!
+//! 1. **Plan, shared.** Under the *shared* latch the operation runs its
+//!    read-only planning traversal (`plan_insert`/`plan_delete`, predicted
+//!    split-sibling page ids), records the tree's structure version,
+//!    builds the Table-3 lock list and acquires every lock
+//!    **conditionally** — concurrent scans *and other planners* proceed in
+//!    parallel the whole time.
+//! 2. **Validate + apply, exclusive.** The shared latch is dropped, the
+//!    *exclusive* latch taken, and the recorded version compared against
+//!    the tree. Unchanged ⇒ the plan (and its page-id predictions) is
+//!    still byte-exact, and the mutation is applied — the exclusive hold
+//!    is just this short apply step. Changed ⇒ another writer slipped in;
+//!    the attempt replans from step 1. Replans are cheap and
+//!    starvation-free in practice: locks acquired by the stale attempt are
+//!    retained (2PL) and re-grant instantly, and every version bump means
+//!    some other writer completed.
+//!
+//! This preserves the paper's requirement that locks be negotiated
+//! *before modification* (§3.3, Table 3): validation proves the tree the
+//! locks were computed against is the tree being modified, so the lock
+//! set is exactly what a pessimistic attempt would have taken — only the
+//! latch mode during planning differs, which the paper leaves to the
+//! orthogonal physical-consistency protocol.
+//! [`WritePathMode::Pessimistic`] restores the historical behavior (plan
+//! and apply under one exclusive hold, no validation) as a benchmark
+//! baseline.
+//!
+//! If a conditional lock request would block (either phase), the attempt
+//! aborts cleanly: all latches are dropped, the lock is awaited
+//! *unconditionally* (this is where deadlock detection applies), and the
+//! whole operation replans — the paper's reason for requiring conditional
+//! requests from the lock manager. Locks acquired by failed attempts are
+//! retained (releasing mid-transaction would break 2PL); they are
+//! re-granted instantly on retry.
+//!
+//! ## Latch → `payloads` ordering
+//!
+//! The payload table (`DglCore::payloads`) is a leaf lock: a thread may
+//! acquire it while holding the tree latch (either mode), but must never
+//! acquire or wait for the tree latch while holding it. All latch and
+//! payload-table accesses go through `DglCore`'s helpers, which enforce
+//! the ordering with a debug assertion.
 
 mod deferred;
 mod maintenance;
@@ -32,10 +66,13 @@ pub use maintenance::{MaintenanceConfig, MaintenanceMode};
 
 use maintenance::MaintenanceHandle;
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
+use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dgl_geom::Rect2;
 use dgl_lockmgr::{
@@ -66,6 +103,21 @@ pub enum InsertPolicy {
     Modified,
 }
 
+/// How write operations interleave the tree latch with planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePathMode {
+    /// Plan under the *shared* latch (concurrent with scans and other
+    /// planners), validate the structure version under a short *exclusive*
+    /// latch, then apply — the optimistic latch-coupling split described
+    /// in the module docs.
+    #[default]
+    Optimistic,
+    /// Plan and apply under one exclusive latch hold (the historical
+    /// single-writer behavior). Kept as a measurable baseline for the
+    /// throughput benchmarks; never required for correctness.
+    Pessimistic,
+}
+
 /// Configuration for [`DglRTree`].
 #[derive(Debug, Clone)]
 pub struct DglConfig {
@@ -75,6 +127,9 @@ pub struct DglConfig {
     pub world: Rect2,
     /// Insertion policy.
     pub policy: InsertPolicy,
+    /// Write-path latch discipline (optimistic plan/validate/apply by
+    /// default).
+    pub write_path: WritePathMode,
     /// Lock manager configuration.
     pub lock: LockManagerConfig,
     /// Optional LRU buffer model (pages) for disk-access accounting.
@@ -103,6 +158,7 @@ impl Default for DglConfig {
             rtree: RTreeConfig::default(),
             world: Rect2::unit(),
             policy: InsertPolicy::default(),
+            write_path: WritePathMode::default(),
             lock: LockManagerConfig::default(),
             buffer_pages: None,
             maintenance: MaintenanceConfig::default(),
@@ -141,9 +197,98 @@ pub(crate) struct DglCore {
     /// Serializes post-commit deferred deletions (system operations).
     pub(crate) deferred_gate: Mutex<()>,
     pub(crate) policy: InsertPolicy,
+    pub(crate) write_path: WritePathMode,
     pub(crate) coarse_external: bool,
     pub(crate) skip_growth_compensation: bool,
     pub(crate) stats: OpStats,
+}
+
+thread_local! {
+    /// Number of payload-table guards this thread currently holds. The
+    /// latch helpers assert (debug builds) that it is zero, enforcing the
+    /// latch → `payloads` ordering documented in the module docs.
+    static PAYLOADS_HELD: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII guard over the payload table that maintains the thread-local
+/// ordering counter behind the latch → `payloads` debug assertion.
+/// Obtained via [`DglCore::payload_table`] — never lock
+/// `DglCore::payloads` directly.
+pub(crate) struct PayloadsGuard<'a> {
+    inner: MutexGuard<'a, HashMap<ObjectId, u64>>,
+}
+
+impl Deref for PayloadsGuard<'_> {
+    type Target = HashMap<ObjectId, u64>;
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+impl DerefMut for PayloadsGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.inner
+    }
+}
+
+impl Drop for PayloadsGuard<'_> {
+    fn drop(&mut self) {
+        PAYLOADS_HELD.with(|c| c.set(c.get() - 1));
+    }
+}
+
+/// The latch a write operation holds while planning. In optimistic mode
+/// this is the *shared* latch plus the structure version it was acquired
+/// at; in pessimistic mode it is the exclusive latch for the whole
+/// attempt. Either way, [`DglCore::upgrade`] trades it for the exclusive
+/// [`ApplyGuard`] once planning and conditional lock acquisition succeed.
+pub(crate) enum PlanLatch<'a> {
+    /// Shared latch + the tree's structure version at acquisition time.
+    Shared(RwLockReadGuard<'a, RTree2>, u64),
+    /// Exclusive latch held since `start` (pessimistic baseline mode).
+    Exclusive(RwLockWriteGuard<'a, RTree2>, Instant),
+}
+
+impl PlanLatch<'_> {
+    /// Read access to the tree for the planning traversal.
+    pub(crate) fn tree(&self) -> &RTree2 {
+        match self {
+            PlanLatch::Shared(g, _) => g,
+            PlanLatch::Exclusive(g, _) => g,
+        }
+    }
+}
+
+/// Exclusive tree latch held for the apply step. Dropping it records the
+/// hold duration in [`OpStats`] (`x_latch_holds` / `x_latch_nanos`) — the
+/// quantity the optimistic split exists to shrink.
+pub(crate) struct ApplyGuard<'a> {
+    guard: RwLockWriteGuard<'a, RTree2>,
+    stats: &'a OpStats,
+    start: Instant,
+}
+
+impl Deref for ApplyGuard<'_> {
+    type Target = RTree2;
+    fn deref(&self) -> &RTree2 {
+        &self.guard
+    }
+}
+
+impl DerefMut for ApplyGuard<'_> {
+    fn deref_mut(&mut self) -> &mut RTree2 {
+        &mut self.guard
+    }
+}
+
+impl Drop for ApplyGuard<'_> {
+    fn drop(&mut self) {
+        OpStats::bump(&self.stats.x_latch_holds);
+        OpStats::add(
+            &self.stats.x_latch_nanos,
+            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
 }
 
 /// An R-tree with transactional phantom protection via dynamic granular
@@ -198,6 +343,7 @@ impl DglRTree {
             payloads: Mutex::new(HashMap::new()),
             deferred_gate: Mutex::new(()),
             policy: config.policy,
+            write_path: config.write_path,
             coarse_external: config.coarse_external_granule,
             skip_growth_compensation: config.testing_skip_growth_compensation,
             stats: OpStats::default(),
@@ -245,6 +391,7 @@ impl DglRTree {
             payloads: Mutex::new(payloads),
             deferred_gate: Mutex::new(()),
             policy: config.policy,
+            write_path: config.write_path,
             coarse_external: config.coarse_external_granule,
             skip_growth_compensation: config.testing_skip_growth_compensation,
             stats: OpStats::default(),
@@ -279,7 +426,7 @@ impl DglRTree {
 
     /// Read access to the underlying tree (experiments; takes the latch).
     pub fn with_tree<T>(&self, f: impl FnOnce(&RTree2) -> T) -> T {
-        f(&self.core.tree.read())
+        f(&self.core.latch_shared())
     }
 
     /// Diagnostic latch probe: `(read_available, write_available)` at this
@@ -306,6 +453,92 @@ impl DglRTree {
 }
 
 impl DglCore {
+    // --- latch / payload-table helpers ---------------------------------
+
+    #[track_caller]
+    fn assert_no_payloads_held() {
+        debug_assert_eq!(
+            PAYLOADS_HELD.with(|c| c.get()),
+            0,
+            "latch → payloads ordering violated: this thread holds the \
+             payload table while acquiring the tree latch"
+        );
+    }
+
+    /// Shared tree latch (scans, planning). Asserts the latch →
+    /// `payloads` ordering in debug builds.
+    pub(crate) fn latch_shared(&self) -> RwLockReadGuard<'_, RTree2> {
+        Self::assert_no_payloads_held();
+        self.tree.read()
+    }
+
+    /// Exclusive tree latch with hold-time accounting. Every mutation of
+    /// the tree goes through the returned [`ApplyGuard`] (directly here,
+    /// or via [`Self::upgrade`]).
+    pub(crate) fn latch_exclusive(&self) -> ApplyGuard<'_> {
+        Self::assert_no_payloads_held();
+        let guard = self.tree.write();
+        ApplyGuard {
+            guard,
+            stats: &self.stats,
+            start: Instant::now(),
+        }
+    }
+
+    /// The payload table. A leaf lock: fine to take while holding the
+    /// tree latch, never the other way around (debug-asserted by the
+    /// latch helpers).
+    pub(crate) fn payload_table(&self) -> PayloadsGuard<'_> {
+        PAYLOADS_HELD.with(|c| c.set(c.get() + 1));
+        PayloadsGuard {
+            inner: self.payloads.lock(),
+        }
+    }
+
+    /// Starts a write attempt's planning phase: shared latch + recorded
+    /// structure version in optimistic mode, exclusive latch in
+    /// pessimistic mode.
+    pub(crate) fn plan_latch(&self) -> PlanLatch<'_> {
+        match self.write_path {
+            WritePathMode::Optimistic => {
+                let g = self.latch_shared();
+                let v = g.version();
+                PlanLatch::Shared(g, v)
+            }
+            WritePathMode::Pessimistic => {
+                Self::assert_no_payloads_held();
+                PlanLatch::Exclusive(self.tree.write(), Instant::now())
+            }
+        }
+    }
+
+    /// Trades the planning latch for the exclusive apply latch,
+    /// validating the structure version in optimistic mode. `None` means
+    /// the plan is stale (another writer applied in between) and the
+    /// caller must replan — its locks are retained per 2PL and re-grant
+    /// instantly on the next attempt.
+    pub(crate) fn upgrade<'a>(&'a self, plan: PlanLatch<'a>) -> Option<ApplyGuard<'a>> {
+        match plan {
+            PlanLatch::Exclusive(guard, start) => Some(ApplyGuard {
+                guard,
+                stats: &self.stats,
+                start,
+            }),
+            PlanLatch::Shared(g, planned_version) => {
+                drop(g);
+                let apply = self.latch_exclusive();
+                if apply.version() == planned_version {
+                    Some(apply)
+                } else {
+                    drop(apply);
+                    OpStats::bump(&self.stats.plan_validation_failures);
+                    OpStats::bump(&self.stats.optimistic_replans);
+                    None
+                }
+            }
+        }
+    }
+
     // --- latch/lock interplay helpers ----------------------------------
 
     pub(crate) fn check_active(&self, txn: TxnId) -> Result<(), TxnError> {
@@ -357,16 +590,28 @@ impl DglCore {
     pub(crate) fn rollback_now(&self, txn: TxnId) {
         let records = self.undo.take_reversed(txn);
         if !records.is_empty() {
-            let mut tree = self.tree.write();
-            let mut payloads = self.payloads.lock();
+            // Update records only touch the payload table; an Update-only
+            // undo log (the common single-op abort) skips the tree latch
+            // entirely so it never stalls behind writers or scans.
+            let mut tree = if records
+                .iter()
+                .any(|r| !matches!(r, UndoRecord::Update { .. }))
+            {
+                Some(self.latch_exclusive())
+            } else {
+                None
+            };
+            let mut payloads = self.payload_table();
             for rec in records {
                 match rec {
                     UndoRecord::Insert { oid, rect } => {
+                        let tree = tree.as_mut().expect("insert undo latched the tree");
                         let removed = tree.remove_entry_raw(oid, rect);
                         debug_assert!(removed, "undo of insert found no entry");
                         payloads.remove(&oid);
                     }
                     UndoRecord::LogicalDelete { oid, rect } => {
+                        let tree = tree.as_mut().expect("delete undo latched the tree");
                         let cleared = tree.clear_tombstone(oid, rect);
                         debug_assert!(cleared, "undo of delete found no tombstone");
                     }
@@ -402,10 +647,10 @@ impl DglCore {
 impl DglCore {
     /// Quiescent-state invariant check (tree shape + payload map).
     fn validate_core(&self) -> Result<(), String> {
-        let tree = self.tree.read();
+        let tree = self.latch_shared();
         tree.validate(false).map_err(|e| e.to_string())?;
         // Payload map must exactly describe the live objects.
-        let payloads = self.payloads.lock();
+        let payloads = self.payload_table();
         let objects = tree.all_objects();
         if objects.len() != payloads.len() {
             return Err(format!(
@@ -484,7 +729,7 @@ impl TransactionalRTree for DglRTree {
     }
 
     fn len(&self) -> usize {
-        self.core.tree.read().len()
+        self.core.latch_shared().len()
     }
 
     fn validate(&self) -> Result<(), String> {

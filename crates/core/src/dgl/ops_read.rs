@@ -28,7 +28,7 @@ impl DglCore {
         self.check_active(txn)?;
         OpStats::bump(&self.stats.read_singles);
         loop {
-            let tree = self.tree.read();
+            let tree = self.latch_shared();
             let locks = super::single_lock(Self::object(oid), S, Commit);
             match locks.try_acquire(&self.lm, txn) {
                 Ok(()) => {
@@ -36,7 +36,7 @@ impl DglCore {
                     drop(tree);
                     self.end_op(txn);
                     return Ok(match state {
-                        Some(None) => self.payloads.lock().get(&oid).copied(),
+                        Some(None) => self.payload_table().get(&oid).copied(),
                         // Tombstoned (committed delete pending physical
                         // removal) or absent.
                         Some(Some(_)) | None => None,
@@ -59,8 +59,8 @@ impl DglCore {
         self.check_active(txn)?;
         OpStats::bump(&self.stats.read_scans);
         loop {
-            let tree = self.tree.read();
-            let set = overlapping_granules(&*tree, &[query]);
+            let tree = self.latch_shared();
+            let set = overlapping_granules(&tree, &[query]);
             let mut locks = LockList::new();
             for g in &set.leaves {
                 locks.add(Self::page(*g), S, Commit);
@@ -96,8 +96,8 @@ impl DglCore {
         self.check_active(txn)?;
         OpStats::bump(&self.stats.update_scans);
         loop {
-            let tree = self.tree.read();
-            let set = overlapping_granules(&*tree, &[query]);
+            let tree = self.latch_shared();
+            let set = overlapping_granules(&tree, &[query]);
             let mut locks = LockList::new();
             for g in &set.leaves {
                 locks.add(Self::page(*g), SIX, Commit);
@@ -116,7 +116,7 @@ impl DglCore {
                     // locks guarantee the hit set cannot have changed.
                     let mut out = Vec::with_capacity(pre_hits.len());
                     {
-                        let mut payloads = self.payloads.lock();
+                        let mut payloads = self.payload_table();
                         for h in &pre_hits {
                             let slot = payloads.entry(h.oid).or_insert(1);
                             let old = *slot;
@@ -152,7 +152,7 @@ impl DglCore {
     /// logically deleted (by this transaction, or by a committed deleter
     /// whose physical removal is still pending) and never returned.
     pub(crate) fn collect_hits(&self, tree: &dgl_rtree::RTree2, query: &Rect2) -> Vec<ScanHit> {
-        let payloads = self.payloads.lock();
+        let payloads = self.payload_table();
         tree.search(query)
             .into_iter()
             .filter(|(_, _, tombstone)| tombstone.is_none())

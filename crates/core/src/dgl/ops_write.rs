@@ -18,79 +18,88 @@ use crate::TxnError;
 use super::{DeferredDelete, DglCore, InsertPolicy, UndoRecord};
 
 impl DglCore {
-    /// Insert with the full dynamic-granule lock protocol.
+    /// Insert with the full dynamic-granule lock protocol, run as an
+    /// optimistic plan/validate/apply attempt (see the module docs).
     pub(crate) fn insert_op(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<(), TxnError> {
         self.check_active(txn)?;
         OpStats::bump(&self.stats.inserts);
+        // The commit-duration X on the object name must be held BEFORE
+        // consulting `payloads`: a concurrent inserter publishes its
+        // entry there while still uncommitted, so an unlocked check can
+        // observe dirty state and report DuplicateObject for an insert
+        // that later aborts. Under the X lock the entry is stable — the
+        // other inserter held the same X until it committed (entry
+        // stays) or aborted (rollback removed it). Neither the name lock
+        // nor the probe touches the tree, so no latch is held here: a
+        // blocked name lock must not stall scans, and the probe is
+        // consistent because deferred deletion removes the tree entry and
+        // the payload entry atomically under its exclusive latch.
+        let name_lock = super::single_lock(Self::object(oid), X, Commit);
+        if let Err((res, mode, dur)) = name_lock.try_acquire(&self.lm, txn) {
+            OpStats::bump(&self.stats.op_retries);
+            self.wait_or_abort(txn, res, mode, dur)?;
+        }
+        if self.payload_table().contains_key(&oid) {
+            // Keep the X lock: it makes the duplicate observation
+            // repeatable for the rest of this transaction.
+            self.end_op(txn);
+            return Err(TxnError::DuplicateObject);
+        }
         loop {
-            let mut tree = self.tree.write();
-            // The commit-duration X on the object name must be held BEFORE
-            // consulting `payloads`: a concurrent inserter publishes its
-            // entry there while still uncommitted, so an unlocked check can
-            // observe dirty state and report DuplicateObject for an insert
-            // that later aborts. Under the X lock the entry is stable — the
-            // other inserter held the same X until it committed (entry
-            // stays) or aborted (rollback removed it).
-            let name_lock = super::single_lock(Self::object(oid), X, Commit);
-            if let Err((res, mode, dur)) = name_lock.try_acquire(&self.lm, txn) {
-                drop(tree);
-                OpStats::bump(&self.stats.op_retries);
-                self.wait_or_abort(txn, res, mode, dur)?;
-                continue;
-            }
-            if self.payloads.lock().contains_key(&oid) {
-                // Keep the X lock: it makes the duplicate observation
-                // repeatable for the rest of this transaction.
-                self.end_op(txn);
-                return Err(TxnError::DuplicateObject);
-            }
-            let plan = tree.plan_insert(rect);
+            let latch = self.plan_latch();
+            let plan = latch.tree().plan_insert(rect);
             // Predict the page ids any splits will allocate, so every lock
             // of Table 3's split row — including those on the new halves —
             // is negotiated BEFORE the first byte changes. (Freed page ids
             // can carry stale commit-duration locks of concurrent
             // transactions; a post-split acquisition could block, and
-            // blocking after mutation is not an option.)
-            let predicted = tree.predicted_new_pages(&plan);
-            let locks = self.insert_lock_list(txn, &tree, &plan, &predicted);
-            match locks.try_acquire(&self.lm, txn) {
-                Ok(()) => {
-                    let result = tree.apply_insert(
-                        &plan,
-                        Entry::Object {
-                            mbr: rect,
-                            oid,
-                            tombstone: None,
-                        },
-                    );
-                    debug_assert!(
-                        result
-                            .splits
-                            .iter()
-                            .zip(predicted.iter())
-                            .all(|(s, p)| s.new_page == *p),
-                        "split sibling prediction must be exact"
-                    );
-                    debug_assert!(
-                        result.root_split.is_none()
-                            || result.root_split.map(|(a, _)| a) == predicted.last().copied(),
-                        "root-half prediction must be exact"
-                    );
-                    self.payloads.lock().insert(oid, 1);
-                    drop(tree);
-                    self.undo.push(txn, UndoRecord::Insert { oid, rect });
-                    if plan.changes_granules() {
-                        OpStats::bump(&self.stats.granule_changing_inserts);
-                    }
-                    self.end_op(txn);
-                    return Ok(());
-                }
-                Err((res, mode, dur)) => {
-                    drop(tree);
-                    OpStats::bump(&self.stats.op_retries);
-                    self.wait_or_abort(txn, res, mode, dur)?;
-                }
+            // blocking after mutation is not an option.) The predictions
+            // stay exact across the optimistic window: the free list only
+            // changes under version-bumping mutations, which validation
+            // rules out.
+            let predicted = latch.tree().predicted_new_pages(&plan);
+            let locks = self.insert_lock_list(txn, latch.tree(), &plan, &predicted);
+            if let Err((res, mode, dur)) = locks.try_acquire(&self.lm, txn) {
+                drop(latch);
+                OpStats::bump(&self.stats.op_retries);
+                self.wait_or_abort(txn, res, mode, dur)?;
+                continue;
             }
+            let Some(mut apply) = self.upgrade(latch) else {
+                // Stale plan: another writer applied since planning.
+                // Replan; locks acquired above are retained (2PL) and
+                // re-grant instantly.
+                continue;
+            };
+            let result = apply.apply_insert(
+                &plan,
+                Entry::Object {
+                    mbr: rect,
+                    oid,
+                    tombstone: None,
+                },
+            );
+            debug_assert!(
+                result
+                    .splits
+                    .iter()
+                    .zip(predicted.iter())
+                    .all(|(s, p)| s.new_page == *p),
+                "split sibling prediction must be exact"
+            );
+            debug_assert!(
+                result.root_split.is_none()
+                    || result.root_split.map(|(a, _)| a) == predicted.last().copied(),
+                "root-half prediction must be exact"
+            );
+            self.payload_table().insert(oid, 1);
+            drop(apply);
+            self.undo.push(txn, UndoRecord::Insert { oid, rect });
+            if plan.changes_granules() {
+                OpStats::bump(&self.stats.granule_changing_inserts);
+            }
+            self.end_op(txn);
+            return Ok(());
         }
     }
 
@@ -255,11 +264,11 @@ impl DglCore {
         self.check_active(txn)?;
         OpStats::bump(&self.stats.deletes);
         loop {
-            let mut tree = self.tree.write();
+            let latch = self.plan_latch();
             // locate_leaf (not find_path): the entry may sit in a subtree a
             // system operation holds disconnected mid-condense; it is still
             // present and its leaf granule is still the right lock target.
-            match tree.locate_leaf(oid, rect) {
+            match latch.tree().locate_leaf(oid, rect) {
                 Some(leaf) => {
                     let mut locks = LockList::new();
                     locks.add(Self::page(leaf), IX, Commit);
@@ -268,25 +277,34 @@ impl DglCore {
                         Ok(()) => {
                             // Already tombstoned? By us: idempotent no-op.
                             // By a committed deleter (deferred pending):
-                            // the object is logically gone.
-                            match tree.lookup(oid, rect) {
+                            // the object is logically gone. Read-only
+                            // outcome, so the planning latch suffices —
+                            // the X lock makes it repeatable.
+                            match latch.tree().lookup(oid, rect) {
                                 Some(Some(_)) | None => {
-                                    drop(tree);
+                                    drop(latch);
                                     self.end_op(txn);
                                     return Ok(false);
                                 }
                                 Some(None) => {}
                             }
-                            let marked = tree.set_tombstone(oid, rect, txn.0);
+                            // Tombstoning mutates the tree: validate the
+                            // plan (leaf location + tombstone state) under
+                            // the exclusive latch. Any intervening
+                            // tombstone flip bumps the version.
+                            let Some(mut apply) = self.upgrade(latch) else {
+                                continue;
+                            };
+                            let marked = apply.set_tombstone(oid, rect, txn.0);
                             debug_assert!(marked, "entry verified present under latch");
-                            drop(tree);
+                            drop(apply);
                             self.undo.push(txn, UndoRecord::LogicalDelete { oid, rect });
                             self.deferred.push(txn, DeferredDelete { oid, rect });
                             self.end_op(txn);
                             return Ok(true);
                         }
                         Err((res, mode, dur)) => {
-                            drop(tree);
+                            drop(latch);
                             OpStats::bump(&self.stats.op_retries);
                             self.wait_or_abort(txn, res, mode, dur)?;
                         }
@@ -295,8 +313,9 @@ impl DglCore {
                 None => {
                     // Not found: "the deleter acquires S locks on all
                     // overlapping granules just like a ReadScan operation
-                    // with the object as the scan predicate".
-                    let set = overlapping_granules(&*tree, &[rect]);
+                    // with the object as the scan predicate". No mutation,
+                    // so the attempt never needs the exclusive latch.
+                    let set = overlapping_granules(latch.tree(), &[rect]);
                     let mut locks = LockList::new();
                     for g in &set.leaves {
                         locks.add(Self::page(*g), S, Commit);
@@ -306,12 +325,12 @@ impl DglCore {
                     }
                     match locks.try_acquire(&self.lm, txn) {
                         Ok(()) => {
-                            drop(tree);
+                            drop(latch);
                             self.end_op(txn);
                             return Ok(false);
                         }
                         Err((res, mode, dur)) => {
-                            drop(tree);
+                            drop(latch);
                             OpStats::bump(&self.stats.op_retries);
                             self.wait_or_abort(txn, res, mode, dur)?;
                         }
@@ -331,20 +350,25 @@ impl DglCore {
     ) -> Result<bool, TxnError> {
         self.check_active(txn)?;
         OpStats::bump(&self.stats.update_singles);
+        // UpdateSingle never mutates the tree (only the payload table), so
+        // the whole operation runs under the planning latch — in optimistic
+        // mode it never takes the exclusive latch at all. The commit IX/X
+        // locks make every observation repeatable, and the payload table
+        // has its own mutex.
         loop {
-            let tree = self.tree.write();
-            let Some(leaf) = tree.locate_leaf(oid, rect) else {
+            let latch = self.plan_latch();
+            let Some(leaf) = latch.tree().locate_leaf(oid, rect) else {
                 // Absent object: X on the object name makes the absence
                 // repeatable against inserts of the same oid.
                 let locks = super::single_lock(Self::object(oid), X, Commit);
                 match locks.try_acquire(&self.lm, txn) {
                     Ok(()) => {
-                        drop(tree);
+                        drop(latch);
                         self.end_op(txn);
                         return Ok(false);
                     }
                     Err((res, mode, dur)) => {
-                        drop(tree);
+                        drop(latch);
                         OpStats::bump(&self.stats.op_retries);
                         self.wait_or_abort(txn, res, mode, dur)?;
                         continue;
@@ -356,14 +380,14 @@ impl DglCore {
             locks.add(Self::object(oid), X, Commit);
             match locks.try_acquire(&self.lm, txn) {
                 Ok(()) => {
-                    if tree.lookup(oid, rect).flatten().is_some() {
+                    if latch.tree().lookup(oid, rect).flatten().is_some() {
                         // Tombstoned by a committed deleter: logically gone.
-                        drop(tree);
+                        drop(latch);
                         self.end_op(txn);
                         return Ok(false);
                     }
                     {
-                        let mut payloads = self.payloads.lock();
+                        let mut payloads = self.payload_table();
                         let slot = payloads.entry(oid).or_insert(1);
                         let old = *slot;
                         *slot = old + 1;
@@ -375,12 +399,12 @@ impl DglCore {
                             },
                         );
                     }
-                    drop(tree);
+                    drop(latch);
                     self.end_op(txn);
                     return Ok(true);
                 }
                 Err((res, mode, dur)) => {
-                    drop(tree);
+                    drop(latch);
                     OpStats::bump(&self.stats.op_retries);
                     self.wait_or_abort(txn, res, mode, dur)?;
                 }

@@ -50,7 +50,9 @@ mod locks;
 mod stats;
 mod traits;
 
-pub use dgl::{DglConfig, DglRTree, InsertPolicy, MaintenanceConfig, MaintenanceMode};
+pub use dgl::{
+    DglConfig, DglRTree, InsertPolicy, MaintenanceConfig, MaintenanceMode, WritePathMode,
+};
 pub use error::TxnError;
 pub use stats::{OpStats, OpStatsSnapshot};
 pub use traits::{ScanHit, TransactionalRTree};

@@ -31,6 +31,23 @@ pub struct OpStats {
     pub(crate) deferred_retries: AtomicU64,
     /// Nanoseconds system operations spent sleeping in retry backoff.
     pub(crate) backoff_nanos: AtomicU64,
+    /// Times the optimistic write path found the tree's structure version
+    /// changed between planning (under the shared latch) and applying
+    /// (under the exclusive latch) — i.e. a stale plan was detected and
+    /// discarded before any mutation.
+    pub(crate) plan_validation_failures: AtomicU64,
+    /// Replans forced by a stale-plan detection (subset of the operation's
+    /// retry loop distinct from `op_retries`, which counts lock-conflict
+    /// waits). Each replan is cheap: locks acquired by the stale attempt
+    /// are retained under 2PL and re-grant instantly.
+    pub(crate) optimistic_replans: AtomicU64,
+    /// Exclusive tree-latch acquisitions by the write path (apply steps,
+    /// plus whole plan+apply attempts in pessimistic mode).
+    pub(crate) x_latch_holds: AtomicU64,
+    /// Total nanoseconds the write path held the exclusive tree latch —
+    /// the quantity the optimistic plan/validate/apply split exists to
+    /// shrink (readers and planners are blocked exactly while this runs).
+    pub(crate) x_latch_nanos: AtomicU64,
     /// Committed transactions (commit-path latency denominator).
     pub(crate) commits: AtomicU64,
     /// Total nanoseconds spent inside `commit` — including inline deferred
@@ -58,6 +75,10 @@ pub struct OpStatsSnapshot {
     pub maint_queue_peak: u64,
     pub deferred_retries: u64,
     pub backoff_nanos: u64,
+    pub plan_validation_failures: u64,
+    pub optimistic_replans: u64,
+    pub x_latch_holds: u64,
+    pub x_latch_nanos: u64,
     pub commits: u64,
     pub commit_nanos: u64,
 }
@@ -101,6 +122,10 @@ impl OpStats {
             maint_queue_peak: self.maint_queue_peak.load(Ordering::Relaxed),
             deferred_retries: self.deferred_retries.load(Ordering::Relaxed),
             backoff_nanos: self.backoff_nanos.load(Ordering::Relaxed),
+            plan_validation_failures: self.plan_validation_failures.load(Ordering::Relaxed),
+            optimistic_replans: self.optimistic_replans.load(Ordering::Relaxed),
+            x_latch_holds: self.x_latch_holds.load(Ordering::Relaxed),
+            x_latch_nanos: self.x_latch_nanos.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             commit_nanos: self.commit_nanos.load(Ordering::Relaxed),
         }
@@ -128,6 +153,11 @@ impl OpStatsSnapshot {
             maint_queue_peak: self.maint_queue_peak,
             deferred_retries: self.deferred_retries - earlier.deferred_retries,
             backoff_nanos: self.backoff_nanos - earlier.backoff_nanos,
+            plan_validation_failures: self.plan_validation_failures
+                - earlier.plan_validation_failures,
+            optimistic_replans: self.optimistic_replans - earlier.optimistic_replans,
+            x_latch_holds: self.x_latch_holds - earlier.x_latch_holds,
+            x_latch_nanos: self.x_latch_nanos - earlier.x_latch_nanos,
             commits: self.commits - earlier.commits,
             commit_nanos: self.commit_nanos - earlier.commit_nanos,
         }
@@ -136,5 +166,13 @@ impl OpStatsSnapshot {
     /// Average commit-path latency in nanoseconds (0 when no commits).
     pub fn avg_commit_nanos(&self) -> u64 {
         self.commit_nanos.checked_div(self.commits).unwrap_or(0)
+    }
+
+    /// Average exclusive-latch hold time of the write path in nanoseconds
+    /// (0 when the exclusive latch was never taken).
+    pub fn avg_x_latch_nanos(&self) -> u64 {
+        self.x_latch_nanos
+            .checked_div(self.x_latch_holds)
+            .unwrap_or(0)
     }
 }

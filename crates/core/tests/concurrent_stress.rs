@@ -246,3 +246,165 @@ fn stress_dgl_coarse_external_granule() {
     });
     stress(Arc::new(db), 4, 40);
 }
+
+#[test]
+fn stress_dgl_pessimistic_write_path() {
+    // The pre-optimistic baseline mode (plan and apply under one
+    // exclusive latch hold) must stay correct — it is the benchmark
+    // comparator, not dead code.
+    use dgl_core::{DglConfig, WritePathMode};
+    let db = dgl_core::DglRTree::new(DglConfig {
+        rtree: RTreeConfig::with_fanout(6),
+        lock: lock_config(20_000),
+        write_path: WritePathMode::Pessimistic,
+        ..Default::default()
+    });
+    stress(Arc::new(db), 6, 50);
+}
+
+/// High-thread write-heavy contention: after quiesce the invariants must
+/// hold AND the optimistic validation path must actually have fired —
+/// `plan_validation_failures` / `optimistic_replans` non-zero proves the
+/// version check is load-bearing, not dead code.
+#[test]
+fn high_thread_contention_exercises_replan_counters() {
+    let db = dgl(4, InsertPolicy::Modified);
+    let threads = 8u64;
+    // Writers race on a dense shared region so plan windows overlap; a
+    // couple of rounds is plenty, but cap generously for slow machines.
+    for round in 0..10u64 {
+        crossbeam::scope(|s| {
+            for tid in 0..threads {
+                let db = &db;
+                s.spawn(move |_| {
+                    let mut rng = Rng(0xBEEF ^ ((round * threads + tid + 1) * 0x9E37_79B9));
+                    let base = (round * threads + tid) * 100_000;
+                    let mut owned: Vec<(u64, Rect2)> = Vec::new();
+                    for i in 0..120u64 {
+                        let txn = db.begin();
+                        let ok = match rng.next() % 10 {
+                            0..=6 => {
+                                let oid = base + i;
+                                let rect = rng.rect(0.02);
+                                match db.insert(txn, ObjectId(oid), rect) {
+                                    Ok(()) => {
+                                        owned.push((oid, rect));
+                                        true
+                                    }
+                                    Err(TxnError::DuplicateObject) => true,
+                                    Err(_) => false,
+                                }
+                            }
+                            7..=8 => match owned.pop() {
+                                Some((oid, rect)) => db.delete(txn, ObjectId(oid), rect).is_ok(),
+                                None => true,
+                            },
+                            _ => db.read_scan(txn, rng.rect(0.1)).is_ok(),
+                        };
+                        if ok {
+                            db.commit(txn).expect("commit active txn");
+                        }
+                        // Failed ops already rolled the transaction back.
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let s = db.op_stats().snapshot();
+        if s.optimistic_replans > 0 {
+            break;
+        }
+    }
+    db.validate().expect("post-stress invariants");
+    let s = db.op_stats().snapshot();
+    assert!(
+        s.plan_validation_failures > 0,
+        "contended optimistic writers never failed validation: \
+         the version check looks like dead code"
+    );
+    assert_eq!(
+        s.plan_validation_failures, s.optimistic_replans,
+        "every validation failure forces exactly one replan"
+    );
+    assert!(s.x_latch_holds > 0, "apply steps record exclusive holds");
+    assert!(s.x_latch_nanos > 0, "exclusive holds record their duration");
+}
+
+/// Reader/writer parallelism regression: a writer parked on a lock wait
+/// must hold NO tree latch, so concurrent scans of unrelated regions keep
+/// completing while it is blocked.
+#[test]
+fn scans_progress_while_writer_blocked_on_lock() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let db = dgl(4, InsertPolicy::Modified);
+
+    // Two well-separated clusters so corner-A scans and the corner-B
+    // holder touch disjoint leaf granules.
+    let setup = db.begin();
+    for i in 0..15u64 {
+        let o = 0.012 * i as f64;
+        db.insert(setup, ObjectId(i), common::r([o, o], [o + 0.01, o + 0.01]))
+            .unwrap();
+    }
+    for i in 0..15u64 {
+        let o = 0.7 + 0.012 * i as f64;
+        db.insert(
+            setup,
+            ObjectId(100 + i),
+            common::r([o, o], [o + 0.01, o + 0.01]),
+        )
+        .unwrap();
+    }
+    db.commit(setup).unwrap();
+
+    // Holder pins a commit-duration X on object 100 (plus IX on its leaf).
+    let holder = db.begin();
+    let hb = common::r([0.7, 0.7], [0.71, 0.71]);
+    assert!(db.update_single(holder, ObjectId(100), hb).unwrap());
+
+    let writer_started = AtomicBool::new(false);
+    let writer_done = AtomicBool::new(false);
+    crossbeam::scope(|s| {
+        let writer = s.spawn(|_| {
+            let txn = db.begin();
+            writer_started.store(true, Ordering::SeqCst);
+            // Same oid: blocks on the name X lock until the holder
+            // commits, then reports the duplicate.
+            let res = db.insert(txn, ObjectId(100), hb);
+            writer_done.store(true, Ordering::SeqCst);
+            assert!(matches!(res, Err(TxnError::DuplicateObject)));
+            db.abort(txn).unwrap();
+        });
+
+        while !writer_started.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            !writer_done.load(Ordering::SeqCst),
+            "writer should be parked on the holder's object lock"
+        );
+
+        // Scans over corner A must complete while the writer is parked.
+        // (If the writer still held any tree latch, these would stall
+        // until the lock timeout and fail.)
+        for _ in 0..10 {
+            let t = db.begin();
+            let hits = db
+                .read_scan(t, common::r([0.0, 0.0], [0.3, 0.3]))
+                .expect("scan must not block on the parked writer");
+            assert_eq!(hits.len(), 15);
+            db.commit(t).unwrap();
+        }
+        assert!(
+            !writer_done.load(Ordering::SeqCst),
+            "writer must still be blocked after the scans"
+        );
+
+        db.commit(holder).unwrap();
+        writer.join().unwrap();
+    })
+    .unwrap();
+    db.validate().expect("post-test invariants");
+}

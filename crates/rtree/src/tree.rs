@@ -83,6 +83,7 @@ pub struct RTree<const D: usize> {
     world: Rect<D>,
     config: RTreeConfig,
     object_count: usize,
+    version: u64,
 }
 
 /// The 2-D instantiation used throughout the paper reproduction.
@@ -102,6 +103,7 @@ impl<const D: usize> RTree<D> {
             world,
             config,
             object_count: 0,
+            version: 0,
         }
     }
 
@@ -116,6 +118,7 @@ impl<const D: usize> RTree<D> {
             world,
             config,
             object_count: 0,
+            version: 0,
         }
     }
 
@@ -133,12 +136,33 @@ impl<const D: usize> RTree<D> {
             world,
             config,
             object_count,
+            version: 0,
         }
     }
 
     /// The underlying page store (checkpointing).
     pub(crate) fn store_ref(&self) -> &Store<Node<D>> {
         &self.store
+    }
+
+    /// Monotone structure-version counter: bumped by every mutation that
+    /// could invalidate a previously computed [`InsertPlan`]/[`DeletePlan`]
+    /// or a [`RTree::predicted_new_pages`] prediction — applied inserts and
+    /// deletes, orphan explosion, tombstone changes and raw entry removal.
+    ///
+    /// The optimistic latch-coupling protocol plans under a *shared* tree
+    /// latch, records this version, then revalidates it under the exclusive
+    /// latch before applying: an unchanged version proves the tree (and the
+    /// page allocator free list, which only apply-side mutations touch) is
+    /// byte-identical to what the plan saw, so the plan — including its
+    /// predicted split-sibling page ids — is still exact.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Records a plan-invalidating mutation (see [`RTree::version`]).
+    fn bump_version(&mut self) {
+        self.version = self.version.wrapping_add(1);
     }
 
     /// The root page id (stable for the lifetime of the tree).
@@ -377,16 +401,23 @@ impl<const D: usize> RTree<D> {
         let Some(idx) = node.position_of_object(oid) else {
             return false;
         };
-        match &mut node.entries[idx] {
+        let (marked, changed) = match &mut node.entries[idx] {
             Entry::Object { tombstone, .. } => match tombstone {
-                Some(t) if *t != tag => false,
-                _ => {
+                Some(t) if *t != tag => (false, false),
+                // Re-marking by the same tag succeeds but changes nothing,
+                // so it must not bump the structure version.
+                Some(_) => (true, false),
+                None => {
                     *tombstone = Some(tag);
-                    true
+                    (true, true)
                 }
             },
             Entry::Child { .. } => unreachable!("leaf holds objects"),
+        };
+        if changed {
+            self.bump_version();
         }
+        marked
     }
 
     /// Clears a tombstone (rollback of a logical delete). Returns whether
@@ -399,14 +430,18 @@ impl<const D: usize> RTree<D> {
         let Some(idx) = node.position_of_object(oid) else {
             return false;
         };
-        match &mut node.entries[idx] {
+        let had = match &mut node.entries[idx] {
             Entry::Object { tombstone, .. } => {
                 let had = tombstone.is_some();
                 *tombstone = None;
                 had
             }
             Entry::Child { .. } => unreachable!("leaf holds objects"),
+        };
+        if had {
+            self.bump_version();
         }
+        had
     }
 
     // --- insert -----------------------------------------------------------
@@ -430,6 +465,7 @@ impl<const D: usize> RTree<D> {
     /// the current tree state (same latch hold).
     pub fn apply_insert(&mut self, plan: &InsertPlan<D>, entry: Entry<D>) -> InsertResult {
         debug_assert_eq!(entry.mbr(), plan.rect, "entry must match the plan");
+        self.bump_version();
         if entry.oid().is_some() {
             self.object_count += 1;
         }
@@ -628,6 +664,7 @@ impl<const D: usize> RTree<D> {
         match orphan.entry {
             Entry::Object { .. } => vec![orphan],
             Entry::Child { child, .. } => {
+                self.bump_version();
                 let node = self.store.dealloc(child);
                 let mut out = Vec::new();
                 for e in node.entries {
@@ -644,6 +681,7 @@ impl<const D: usize> RTree<D> {
     /// Applies a planned physical delete: removes the entry, condenses the
     /// tree (collecting orphans), adjusts ancestor BRs, shrinks the root.
     pub fn apply_delete(&mut self, plan: &DeletePlan<D>) -> DeleteResult<D> {
+        self.bump_version();
         let mut orphans = Vec::new();
         let mut eliminated = Vec::new();
         let path = &plan.path;
@@ -751,6 +789,7 @@ impl<const D: usize> RTree<D> {
         };
         node.entries.remove(idx);
         self.object_count -= 1;
+        self.bump_version();
         true
     }
 }

@@ -262,3 +262,64 @@ fn buffered_tree_classifies_hits() {
         "with all pages resident the second pass must be hit-only"
     );
 }
+
+#[test]
+fn version_bumps_on_every_structural_mutation() {
+    let mut t = small_tree(4);
+    assert_eq!(t.version(), 0);
+
+    let rect = r([0.1, 0.1], [0.2, 0.2]);
+    t.insert(ObjectId(1), rect);
+    let after_insert = t.version();
+    assert!(after_insert > 0, "insert must bump the version");
+
+    // Planning is read-only: it must never bump the version.
+    let plan = t.plan_insert(r([0.3, 0.3], [0.4, 0.4]));
+    let _ = t.predicted_new_pages(&plan);
+    let _ = t.search(&Rect::unit());
+    let _ = t.lookup(ObjectId(1), rect);
+    assert_eq!(t.version(), after_insert, "read-only calls must not bump");
+
+    // Tombstone flips bump; redundant flips don't.
+    assert!(t.set_tombstone(ObjectId(1), rect, 7));
+    let after_mark = t.version();
+    assert!(after_mark > after_insert, "set_tombstone must bump");
+    assert!(t.set_tombstone(ObjectId(1), rect, 7));
+    assert_eq!(t.version(), after_mark, "re-marking is a no-op");
+    assert!(t.clear_tombstone(ObjectId(1), rect));
+    let after_clear = t.version();
+    assert!(after_clear > after_mark, "clear_tombstone must bump");
+    assert!(!t.clear_tombstone(ObjectId(1), rect));
+    assert_eq!(
+        t.version(),
+        after_clear,
+        "clearing a clear entry is a no-op"
+    );
+
+    // Physical removal bumps.
+    assert!(t.remove_entry_raw(ObjectId(1), rect));
+    assert!(t.version() > after_clear, "remove_entry_raw must bump");
+}
+
+#[test]
+fn version_bumps_through_delete_and_condense() {
+    let mut t = small_tree(4);
+    let rects = gen_rects(120, 11);
+    for (i, rect) in rects.iter().enumerate() {
+        t.insert(ObjectId(i as u64), *rect);
+    }
+    let grown = t.version();
+    assert!(grown >= 120, "each insert bumps at least once");
+
+    // Every applied physical delete (including ones that condense the
+    // tree) must advance the version.
+    let mut last = grown;
+    for (i, rect) in rects.iter().enumerate() {
+        let plan = t.plan_delete(ObjectId(i as u64), *rect).expect("present");
+        let _ = t.apply_delete(&plan);
+        assert!(t.version() > last, "apply_delete must bump");
+        last = t.version();
+    }
+    assert!(t.is_empty());
+    t.validate(true).unwrap();
+}
