@@ -4,17 +4,21 @@
 //!
 //! Usage:
 //! ```text
-//! throughput [--smoke] [--out PATH]
+//! throughput [--smoke] [--chaos [SEED]] [--out PATH]
 //! ```
 //! Writes `BENCH_throughput.json` (or PATH) and prints a markdown table
 //! plus the headline read-heavy speedup. `--smoke` runs a seconds-scale
-//! configuration for CI.
+//! configuration for CI. `--chaos` (needs a build with
+//! `--features chaos`) arms a seeded fault schedule for the whole
+//! sweep, turning the run into a chaos smoke: the sweep must still
+//! reach every commit target with faults firing.
 
 use dgl_bench::experiments::throughput;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let chaos = args.iter().position(|a| a == "--chaos");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -27,6 +31,23 @@ fn main() {
     } else {
         throughput::ThroughputConfig::default()
     };
+
+    #[cfg(feature = "chaos")]
+    let chaos_handle = chaos.map(|i| {
+        let seed = args
+            .get(i + 1)
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0xC0FFEE);
+        eprintln!("chaos armed with seed {seed} (rerun: --chaos {seed})");
+        dgl_bench::chaos::arm_chaos(seed)
+    });
+    #[cfg(not(feature = "chaos"))]
+    if chaos.is_some() {
+        eprintln!(
+            "--chaos ignored: this binary was built without the `chaos` \
+             feature (rebuild with `--features chaos`)"
+        );
+    }
 
     eprintln!(
         "running throughput sweep: threads {:?}, {} txns/thread ({} mode)",
@@ -57,6 +78,15 @@ fn main() {
             "note: {cores} core(s) available — aggregate ops/sec cannot reflect \
              reader parallelism; the latch hold-time ratio is the portable signal"
         );
+    }
+
+    #[cfg(feature = "chaos")]
+    if let Some(h) = &chaos_handle {
+        println!(
+            "chaos: {} faults injected; every point still reached its commit target",
+            h.fires()
+        );
+        assert!(h.fires() > 0, "chaos run injected no faults");
     }
 
     let json = throughput::to_json(&cfg, &rows);

@@ -1,0 +1,64 @@
+//! Chaos arming for benchmark smoke runs (behind the `chaos` feature).
+//!
+//! The benchmark binaries are the one harness that exercises every
+//! protocol concurrently at scale, so they double as a chaos smoke
+//! test: build with `--features chaos` and pass `--chaos` to arm a
+//! mild, seeded fault schedule across the stack while the normal sweep
+//! runs. The sweep's own invariants (every point reaches its commit
+//! target, no fatal errors) then hold *under* injected faults.
+//!
+//! The schedule here deliberately avoids `Panic` kinds: the throughput
+//! harness measures steady-state performance, and while the executor
+//! does recover from panics, the unwind machinery is exercised by the
+//! dedicated chaos/unwind test suites — the bench smoke only needs to
+//! prove the retry loop absorbs injected errors and delays.
+
+use std::time::Duration;
+
+use dgl_faults::{FaultGuard, FaultSpec};
+
+/// Keeps the chaos schedule armed; dropping it disarms every site.
+pub struct ChaosHandle {
+    _guards: Vec<FaultGuard>,
+    fires_at_arm: u64,
+}
+
+impl ChaosHandle {
+    /// Faults injected since this handle armed the schedule.
+    pub fn fires(&self) -> u64 {
+        dgl_faults::total_fires() - self.fires_at_arm
+    }
+}
+
+/// Arms a mild seeded fault schedule across the lock manager, the DGL
+/// write path and the pager. Deterministic for a given `seed`.
+pub fn arm_chaos(seed: u64) -> ChaosHandle {
+    let fires_at_arm = dgl_faults::total_fires();
+    let guards = vec![
+        // Slow lock handoffs: stretch the acquire and grant paths.
+        dgl_faults::register(
+            "lockmgr/acquire",
+            FaultSpec::delay(Duration::from_micros(100)).one_in(200, seed ^ 0x01),
+        ),
+        dgl_faults::register(
+            "lockmgr/grant",
+            FaultSpec::delay(Duration::from_micros(50)).one_in(200, seed ^ 0x02),
+        ),
+        // Retryable errors on the optimistic write path: abort the plan
+        // loop and force the executor to back off and retry.
+        dgl_faults::register("dgl/plan", FaultSpec::error().one_in(400, seed ^ 0x03)),
+        // Forced stale-plan verdicts: exercise replan-under-retention.
+        dgl_faults::register("dgl/validate", FaultSpec::error().one_in(400, seed ^ 0x04)),
+        // Injected commit failures: the executor retries the whole body.
+        dgl_faults::register("dgl/commit", FaultSpec::error().one_in(500, seed ^ 0x05)),
+        // Slow page reads: stretch latch hold times.
+        dgl_faults::register(
+            "pager/read",
+            FaultSpec::delay(Duration::from_micros(5)).one_in(1_000, seed ^ 0x06),
+        ),
+    ];
+    ChaosHandle {
+        _guards: guards,
+        fires_at_arm,
+    }
+}

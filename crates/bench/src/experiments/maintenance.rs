@@ -92,7 +92,7 @@ pub fn run_comparison(
             db.commit(t).unwrap();
         }
         let wall = start.elapsed();
-        db.quiesce();
+        db.quiesce().expect("quiesce");
         let wall_quiesced = start.elapsed();
         db.validate().unwrap();
         assert_eq!(db.len(), n, "replacements keep the tree size constant");

@@ -17,7 +17,7 @@ use dgl_core::baseline::TreeLockRTree;
 use dgl_core::{DglConfig, DglRTree, InsertPolicy, TransactionalRTree, WritePathMode};
 use dgl_lockmgr::LockManagerConfig;
 use dgl_rtree::RTreeConfig;
-use dgl_workload::{Op, OpMix, OpStream};
+use dgl_workload::{DriveConfig, Op, OpMix, OpStream};
 
 /// Sweep shape.
 #[derive(Debug, Clone)]
@@ -143,7 +143,8 @@ pub struct ThroughputRow {
     pub ops_per_sec: f64,
     /// Committed transactions.
     pub commits: u64,
-    /// Aborted transactions (deadlock/timeout victims).
+    /// Aborted attempts: retries spent on deadlock/timeout victims plus
+    /// runs that exhausted their retry budget.
     pub aborts: u64,
     /// Wall-clock seconds.
     pub elapsed_secs: f64,
@@ -160,18 +161,31 @@ pub struct ThroughputRow {
 
 /// Preload on a high thread id so worker oid spaces stay disjoint. Runs
 /// once per contender per mix (the thread sweep reuses the index).
+/// Batched under the abort-retry executor so a chaos build (injected
+/// errors firing during preload) still loads everything.
 fn preload(db: &Arc<dyn TransactionalRTree>, mix: OpMix, cfg: &ThroughputConfig) {
     let mut stream = OpStream::new(mix, 10_000, cfg.seed);
-    let t = db.begin();
+    let exec = dgl_core::TxnExecutor::new(db.as_ref(), dgl_core::RetryPolicy::default());
     let mut loaded = 0;
     while loaded < cfg.preload {
-        if let Op::Insert(oid, rect) = stream.next_op() {
-            db.insert(t, oid, rect).expect("preload insert");
-            stream.committed(&Op::Insert(oid, rect));
-            loaded += 1;
+        let mut batch = Vec::new();
+        while (batch.len() as u64) < (cfg.preload - loaded).min(100) {
+            if let Op::Insert(oid, rect) = stream.next_op() {
+                batch.push((oid, rect));
+            }
         }
+        exec.run(|txn| {
+            for &(oid, rect) in &batch {
+                db.insert(txn, oid, rect)?;
+            }
+            Ok(())
+        })
+        .expect("preload batch");
+        for &(oid, rect) in &batch {
+            stream.committed(&Op::Insert(oid, rect));
+        }
+        loaded += batch.len() as u64;
     }
-    db.commit(t).unwrap();
 }
 
 fn run_point(
@@ -194,42 +208,28 @@ fn run_point(
             let cfg = cfg.clone();
             handles.push(s.spawn(move |_| {
                 let mut stream = OpStream::new(mix, stream_id, cfg.seed);
+                let drive_cfg = DriveConfig {
+                    ops_per_txn: cfg.ops_per_txn as usize,
+                    ..DriveConfig::default()
+                };
                 let (mut ops, mut commits, mut aborts) = (0u64, 0u64, 0u64);
+                // `drive` runs a fixed number of transactions; under heavy
+                // contention (or chaos) some can exhaust their retry
+                // budget, so keep topping up until the commit target is
+                // met — the sweep's rows stay comparable across points.
                 while commits < cfg.txns_per_thread {
-                    let txn = db.begin();
-                    let mut applied: Vec<Op> = Vec::new();
-                    let mut failed = false;
-                    for _ in 0..cfg.ops_per_txn {
-                        let op = stream.next_op();
-                        let result = match op {
-                            Op::Insert(oid, rect) => db.insert(txn, oid, rect).map(|()| true),
-                            Op::Delete(oid, rect) => db.delete(txn, oid, rect),
-                            Op::ReadScan(q) => db.read_scan(txn, q).map(|_| true),
-                            Op::UpdateScan(q) => db.update_scan(txn, q).map(|_| true),
-                            Op::ReadSingle(oid, rect) => {
-                                db.read_single(txn, oid, rect).map(|_| true)
-                            }
-                            Op::UpdateSingle(oid, rect) => db.update_single(txn, oid, rect),
-                        };
-                        match result {
-                            Ok(_) => applied.push(op),
-                            Err(dgl_core::TxnError::DuplicateObject) => {}
-                            Err(_) => {
-                                failed = true;
-                                break;
-                            }
-                        }
-                    }
-                    if failed {
-                        aborts += 1;
-                        continue;
-                    }
-                    db.commit(txn).expect("commit");
-                    ops += applied.len() as u64;
-                    for op in &applied {
-                        stream.committed(op);
-                    }
-                    commits += 1;
+                    let report = dgl_workload::drive(
+                        db.as_ref(),
+                        &mut stream,
+                        &DriveConfig {
+                            txns: (cfg.txns_per_thread - commits) as usize,
+                            ..drive_cfg
+                        },
+                    );
+                    assert_eq!(report.fatal, 0, "workload hit a non-retryable error");
+                    ops += report.ops - report.duplicates;
+                    commits += report.commits;
+                    aborts += report.retries + report.giveups;
                 }
                 (ops, commits, aborts)
             }));

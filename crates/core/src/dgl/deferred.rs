@@ -37,12 +37,51 @@ use crate::stats::OpStats;
 
 use super::{DeferredDelete, DglCore};
 
+/// Unwind cleanup for a system operation: if a panic tears through the
+/// deletion, the system transaction must not stay registered (its locks
+/// would wedge the table and its id would stay system-flagged forever).
+/// The maintenance worker catches the panic and requeues the record; a
+/// fresh attempt then begins from scratch with a new system id.
+struct SysCleanup<'a> {
+    core: &'a DglCore,
+    sys: TxnId,
+    done: bool,
+}
+
+impl Drop for SysCleanup<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        self.core.lm.clear_system(self.sys);
+        if self.core.tm.is_active(self.sys) {
+            // Abort (not commit): releases the short locks without
+            // pretending the half-finished operation completed. The
+            // panic sites are mutation-free boundaries, so there is no
+            // tree state to undo — and the requeued record redoes the
+            // whole operation anyway.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.core.tm.abort(self.sys);
+            }));
+        }
+    }
+}
+
 impl DglCore {
     /// Runs one deferred physical deletion to completion.
     pub(crate) fn run_deferred_delete(&self, d: DeferredDelete) {
+        // Failpoint before any state changes: a panic here leaves nothing
+        // to clean up beyond the guard below, making this the safe place
+        // for chaos schedules to kill maintenance work.
+        dgl_faults::failpoint!("maint/deferred");
         let _gate = self.deferred_gate.lock();
         let sys = self.tm.begin();
         self.lm.set_system(sys);
+        let mut cleanup = SysCleanup {
+            core: self,
+            sys,
+            done: false,
+        };
         OpStats::bump(&self.stats.deferred_deletes);
 
         // Phase 1: remove + condense.
@@ -58,6 +97,7 @@ impl DglCore {
             }
         }
 
+        cleanup.done = true;
         self.lm.clear_system(sys);
         // Releases every short lock of the system operation.
         self.tm.commit(sys);

@@ -30,16 +30,36 @@
 //! catches up (backpressure, never unbounded memory). Dropping the index
 //! shuts the worker down gracefully — it drains every queued record first,
 //! because each one is a *committed* deletion that must not be lost.
+//!
+//! # Panic containment
+//!
+//! A deferred deletion that panics (an injected fault, or a genuine bug)
+//! must not kill the worker thread: every queued record is a *committed*
+//! deletion, and a dead worker would strand them all and hang `quiesce`
+//! forever. Execution therefore runs under `catch_unwind`; a panicked
+//! record is requeued (front of the queue, `attempts + 1`) up to
+//! [`MAINT_MAX_ATTEMPTS`] times, after which it is dropped and counted in
+//! `OpStats::maint_failed` — and `quiesce` reports
+//! [`TxnError::MaintenanceFailed`] instead of pretending the tree is
+//! clean. The system operation itself aborts its transaction on unwind
+//! (see `deferred.rs`), so a requeued record starts from scratch against
+//! a consistent tree.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::stats::OpStats;
+use crate::TxnError;
 
 use super::{DeferredDelete, DglCore};
+
+/// Attempts (first run included) a deferred deletion gets before it is
+/// dropped and the failure surfaced through `quiesce`.
+pub(crate) const MAINT_MAX_ATTEMPTS: u32 = 4;
 
 /// When deferred physical deletions execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -83,9 +103,13 @@ impl MaintenanceHandle {
     pub(crate) fn new(core: &Arc<DglCore>, config: MaintenanceConfig) -> Self {
         match config.mode {
             MaintenanceMode::Inline => Self::Inline,
-            MaintenanceMode::Background => {
-                Self::Background(MaintenanceWorker::spawn(Arc::clone(core), config))
-            }
+            // Thread spawn can fail (resource exhaustion); committed
+            // deletions must still run, so degrade to inline execution
+            // instead of crashing the index constructor.
+            MaintenanceMode::Background => match MaintenanceWorker::spawn(core, config) {
+                Some(w) => Self::Background(w),
+                None => Self::Inline,
+            },
         }
     }
 
@@ -94,24 +118,64 @@ impl MaintenanceHandle {
     pub(crate) fn dispatch(&self, core: &DglCore, d: DeferredDelete) {
         OpStats::bump(&core.stats.maint_enqueued);
         match self {
-            Self::Inline => {
-                core.run_deferred_delete(d);
-                OpStats::bump(&core.stats.maint_completed);
-            }
+            Self::Inline => run_with_retries(core, d),
             Self::Background(w) => w.enqueue(core, d),
         }
     }
 
-    /// Blocks until every dispatched deletion has finished executing.
-    pub(crate) fn quiesce(&self) {
+    /// Blocks until every dispatched deletion has finished executing,
+    /// then reports whether any was dropped after exhausting its retry
+    /// budget ([`TxnError::MaintenanceFailed`]) — the queue always drains
+    /// either way; failure never shows up as a hang.
+    pub(crate) fn quiesce(&self, core: &DglCore) -> Result<(), TxnError> {
         if let Self::Background(w) = self {
-            w.quiesce();
+            w.wait_drained();
+        }
+        if core
+            .stats
+            .maint_failed
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0
+        {
+            Err(TxnError::MaintenanceFailed)
+        } else {
+            Ok(())
         }
     }
 }
 
+/// Runs one deletion under `catch_unwind`, returning whether it finished.
+fn run_caught(core: &DglCore, d: DeferredDelete) -> bool {
+    catch_unwind(AssertUnwindSafe(|| core.run_deferred_delete(d))).is_ok()
+}
+
+/// Inline execution with the same retry budget the background worker
+/// enforces (also the shutdown-drain fallback path).
+fn run_with_retries(core: &DglCore, d: DeferredDelete) {
+    let mut attempts = 0;
+    loop {
+        if run_caught(core, d) {
+            OpStats::bump(&core.stats.maint_completed);
+            return;
+        }
+        OpStats::bump(&core.stats.maint_panics);
+        attempts += 1;
+        if attempts >= MAINT_MAX_ATTEMPTS {
+            OpStats::bump(&core.stats.maint_failed);
+            return;
+        }
+        OpStats::bump(&core.stats.maint_requeues);
+    }
+}
+
+struct QueuedDelete {
+    d: DeferredDelete,
+    /// Executions that already panicked (see module docs).
+    attempts: u32,
+}
+
 struct QueueState {
-    queue: VecDeque<DeferredDelete>,
+    queue: VecDeque<QueuedDelete>,
     /// Records popped but still executing.
     running: usize,
     shutdown: bool,
@@ -131,7 +195,9 @@ pub(crate) struct MaintenanceWorker {
 }
 
 impl MaintenanceWorker {
-    fn spawn(core: Arc<DglCore>, config: MaintenanceConfig) -> Self {
+    /// `None` when the OS refuses a thread — the caller degrades to
+    /// inline execution.
+    fn spawn(core: &Arc<DglCore>, config: MaintenanceConfig) -> Option<Self> {
         let shared = Arc::new(Shared {
             capacity: config.queue_capacity.max(1),
             state: Mutex::new(QueueState {
@@ -142,14 +208,15 @@ impl MaintenanceWorker {
             cond: Condvar::new(),
         });
         let worker_shared = Arc::clone(&shared);
+        let worker_core = Arc::clone(core);
         let thread = std::thread::Builder::new()
             .name("dgl-maintenance".into())
-            .spawn(move || worker_loop(&core, &worker_shared))
-            .expect("spawn maintenance worker");
-        Self {
+            .spawn(move || worker_loop(&worker_core, &worker_shared))
+            .ok()?;
+        Some(Self {
             shared,
             thread: Some(thread),
-        }
+        })
     }
 
     fn enqueue(&self, core: &DglCore, d: DeferredDelete) {
@@ -161,11 +228,10 @@ impl MaintenanceWorker {
             // The index is being torn down around this commit; the
             // deletion is committed and must still be applied.
             drop(st);
-            core.run_deferred_delete(d);
-            OpStats::bump(&core.stats.maint_completed);
+            run_with_retries(core, d);
             return;
         }
-        st.queue.push_back(d);
+        st.queue.push_back(QueuedDelete { d, attempts: 0 });
         OpStats::raise(
             &core.stats.maint_queue_peak,
             (st.queue.len() + st.running) as u64,
@@ -173,7 +239,7 @@ impl MaintenanceWorker {
         self.shared.cond.notify_all();
     }
 
-    fn quiesce(&self) {
+    fn wait_drained(&self) {
         let mut st = self.shared.state.lock();
         while !st.queue.is_empty() || st.running > 0 {
             self.shared.cond.wait(&mut st);
@@ -212,11 +278,11 @@ fn worker_loop(core: &DglCore, shared: &Shared) {
         let next = {
             let mut st = shared.state.lock();
             loop {
-                if let Some(d) = st.queue.pop_front() {
+                if let Some(q) = st.queue.pop_front() {
                     st.running += 1;
                     // A capacity slot freed: wake blocked committers.
                     shared.cond.notify_all();
-                    break Some(d);
+                    break Some(q);
                 }
                 // Shutdown is honoured only once the queue is drained —
                 // every queued record is a committed deletion.
@@ -226,9 +292,30 @@ fn worker_loop(core: &DglCore, shared: &Shared) {
                 shared.cond.wait(&mut st);
             }
         };
-        let Some(d) = next else { return };
+        let Some(QueuedDelete { d, attempts }) = next else {
+            return;
+        };
+        // Keeps `running > 0` (and thus `quiesce` blocked) until *after*
+        // any requeue below — a panicked record never becomes invisible
+        // to a concurrent quiesce.
         let _guard = RunningGuard(shared);
-        core.run_deferred_delete(d);
-        OpStats::bump(&core.stats.maint_completed);
+        if run_caught(core, d) {
+            OpStats::bump(&core.stats.maint_completed);
+            continue;
+        }
+        OpStats::bump(&core.stats.maint_panics);
+        if attempts + 1 >= MAINT_MAX_ATTEMPTS {
+            OpStats::bump(&core.stats.maint_failed);
+            continue;
+        }
+        OpStats::bump(&core.stats.maint_requeues);
+        {
+            let mut st = shared.state.lock();
+            st.queue.push_front(QueuedDelete {
+                d,
+                attempts: attempts + 1,
+            });
+        }
+        shared.cond.notify_all();
     }
 }

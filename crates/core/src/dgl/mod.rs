@@ -70,7 +70,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -132,6 +132,12 @@ pub struct DglConfig {
     pub write_path: WritePathMode,
     /// Lock manager configuration.
     pub lock: LockManagerConfig,
+    /// Lock-wait timeout backstop. `Some` overrides `lock.wait_timeout`
+    /// — the convenient top-level knob, so callers tuning retry behavior
+    /// don't have to reach into [`LockManagerConfig`]. A wait that hits it
+    /// surfaces as [`TxnError::Timeout`] (distinct from
+    /// [`TxnError::Deadlock`]) with the transaction rolled back.
+    pub wait_timeout: Option<Duration>,
     /// Optional LRU buffer model (pages) for disk-access accounting.
     pub buffer_pages: Option<usize>,
     /// Maintenance subsystem: when (and where) deferred physical
@@ -152,6 +158,18 @@ pub struct DglConfig {
     pub testing_skip_growth_compensation: bool,
 }
 
+impl DglConfig {
+    /// The lock manager configuration with the top-level `wait_timeout`
+    /// override applied.
+    fn effective_lock(&self) -> LockManagerConfig {
+        let mut lock = self.lock.clone();
+        if let Some(t) = self.wait_timeout {
+            lock.wait_timeout = t;
+        }
+        lock
+    }
+}
+
 impl Default for DglConfig {
     fn default() -> Self {
         Self {
@@ -160,6 +178,7 @@ impl Default for DglConfig {
             policy: InsertPolicy::default(),
             write_path: WritePathMode::default(),
             lock: LockManagerConfig::default(),
+            wait_timeout: None,
             buffer_pages: None,
             maintenance: MaintenanceConfig::default(),
             coarse_external_granule: false,
@@ -283,11 +302,66 @@ impl DerefMut for ApplyGuard<'_> {
 
 impl Drop for ApplyGuard<'_> {
     fn drop(&mut self) {
+        if std::thread::panicking() {
+            // A panic is unwinding through the apply phase while we hold
+            // the exclusive latch. Before releasing it: (a) bump the
+            // structure version so any concurrently planned write fails
+            // validation instead of applying against a tree it did not
+            // plan for, and (b) re-check structural invariants — the
+            // injected-fault sites only panic at mutation-free boundaries,
+            // so a failure here is a genuine invariant breach that chaos
+            // tests must see. `catch_unwind` keeps a (hypothetical) panic
+            // inside validation from escalating to a double-panic abort.
+            OpStats::bump(&self.stats.apply_unwinds);
+            self.guard.invalidate_plans();
+            let intact = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.guard.validate(false).is_ok()
+            }))
+            .unwrap_or(false);
+            if !intact {
+                OpStats::bump(&self.stats.unwind_validate_failures);
+            }
+        }
         OpStats::bump(&self.stats.x_latch_holds);
         OpStats::add(
             &self.stats.x_latch_nanos,
             u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
         );
+    }
+}
+
+/// Drop guard armed at the top of every user operation: if a panic
+/// unwinds through the operation (an injected fault or a genuine bug),
+/// the guard rolls the transaction back — undoing its effects and
+/// releasing every lock — so the panicked transaction cannot leave the
+/// lock table wedged or half-applied logical state visible. On the
+/// normal (non-panicking) path it is free.
+///
+/// Armed *after* latches are decided per-phase: `rollback_now` takes the
+/// exclusive latch itself when the undo log requires it, which is safe
+/// here because the panic already unwound the operation's own latch
+/// guards ([`ApplyGuard`]'s drop runs first — fields drop in declaration
+/// order and locals in reverse order of declaration, and the guard is
+/// declared before any latch is taken).
+pub(crate) struct UnwindRollback<'a> {
+    pub(crate) core: &'a DglCore,
+    pub(crate) txn: TxnId,
+}
+
+impl Drop for UnwindRollback<'_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        // System transactions have their own cleanup (the maintenance
+        // worker's requeue path); only user transactions roll back here.
+        if self.core.tm.is_active(self.txn) && !self.core.lm.is_system(self.txn) {
+            OpStats::bump(&self.core.stats.unwind_rollbacks);
+            // Rollback itself must not escalate to a double-panic abort.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.core.rollback_now(self.txn);
+            }));
+        }
     }
 }
 
@@ -329,7 +403,7 @@ impl DglRTree {
     /// Creates an empty index.
     pub fn new(config: DglConfig) -> Self {
         let maintenance = config.maintenance;
-        let lm = Arc::new(LockManager::new(config.lock));
+        let lm = Arc::new(LockManager::new(config.effective_lock()));
         let tree = match config.buffer_pages {
             Some(pages) => RTree2::with_buffer(config.rtree, config.world, pages),
             None => RTree2::new(config.rtree, config.world),
@@ -381,7 +455,7 @@ impl DglRTree {
             .into_iter()
             .map(|(oid, ..)| (oid, 1))
             .collect();
-        let lm = Arc::new(LockManager::new(config.lock));
+        let lm = Arc::new(LockManager::new(config.effective_lock()));
         let core = Arc::new(DglCore {
             tree: RwLock::new(tree),
             tm: TxnManager::new(Arc::clone(&lm)),
@@ -404,7 +478,9 @@ impl DglRTree {
             db.maint.dispatch(&db.core, d);
         }
         // Recovery completes before the first user transaction.
-        db.maint.quiesce();
+        db.maint
+            .quiesce(&db.core)
+            .expect("snapshot recovery: deferred deletions must apply");
         debug_assert_eq!(db.core.tm.active_count(), 0);
         db
     }
@@ -444,11 +520,22 @@ impl DglRTree {
 
     /// Blocks until the background maintenance queue is drained and no
     /// deferred deletion is mid-flight. Immediate in inline mode. After
-    /// this returns (and absent concurrent commits), every committed
-    /// physical deletion has been applied: tombstones are gone and their
-    /// object ids are free again.
-    pub fn quiesce(&self) {
-        self.maint.quiesce();
+    /// `Ok(())` (and absent concurrent commits), every committed physical
+    /// deletion has been applied: tombstones are gone and their object
+    /// ids are free again.
+    ///
+    /// `Err(TxnError::MaintenanceFailed)` means one or more deferred
+    /// deletions panicked past their retry budget and were dropped —
+    /// the queue still drains (no hang), but tombstoned entries may
+    /// remain and their ids stay reserved.
+    pub fn quiesce(&self) -> Result<(), TxnError> {
+        self.maint.quiesce(&self.core)
+    }
+
+    /// Protocol operation statistics (alias of [`Self::op_stats`], the
+    /// name generic drivers use via [`TransactionalRTree::exec_stats`]).
+    pub fn stats(&self) -> &OpStats {
+        &self.core.stats
     }
 }
 
@@ -527,7 +614,10 @@ impl DglCore {
             PlanLatch::Shared(g, planned_version) => {
                 drop(g);
                 let apply = self.latch_exclusive();
-                if apply.version() == planned_version {
+                // Failpoint: force a validation failure (stale plan) to
+                // exercise the replan loop under chaos.
+                let forced_stale = dgl_faults::fired!("dgl/validate");
+                if apply.version() == planned_version && !forced_stale {
                     Some(apply)
                 } else {
                     drop(apply);
@@ -676,6 +766,18 @@ impl TransactionalRTree for DglRTree {
     fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
         let start = std::time::Instant::now();
         self.core.check_active(txn)?;
+        // A panic past this point (injected below, or out of an inline
+        // deferred deletion) must not leave the transaction holding locks.
+        let _unwind = UnwindRollback {
+            core: &self.core,
+            txn,
+        };
+        // Failpoint: abort instead of committing — the clean-abort flavor
+        // of a commit-time fault (the Panic flavor exercises the guard).
+        dgl_faults::failpoint!("dgl/commit" => {
+            self.core.rollback_now(txn);
+            TxnError::Injected
+        });
         let deferred = self.core.deferred.take(txn);
         let _ = self.core.undo.take(txn);
         // Release all locks first: the deferred deletions run as *system
@@ -736,8 +838,9 @@ impl TransactionalRTree for DglRTree {
         // Validation assumes a quiescent state; drain the maintenance
         // queue first so in-flight physical deletions (tombstones still
         // present, payload entries still reserved) don't read as
-        // corruption.
-        self.quiesce();
+        // corruption. A failed maintenance pipeline *is* an invariant
+        // violation — surface it rather than masking it.
+        DglRTree::quiesce(self).map_err(|e| e.to_string())?;
         self.core.validate_core()
     }
 
@@ -757,7 +860,14 @@ impl TransactionalRTree for DglRTree {
     }
 
     fn quiesce(&self) {
-        DglRTree::quiesce(self);
+        // The trait method is infallible; a maintenance failure is
+        // surfaced via `validate` and the inherent fallible
+        // [`DglRTree::quiesce`].
+        let _ = DglRTree::quiesce(self);
+    }
+
+    fn exec_stats(&self) -> Option<&OpStats> {
+        Some(&self.core.stats)
     }
 }
 

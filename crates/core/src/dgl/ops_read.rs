@@ -13,7 +13,7 @@ use crate::locks::LockList;
 use crate::stats::OpStats;
 use crate::{ScanHit, TxnError};
 
-use super::DglCore;
+use super::{DglCore, UnwindRollback};
 
 impl DglCore {
     /// ReadSingle: commit S on the object only (Table 3). The object lock
@@ -26,6 +26,7 @@ impl DglCore {
         rect: Rect2,
     ) -> Result<Option<u64>, TxnError> {
         self.check_active(txn)?;
+        let _unwind = UnwindRollback { core: self, txn };
         OpStats::bump(&self.stats.read_singles);
         loop {
             let tree = self.latch_shared();
@@ -57,8 +58,13 @@ impl DglCore {
     /// operation phantom protection exists for.
     pub(crate) fn read_scan_op(&self, txn: TxnId, query: Rect2) -> Result<Vec<ScanHit>, TxnError> {
         self.check_active(txn)?;
+        let _unwind = UnwindRollback { core: self, txn };
         OpStats::bump(&self.stats.read_scans);
         loop {
+            dgl_faults::failpoint!("dgl/plan" => {
+                self.rollback_now(txn);
+                TxnError::Injected
+            });
             let tree = self.latch_shared();
             let set = overlapping_granules(&tree, &[query]);
             let mut locks = LockList::new();
@@ -94,6 +100,7 @@ impl DglCore {
         query: Rect2,
     ) -> Result<Vec<ScanHit>, TxnError> {
         self.check_active(txn)?;
+        let _unwind = UnwindRollback { core: self, txn };
         OpStats::bump(&self.stats.update_scans);
         loop {
             let tree = self.latch_shared();

@@ -15,13 +15,14 @@ use crate::locks::LockList;
 use crate::stats::OpStats;
 use crate::TxnError;
 
-use super::{DeferredDelete, DglCore, InsertPolicy, UndoRecord};
+use super::{DeferredDelete, DglCore, InsertPolicy, UndoRecord, UnwindRollback};
 
 impl DglCore {
     /// Insert with the full dynamic-granule lock protocol, run as an
     /// optimistic plan/validate/apply attempt (see the module docs).
     pub(crate) fn insert_op(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<(), TxnError> {
         self.check_active(txn)?;
+        let _unwind = UnwindRollback { core: self, txn };
         OpStats::bump(&self.stats.inserts);
         // The commit-duration X on the object name must be held BEFORE
         // consulting `payloads`: a concurrent inserter publishes its
@@ -46,6 +47,13 @@ impl DglCore {
             return Err(TxnError::DuplicateObject);
         }
         loop {
+            // Failpoint at the attempt boundary: no latch held, every
+            // lock releasable — a clean place for chaos to abort (Error)
+            // or kill (Panic) the operation.
+            dgl_faults::failpoint!("dgl/plan" => {
+                self.rollback_now(txn);
+                TxnError::Injected
+            });
             let latch = self.plan_latch();
             let plan = latch.tree().plan_insert(rect);
             // Predict the page ids any splits will allocate, so every lock
@@ -71,6 +79,11 @@ impl DglCore {
                 // re-grant instantly.
                 continue;
             };
+            // Failpoint holding the exclusive latch but before the first
+            // byte changes: a Panic here exercises the ApplyGuard unwind
+            // path (invalidate + re-validate before latch release), a
+            // Delay stretches the exclusive hold.
+            dgl_faults::failpoint!("dgl/apply");
             let result = apply.apply_insert(
                 &plan,
                 Entry::Object {
@@ -262,8 +275,13 @@ impl DglCore {
         rect: Rect2,
     ) -> Result<bool, TxnError> {
         self.check_active(txn)?;
+        let _unwind = UnwindRollback { core: self, txn };
         OpStats::bump(&self.stats.deletes);
         loop {
+            dgl_faults::failpoint!("dgl/plan" => {
+                self.rollback_now(txn);
+                TxnError::Injected
+            });
             let latch = self.plan_latch();
             // locate_leaf (not find_path): the entry may sit in a subtree a
             // system operation holds disconnected mid-condense; it is still
@@ -295,6 +313,7 @@ impl DglCore {
                             let Some(mut apply) = self.upgrade(latch) else {
                                 continue;
                             };
+                            dgl_faults::failpoint!("dgl/apply");
                             let marked = apply.set_tombstone(oid, rect, txn.0);
                             debug_assert!(marked, "entry verified present under latch");
                             drop(apply);
@@ -349,6 +368,7 @@ impl DglCore {
         rect: Rect2,
     ) -> Result<bool, TxnError> {
         self.check_active(txn)?;
+        let _unwind = UnwindRollback { core: self, txn };
         OpStats::bump(&self.stats.update_singles);
         // UpdateSingle never mutates the tree (only the payload table), so
         // the whole operation runs under the planning latch — in optimistic

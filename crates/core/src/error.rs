@@ -8,7 +8,8 @@ pub enum TxnError {
     /// transaction.
     Deadlock,
     /// A lock wait hit the timeout backstop; the transaction has been
-    /// rolled back, as for [`TxnError::Deadlock`].
+    /// rolled back, as for [`TxnError::Deadlock`]. Kept distinct so retry
+    /// policy (and operators) can tell a detected cycle from a stall.
     Timeout,
     /// An operation was issued on a transaction that is not active
     /// (already committed, aborted, or never begun).
@@ -21,6 +22,30 @@ pub enum TxnError {
     /// so the id stays reserved until then. Re-use an id only after the
     /// transaction that deleted it has committed.
     DuplicateObject,
+    /// An injected fault (the `dgl-faults` test harness) aborted the
+    /// operation; the transaction has been rolled back. Never produced
+    /// in builds without the `dgl-faults/enabled` feature. Retryable:
+    /// chaos schedules are transient by construction.
+    Injected,
+    /// Background maintenance permanently failed to apply one or more
+    /// committed deferred deletions (the worker's retry budget ran out).
+    /// Surfaced by `quiesce` instead of hanging; the index may still hold
+    /// tombstoned entries whose ids stay reserved.
+    MaintenanceFailed,
+}
+
+impl TxnError {
+    /// Whether a fresh transaction retrying the same work can be expected
+    /// to succeed. Deadlock victims, timeout victims and injected faults
+    /// are transient (the conflicting transactions finish, the fault
+    /// schedule moves on); the rest indicate a caller bug or a damaged
+    /// maintenance pipeline that retrying cannot fix.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            TxnError::Deadlock | TxnError::Timeout | TxnError::Injected
+        )
+    }
 }
 
 impl fmt::Display for TxnError {
@@ -30,6 +55,13 @@ impl fmt::Display for TxnError {
             TxnError::Timeout => write!(f, "transaction aborted: lock wait timeout"),
             TxnError::NotActive => write!(f, "transaction is not active"),
             TxnError::DuplicateObject => write!(f, "object id already present"),
+            TxnError::Injected => write!(f, "transaction aborted: injected fault"),
+            TxnError::MaintenanceFailed => {
+                write!(
+                    f,
+                    "background maintenance failed: deferred deletion exhausted its retry budget"
+                )
+            }
         }
     }
 }
@@ -46,5 +78,19 @@ mod tests {
         assert!(TxnError::Timeout.to_string().contains("timeout"));
         assert!(TxnError::NotActive.to_string().contains("not active"));
         assert!(TxnError::DuplicateObject.to_string().contains("already"));
+        assert!(TxnError::Injected.to_string().contains("injected"));
+        assert!(TxnError::MaintenanceFailed
+            .to_string()
+            .contains("maintenance"));
+    }
+
+    #[test]
+    fn retry_classification() {
+        assert!(TxnError::Deadlock.is_retryable());
+        assert!(TxnError::Timeout.is_retryable());
+        assert!(TxnError::Injected.is_retryable());
+        assert!(!TxnError::NotActive.is_retryable());
+        assert!(!TxnError::DuplicateObject.is_retryable());
+        assert!(!TxnError::MaintenanceFailed.is_retryable());
     }
 }

@@ -45,6 +45,7 @@
 pub mod baseline;
 mod dgl;
 mod error;
+mod executor;
 pub mod granules;
 mod locks;
 mod stats;
@@ -54,6 +55,7 @@ pub use dgl::{
     DglConfig, DglRTree, InsertPolicy, MaintenanceConfig, MaintenanceMode, WritePathMode,
 };
 pub use error::TxnError;
+pub use executor::{ExecError, RetryPolicy, TxnExecutor};
 pub use stats::{OpStats, OpStatsSnapshot};
 pub use traits::{ScanHit, TransactionalRTree};
 

@@ -54,6 +54,37 @@ pub struct OpStats {
     /// deletions in inline mode, excluding them in background mode; the
     /// quantity the maintenance subsystem exists to shrink.
     pub(crate) commit_nanos: AtomicU64,
+    /// Transaction attempts started by [`TxnExecutor::run`]
+    /// (first tries and retries alike).
+    ///
+    /// [`TxnExecutor::run`]: crate::TxnExecutor::run
+    pub(crate) exec_attempts: AtomicU64,
+    /// Executor attempts that ended in a retryable abort and were retried.
+    pub(crate) exec_retries: AtomicU64,
+    /// Nanoseconds the executor slept in backoff between attempts.
+    pub(crate) exec_backoff_nanos: AtomicU64,
+    /// Transaction-body panics the executor caught, rolled back and
+    /// converted into retries.
+    pub(crate) exec_panics: AtomicU64,
+    /// Executor runs that exhausted their retry budget and gave up.
+    pub(crate) exec_giveups: AtomicU64,
+    /// Transactions rolled back by the unwind guard because a panic tore
+    /// through an in-flight operation (the guard restores 2PL hygiene:
+    /// all the panicked transaction's locks are released).
+    pub(crate) unwind_rollbacks: AtomicU64,
+    /// Panics that unwound through the apply phase's exclusive tree latch;
+    /// the latch guard re-validated structural invariants before release.
+    pub(crate) apply_unwinds: AtomicU64,
+    /// Apply-phase unwinds whose post-panic structural validation failed —
+    /// an invariant breach that chaos tests treat as fatal.
+    pub(crate) unwind_validate_failures: AtomicU64,
+    /// Panics caught inside maintenance (deferred-deletion) execution.
+    pub(crate) maint_panics: AtomicU64,
+    /// Deferred deletions put back on the queue after a caught panic.
+    pub(crate) maint_requeues: AtomicU64,
+    /// Deferred deletions dropped after exhausting their retry budget;
+    /// nonzero makes `quiesce` report `TxnError::MaintenanceFailed`.
+    pub(crate) maint_failed: AtomicU64,
 }
 
 /// A point-in-time copy of [`OpStats`].
@@ -81,6 +112,17 @@ pub struct OpStatsSnapshot {
     pub x_latch_nanos: u64,
     pub commits: u64,
     pub commit_nanos: u64,
+    pub exec_attempts: u64,
+    pub exec_retries: u64,
+    pub exec_backoff_nanos: u64,
+    pub exec_panics: u64,
+    pub exec_giveups: u64,
+    pub unwind_rollbacks: u64,
+    pub apply_unwinds: u64,
+    pub unwind_validate_failures: u64,
+    pub maint_panics: u64,
+    pub maint_requeues: u64,
+    pub maint_failed: u64,
 }
 
 impl OpStats {
@@ -128,6 +170,17 @@ impl OpStats {
             x_latch_nanos: self.x_latch_nanos.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             commit_nanos: self.commit_nanos.load(Ordering::Relaxed),
+            exec_attempts: self.exec_attempts.load(Ordering::Relaxed),
+            exec_retries: self.exec_retries.load(Ordering::Relaxed),
+            exec_backoff_nanos: self.exec_backoff_nanos.load(Ordering::Relaxed),
+            exec_panics: self.exec_panics.load(Ordering::Relaxed),
+            exec_giveups: self.exec_giveups.load(Ordering::Relaxed),
+            unwind_rollbacks: self.unwind_rollbacks.load(Ordering::Relaxed),
+            apply_unwinds: self.apply_unwinds.load(Ordering::Relaxed),
+            unwind_validate_failures: self.unwind_validate_failures.load(Ordering::Relaxed),
+            maint_panics: self.maint_panics.load(Ordering::Relaxed),
+            maint_requeues: self.maint_requeues.load(Ordering::Relaxed),
+            maint_failed: self.maint_failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -160,6 +213,18 @@ impl OpStatsSnapshot {
             x_latch_nanos: self.x_latch_nanos - earlier.x_latch_nanos,
             commits: self.commits - earlier.commits,
             commit_nanos: self.commit_nanos - earlier.commit_nanos,
+            exec_attempts: self.exec_attempts - earlier.exec_attempts,
+            exec_retries: self.exec_retries - earlier.exec_retries,
+            exec_backoff_nanos: self.exec_backoff_nanos - earlier.exec_backoff_nanos,
+            exec_panics: self.exec_panics - earlier.exec_panics,
+            exec_giveups: self.exec_giveups - earlier.exec_giveups,
+            unwind_rollbacks: self.unwind_rollbacks - earlier.unwind_rollbacks,
+            apply_unwinds: self.apply_unwinds - earlier.apply_unwinds,
+            unwind_validate_failures: self.unwind_validate_failures
+                - earlier.unwind_validate_failures,
+            maint_panics: self.maint_panics - earlier.maint_panics,
+            maint_requeues: self.maint_requeues - earlier.maint_requeues,
+            maint_failed: self.maint_failed - earlier.maint_failed,
         }
     }
 

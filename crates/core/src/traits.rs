@@ -98,6 +98,15 @@ pub trait TransactionalRTree: Send + Sync {
     /// Blocks until any background maintenance (deferred physical
     /// deletions queued by committed transactions) has been fully applied.
     /// Protocols without background machinery return immediately — the
-    /// default.
+    /// default. Maintenance *failures* (a deferred deletion that exhausted
+    /// its retry budget) are surfaced through [`validate`](Self::validate)
+    /// and, for protocols that expose one, an inherent fallible `quiesce`.
     fn quiesce(&self) {}
+
+    /// The protocol's operation counters, when it keeps them. Lets generic
+    /// drivers ([`TxnExecutor`](crate::TxnExecutor), workload harnesses)
+    /// record retry/backoff accounting without knowing the concrete type.
+    fn exec_stats(&self) -> Option<&crate::OpStats> {
+        None
+    }
 }

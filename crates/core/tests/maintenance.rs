@@ -156,7 +156,7 @@ fn background_commit_defers_physical_deletion() {
     db.abort(probe).unwrap();
 
     db.commit(scanner).unwrap();
-    db.quiesce();
+    db.quiesce().expect("quiesce");
     let s = db.op_stats().snapshot();
     assert_eq!((s.maint_enqueued, s.maint_completed), (1, 1));
     assert_eq!(db.len(), 9, "deletion applied after quiesce");
@@ -231,7 +231,7 @@ fn user_operations_cannot_touch_system_transactions() {
 
     // The worker survived the probing: the deletion still completes.
     db.commit(scanner).unwrap();
-    db.quiesce();
+    db.quiesce().expect("quiesce");
     let s = db.op_stats().snapshot();
     assert_eq!((s.maint_enqueued, s.maint_completed), (1, 1));
     assert_eq!(db.len(), 9);
@@ -294,12 +294,12 @@ fn quiesce_drains_background_queue_under_load() {
         // Interleave quiesce calls with the writers.
         for _ in 0..10 {
             std::thread::sleep(Duration::from_millis(5));
-            db.quiesce();
+            db.quiesce().expect("quiesce");
         }
     })
     .unwrap();
 
-    db.quiesce();
+    db.quiesce().expect("quiesce");
     let s = db.op_stats().snapshot();
     assert_eq!(s.maint_enqueued, s.maint_completed, "queue fully drained");
     assert_eq!(db.op_stats().maintenance_backlog(), 0);
@@ -403,7 +403,7 @@ fn background_mode_blocks_delete_phantoms() {
     })
     .unwrap();
 
-    db.quiesce();
+    db.quiesce().expect("quiesce");
     let t = db.begin();
     assert_eq!(ids(&db.read_scan(t, region).unwrap()), vec![2]);
     db.commit(t).unwrap();
@@ -438,7 +438,7 @@ fn background_deferred_delete_takes_short_granule_locks() {
     db.insert(t, ObjectId(2), r([0.22, 0.22], [0.27, 0.27]))
         .unwrap();
     db.commit(t).unwrap();
-    db.quiesce();
+    db.quiesce().expect("quiesce");
     let _ = db.lock_manager().drain_trace();
 
     let t = db.begin();
@@ -449,7 +449,7 @@ fn background_deferred_delete_takes_short_granule_locks() {
         "logical delete: exactly commit IX on g + commit X on object"
     );
     db.commit(t).unwrap();
-    db.quiesce(); // the system operation ran on the worker
+    db.quiesce().expect("quiesce"); // the system operation ran on the worker
     let deferred = grants(&db);
     assert!(!deferred.is_empty(), "system operation left a lock trace");
     assert!(

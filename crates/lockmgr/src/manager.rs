@@ -21,7 +21,10 @@ pub enum LockOutcome {
     /// Waiting would close a cycle in the waits-for graph; the requester
     /// was chosen as the victim and must abort.
     Deadlock,
-    /// The wait-timeout backstop fired; treat like a deadlock abort.
+    /// The wait-timeout backstop fired. Like [`LockOutcome::Deadlock`]
+    /// the requester must abort, but the verdict stays distinct so retry
+    /// classifiers can tell a detected cycle from a stall (and surface
+    /// them as different transaction errors upstream).
     Timeout,
 }
 
@@ -286,6 +289,9 @@ impl LockManager {
         dur: LockDuration,
         kind: RequestKind,
     ) -> LockOutcome {
+        // Chaos hook: delay (slow lock manager) or panic (requester dies
+        // before touching the lock table — nothing to clean up yet).
+        dgl_faults::failpoint!("lockmgr/acquire");
         LockStats::bump(&self.stats.requests);
         let cell;
         {
@@ -342,6 +348,10 @@ impl LockManager {
                     drop(shard);
                     self.txn_index.lock().entry(txn).or_default().insert(res);
                     self.record(txn, res, mode, dur, TraceEventKind::Granted);
+                    // Chaos hook: delay-only site (bookkeeping is already
+                    // consistent here; a panic would be indistinguishable
+                    // from one in the caller).
+                    dgl_faults::failpoint!("lockmgr/grant");
                     return LockOutcome::Granted;
                 }
                 if kind == RequestKind::Conditional {
@@ -374,6 +384,16 @@ impl LockManager {
         }
         // (If the victim verdict raced with a grant, the wait below picks
         // the grant up immediately.)
+
+        // Chaos hook: force the timeout verdict without waiting out the
+        // backstop — exercises the Timeout path (distinct from Deadlock)
+        // on demand. Skipped if the wait was already granted.
+        if dgl_faults::fired!("lockmgr/timeout") && self.cancel_waiter(res, txn) {
+            self.waiting_on.lock().remove(&txn);
+            LockStats::bump(&self.stats.timeouts);
+            self.record(txn, res, mode, dur, TraceEventKind::Aborted);
+            return LockOutcome::Timeout;
+        }
 
         let deadline = Instant::now() + self.wait_timeout;
         let mut guard = cell.state.lock();
@@ -692,13 +712,7 @@ impl LockManager {
                 return false;
             };
             let system = self.system_txns.lock();
-            let victim = members
-                .iter()
-                .copied()
-                .filter(|t| !system.contains(t))
-                .max()
-                .or_else(|| members.iter().copied().max())
-                .expect("cycle is non-empty");
+            let victim = crate::deadlock::select_victim(&members, &system);
             drop(system);
             if victim == txn {
                 return true;

@@ -110,6 +110,9 @@ impl<T> Store<T> {
 
     /// Allocates a page holding `payload` and returns its id.
     pub fn alloc(&mut self, payload: T) -> PageId {
+        // Failpoint (delay flavor): models a slow page allocation — e.g.
+        // a buffer pool stalling on eviction — under fault injection.
+        dgl_faults::failpoint!("pager/alloc");
         self.live += 1;
         let id = if let Some(idx) = self.free.pop() {
             self.slots[idx as usize] = Some(payload);
@@ -143,6 +146,9 @@ impl<T> Store<T> {
     /// # Panics
     /// Panics if the page is not live.
     pub fn read(&self, id: PageId) -> &T {
+        // Failpoint (delay flavor): models a buffer-pool miss that has to
+        // wait for disk, stretching latch hold times under chaos.
+        dgl_faults::failpoint!("pager/read");
         self.stats.record_read(id);
         self.slots
             .get(id.0 as usize)

@@ -202,6 +202,10 @@ pub fn decode_file_image(data: &[u8]) -> Result<TreeCheckpoint<2>, PersistError>
 /// Saves a quiescent tree to `path` (atomic-ish: written to a `.tmp`
 /// sibling, fsynced, then renamed over the destination).
 pub fn save_tree(tree: &RTree<2>, path: &Path) -> Result<(), PersistError> {
+    // Failpoint modeling a failed checkpoint write (disk full, EIO).
+    dgl_faults::failpoint!("persist/save" => PersistError::Io(
+        std::io::Error::other("injected fault at failpoint 'persist/save'")
+    ));
     let ck = checkpoint_tree(tree);
     let image = encode_file_image(&ck);
     let tmp = path.with_extension("tmp");
@@ -217,6 +221,10 @@ pub fn save_tree(tree: &RTree<2>, path: &Path) -> Result<(), PersistError> {
 
 /// Loads a tree from `path`, verifying the checksum and every page image.
 pub fn load_tree(path: &Path) -> Result<RTree<2>, PersistError> {
+    // Failpoint modeling an unreadable checkpoint (EIO on restore).
+    dgl_faults::failpoint!("persist/load" => PersistError::Io(
+        std::io::Error::other("injected fault at failpoint 'persist/load'")
+    ));
     let mut data = Vec::new();
     BufReader::new(File::open(path)?).read_to_end(&mut data)?;
     let ck = decode_file_image(&data)?;

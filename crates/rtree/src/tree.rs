@@ -160,6 +160,14 @@ impl<const D: usize> RTree<D> {
         self.version
     }
 
+    /// Forces every in-flight optimistic plan stale (bumps the structure
+    /// version without any mutation). Used by unwind paths: when a panic
+    /// tears through an exclusive-latch holder, plans computed against
+    /// the pre-panic tree must revalidate rather than apply blind.
+    pub fn invalidate_plans(&mut self) {
+        self.bump_version();
+    }
+
     /// Records a plan-invalidating mutation (see [`RTree::version`]).
     fn bump_version(&mut self) {
         self.version = self.version.wrapping_add(1);

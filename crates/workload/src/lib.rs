@@ -16,7 +16,9 @@
 #![warn(missing_docs)]
 
 mod dataset;
+mod driver;
 mod ops;
 
 pub use dataset::{Dataset, DatasetKind};
+pub use driver::{drive, DriveConfig, DriveReport};
 pub use ops::{Op, OpMix, OpStream};

@@ -258,7 +258,7 @@ fn run_command(
             Ok(Some(format!("loaded {} objects from {path}", db.len())))
         }
         "quiesce" => {
-            db.quiesce();
+            db.quiesce().map_err(|e| e.to_string())?;
             Ok(Some("ok (maintenance queue drained)".into()))
         }
         other => Err(format!("unknown command {other:?}; try `help`")),
