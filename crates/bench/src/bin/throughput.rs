@@ -4,14 +4,19 @@
 //!
 //! Usage:
 //! ```text
-//! throughput [--smoke] [--chaos [SEED]] [--out PATH]
+//! throughput [--smoke] [--chaos [SEED]] [--out PATH] [--prom PATH] \
+//!            [--obs-off] [--threads N,N,..] [--txns N]
 //! ```
 //! Writes `BENCH_throughput.json` (or PATH) and prints a markdown table
 //! plus the headline read-heavy speedup. `--smoke` runs a seconds-scale
 //! configuration for CI. `--chaos` (needs a build with
 //! `--features chaos`) arms a seeded fault schedule for the whole
 //! sweep, turning the run into a chaos smoke: the sweep must still
-//! reach every commit target with faults firing.
+//! reach every commit target with faults firing. `--prom PATH` also
+//! writes a Prometheus-format dump of every DGL contender's
+//! observability registry. `--obs-off` disables registry recording
+//! (percentile columns read 0) — diff ops/sec against a default run to
+//! measure the observability overhead.
 
 use dgl_bench::experiments::throughput;
 
@@ -25,12 +30,35 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let prom_path = args
+        .iter()
+        .position(|a| a == "--prom")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
-    let cfg = if smoke {
+    let mut cfg = if smoke {
         throughput::ThroughputConfig::smoke()
     } else {
         throughput::ThroughputConfig::default()
     };
+    cfg.obs_recording = !args.iter().any(|a| a == "--obs-off");
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--txns")
+        .and_then(|i| args.get(i + 1))
+    {
+        cfg.txns_per_thread = n.parse().expect("--txns takes a count per thread");
+    }
+    if let Some(list) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+    {
+        cfg.threads = list
+            .split(',')
+            .map(|s| s.parse().expect("--threads takes e.g. 2,4,8"))
+            .collect();
+    }
 
     #[cfg(feature = "chaos")]
     let chaos_handle = chaos.map(|i| {
@@ -55,7 +83,7 @@ fn main() {
         cfg.txns_per_thread,
         if smoke { "smoke" } else { "full" }
     );
-    let rows = throughput::run_sweep(&cfg);
+    let (rows, prom) = throughput::run_sweep_with_dump(&cfg);
 
     println!("## Aggregate throughput — optimistic vs pessimistic write path\n");
     println!("{}", throughput::render(&rows));
@@ -68,7 +96,7 @@ fn main() {
     }
     if let Some(reduction) = throughput::headline_x_latch_reduction(&rows) {
         println!(
-            "headline: exclusive-latch mean hold shrinks {reduction:.2}x \
+            "headline: exclusive-latch p95 hold shrinks {reduction:.2}x \
              (pessimistic / optimistic, read-heavy 90/10 mix, {max_threads} threads)"
         );
     }
@@ -92,4 +120,8 @@ fn main() {
     let json = throughput::to_json(&cfg, &rows);
     std::fs::write(&out_path, json).expect("write BENCH_throughput.json");
     eprintln!("wrote {out_path}");
+    if let Some(p) = prom_path {
+        std::fs::write(&p, prom).expect("write prometheus dump");
+        eprintln!("wrote {p}");
+    }
 }

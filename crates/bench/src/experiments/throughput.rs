@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 use dgl_core::baseline::TreeLockRTree;
 use dgl_core::{DglConfig, DglRTree, InsertPolicy, TransactionalRTree, WritePathMode};
 use dgl_lockmgr::LockManagerConfig;
+use dgl_obs::Hist;
 use dgl_rtree::RTreeConfig;
 use dgl_workload::{DriveConfig, Op, OpMix, OpStream};
 
@@ -34,6 +35,10 @@ pub struct ThroughputConfig {
     pub preload: u64,
     /// Workload seed.
     pub seed: u64,
+    /// Whether the DGL contenders record into the observability registry
+    /// (`DglConfig::obs_recording`). Defaults on; `--obs-off` runs the
+    /// same sweep with a disabled registry for overhead A/B measurement.
+    pub obs_recording: bool,
 }
 
 impl Default for ThroughputConfig {
@@ -45,6 +50,7 @@ impl Default for ThroughputConfig {
             fanout: 16,
             preload: 4_000,
             seed: 42,
+            obs_recording: true,
         }
     }
 }
@@ -91,7 +97,7 @@ struct Contender {
     dgl: Option<Arc<DglRTree>>,
 }
 
-fn contenders(fanout: usize) -> Vec<Contender> {
+fn contenders(fanout: usize, obs_recording: bool) -> Vec<Contender> {
     let lock = LockManagerConfig {
         wait_timeout: Duration::from_secs(10),
         ..Default::default()
@@ -102,6 +108,7 @@ fn contenders(fanout: usize) -> Vec<Contender> {
             policy: InsertPolicy::Modified,
             write_path,
             lock: lock.clone(),
+            obs_recording,
             ..Default::default()
         }))
     };
@@ -153,10 +160,25 @@ pub struct ThroughputRow {
     /// Stale plans detected under the exclusive latch (DGL only).
     pub plan_validation_failures: u64,
     /// Mean exclusive-latch hold of the write path, nanoseconds (DGL only).
+    /// Kept for JSON compatibility; the percentile columns below are the
+    /// headline numbers.
     pub avg_x_latch_nanos: u64,
     /// Total nanoseconds the tree was exclusively latched (readers shut
     /// out) over the measured interval (DGL only).
     pub x_latch_total_nanos: u64,
+    /// Median lock-wait, nanoseconds, from the obs registry (DGL only).
+    /// Quantiles report the containing log2 bucket's upper bound.
+    pub lock_wait_p50_nanos: u64,
+    /// 95th-percentile lock-wait, nanoseconds (DGL only).
+    pub lock_wait_p95_nanos: u64,
+    /// 99th-percentile lock-wait, nanoseconds (DGL only).
+    pub lock_wait_p99_nanos: u64,
+    /// Median exclusive-latch hold, nanoseconds (DGL only).
+    pub x_latch_p50_nanos: u64,
+    /// 95th-percentile exclusive-latch hold, nanoseconds (DGL only).
+    pub x_latch_p95_nanos: u64,
+    /// 99th-percentile exclusive-latch hold, nanoseconds (DGL only).
+    pub x_latch_p99_nanos: u64,
 }
 
 /// Preload on a high thread id so worker oid spaces stay disjoint. Runs
@@ -196,6 +218,7 @@ fn run_point(
     cfg: &ThroughputConfig,
 ) -> ThroughputRow {
     let before = c.dgl.as_ref().map(|d| d.op_stats().snapshot());
+    let obs_before = c.dgl.as_ref().map(|d| d.obs().snapshot());
     let db = &c.db;
     let start = Instant::now();
     let (ops, commits, aborts): (u64, u64, u64) = crossbeam::scope(|s| {
@@ -256,6 +279,15 @@ fn run_point(
         }
         _ => (0, 0, 0, 0),
     };
+    // Percentiles come from the registry's log2 histograms; the sweep
+    // reuses one index across thread counts, so take per-point deltas.
+    let (wait, hold) = match (&c.dgl, obs_before) {
+        (Some(d), Some(obs_before)) => {
+            let delta = d.obs().snapshot().since(&obs_before);
+            (*delta.hist(Hist::LockWait), *delta.hist(Hist::LatchHold))
+        }
+        _ => Default::default(),
+    };
     ThroughputRow {
         protocol: c.label.to_string(),
         mix: mix_label.to_string(),
@@ -268,6 +300,12 @@ fn run_point(
         plan_validation_failures: failures,
         avg_x_latch_nanos: avg_x,
         x_latch_total_nanos: total_x,
+        lock_wait_p50_nanos: wait.p50(),
+        lock_wait_p95_nanos: wait.p95(),
+        lock_wait_p99_nanos: wait.p99(),
+        x_latch_p50_nanos: hold.p50(),
+        x_latch_p95_nanos: hold.p95(),
+        x_latch_p99_nanos: hold.p99(),
     }
 }
 
@@ -275,16 +313,29 @@ fn run_point(
 /// contender gets a fresh index per mix; thread counts run back-to-back
 /// on it (the index keeps growing, matching a long-lived system).
 pub fn run_sweep(cfg: &ThroughputConfig) -> Vec<ThroughputRow> {
+    run_sweep_with_dump(cfg).0
+}
+
+/// Like [`run_sweep`], but also returns a Prometheus-format dump of each
+/// DGL contender's full observability registry (one `# contender <label>
+/// mix <mix>` section per index), for the CI artifact.
+pub fn run_sweep_with_dump(cfg: &ThroughputConfig) -> (Vec<ThroughputRow>, String) {
     let mut rows = Vec::new();
+    let mut dump = String::new();
     for (mix_label, mix) in mixes() {
-        for c in contenders(cfg.fanout) {
+        for c in contenders(cfg.fanout, cfg.obs_recording) {
             preload(&c.db, mix, cfg);
             for &threads in &cfg.threads {
                 rows.push(run_point(&c, mix_label, mix, threads, cfg));
             }
+            if let Some(d) = &c.dgl {
+                dump.push_str(&format!("# contender {} mix {}\n", c.label, mix_label));
+                dump.push_str(&d.prometheus_dump());
+                dump.push('\n');
+            }
         }
     }
-    rows
+    (rows, dump)
 }
 
 /// Hand-rolled JSON (the offline `serde` shim is marker-only).
@@ -297,7 +348,7 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}}}{}\n",
             r.protocol,
             r.mix,
             r.threads,
@@ -309,6 +360,12 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
             r.plan_validation_failures,
             r.avg_x_latch_nanos,
             r.x_latch_total_nanos,
+            r.lock_wait_p50_nanos,
+            r.lock_wait_p95_nanos,
+            r.lock_wait_p99_nanos,
+            r.x_latch_p50_nanos,
+            r.x_latch_p95_nanos,
+            r.x_latch_p99_nanos,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -316,8 +373,17 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
     out
 }
 
-/// Markdown rendering of the sweep.
+/// Markdown rendering of the sweep. Latency columns are registry
+/// percentiles in microseconds, rendered `p50/p95/p99`.
 pub fn render(rows: &[ThroughputRow]) -> String {
+    let tri = |p50: u64, p95: u64, p99: u64| {
+        format!(
+            "{:.1}/{:.1}/{:.1}",
+            p50 as f64 / 1_000.0,
+            p95 as f64 / 1_000.0,
+            p99 as f64 / 1_000.0
+        )
+    };
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -329,7 +395,16 @@ pub fn render(rows: &[ThroughputRow]) -> String {
                 r.commits.to_string(),
                 r.aborts.to_string(),
                 r.optimistic_replans.to_string(),
-                format!("{:.1}", r.avg_x_latch_nanos as f64 / 1_000.0),
+                tri(
+                    r.lock_wait_p50_nanos,
+                    r.lock_wait_p95_nanos,
+                    r.lock_wait_p99_nanos,
+                ),
+                tri(
+                    r.x_latch_p50_nanos,
+                    r.x_latch_p95_nanos,
+                    r.x_latch_p99_nanos,
+                ),
             ]
         })
         .collect();
@@ -342,7 +417,8 @@ pub fn render(rows: &[ThroughputRow]) -> String {
             "Commits",
             "Aborts",
             "Replans",
-            "X-latch µs",
+            "Wait µs p50/95/99",
+            "X-latch µs p50/95/99",
         ],
         &body,
     )
@@ -363,12 +439,13 @@ pub fn headline_speedup(rows: &[ThroughputRow]) -> Option<f64> {
 }
 
 /// Exclusive-latch hold-time reduction on the same point: pessimistic
-/// over optimistic mean hold. This is the quantity the split directly
-/// shrinks, and unlike aggregate ops/sec it is meaningful even when the
-/// harness runs on fewer cores than threads (a saturated single core
-/// caps ops/sec at work/sec regardless of how short the critical
-/// section is — the shorter hold only converts to throughput once
-/// readers can actually run in parallel).
+/// over optimistic p95 hold (tail holds are what shut readers out, so
+/// the headline compares percentiles, not means). Unlike aggregate
+/// ops/sec it is meaningful even when the harness runs on fewer cores
+/// than threads (a saturated single core caps ops/sec at work/sec
+/// regardless of how short the critical section is — the shorter hold
+/// only converts to throughput once readers can actually run in
+/// parallel).
 pub fn headline_x_latch_reduction(rows: &[ThroughputRow]) -> Option<f64> {
     let max_threads = rows.iter().map(|r| r.threads).max()?;
     let pick = |proto: &str| {
@@ -376,7 +453,7 @@ pub fn headline_x_latch_reduction(rows: &[ThroughputRow]) -> Option<f64> {
             .find(|r| {
                 r.protocol == proto && r.mix == "read-heavy-90-10" && r.threads == max_threads
             })
-            .map(|r| r.avg_x_latch_nanos as f64)
+            .map(|r| r.x_latch_p95_nanos as f64)
     };
     let opt = pick("dgl-optimistic")?;
     if opt == 0.0 {
@@ -400,23 +477,37 @@ mod tests {
             fanout: 8,
             preload: 60,
             seed: 3,
+            obs_recording: true,
         };
-        let rows = run_sweep(&cfg);
+        let (rows, prom) = run_sweep_with_dump(&cfg);
         // 3 mixes × 3 contenders × 2 thread counts.
         assert_eq!(rows.len(), 18);
         for r in &rows {
             assert!(r.ops_per_sec > 0.0, "{r:?}");
             assert_eq!(r.commits, r.threads * cfg.txns_per_thread);
         }
-        // tree-lock never reports optimistic counters.
+        // tree-lock never reports optimistic counters or percentiles.
         assert!(rows
             .iter()
             .filter(|r| r.protocol == "tree-lock")
-            .all(|r| r.optimistic_replans == 0 && r.avg_x_latch_nanos == 0));
+            .all(|r| r.optimistic_replans == 0
+                && r.avg_x_latch_nanos == 0
+                && r.x_latch_p95_nanos == 0));
+        // Every DGL point commits writes, so latch-hold percentiles are
+        // populated and ordered.
+        for r in rows.iter().filter(|r| r.protocol.starts_with("dgl-")) {
+            assert!(r.x_latch_p50_nanos > 0, "{r:?}");
+            assert!(r.x_latch_p50_nanos <= r.x_latch_p95_nanos, "{r:?}");
+            assert!(r.x_latch_p95_nanos <= r.x_latch_p99_nanos, "{r:?}");
+        }
         let json = to_json(&cfg, &rows);
         assert!(json.contains("\"bench\": \"throughput\""));
         assert!(json.contains("dgl-pessimistic"));
         assert!(json.contains("x_latch_total_nanos"));
+        assert!(json.contains("lock_wait_p95_nanos"));
+        assert!(json.contains("x_latch_p99_nanos"));
+        assert!(prom.contains("# contender dgl-optimistic mix read-heavy-90-10"));
+        assert!(prom.contains("dgl_x_latch_hold_nanos_count"));
         assert!(headline_speedup(&rows).unwrap() > 0.0);
         assert!(headline_x_latch_reduction(&rows).unwrap() > 0.0);
     }

@@ -49,7 +49,9 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use dgl_obs::{Ctr, Hist};
 use parking_lot::{Condvar, Mutex};
 
 use crate::stats::OpStats;
@@ -117,9 +119,13 @@ impl MaintenanceHandle {
     /// (inline) or enqueues it (background).
     pub(crate) fn dispatch(&self, core: &DglCore, d: DeferredDelete) {
         OpStats::bump(&core.stats.maint_enqueued);
+        core.obs.incr(Ctr::MaintEnqueued);
+        // Backlog-drain latency is measured dispatch → physical completion,
+        // so the timestamp rides along with the queued record.
+        let enqueued = Instant::now();
         match self {
-            Self::Inline => run_with_retries(core, d),
-            Self::Background(w) => w.enqueue(core, d),
+            Self::Inline => run_with_retries(core, d, enqueued),
+            Self::Background(w) => w.enqueue(core, d, enqueued),
         }
     }
 
@@ -149,13 +155,23 @@ fn run_caught(core: &DglCore, d: DeferredDelete) -> bool {
     catch_unwind(AssertUnwindSafe(|| core.run_deferred_delete(d))).is_ok()
 }
 
+/// Records the dispatch → completion latency of one applied deletion.
+fn record_drain(core: &DglCore, enqueued: Instant) {
+    OpStats::bump(&core.stats.maint_completed);
+    core.obs.incr(Ctr::MaintCompleted);
+    core.obs.record(
+        Hist::MaintDrain,
+        u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
+}
+
 /// Inline execution with the same retry budget the background worker
 /// enforces (also the shutdown-drain fallback path).
-fn run_with_retries(core: &DglCore, d: DeferredDelete) {
+fn run_with_retries(core: &DglCore, d: DeferredDelete, enqueued: Instant) {
     let mut attempts = 0;
     loop {
         if run_caught(core, d) {
-            OpStats::bump(&core.stats.maint_completed);
+            record_drain(core, enqueued);
             return;
         }
         OpStats::bump(&core.stats.maint_panics);
@@ -172,6 +188,8 @@ struct QueuedDelete {
     d: DeferredDelete,
     /// Executions that already panicked (see module docs).
     attempts: u32,
+    /// Dispatch time, for the backlog-drain latency histogram.
+    enqueued: Instant,
 }
 
 struct QueueState {
@@ -219,7 +237,7 @@ impl MaintenanceWorker {
         })
     }
 
-    fn enqueue(&self, core: &DglCore, d: DeferredDelete) {
+    fn enqueue(&self, core: &DglCore, d: DeferredDelete, enqueued: Instant) {
         let mut st = self.shared.state.lock();
         while st.queue.len() >= self.shared.capacity && !st.shutdown {
             self.shared.cond.wait(&mut st);
@@ -228,10 +246,14 @@ impl MaintenanceWorker {
             // The index is being torn down around this commit; the
             // deletion is committed and must still be applied.
             drop(st);
-            run_with_retries(core, d);
+            run_with_retries(core, d, enqueued);
             return;
         }
-        st.queue.push_back(QueuedDelete { d, attempts: 0 });
+        st.queue.push_back(QueuedDelete {
+            d,
+            attempts: 0,
+            enqueued,
+        });
         OpStats::raise(
             &core.stats.maint_queue_peak,
             (st.queue.len() + st.running) as u64,
@@ -292,7 +314,12 @@ fn worker_loop(core: &DglCore, shared: &Shared) {
                 shared.cond.wait(&mut st);
             }
         };
-        let Some(QueuedDelete { d, attempts }) = next else {
+        let Some(QueuedDelete {
+            d,
+            attempts,
+            enqueued,
+        }) = next
+        else {
             return;
         };
         // Keeps `running > 0` (and thus `quiesce` blocked) until *after*
@@ -300,7 +327,7 @@ fn worker_loop(core: &DglCore, shared: &Shared) {
         // to a concurrent quiesce.
         let _guard = RunningGuard(shared);
         if run_caught(core, d) {
-            OpStats::bump(&core.stats.maint_completed);
+            record_drain(core, enqueued);
             continue;
         }
         OpStats::bump(&core.stats.maint_panics);
@@ -314,6 +341,7 @@ fn worker_loop(core: &DglCore, shared: &Shared) {
             st.queue.push_front(QueuedDelete {
                 d,
                 attempts: attempts + 1,
+                enqueued,
             });
         }
         shared.cond.notify_all();

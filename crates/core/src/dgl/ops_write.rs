@@ -10,6 +10,8 @@ use dgl_lockmgr::{
 use dgl_pager::PageId;
 use dgl_rtree::{Entry, InsertPlan, ObjectId};
 
+use dgl_obs::{span, Hist};
+
 use crate::granules::overlapping_granules;
 use crate::locks::LockList;
 use crate::stats::OpStats;
@@ -54,19 +56,29 @@ impl DglCore {
                 self.rollback_now(txn);
                 TxnError::Injected
             });
-            let latch = self.plan_latch();
-            let plan = latch.tree().plan_insert(rect);
-            // Predict the page ids any splits will allocate, so every lock
-            // of Table 3's split row — including those on the new halves —
-            // is negotiated BEFORE the first byte changes. (Freed page ids
-            // can carry stale commit-duration locks of concurrent
-            // transactions; a post-split acquisition could block, and
-            // blocking after mutation is not an option.) The predictions
-            // stay exact across the optimistic window: the free list only
-            // changes under version-bumping mutations, which validation
-            // rules out.
-            let predicted = latch.tree().predicted_new_pages(&plan);
-            let locks = self.insert_lock_list(txn, latch.tree(), &plan, &predicted);
+            let (latch, plan, predicted, locks) = span!(
+                self.obs,
+                Hist::PlanPhase,
+                op = "insert",
+                phase = "plan",
+                txn = txn.0,
+                {
+                    let latch = self.plan_latch();
+                    let plan = latch.tree().plan_insert(rect);
+                    // Predict the page ids any splits will allocate, so every lock
+                    // of Table 3's split row — including those on the new halves —
+                    // is negotiated BEFORE the first byte changes. (Freed page ids
+                    // can carry stale commit-duration locks of concurrent
+                    // transactions; a post-split acquisition could block, and
+                    // blocking after mutation is not an option.) The predictions
+                    // stay exact across the optimistic window: the free list only
+                    // changes under version-bumping mutations, which validation
+                    // rules out.
+                    let predicted = latch.tree().predicted_new_pages(&plan);
+                    let locks = self.insert_lock_list(txn, latch.tree(), &plan, &predicted);
+                    (latch, plan, predicted, locks)
+                }
+            );
             if let Err((res, mode, dur)) = locks.try_acquire(&self.lm, txn) {
                 drop(latch);
                 OpStats::bump(&self.stats.op_retries);
@@ -154,9 +166,16 @@ impl DglCore {
                 .is_some_and(|m| m.covers(S));
 
         if plan.split_pages.is_empty() {
-            // Commit IX on the granule that receives (and will cover) the
-            // object — the single commit-duration granule lock of Table 3.
-            locks.add(Self::page(plan.target), IX, Commit);
+            // TESTING ONLY failpoint: omit the Table-3 commit IX on the
+            // covering granule. This breaks cover-for-insert on purpose —
+            // the phantom oracle's negative test arms it to prove the lock
+            // is load-bearing. Compiles to `false` in release builds.
+            if !dgl_faults::fired!("dgl/skip-cover-lock") {
+                // Commit IX on the granule that receives (and will cover)
+                // the object — the single commit-duration granule lock of
+                // Table 3.
+                locks.add(Self::page(plan.target), IX, Commit);
+            }
         } else {
             // §3.5: a short SIX on each splitting granule instead of plain
             // IX, so no other transaction holds any lock on it when it
@@ -286,7 +305,14 @@ impl DglCore {
             // locate_leaf (not find_path): the entry may sit in a subtree a
             // system operation holds disconnected mid-condense; it is still
             // present and its leaf granule is still the right lock target.
-            match latch.tree().locate_leaf(oid, rect) {
+            match span!(
+                self.obs,
+                Hist::PlanPhase,
+                op = "delete",
+                phase = "plan",
+                txn = txn.0,
+                { latch.tree().locate_leaf(oid, rect) }
+            ) {
                 Some(leaf) => {
                     let mut locks = LockList::new();
                     locks.add(Self::page(leaf), IX, Commit);

@@ -104,6 +104,7 @@ pub struct TxnExecutor<'a> {
     db: &'a dyn TransactionalRTree,
     policy: RetryPolicy,
     stats: Option<&'a OpStats>,
+    obs: Option<&'a std::sync::Arc<dgl_obs::Registry>>,
     rng_state: std::cell::Cell<u64>,
 }
 
@@ -126,6 +127,7 @@ impl<'a> TxnExecutor<'a> {
             db,
             policy,
             stats: db.exec_stats(),
+            obs: db.obs_registry(),
             rng_state: std::cell::Cell::new((policy.jitter_seed ^ salt) | 1),
         }
     }
@@ -203,6 +205,9 @@ impl<'a> TxnExecutor<'a> {
                 });
             }
             self.bump(|s| &s.exec_retries);
+            if let Some(obs) = self.obs {
+                obs.incr(dgl_obs::Ctr::ExecRetries);
+            }
             self.sleep_backoff(attempt);
         }
     }
@@ -223,6 +228,9 @@ impl<'a> TxnExecutor<'a> {
         }
         let jittered = nanos / 2 + self.next_rand() % (nanos / 2 + 1);
         self.bump_add(|s| &s.exec_backoff_nanos, jittered);
+        if let Some(obs) = self.obs {
+            obs.record(dgl_obs::Hist::ExecBackoff, jittered);
+        }
         std::thread::sleep(Duration::from_nanos(jittered));
     }
 

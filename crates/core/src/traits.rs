@@ -109,4 +109,11 @@ pub trait TransactionalRTree: Send + Sync {
     fn exec_stats(&self) -> Option<&crate::OpStats> {
         None
     }
+
+    /// The protocol's observability registry, when it keeps one. Generic
+    /// drivers use it for backoff histograms; benches snapshot it for
+    /// percentile columns.
+    fn obs_registry(&self) -> Option<&std::sync::Arc<dgl_obs::Registry>> {
+        None
+    }
 }

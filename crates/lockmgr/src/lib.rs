@@ -25,7 +25,10 @@ mod resource;
 mod stats;
 mod trace;
 
-pub use manager::{LockManager, LockManagerConfig, LockOutcome};
+pub use manager::{
+    obs_res, GrantEntry, LockManager, LockManagerConfig, LockOutcome, ResourceTableEntry,
+    WaiterEntry,
+};
 pub use mode::LockMode;
 pub use resource::{LockDuration, RequestKind, ResourceId, TxnId};
 pub use stats::{LockStats, LockStatsSnapshot};

@@ -10,6 +10,17 @@ use crate::deadlock::WaitForGraph;
 use crate::stats::LockStats;
 use crate::trace::{Trace, TraceEvent, TraceEventKind};
 use crate::{LockDuration, LockMode, RequestKind, ResourceId, TxnId};
+use dgl_obs::{Ctr, Event, Hist, Registry, Res};
+
+/// Maps a lock-manager resource to its observability identity (obs sits
+/// below this crate in the dependency graph, so it has its own type).
+pub fn obs_res(res: ResourceId) -> Res {
+    match res {
+        ResourceId::Page(p) => Res::Page(p.0),
+        ResourceId::Object(o) => Res::Object(o),
+        ResourceId::Tree => Res::Tree,
+    }
+}
 
 /// Outcome of a lock request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +175,41 @@ struct Wakeup {
     cell: Arc<WaitCell>,
 }
 
+/// One granted lock in a [`LockManager::table_snapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct GrantEntry {
+    /// Holding transaction.
+    pub txn: TxnId,
+    /// Effective held mode (supremum of the duration slots).
+    pub mode: LockMode,
+    /// Commit-duration slot, if set.
+    pub commit_mode: Option<LockMode>,
+    /// Short-duration slot, if set.
+    pub short_mode: Option<LockMode>,
+}
+
+/// One queued waiter in a [`LockManager::table_snapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaiterEntry {
+    /// Waiting transaction.
+    pub txn: TxnId,
+    /// Total mode it will hold when granted.
+    pub mode: LockMode,
+    /// Whether this is a conversion of an existing grant.
+    pub conversion: bool,
+}
+
+/// Lock state of one resource in a [`LockManager::table_snapshot`].
+#[derive(Debug, Clone)]
+pub struct ResourceTableEntry {
+    /// The resource.
+    pub res: ResourceId,
+    /// Current grant holders.
+    pub grants: Vec<GrantEntry>,
+    /// FIFO wait queue (conversions first).
+    pub waiters: Vec<WaiterEntry>,
+}
+
 /// The lock manager: a sharded lock table with FIFO grant queues,
 /// conversion priority, deadlock detection and a wait-timeout backstop.
 ///
@@ -201,6 +247,7 @@ pub struct LockManager {
     stats: LockStats,
     trace: Trace,
     wait_timeout: Duration,
+    obs: Arc<Registry>,
 }
 
 impl std::fmt::Debug for LockManager {
@@ -218,8 +265,16 @@ impl Default for LockManager {
 }
 
 impl LockManager {
-    /// Creates a lock manager with the given configuration.
+    /// Creates a lock manager with the given configuration and a private
+    /// observability registry.
     pub fn new(config: LockManagerConfig) -> Self {
+        Self::with_obs(config, Arc::new(Registry::new()))
+    }
+
+    /// Creates a lock manager reporting into a shared observability
+    /// registry (the protocol layer passes its tree-wide registry so lock
+    /// waits and latch holds land in one place).
+    pub fn with_obs(config: LockManagerConfig, obs: Arc<Registry>) -> Self {
         assert!(config.shards > 0, "need at least one shard");
         Self {
             shards: (0..config.shards)
@@ -235,12 +290,18 @@ impl LockManager {
                 Trace::disabled()
             },
             wait_timeout: config.wait_timeout,
+            obs,
         }
     }
 
     /// Lock-manager statistics.
     pub fn stats(&self) -> &LockStats {
         &self.stats
+    }
+
+    /// The observability registry this manager reports into.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// Marks `txn` as a *system* transaction: deadlock victim selection
@@ -293,6 +354,10 @@ impl LockManager {
         // before touching the lock table — nothing to clean up yet).
         dgl_faults::failpoint!("lockmgr/acquire");
         LockStats::bump(&self.stats.requests);
+        self.obs.incr(match dur {
+            LockDuration::Short => Ctr::LockReqShort,
+            LockDuration::Commit => Ctr::LockReqCommit,
+        });
         let cell;
         {
             let mut shard = self.shard(&res).lock();
@@ -308,6 +373,7 @@ impl LockManager {
                     state.grant_of_mut(txn).expect("just found").set(mode, dur);
                     LockStats::bump(&self.stats.immediate_grants);
                     self.record(txn, res, mode, dur, TraceEventKind::Granted);
+                    self.emit_granted(txn, res, mode, dur);
                     return LockOutcome::Granted;
                 }
                 // Conversion to a stronger mode.
@@ -317,14 +383,18 @@ impl LockManager {
                     LockStats::bump(&self.stats.conversions);
                     LockStats::bump(&self.stats.immediate_grants);
                     self.record(txn, res, mode, dur, TraceEventKind::Granted);
+                    self.emit_granted(txn, res, mode, dur);
                     return LockOutcome::Granted;
                 }
                 if kind == RequestKind::Conditional {
                     LockStats::bump(&self.stats.conditional_failures);
+                    self.obs.incr(Ctr::LockConditionalFail);
                     self.record(txn, res, mode, dur, TraceEventKind::ConditionalFail);
+                    self.emit_blocked(txn, res, mode, state);
                     return LockOutcome::WouldBlock;
                 }
                 LockStats::bump(&self.stats.conversions);
+                self.emit_blocked(txn, res, mode, state);
                 cell = Arc::new(WaitCell::new());
                 // Conversions queue ahead of ordinary waiters (after any
                 // conversions already queued), the standard anti-starvation
@@ -348,6 +418,7 @@ impl LockManager {
                     drop(shard);
                     self.txn_index.lock().entry(txn).or_default().insert(res);
                     self.record(txn, res, mode, dur, TraceEventKind::Granted);
+                    self.emit_granted(txn, res, mode, dur);
                     // Chaos hook: delay-only site (bookkeeping is already
                     // consistent here; a panic would be indistinguishable
                     // from one in the caller).
@@ -356,9 +427,12 @@ impl LockManager {
                 }
                 if kind == RequestKind::Conditional {
                     LockStats::bump(&self.stats.conditional_failures);
+                    self.obs.incr(Ctr::LockConditionalFail);
                     self.record(txn, res, mode, dur, TraceEventKind::ConditionalFail);
+                    self.emit_blocked(txn, res, mode, state);
                     return LockOutcome::WouldBlock;
                 }
+                self.emit_blocked(txn, res, mode, state);
                 cell = Arc::new(WaitCell::new());
                 state.waiters.push_back(Waiter {
                     txn,
@@ -372,6 +446,19 @@ impl LockManager {
         }
         LockStats::bump(&self.stats.waits);
         self.waiting_on.lock().insert(txn, res);
+        let wait_start = Instant::now();
+        let finish_wait = |granted: bool| {
+            let nanos = wait_start.elapsed().as_nanos() as u64;
+            self.obs.record(Hist::LockWait, nanos);
+            if self.obs.detail() {
+                self.obs.emit(Event::LockWaitEnd {
+                    txn: txn.0,
+                    res: obs_res(res),
+                    granted,
+                    wait_nanos: nanos,
+                });
+            }
+        };
 
         // About to block: if this wait closes a cycle, abort the youngest
         // non-system member. If that is us, give up; otherwise cancel the
@@ -380,6 +467,7 @@ impl LockManager {
             self.waiting_on.lock().remove(&txn);
             LockStats::bump(&self.stats.deadlocks);
             self.record(txn, res, mode, dur, TraceEventKind::Aborted);
+            finish_wait(false);
             return LockOutcome::Deadlock;
         }
         // (If the victim verdict raced with a grant, the wait below picks
@@ -392,6 +480,7 @@ impl LockManager {
             self.waiting_on.lock().remove(&txn);
             LockStats::bump(&self.stats.timeouts);
             self.record(txn, res, mode, dur, TraceEventKind::Aborted);
+            finish_wait(false);
             return LockOutcome::Timeout;
         }
 
@@ -403,6 +492,8 @@ impl LockManager {
                     drop(guard);
                     self.waiting_on.lock().remove(&txn);
                     self.record(txn, res, mode, dur, TraceEventKind::GrantedAfterWait);
+                    finish_wait(true);
+                    self.emit_granted(txn, res, mode, dur);
                     return LockOutcome::Granted;
                 }
                 Some(WaitVerdict::Cancelled) => {
@@ -410,6 +501,7 @@ impl LockManager {
                     self.waiting_on.lock().remove(&txn);
                     LockStats::bump(&self.stats.deadlocks);
                     self.record(txn, res, mode, dur, TraceEventKind::Aborted);
+                    finish_wait(false);
                     return LockOutcome::Deadlock;
                 }
                 None => {
@@ -419,6 +511,7 @@ impl LockManager {
                             self.waiting_on.lock().remove(&txn);
                             LockStats::bump(&self.stats.timeouts);
                             self.record(txn, res, mode, dur, TraceEventKind::Aborted);
+                            finish_wait(false);
                             return LockOutcome::Timeout;
                         }
                         // Granted concurrently with the timeout.
@@ -552,6 +645,43 @@ impl LockManager {
     /// Number of distinct resources `txn` holds locks on.
     pub fn locks_held(&self, txn: TxnId) -> usize {
         self.txn_index.lock().get(&txn).map_or(0, HashSet::len)
+    }
+
+    /// A structured snapshot of the live lock table (grants and wait
+    /// queues per resource, sorted by resource id). Powers the shell's
+    /// `locktable` command. Each shard is read under its own lock; the
+    /// snapshot is per-resource consistent, not globally atomic.
+    pub fn table_snapshot(&self) -> Vec<ResourceTableEntry> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (res, state) in shard.iter() {
+                out.push(ResourceTableEntry {
+                    res: *res,
+                    grants: state
+                        .grants
+                        .iter()
+                        .map(|g| GrantEntry {
+                            txn: g.txn,
+                            mode: g.mode(),
+                            commit_mode: g.commit_mode,
+                            short_mode: g.short_mode,
+                        })
+                        .collect(),
+                    waiters: state
+                        .waiters
+                        .iter()
+                        .map(|w| WaiterEntry {
+                            txn: w.txn,
+                            mode: w.want,
+                            conversion: w.conversion,
+                        })
+                        .collect(),
+                });
+            }
+        }
+        out.sort_by_key(|e| e.res);
+        out
     }
 
     /// Renders the entire lock table (grants and wait queues) for hang
@@ -747,5 +877,41 @@ impl LockManager {
             duration: Some(dur),
             kind,
         });
+    }
+
+    /// Emits grant evidence to the event stream (detail mode only).
+    fn emit_granted(&self, txn: TxnId, res: ResourceId, mode: LockMode, dur: LockDuration) {
+        if self.obs.detail() {
+            self.obs.emit(Event::LockGranted {
+                txn: txn.0,
+                res: obs_res(res),
+                mode: mode.name(),
+                duration: match dur {
+                    LockDuration::Short => "short",
+                    LockDuration::Commit => "commit",
+                },
+            });
+        }
+    }
+
+    /// Emits conflict evidence — which other transactions currently hold
+    /// the resource, and in what modes — to the event stream (detail mode
+    /// only). Called under the resource's shard lock so the holder list
+    /// is exact at block time.
+    fn emit_blocked(&self, txn: TxnId, res: ResourceId, mode: LockMode, state: &ResourceState) {
+        if self.obs.detail() {
+            let holders = state
+                .grants
+                .iter()
+                .filter(|g| g.txn != txn)
+                .map(|g| (g.txn.0, g.mode().name()))
+                .collect();
+            self.obs.emit(Event::LockBlocked {
+                txn: txn.0,
+                res: obs_res(res),
+                mode: mode.name(),
+                holders,
+            });
+        }
     }
 }

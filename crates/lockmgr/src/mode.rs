@@ -83,18 +83,22 @@ impl LockMode {
     pub fn is_intention(self) -> bool {
         matches!(self, LockMode::IS | LockMode::IX | LockMode::SIX)
     }
-}
 
-impl std::fmt::Display for LockMode {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+    /// Static name of the mode (also used in observability events).
+    pub fn name(self) -> &'static str {
+        match self {
             LockMode::IS => "IS",
             LockMode::IX => "IX",
             LockMode::S => "S",
             LockMode::SIX => "SIX",
             LockMode::X => "X",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for LockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -1,0 +1,49 @@
+//! Sharded monotonic counters.
+
+use crate::histogram::{shard_index, SHARDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic counter sharded across [`SHARDS`] cache lines so
+/// concurrent writers on different threads rarely contend.
+#[derive(Debug)]
+pub struct ShardedCounter {
+    shards: [AtomicU64; SHARDS],
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ShardedCounter {
+    /// Adds `n` on the calling thread's shard.
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 on the calling thread's shard.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Sums all shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_across_adds() {
+        let c = ShardedCounter::default();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+}

@@ -1,0 +1,87 @@
+//! Exporters: Prometheus-style text dump and hand-rolled JSON snapshot
+//! (the workspace has no serde_json; JSON here is a few numeric fields).
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
+use crate::registry::{Ctr, Hist, RegistrySnapshot};
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Histograms use cumulative `_bucket{le="..."}` series (the `le` label
+/// is the bucket's inclusive upper bound) up to the highest non-empty
+/// bucket, then `+Inf`; counters become `_total` series. All metric
+/// names carry the `dgl_` prefix.
+pub fn prometheus_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for h in Hist::ALL {
+        let s = snap.hist(h);
+        let name = h.name();
+        let _ = writeln!(out, "# TYPE dgl_{name} histogram");
+        let last = s.max_bucket().unwrap_or(0).min(BUCKETS - 2);
+        let mut cumulative = 0u64;
+        for b in 0..=last {
+            cumulative += s.buckets[b];
+            let _ = writeln!(
+                out,
+                "dgl_{name}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_bound(b)
+            );
+        }
+        let _ = writeln!(out, "dgl_{name}_bucket{{le=\"+Inf\"}} {}", s.count);
+        let _ = writeln!(out, "dgl_{name}_sum {}", s.sum);
+        let _ = writeln!(out, "dgl_{name}_count {}", s.count);
+    }
+    for c in Ctr::ALL {
+        let name = c.name();
+        let _ = writeln!(out, "# TYPE dgl_{name}_total counter");
+        let _ = writeln!(out, "dgl_{name}_total {}", snap.ctr(c));
+    }
+    out
+}
+
+fn json_hist(out: &mut String, s: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+        s.count,
+        s.sum,
+        s.mean(),
+        s.p50(),
+        s.p95(),
+        s.p99()
+    );
+    let mut first = true;
+    for (i, b) in s.buckets.iter().enumerate() {
+        if *b > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{i},{b}]");
+        }
+    }
+    out.push_str("]}");
+}
+
+/// Renders a snapshot as a JSON object:
+/// `{"hists": {<name>: {count, sum, mean, p50, p95, p99,
+/// buckets: [[bucket_index, count], ...]}}, "ctrs": {<name>: value}}`.
+pub fn json_snapshot(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\"hists\":{");
+    for (i, h) in Hist::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", h.name());
+        json_hist(&mut out, snap.hist(*h));
+    }
+    out.push_str("},\"ctrs\":{");
+    for (i, c) in Ctr::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", c.name(), snap.ctr(*c));
+    }
+    out.push_str("}}");
+    out
+}

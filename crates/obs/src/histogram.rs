@@ -1,0 +1,248 @@
+//! Log2-bucket latency histograms with sharded, always-on recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets. Bucket `0` holds the value `0`; bucket `i >= 1`
+/// holds values in `[2^(i-1), 2^i)`; the last bucket is unbounded above.
+pub const BUCKETS: usize = 64;
+
+/// Shards per histogram. Each recording thread is pinned to one shard
+/// (round-robin at first use), so concurrent recorders touch disjoint
+/// cache lines on the hot path.
+pub const SHARDS: usize = 8;
+
+/// The shard index of the calling thread (assigned round-robin on first
+/// use, stable for the thread's lifetime).
+pub(crate) fn shard_index() -> usize {
+    use std::cell::Cell;
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static MINE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    MINE.with(|c| {
+        let mut idx = c.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            c.set(idx);
+        }
+        idx
+    })
+}
+
+/// The bucket index a value lands in.
+///
+/// `0 -> 0`; `v in [2^(i-1), 2^i) -> i`; values at or above `2^62` all
+/// land in the last bucket (which is unbounded above).
+pub fn bucket_of(value: u64) -> usize {
+    (64 - u64::leading_zeros(value) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last, unbounded
+/// bucket). Percentile queries report this bound — a conservative
+/// (never-underestimating) answer.
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket >= BUCKETS - 1 {
+        u64::MAX
+    } else if bucket == 0 {
+        0
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+pub fn bucket_lower_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+#[derive(Debug)]
+struct Shard {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent log2-bucket histogram.
+///
+/// Recording is three relaxed `fetch_add`s on a thread-pinned shard —
+/// cheap enough to stay always-on in the hot paths it instruments
+/// (lock waits, latch holds, commit latency).
+#[derive(Debug)]
+pub struct Histogram {
+    shards: [Shard; SHARDS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Shard::default()),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Merges every shard into a point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::default();
+        for shard in &self.shards {
+            for (i, b) in shard.buckets.iter().enumerate() {
+                snap.buckets[i] += b.load(Ordering::Relaxed);
+            }
+            snap.count += shard.count.load(Ordering::Relaxed);
+            snap.sum += shard.sum.load(Ordering::Relaxed);
+        }
+        snap
+    }
+}
+
+/// A point-in-time, merged-across-shards copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Bucket-wise difference `self - earlier` (per-phase accounting).
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: self.count - earlier.count,
+            sum: self.sum - earlier.sum,
+        };
+        for i in 0..BUCKETS {
+            out.buckets[i] = self.buckets[i] - earlier.buckets[i];
+        }
+        out
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper bound
+    /// of the bucket containing it (conservative: the true value is never
+    /// larger). `0` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Median (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (see [`Self::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (see [`Self::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Highest non-empty bucket index, if any observation was recorded.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, b)| **b > 0)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for b in 0..BUCKETS - 1 {
+            assert!(bucket_lower_bound(b) <= bucket_upper_bound(b));
+            assert_eq!(bucket_of(bucket_lower_bound(b)), b);
+            assert_eq!(bucket_of(bucket_upper_bound(b)), b);
+        }
+    }
+
+    #[test]
+    fn quantiles_report_containing_bucket_upper_bound() {
+        let h = Histogram::default();
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.p50(), 1, "median of nine 1s and one 1000");
+        assert_eq!(s.p99(), 1023, "tail lands in [512, 1024)");
+        assert_eq!(s.mean(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.max_bucket(), None);
+    }
+}

@@ -1,0 +1,362 @@
+//! The central metrics registry: typed histograms + counters, runtime
+//! enable/detail switches, and the (feature-gated) event ring.
+
+use crate::counter::ShardedCounter;
+use crate::event::Event;
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(feature = "full")]
+use parking_lot::Mutex;
+#[cfg(feature = "full")]
+use std::collections::VecDeque;
+
+/// Maximum buffered events in detail mode; older events are dropped
+/// (and counted) once the ring is full.
+#[cfg(feature = "full")]
+pub const EVENT_RING_CAPACITY: usize = 65_536;
+
+/// Every latency histogram the workspace records into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hist {
+    /// Nanoseconds a lock request spent queued before grant/abort.
+    LockWait,
+    /// Nanoseconds the short exclusive tree latch was held
+    /// (validate + apply).
+    LatchHold,
+    /// Nanoseconds spent in the shared-latch planning phase of a write.
+    PlanPhase,
+    /// Nanoseconds from commit entry to lock release.
+    Commit,
+    /// Nanoseconds from maintenance dispatch to physical completion
+    /// (backlog drain latency).
+    MaintDrain,
+    /// Nanoseconds slept by the executor's abort-retry backoff.
+    ExecBackoff,
+}
+
+impl Hist {
+    /// All histograms, in export order.
+    pub const ALL: [Hist; 6] = [
+        Hist::LockWait,
+        Hist::LatchHold,
+        Hist::PlanPhase,
+        Hist::Commit,
+        Hist::MaintDrain,
+        Hist::ExecBackoff,
+    ];
+
+    /// Stable metric name (also the Prometheus/JSON key, prefixed
+    /// `dgl_` on export).
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::LockWait => "lock_wait_nanos",
+            Hist::LatchHold => "x_latch_hold_nanos",
+            Hist::PlanPhase => "plan_phase_nanos",
+            Hist::Commit => "commit_nanos",
+            Hist::MaintDrain => "maint_drain_nanos",
+            Hist::ExecBackoff => "exec_backoff_nanos",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Every monotonic counter the workspace records into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ctr {
+    /// Short-duration lock requests (Table 2's cheap majority).
+    LockReqShort,
+    /// Commit-duration lock requests (held to commit; Table 2's
+    /// granule-changing overhead signal).
+    LockReqCommit,
+    /// Conditional lock requests that failed (would have blocked).
+    LockConditionalFail,
+    /// Aborted attempts retried by the executor.
+    ExecRetries,
+    /// Pages read through the pager (logical reads).
+    PageReads,
+    /// Pages written through the pager.
+    PageWrites,
+    /// Deferred deletions enqueued to the maintenance worker.
+    MaintEnqueued,
+    /// Deferred deletions physically completed.
+    MaintCompleted,
+}
+
+impl Ctr {
+    /// All counters, in export order.
+    pub const ALL: [Ctr; 8] = [
+        Ctr::LockReqShort,
+        Ctr::LockReqCommit,
+        Ctr::LockConditionalFail,
+        Ctr::ExecRetries,
+        Ctr::PageReads,
+        Ctr::PageWrites,
+        Ctr::MaintEnqueued,
+        Ctr::MaintCompleted,
+    ];
+
+    /// Stable metric name (exported as `dgl_<name>_total`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Ctr::LockReqShort => "lock_requests_short",
+            Ctr::LockReqCommit => "lock_requests_commit",
+            Ctr::LockConditionalFail => "lock_conditional_failures",
+            Ctr::ExecRetries => "exec_retries",
+            Ctr::PageReads => "page_reads",
+            Ctr::PageWrites => "page_writes",
+            Ctr::MaintEnqueued => "maint_enqueued",
+            Ctr::MaintCompleted => "maint_completed",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The workspace-wide metrics registry.
+///
+/// One `Arc<Registry>` is shared by the lock manager, the DGL write/read
+/// paths, the executor, the maintenance worker, and the pager. Counter
+/// and histogram recording is always compiled in and guarded by one
+/// relaxed [`AtomicBool`] load; the structured event stream additionally
+/// needs the `full` cargo feature *and* the runtime detail flag.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    detail: AtomicBool,
+    hists: [Histogram; Hist::ALL.len()],
+    ctrs: [ShardedCounter; Ctr::ALL.len()],
+    #[cfg(feature = "full")]
+    events: Mutex<VecDeque<Event>>,
+    #[cfg(feature = "full")]
+    dropped_events: ShardedCounter,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry with always-on recording enabled and detail mode off.
+    pub fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            detail: AtomicBool::new(false),
+            hists: std::array::from_fn(|_| Histogram::default()),
+            ctrs: std::array::from_fn(|_| ShardedCounter::default()),
+            #[cfg(feature = "full")]
+            events: Mutex::new(VecDeque::new()),
+            #[cfg(feature = "full")]
+            dropped_events: ShardedCounter::default(),
+        }
+    }
+
+    /// A registry with all recording switched off (for overhead A/B runs).
+    pub fn disabled() -> Self {
+        let reg = Self::new();
+        reg.enabled.store(false, Ordering::Relaxed);
+        reg
+    }
+
+    /// Whether counter/histogram recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns counter/histogram recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether detail (event-stream) mode is on. Always `false` unless
+    /// the `full` feature is compiled in.
+    pub fn detail(&self) -> bool {
+        cfg!(feature = "full") && self.detail.load(Ordering::Relaxed)
+    }
+
+    /// Turns the event stream on or off (no-op without the `full`
+    /// feature).
+    pub fn set_detail(&self, on: bool) {
+        self.detail.store(on, Ordering::Relaxed);
+    }
+
+    /// Records one observation into `hist`.
+    pub fn record(&self, hist: Hist, value: u64) {
+        if self.enabled() {
+            self.hists[hist.index()].record(value);
+        }
+    }
+
+    /// Adds `n` to `ctr`.
+    pub fn add(&self, ctr: Ctr, n: u64) {
+        if self.enabled() {
+            self.ctrs[ctr.index()].add(n);
+        }
+    }
+
+    /// Adds 1 to `ctr`.
+    pub fn incr(&self, ctr: Ctr) {
+        self.add(ctr, 1);
+    }
+
+    /// Point-in-time snapshot of one histogram.
+    pub fn hist(&self, hist: Hist) -> HistogramSnapshot {
+        self.hists[hist.index()].snapshot()
+    }
+
+    /// Current value of one counter.
+    pub fn ctr(&self, ctr: Ctr) -> u64 {
+        self.ctrs[ctr.index()].get()
+    }
+
+    /// Snapshot of every histogram and counter at once.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            hists: std::array::from_fn(|i| self.hists[i].snapshot()),
+            ctrs: std::array::from_fn(|i| self.ctrs[i].get()),
+        }
+    }
+
+    /// Pushes an event if detail mode is on. With the ring full, the
+    /// oldest event is dropped and counted in [`Registry::events_dropped`].
+    #[cfg(feature = "full")]
+    pub fn emit(&self, event: Event) {
+        if !self.detail() {
+            return;
+        }
+        let mut ring = self.events.lock();
+        if ring.len() >= EVENT_RING_CAPACITY {
+            ring.pop_front();
+            self.dropped_events.incr();
+        }
+        ring.push_back(event);
+    }
+
+    /// No-op stub: events are compiled out without the `full` feature.
+    #[cfg(not(feature = "full"))]
+    #[inline(always)]
+    pub fn emit(&self, _event: Event) {}
+
+    /// Emits an [`Event::Span`] (used by the `span!` macro).
+    #[cfg(feature = "full")]
+    pub fn emit_span(&self, op: &'static str, phase: &'static str, txn: u64, nanos: u64) {
+        if self.detail() {
+            self.emit(Event::Span {
+                op,
+                phase,
+                txn,
+                nanos,
+            });
+        }
+    }
+
+    /// No-op stub: spans are compiled out without the `full` feature.
+    #[cfg(not(feature = "full"))]
+    #[inline(always)]
+    pub fn emit_span(&self, _op: &'static str, _phase: &'static str, _txn: u64, _nanos: u64) {}
+
+    /// Drains and returns all buffered events (oldest first).
+    #[cfg(feature = "full")]
+    pub fn take_events(&self) -> Vec<Event> {
+        self.events.lock().drain(..).collect()
+    }
+
+    /// Without the `full` feature there are never any events.
+    #[cfg(not(feature = "full"))]
+    pub fn take_events(&self) -> Vec<Event> {
+        Vec::new()
+    }
+
+    /// Number of currently buffered events.
+    #[cfg(feature = "full")]
+    pub fn events_len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Without the `full` feature there are never any events.
+    #[cfg(not(feature = "full"))]
+    pub fn events_len(&self) -> usize {
+        0
+    }
+
+    /// Events discarded because the ring was full.
+    #[cfg(feature = "full")]
+    pub fn events_dropped(&self) -> u64 {
+        self.dropped_events.get()
+    }
+
+    /// Without the `full` feature there are never any events.
+    #[cfg(not(feature = "full"))]
+    pub fn events_dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// A consistent-enough copy of every metric (each histogram/counter is
+/// individually atomic; the set is read without a global pause).
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// Histogram snapshots, indexed by [`Hist`] discriminant.
+    pub hists: [HistogramSnapshot; Hist::ALL.len()],
+    /// Counter values, indexed by [`Ctr`] discriminant.
+    pub ctrs: [u64; Ctr::ALL.len()],
+}
+
+impl RegistrySnapshot {
+    /// The snapshot of one histogram.
+    pub fn hist(&self, hist: Hist) -> &HistogramSnapshot {
+        &self.hists[hist.index()]
+    }
+
+    /// The value of one counter.
+    pub fn ctr(&self, ctr: Ctr) -> u64 {
+        self.ctrs[ctr.index()]
+    }
+
+    /// Metric-wise difference `self - earlier` (per-phase accounting).
+    pub fn since(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        RegistrySnapshot {
+            hists: std::array::from_fn(|i| self.hists[i].since(&earlier.hists[i])),
+            ctrs: std::array::from_fn(|i| self.ctrs[i] - earlier.ctrs[i]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::disabled();
+        reg.record(Hist::LockWait, 100);
+        reg.incr(Ctr::LockReqShort);
+        assert_eq!(reg.hist(Hist::LockWait).count, 0);
+        assert_eq!(reg.ctr(Ctr::LockReqShort), 0);
+        reg.set_enabled(true);
+        reg.record(Hist::LockWait, 100);
+        assert_eq!(reg.hist(Hist::LockWait).count, 1);
+    }
+
+    #[test]
+    fn snapshot_since_subtracts_per_metric() {
+        let reg = Registry::new();
+        reg.record(Hist::Commit, 8);
+        reg.incr(Ctr::LockReqCommit);
+        let before = reg.snapshot();
+        reg.record(Hist::Commit, 8);
+        reg.record(Hist::Commit, 9);
+        reg.add(Ctr::LockReqCommit, 2);
+        let delta = reg.snapshot().since(&before);
+        assert_eq!(delta.hist(Hist::Commit).count, 2);
+        assert_eq!(delta.hist(Hist::Commit).sum, 17);
+        assert_eq!(delta.ctr(Ctr::LockReqCommit), 2);
+    }
+}

@@ -1,8 +1,15 @@
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
+use dgl_obs::{Ctr, Registry};
 use parking_lot::Mutex;
 
 use crate::{BufferPool, PageId};
+
+/// Page reads are mirrored into the observability registry once per this
+/// many local reads (power of two). Writes are rare enough to mirror
+/// exactly.
+const OBS_READ_BATCH: u64 = 64;
 
 /// I/O accounting for a page store.
 ///
@@ -18,6 +25,11 @@ pub struct IoStats {
     writes: AtomicU64,
     allocations: AtomicU64,
     buffer: Option<Mutex<BufferPool>>,
+    /// Workspace observability registry, attached (at most once) by the
+    /// index that owns this store. Writes mirror into its `page_writes`
+    /// counter exactly; reads mirror into `page_reads` in batches of
+    /// [`OBS_READ_BATCH`] (the registry lags by up to one partial batch).
+    obs: OnceLock<Arc<Registry>>,
 }
 
 /// A point-in-time copy of the counters in [`IoStats`].
@@ -55,7 +67,16 @@ impl IoStats {
             writes: AtomicU64::new(0),
             allocations: AtomicU64::new(0),
             buffer: None,
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches the workspace observability registry; later page accesses
+    /// also bump its `page_reads` (batched) and `page_writes` (exact)
+    /// counters. The first attachment wins — an `IoStats` reports to at
+    /// most one registry.
+    pub fn attach_obs(&self, obs: Arc<Registry>) {
+        let _ = self.obs.set(obs);
     }
 
     /// Accounting with an LRU buffer model of `buffer_pages` pages.
@@ -67,7 +88,17 @@ impl IoStats {
     }
 
     pub(crate) fn record_read(&self, page: PageId) {
-        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        // Mirror into the registry in batches of 64: the read path is the
+        // hottest counter in the workspace (~20 page touches per scan), so
+        // the per-read cost must stay one branch on a value we already
+        // have. The registry therefore lags the local counter by up to 63
+        // reads — fine for a monitoring counter.
+        let prev = self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        if prev & (OBS_READ_BATCH - 1) == OBS_READ_BATCH - 1 {
+            if let Some(obs) = self.obs.get() {
+                obs.add(Ctr::PageReads, OBS_READ_BATCH);
+            }
+        }
         match &self.buffer {
             Some(pool) => {
                 if pool.lock().access(page) {
@@ -82,6 +113,9 @@ impl IoStats {
 
     pub(crate) fn record_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.incr(Ctr::PageWrites);
+        }
     }
 
     pub(crate) fn record_alloc(&self, page: PageId) {
@@ -171,6 +205,26 @@ mod tests {
         let s = stats.snapshot();
         assert_eq!(s.logical_reads, 1);
         assert_eq!(s.disk_reads, 0, "page stayed resident across reset");
+    }
+
+    #[test]
+    fn attached_registry_mirrors_reads_and_writes() {
+        let stats = IoStats::new();
+        let reg = Arc::new(Registry::new());
+        stats.attach_obs(Arc::clone(&reg));
+        // Reads mirror in batches of OBS_READ_BATCH; writes are exact.
+        for i in 0..3 * OBS_READ_BATCH + 7 {
+            stats.record_read(PageId(i));
+        }
+        stats.record_write();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.ctr(Ctr::PageReads),
+            3 * OBS_READ_BATCH,
+            "registry lags the local counter by the partial batch"
+        );
+        assert_eq!(snap.ctr(Ctr::PageWrites), 1);
+        assert_eq!(stats.snapshot().logical_reads, 3 * OBS_READ_BATCH + 7);
     }
 
     #[test]

@@ -184,6 +184,30 @@ fn run_command(
             msg.push_str(&format!("{} objects", hits.len()));
             Ok(Some(msg))
         }
+        "stats" if parts.get(1) == Some(&"--histograms") => {
+            let snap = db.obs().snapshot();
+            let mut msg = String::from(
+                "histogram            count       mean        p50        p95        p99 (ns)\n",
+            );
+            for h in granular_rtree::obs::Hist::ALL {
+                let s = snap.hist(h);
+                msg.push_str(&format!(
+                    "{:<20} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.name(),
+                    s.count,
+                    s.mean(),
+                    s.p50(),
+                    s.p95(),
+                    s.p99()
+                ));
+            }
+            msg.push_str("counters:");
+            for c in granular_rtree::obs::Ctr::ALL {
+                msg.push_str(&format!(" {}={}", c.name(), snap.ctr(c)));
+            }
+            msg.push_str("\n(quantiles are log2-bucket upper bounds)");
+            Ok(Some(msg))
+        }
         "stats" => {
             let ls = db.lock_manager().stats().snapshot();
             let ts = db.txn_manager().stats();
@@ -257,6 +281,38 @@ fn run_command(
             *db = DglRTree::from_snapshot(tree, config(mode));
             Ok(Some(format!("loaded {} objects from {path}", db.len())))
         }
+        "locktable" => {
+            let table = db.lock_manager().table_snapshot();
+            if table.is_empty() {
+                return Ok(Some("(no locks held or queued)".into()));
+            }
+            let mut msg = String::new();
+            for e in &table {
+                msg.push_str(&format!("{}:", granular_rtree::lockmgr::obs_res(e.res)));
+                for g in &e.grants {
+                    let dur = match (g.commit_mode, g.short_mode) {
+                        (Some(_), Some(_)) => "commit+short",
+                        (Some(_), None) => "commit",
+                        _ => "short",
+                    };
+                    msg.push_str(&format!(" {}:{}({})", g.txn, g.mode.name(), dur));
+                }
+                if !e.waiters.is_empty() {
+                    msg.push_str(" | waiting:");
+                    for w in &e.waiters {
+                        msg.push_str(&format!(
+                            " {}:{}{}",
+                            w.txn,
+                            w.mode.name(),
+                            if w.conversion { "(conv)" } else { "" }
+                        ));
+                    }
+                }
+                msg.push('\n');
+            }
+            msg.push_str(&format!("{} resources", table.len()));
+            Ok(Some(msg))
+        }
         "quiesce" => {
             db.quiesce().map_err(|e| e.to_string())?;
             Ok(Some("ok (maintenance queue drained)".into()))
@@ -276,6 +332,8 @@ commands:
   update-scan <txn> x0 y0 x1 y1          scan + update every hit
   commit <txn> | abort <txn>             finish a transaction
   stats | tree | granules                introspection
+  stats --histograms                     latency histograms + obs counters
+  locktable                              live lock table (grants and waiters)
   quiesce                                drain the background maintenance queue
   save <path> | load <path>              snapshot persistence
   quit

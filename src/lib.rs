@@ -4,6 +4,7 @@
 pub use dgl_core as core;
 pub use dgl_geom as geom;
 pub use dgl_lockmgr as lockmgr;
+pub use dgl_obs as obs;
 pub use dgl_pager as pager;
 pub use dgl_rtree as rtree;
 pub use dgl_txn as txn;

@@ -139,6 +139,14 @@ fn chaos_run(seed: u64) {
         ..Default::default()
     });
 
+    // CHAOS_OBS=1 turns the full structured event stream on for the
+    // storm (CI runs one seed this way): span and lock-event emission
+    // must survive the same fault schedule as the data path.
+    let obs_detail = std::env::var("CHAOS_OBS").is_ok_and(|v| v == "1");
+    if obs_detail {
+        db.obs().set_detail(true);
+    }
+
     let fires_before = dgl_faults::total_fires();
     let _schedule = arm_schedule(seed);
 
@@ -234,6 +242,20 @@ fn chaos_run(seed: u64) {
     );
     db.validate()
         .unwrap_or_else(|e| panic!("seed {seed:#x}: validation failed: {e}"));
+
+    if obs_detail {
+        // The event stream ran through the whole storm: it must have
+        // recorded it (the ring may drop oldest entries — that's fine).
+        assert!(
+            db.obs().events_len() > 0,
+            "seed {seed:#x}: CHAOS_OBS=1 but no events were captured"
+        );
+        eprintln!(
+            "chaos seed {seed:#x}: {} events buffered, {} dropped",
+            db.obs().events_len(),
+            db.obs().events_dropped()
+        );
+    }
 }
 
 #[test]

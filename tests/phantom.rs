@@ -1,0 +1,419 @@
+//! Phantom-protection oracle over the observability event stream.
+//!
+//! A searcher opens a repeatable-read predicate (a region scan, which
+//! S-locks every granule overlapping the predicate per the paper's
+//! overlap-for-search rule) and rescans it while concurrent writers
+//! insert and delete both inside and outside the predicate, across the
+//! protocol's hard schedules: granule growth (§3.3), node splits (§3.5)
+//! and deferred physical deletion (§3.6–3.7). The oracle asserts two
+//! things the paper's Theorem 1 promises:
+//!
+//! 1. **Zero phantoms** — every rescan inside one transaction returns
+//!    exactly the first scan's result set.
+//! 2. **Blocking evidence** — from the structured event stream, every
+//!    writer that blocked on the searcher was blocked by a granule the
+//!    searcher actually held an S lock on (the Table-3 cover/overlap
+//!    locks doing their job, not an accident of timing).
+//!
+//! The negative control arms the `dgl/skip-cover-lock` failpoint, which
+//! omits the Table-3 commit-duration IX on the insert's covering
+//! granule: the oracle must then observe a phantom (`#[should_panic]`),
+//! demonstrating the assertion has teeth.
+//!
+//! Three fixed seeds run in CI; `phantom_oracle_replayable` reads
+//! `PHANTOM_SEED=<n>` for replaying a failure.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use granular_rtree::core::{
+    DglConfig, DglRTree, InsertPolicy, MaintenanceConfig, MaintenanceMode, Rect2,
+    TransactionalRTree, TxnError, TxnId,
+};
+use granular_rtree::lockmgr::LockManagerConfig;
+use granular_rtree::obs::Event;
+use granular_rtree::rtree::{ObjectId, RTreeConfig};
+
+/// The fault registry is process-global and the negative control arms
+/// it, so every test in this binary serializes on this lock.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The searcher's predicate region.
+const REGION: Rect2 = Rect2 {
+    lo: [0.35, 0.35],
+    hi: [0.65, 0.65],
+};
+
+const WRITERS: u64 = 3;
+const WRITER_COMMITS: u64 = 30;
+const RESCANS: usize = 6;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+fn build(fanout: usize, maint: MaintenanceMode) -> Arc<DglRTree> {
+    Arc::new(DglRTree::new(DglConfig {
+        rtree: RTreeConfig::with_fanout(fanout),
+        policy: InsertPolicy::Modified,
+        lock: LockManagerConfig {
+            wait_timeout: Duration::from_millis(50),
+            ..Default::default()
+        },
+        maintenance: MaintenanceConfig {
+            mode: maint,
+            ..Default::default()
+        },
+        ..Default::default()
+    }))
+}
+
+/// A tiny rectangle strictly inside [`REGION`].
+fn rect_inside(rng: &mut XorShift) -> Rect2 {
+    let x = 0.36 + rng.f64() * 0.27;
+    let y = 0.36 + rng.f64() * 0.27;
+    Rect2::new([x, y], [x + 0.002, y + 0.002])
+}
+
+/// A tiny rectangle that cannot intersect [`REGION`]: its x-extent stays
+/// in the bands left of 0.35 or right of 0.65 (the y-axis is free —
+/// intersection needs overlap on both axes).
+fn rect_outside(rng: &mut XorShift) -> Rect2 {
+    let x = if rng.chance(0.5) {
+        rng.f64() * 0.32
+    } else {
+        0.67 + rng.f64() * 0.30
+    };
+    let y = rng.f64() * 0.97;
+    Rect2::new([x, y], [x + 0.003, y + 0.003])
+}
+
+fn scan_set(db: &DglRTree, txn: TxnId) -> Result<BTreeSet<(u64, u64)>, TxnError> {
+    Ok(db
+        .read_scan(txn, REGION)?
+        .iter()
+        .map(|h| (h.oid.0, h.version))
+        .collect())
+}
+
+/// Preloads `n` objects (~40 % inside the predicate) in one committed
+/// transaction; returns the inside ones for the deleters to target.
+fn preload(db: &DglRTree, rng: &mut XorShift, n: u64) -> Vec<(ObjectId, Rect2)> {
+    let mut inside = Vec::new();
+    let txn = db.begin();
+    for i in 0..n {
+        let oid = ObjectId(1_000_000 + i);
+        let rect = if rng.chance(0.4) {
+            let r = rect_inside(rng);
+            inside.push((oid, r));
+            r
+        } else {
+            rect_outside(rng)
+        };
+        db.insert(txn, oid, rect).expect("preload insert");
+    }
+    db.commit(txn).expect("preload commit");
+    inside
+}
+
+/// One full oracle run: searcher with rescans vs. concurrent writers,
+/// then the event-stream evidence check and a final end-state scan.
+fn oracle_run(seed: u64, fanout: usize, maint: MaintenanceMode) {
+    let db = build(fanout, maint);
+    let mut rng = XorShift::new(seed);
+    let inside = preload(&db, &mut rng, 400);
+    let inside_oids: BTreeSet<u64> = inside.iter().map(|(o, _)| o.0).collect();
+
+    // Detail on only after preload: the oracle reads the concurrent
+    // phase's events, not four hundred setup grants.
+    db.obs().set_detail(true);
+
+    let start = Arc::new(Barrier::new(WRITERS as usize + 1));
+    // (searcher attempt txn ids, committed-attempt baseline)
+    type SearcherOut = (Vec<u64>, BTreeSet<(u64, u64)>);
+    // (oids inserted inside the predicate, oids deleted from it)
+    type WriterOut = (Vec<u64>, Vec<u64>);
+
+    let (searcher_out, writer_outs): (SearcherOut, Vec<WriterOut>) = crossbeam::scope(|s| {
+        let searcher = {
+            let db = Arc::clone(&db);
+            let start = Arc::clone(&start);
+            s.spawn(move |_| -> SearcherOut {
+                let mut attempts = Vec::new();
+                let mut released = Some(start);
+                loop {
+                    let txn = db.begin();
+                    attempts.push(txn.0);
+                    let baseline = match scan_set(&db, txn) {
+                        Ok(set) => set,
+                        Err(TxnError::Deadlock | TxnError::Timeout) => continue,
+                        Err(e) => panic!("searcher scan: {e}"),
+                    };
+                    if let Some(b) = released.take() {
+                        b.wait();
+                    }
+                    let mut aborted = false;
+                    for _ in 0..RESCANS {
+                        std::thread::sleep(Duration::from_millis(25));
+                        match scan_set(&db, txn) {
+                            Ok(again) => assert_eq!(
+                                baseline, again,
+                                "phantom: rescan diverged inside one transaction"
+                            ),
+                            // A deadlock victim restarts the whole
+                            // attempt; repeatability is only claimed
+                            // within one transaction.
+                            Err(TxnError::Deadlock | TxnError::Timeout) => {
+                                aborted = true;
+                                break;
+                            }
+                            Err(e) => panic!("searcher rescan: {e}"),
+                        }
+                    }
+                    if aborted {
+                        continue;
+                    }
+                    db.commit(txn).expect("searcher commit");
+                    return (attempts, baseline);
+                }
+            })
+        };
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let db = Arc::clone(&db);
+                let start = Arc::clone(&start);
+                let mut targets: Vec<(ObjectId, Rect2)> = inside
+                    .iter()
+                    .skip(w as usize)
+                    .step_by(WRITERS as usize)
+                    .copied()
+                    .collect();
+                s.spawn(move |_| -> WriterOut {
+                    start.wait();
+                    let mut rng = XorShift::new(seed ^ (w + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let (mut ins_inside, mut deleted) = (Vec::new(), Vec::new());
+                    let mut committed = 0u64;
+                    let mut serial = 0u64;
+                    while committed < WRITER_COMMITS {
+                        enum Plan {
+                            Ins(ObjectId, Rect2, bool),
+                            Del(ObjectId, Rect2),
+                        }
+                        let plan = if rng.chance(0.2) && !targets.is_empty() {
+                            let (oid, rect) = targets[targets.len() - 1];
+                            Plan::Del(oid, rect)
+                        } else {
+                            serial += 1;
+                            let oid = ObjectId(((w + 1) << 40) | serial);
+                            let inside = rng.chance(0.6);
+                            let rect = if inside {
+                                rect_inside(&mut rng)
+                            } else {
+                                rect_outside(&mut rng)
+                            };
+                            Plan::Ins(oid, rect, inside)
+                        };
+                        let txn = db.begin();
+                        let outcome = match &plan {
+                            Plan::Ins(oid, rect, _) => db.insert(txn, *oid, *rect),
+                            Plan::Del(oid, rect) => db.delete(txn, *oid, *rect).map(|found| {
+                                assert!(found, "writer {w}: own delete target vanished");
+                            }),
+                        };
+                        match outcome.and_then(|()| db.commit(txn)) {
+                            Ok(()) => {
+                                committed += 1;
+                                match plan {
+                                    Plan::Ins(oid, _, true) => ins_inside.push(oid.0),
+                                    Plan::Ins(..) => {}
+                                    Plan::Del(oid, _) => {
+                                        targets.pop();
+                                        deleted.push(oid.0);
+                                    }
+                                }
+                            }
+                            // Blocked on the searcher's predicate locks
+                            // (or a deadlock victim): retry a fresh txn.
+                            Err(TxnError::Deadlock | TxnError::Timeout) => continue,
+                            Err(e) => panic!("writer {w}: {e}"),
+                        }
+                    }
+                    (ins_inside, deleted)
+                })
+            })
+            .collect();
+        let outs = writers.into_iter().map(|h| h.join().unwrap()).collect();
+        (searcher.join().unwrap(), outs)
+    })
+    .unwrap();
+
+    // End state: preload ∪ inside-inserts − deletes, physically applied.
+    TransactionalRTree::quiesce(&*db);
+    db.validate().expect("tree invariants");
+    let mut expected = inside_oids.clone();
+    for (ins, dels) in &writer_outs {
+        expected.extend(ins.iter().copied());
+        for d in dels {
+            expected.remove(d);
+        }
+    }
+    let txn = db.begin();
+    let final_oids: BTreeSet<u64> = scan_set(&db, txn)
+        .expect("final scan")
+        .into_iter()
+        .map(|(oid, _)| oid)
+        .collect();
+    db.commit(txn).expect("final commit");
+    assert_eq!(
+        final_oids, expected,
+        "committed writes must be exactly the region's final content"
+    );
+
+    // Evidence pass over the event stream.
+    let (searcher_txns, baseline) = searcher_out;
+    assert_eq!(
+        baseline
+            .iter()
+            .map(|(oid, _)| *oid)
+            .collect::<BTreeSet<_>>(),
+        inside_oids,
+        "searcher baseline must be the preloaded predicate content"
+    );
+    assert_eq!(db.obs().events_dropped(), 0, "event ring overflowed");
+    let events = db.obs().take_events();
+    let searcher_txns: BTreeSet<u64> = searcher_txns.into_iter().collect();
+    let mut s_granted: BTreeSet<(u64, String)> = BTreeSet::new();
+    for e in &events {
+        if let Event::LockGranted {
+            txn,
+            res,
+            mode: "S",
+            ..
+        } = e
+        {
+            if searcher_txns.contains(txn) {
+                s_granted.insert((*txn, res.to_string()));
+            }
+        }
+    }
+    let mut blocked_by_searcher = 0u64;
+    for e in &events {
+        let Event::LockBlocked {
+            txn, res, holders, ..
+        } = e
+        else {
+            continue;
+        };
+        if searcher_txns.contains(txn) {
+            continue;
+        }
+        for (holder, mode) in holders {
+            if !searcher_txns.contains(holder) {
+                continue;
+            }
+            assert!(
+                matches!(*mode, "S" | "IS"),
+                "writer T{txn} blocked by searcher T{holder} holding {mode} on {res} — \
+                 predicate locks must be S/IS"
+            );
+            if *mode == "S" {
+                assert!(
+                    s_granted.contains(&(*holder, res.to_string())),
+                    "writer T{txn} blocked on {res}, which searcher T{holder} never S-locked"
+                );
+                blocked_by_searcher += 1;
+            }
+        }
+    }
+    assert!(
+        blocked_by_searcher > 0,
+        "oracle vacuous: no writer ever blocked on the searcher's predicate locks"
+    );
+}
+
+/// Baseline schedule: default fanout, inline deletion.
+#[test]
+fn phantom_oracle_seed_a() {
+    let _serial = serialize();
+    oracle_run(0xA1, 16, MaintenanceMode::Inline);
+}
+
+/// Split-heavy schedule: low fanout forces node splits (§3.5) while the
+/// predicate is held.
+#[test]
+fn phantom_oracle_seed_b_split_heavy() {
+    let _serial = serialize();
+    oracle_run(0xB2, 8, MaintenanceMode::Inline);
+}
+
+/// Deferred-deletion schedule: physical removal runs on the background
+/// maintenance worker (§3.6–3.7) while searchers hold predicates.
+#[test]
+fn phantom_oracle_seed_c_deferred_delete() {
+    let _serial = serialize();
+    oracle_run(0xC3, 8, MaintenanceMode::Background);
+}
+
+/// Replay hook: `PHANTOM_SEED=<n> cargo test -q phantom_oracle_replayable`.
+#[test]
+fn phantom_oracle_replayable() {
+    let _serial = serialize();
+    let seed = std::env::var("PHANTOM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD4);
+    oracle_run(seed, 16, MaintenanceMode::Background);
+}
+
+/// Negative control: skipping the Table-3 commit-duration IX on the
+/// insert's covering granule must produce an observable phantom — the
+/// oracle's central assertion has teeth.
+#[test]
+#[should_panic(expected = "phantom")]
+fn skipping_cover_lock_admits_a_phantom() {
+    let _serial = serialize();
+    let db = build(16, MaintenanceMode::Inline);
+    let mut rng = XorShift::new(0xE5);
+    preload(&db, &mut rng, 40);
+
+    // From here on, inserts omit the covering-granule IX entirely.
+    let _fault = dgl_faults::register("dgl/skip-cover-lock", dgl_faults::FaultSpec::error());
+
+    let searcher = db.begin();
+    let baseline = scan_set(&db, searcher).expect("first scan");
+    let writer = db.begin();
+    db.insert(writer, ObjectId(42), rect_inside(&mut rng))
+        .expect("unprotected insert must not block");
+    db.commit(writer).expect("writer commit");
+    let again = scan_set(&db, searcher).expect("rescan");
+    assert_eq!(
+        baseline, again,
+        "phantom: rescan diverged inside one transaction"
+    );
+}
