@@ -100,6 +100,12 @@ fn main() {
              (pessimistic / optimistic, read-heavy 90/10 mix, {max_threads} threads)"
         );
     }
+    if let Some(tax) = throughput::headline_durability_tax(&rows) {
+        println!(
+            "headline: durable commit p95 = {tax:.2}x non-durable \
+             (group commit, balanced mix, 4-thread point; target ≤ ~3x)"
+        );
+    }
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     if cores < 2 {
         println!(

@@ -14,11 +14,22 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dgl_core::baseline::TreeLockRTree;
-use dgl_core::{DglConfig, DglRTree, InsertPolicy, TransactionalRTree, WritePathMode};
+use dgl_core::{
+    DglConfig, DglRTree, DurabilityConfig, InsertPolicy, SyncPolicy, TransactionalRTree,
+    WritePathMode,
+};
 use dgl_lockmgr::LockManagerConfig;
 use dgl_obs::Hist;
 use dgl_rtree::RTreeConfig;
 use dgl_workload::{DriveConfig, Op, OpMix, OpStream};
+
+/// Group-commit batching window for the durable contender. Deliberately
+/// smaller than one `fsync` on typical media: the flusher syncs an idle
+/// log immediately, and under load the in-flight `fsync` itself is what
+/// accumulates the next batch — the window only stops a flush storm on
+/// very fast media. Commit latency therefore tracks the device's flush
+/// cost, not an artificial wait.
+const GROUP_COMMIT_WINDOW: Duration = Duration::from_micros(50);
 
 /// Sweep shape.
 #[derive(Debug, Clone)]
@@ -95,6 +106,32 @@ struct Contender {
     label: &'static str,
     db: Arc<dyn TransactionalRTree>,
     dgl: Option<Arc<DglRTree>>,
+    /// Scratch directory keeping a durable contender's WAL alive for
+    /// the sweep; removed when the contender is dropped.
+    _dir: Option<BenchDir>,
+}
+
+/// Scratch directory for the durability contenders.
+struct BenchDir(std::path::PathBuf);
+
+impl BenchDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "dgl-bench-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("bench scratch dir");
+        Self(path)
+    }
+}
+
+impl Drop for BenchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
 }
 
 fn contenders(fanout: usize, obs_recording: bool) -> Vec<Contender> {
@@ -102,28 +139,64 @@ fn contenders(fanout: usize, obs_recording: bool) -> Vec<Contender> {
         wait_timeout: Duration::from_secs(10),
         ..Default::default()
     };
-    let dgl_with = |write_path: WritePathMode| {
-        Arc::new(DglRTree::new(DglConfig {
-            rtree: RTreeConfig::with_fanout(fanout),
-            policy: InsertPolicy::Modified,
-            write_path,
-            lock: lock.clone(),
-            obs_recording,
-            ..Default::default()
-        }))
+    let base_config = |write_path: WritePathMode| DglConfig {
+        rtree: RTreeConfig::with_fanout(fanout),
+        policy: InsertPolicy::Modified,
+        write_path,
+        lock: lock.clone(),
+        obs_recording,
+        ..Default::default()
+    };
+    let dgl_with = |write_path: WritePathMode| Arc::new(DglRTree::new(base_config(write_path)));
+    // The durability pair shares one code path (`open`) and differs only
+    // in whether a WAL is attached, so the delta isolates the full cost
+    // of durable commits (logging + group-commit fsync waits).
+    let durable_with = |tag: &'static str, enabled: bool| {
+        let dir = BenchDir::new(tag);
+        let db = Arc::new(
+            DglRTree::open(
+                &dir.0,
+                DglConfig {
+                    durability: DurabilityConfig {
+                        enabled,
+                        sync: SyncPolicy::Batch(GROUP_COMMIT_WINDOW),
+                        ..Default::default()
+                    },
+                    ..base_config(WritePathMode::Optimistic)
+                },
+            )
+            .expect("open bench dir"),
+        );
+        (db, dir)
     };
     let optimistic = dgl_with(WritePathMode::Optimistic);
     let pessimistic = dgl_with(WritePathMode::Pessimistic);
+    let (durable, durable_dir) = durable_with("durable", true);
+    let (durable_off, durable_off_dir) = durable_with("durable-off", false);
     vec![
         Contender {
             label: "dgl-optimistic",
             db: Arc::<DglRTree>::clone(&optimistic) as Arc<dyn TransactionalRTree>,
             dgl: Some(optimistic),
+            _dir: None,
         },
         Contender {
             label: "dgl-pessimistic",
             db: Arc::<DglRTree>::clone(&pessimistic) as Arc<dyn TransactionalRTree>,
             dgl: Some(pessimistic),
+            _dir: None,
+        },
+        Contender {
+            label: "dgl-durable",
+            db: Arc::<DglRTree>::clone(&durable) as Arc<dyn TransactionalRTree>,
+            dgl: Some(durable),
+            _dir: Some(durable_dir),
+        },
+        Contender {
+            label: "dgl-durable-off",
+            db: Arc::<DglRTree>::clone(&durable_off) as Arc<dyn TransactionalRTree>,
+            dgl: Some(durable_off),
+            _dir: Some(durable_off_dir),
         },
         Contender {
             label: "tree-lock",
@@ -133,6 +206,7 @@ fn contenders(fanout: usize, obs_recording: bool) -> Vec<Contender> {
                 lock,
             )),
             dgl: None,
+            _dir: None,
         },
     ]
 }
@@ -179,6 +253,15 @@ pub struct ThroughputRow {
     pub x_latch_p95_nanos: u64,
     /// 99th-percentile exclusive-latch hold, nanoseconds (DGL only).
     pub x_latch_p99_nanos: u64,
+    /// Median commit latency, nanoseconds (DGL only). For the durable
+    /// contender this includes the group-commit fsync wait.
+    pub commit_p50_nanos: u64,
+    /// 95th-percentile commit latency, nanoseconds (DGL only) — the
+    /// durability-tax headline compares this across `dgl-durable` /
+    /// `dgl-durable-off`.
+    pub commit_p95_nanos: u64,
+    /// 99th-percentile commit latency, nanoseconds (DGL only).
+    pub commit_p99_nanos: u64,
 }
 
 /// Preload on a high thread id so worker oid spaces stay disjoint. Runs
@@ -281,10 +364,14 @@ fn run_point(
     };
     // Percentiles come from the registry's log2 histograms; the sweep
     // reuses one index across thread counts, so take per-point deltas.
-    let (wait, hold) = match (&c.dgl, obs_before) {
+    let (wait, hold, commit) = match (&c.dgl, obs_before) {
         (Some(d), Some(obs_before)) => {
             let delta = d.obs().snapshot().since(&obs_before);
-            (*delta.hist(Hist::LockWait), *delta.hist(Hist::LatchHold))
+            (
+                *delta.hist(Hist::LockWait),
+                *delta.hist(Hist::LatchHold),
+                *delta.hist(Hist::Commit),
+            )
         }
         _ => Default::default(),
     };
@@ -306,6 +393,9 @@ fn run_point(
         x_latch_p50_nanos: hold.p50(),
         x_latch_p95_nanos: hold.p95(),
         x_latch_p99_nanos: hold.p99(),
+        commit_p50_nanos: commit.p50(),
+        commit_p95_nanos: commit.p95(),
+        commit_p99_nanos: commit.p99(),
     }
 }
 
@@ -348,7 +438,7 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
             r.protocol,
             r.mix,
             r.threads,
@@ -366,6 +456,9 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
             r.x_latch_p50_nanos,
             r.x_latch_p95_nanos,
             r.x_latch_p99_nanos,
+            r.commit_p50_nanos,
+            r.commit_p95_nanos,
+            r.commit_p99_nanos,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -405,6 +498,7 @@ pub fn render(rows: &[ThroughputRow]) -> String {
                     r.x_latch_p95_nanos,
                     r.x_latch_p99_nanos,
                 ),
+                tri(r.commit_p50_nanos, r.commit_p95_nanos, r.commit_p99_nanos),
             ]
         })
         .collect();
@@ -419,6 +513,7 @@ pub fn render(rows: &[ThroughputRow]) -> String {
             "Replans",
             "Wait µs p50/95/99",
             "X-latch µs p50/95/99",
+            "Commit µs p50/95/99",
         ],
         &body,
     )
@@ -462,6 +557,29 @@ pub fn headline_x_latch_reduction(rows: &[ThroughputRow]) -> Option<f64> {
     Some(pick("dgl-pessimistic")? / opt)
 }
 
+/// The durability tax: durable over non-durable commit-latency p95 on
+/// the balanced (mixed) workload at 4 threads (falling back to the
+/// highest swept count below 4). The acceptance target is ~3×: group
+/// commit must amortize the fsync far below the one-sync-per-commit
+/// cost.
+pub fn headline_durability_tax(rows: &[ThroughputRow]) -> Option<f64> {
+    let threads = rows
+        .iter()
+        .filter(|r| r.threads <= 4)
+        .map(|r| r.threads)
+        .max()?;
+    let pick = |proto: &str| {
+        rows.iter()
+            .find(|r| r.protocol == proto && r.mix == "balanced" && r.threads == threads)
+            .map(|r| r.commit_p95_nanos as f64)
+    };
+    let off = pick("dgl-durable-off")?;
+    if off == 0.0 {
+        return None;
+    }
+    Some(pick("dgl-durable")? / off)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,8 +598,8 @@ mod tests {
             obs_recording: true,
         };
         let (rows, prom) = run_sweep_with_dump(&cfg);
-        // 3 mixes × 3 contenders × 2 thread counts.
-        assert_eq!(rows.len(), 18);
+        // 3 mixes × 5 contenders × 2 thread counts.
+        assert_eq!(rows.len(), 30);
         for r in &rows {
             assert!(r.ops_per_sec > 0.0, "{r:?}");
             assert_eq!(r.commits, r.threads * cfg.txns_per_thread);
@@ -510,5 +628,15 @@ mod tests {
         assert!(prom.contains("dgl_x_latch_hold_nanos_count"));
         assert!(headline_speedup(&rows).unwrap() > 0.0);
         assert!(headline_x_latch_reduction(&rows).unwrap() > 0.0);
+        // Durability pair: both rows exist, the durable one actually
+        // fsyncs (wal counters in its prom section), commit percentiles
+        // are populated, and the tax headline computes.
+        assert!(json.contains("dgl-durable"));
+        assert!(json.contains("commit_p95_nanos"));
+        assert!(prom.contains("# contender dgl-durable mix balanced"));
+        for r in rows.iter().filter(|r| r.protocol.starts_with("dgl-")) {
+            assert!(r.commit_p95_nanos > 0, "{r:?}");
+        }
+        assert!(headline_durability_tax(&rows).unwrap() > 0.0);
     }
 }

@@ -1,0 +1,726 @@
+//! Durability: write-ahead logging, checkpointing and crash recovery.
+//!
+//! The paper's protocol is an in-memory concurrency story; commit-duration
+//! locks only guarantee serializability among transactions that survive.
+//! This module makes commit *mean* something across a crash:
+//!
+//! * **Logging.** Every tree-mutating operation appends a logical record
+//!   (`Insert`/`Delete`, preceded by a lazy `Begin`) to the [`Wal`]
+//!   *before* the exclusive apply latch is released, and `commit` appends
+//!   a `Commit` record and blocks until its batch's `fsync` completes —
+//!   so an acknowledged commit is durable, and group commit (the
+//!   [`SyncPolicy::Batch`] window) amortizes the `fsync` across
+//!   concurrent committers.
+//! * **Checkpointing.** A checkpoint cuts the log: it captures the undo
+//!   queues of in-flight transactions and a consistent tree image under
+//!   one shared-latch hold (writers stall only for the in-memory clone,
+//!   never for the file I/O), rotates the log into a new generation
+//!   headed by a `Checkpoint` record carrying that undo image, writes the
+//!   snapshot file, and deletes the old generation. Threshold-triggered
+//!   checkpoints run through the maintenance subsystem so commits never
+//!   pay for them inline (in background mode).
+//! * **Recovery.** [`DglRTree::recover`] picks the newest generation
+//!   whose snapshot *and* segment are intact (falling back across a
+//!   checkpoint that died mid-write), peels the operations of
+//!   transactions that never committed out of the image using the cut's
+//!   undo records, re-enqueues surviving tombstones through the
+//!   maintenance subsystem, and replays the committed log tail through
+//!   the normal plan/validate/apply write path — each replayed
+//!   transaction executes at its `Commit` record's position, which under
+//!   strict 2PL equals the serialization order. A torn final record
+//!   (half-written batch) is detected by its CRC frame and discarded,
+//!   never an error.
+//!
+//! ## The commit/cut atomicity argument
+//!
+//! Operations log under the exclusive tree latch; the checkpoint captures
+//! undo + image + rotates under the shared latch. The latch makes every
+//! operation wholly pre-cut (in the image, record in the old generation)
+//! or wholly post-cut (absent from the image, record in the new
+//! generation) — the cut classification exactly matches image
+//! membership. Commit records are ordered against the cut by
+//! [`DglCore::commit_cut`]: a commit appends its record and marks
+//! `wal_committed` under the read guard, the checkpoint holds the write
+//! guard, so the undo image never includes a transaction whose commit
+//! record precedes the cut.
+//!
+//! ## In-doubt commits
+//!
+//! A commit that fails with [`TxnError::Durability`] is **in doubt**: its
+//! batch may have partially reached disk before the log died (its commit
+//! record durable), or a checkpoint may have classified it committed
+//! before the failure. Recovery resolves it atomically — all of the
+//! transaction's operations or none. The log is poisoned from the first
+//! failure on, so no *later* commit can succeed and compound the
+//! divergence.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dgl_geom::Rect2;
+use dgl_lockmgr::TxnId;
+use dgl_obs::Hist;
+use dgl_rtree::codec::{checkpoint_tree, restore_tree, TreeCheckpoint};
+use dgl_rtree::persist::{decode_file_image, encode_file_image};
+use dgl_rtree::{ObjectId, PersistError, RTree2};
+use dgl_wal::{
+    read_segment, scan_dir, segment_path, snapshot_path, SegmentData, SyncPolicy, UndoEntry,
+    UndoOp, Wal, WalConfig, WalError, WalRecord,
+};
+
+use crate::stats::OpStats;
+use crate::{TransactionalRTree, TxnError};
+
+use super::{DglConfig, DglCore, DglRTree, UndoRecord};
+
+/// Durability configuration ([`DglConfig::durability`]). Consulted only
+/// by the directory-backed constructors [`DglRTree::open`] /
+/// [`DglRTree::recover`]; [`DglRTree::new`] stays purely in-memory.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Attach a write-ahead log when opening a directory. Off turns
+    /// `open` into "load whatever is recoverable, then run in memory"
+    /// (existing log files are left untouched) — the durability-off
+    /// contender of the throughput benchmarks.
+    pub enabled: bool,
+    /// When commits are flushed: every commit immediately, or group
+    /// commit within a batching window.
+    pub sync: SyncPolicy,
+    /// Log bytes appended since the last checkpoint that trigger an
+    /// automatic one (through the maintenance subsystem). `None`
+    /// disables auto-checkpointing; [`DglRTree::checkpoint`] remains.
+    pub checkpoint_threshold: Option<u64>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            sync: SyncPolicy::Immediate,
+            checkpoint_threshold: Some(8 << 20),
+        }
+    }
+}
+
+/// Why [`DglRTree::open`] / [`DglRTree::recover`] could not produce an
+/// index from a directory.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Filesystem error outside the log/snapshot formats.
+    Io(std::io::Error),
+    /// A snapshot file failed to decode.
+    Persist(PersistError),
+    /// The write-ahead log could not be read or re-created.
+    Wal(WalError),
+    /// The directory's files are inconsistent beyond what a crash can
+    /// produce (mid-chain torn segment, generation gap, committed
+    /// records with no usable checkpoint beneath them).
+    Corrupt(String),
+    /// Replaying a committed transaction through the write path failed —
+    /// the log and snapshot disagree with the protocol's invariants.
+    Replay(TxnError),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recovery I/O error: {e}"),
+            RecoverError::Persist(e) => write!(f, "snapshot unreadable: {e}"),
+            RecoverError::Wal(e) => write!(f, "write-ahead log error: {e}"),
+            RecoverError::Corrupt(msg) => write!(f, "store corrupt: {msg}"),
+            RecoverError::Replay(e) => write!(f, "log replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<std::io::Error> for RecoverError {
+    fn from(e: std::io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+impl From<PersistError> for RecoverError {
+    fn from(e: PersistError) -> Self {
+        RecoverError::Persist(e)
+    }
+}
+
+impl From<WalError> for RecoverError {
+    fn from(e: WalError) -> Self {
+        RecoverError::Wal(e)
+    }
+}
+
+fn rect_to_arr(r: &Rect2) -> [f64; 4] {
+    [r.lo[0], r.lo[1], r.hi[0], r.hi[1]]
+}
+
+fn arr_to_rect(a: [f64; 4]) -> Rect2 {
+    Rect2 {
+        lo: [a[0], a[1]],
+        hi: [a[2], a[3]],
+    }
+}
+
+// --- DglCore: logging hooks (called from the operation/commit paths) ----
+
+impl DglCore {
+    /// Appends one logical record for `txn`, lazily preceded by its
+    /// `Begin`. Called while the exclusive apply latch is still held, so
+    /// the record's position relative to any checkpoint cut matches the
+    /// mutation's presence in the cut's tree image. A no-op without an
+    /// attached log.
+    fn wal_log(&self, txn: TxnId, rec: WalRecord) -> Result<(), TxnError> {
+        let Some(wal) = self.wal.get() else {
+            return Ok(());
+        };
+        if self.wal_started.lock().insert(txn)
+            && wal.append(&WalRecord::Begin { txn: txn.0 }).is_err()
+        {
+            return Err(TxnError::Durability);
+        }
+        wal.append(&rec)
+            .map(|_| ())
+            .map_err(|_| TxnError::Durability)
+    }
+
+    pub(crate) fn wal_log_insert(
+        &self,
+        txn: TxnId,
+        oid: ObjectId,
+        rect: Rect2,
+    ) -> Result<(), TxnError> {
+        self.wal_log(
+            txn,
+            WalRecord::Insert {
+                txn: txn.0,
+                oid: oid.0,
+                rect: rect_to_arr(&rect),
+            },
+        )
+    }
+
+    pub(crate) fn wal_log_delete(
+        &self,
+        txn: TxnId,
+        oid: ObjectId,
+        rect: Rect2,
+    ) -> Result<(), TxnError> {
+        self.wal_log(
+            txn,
+            WalRecord::Delete {
+                txn: txn.0,
+                oid: oid.0,
+                rect: rect_to_arr(&rect),
+            },
+        )
+    }
+
+    /// Appends the commit record under the cut's read guard and marks the
+    /// transaction committed for checkpoint classification. Returns the
+    /// LSN to wait on, or `None` when nothing was logged (read-only
+    /// transaction, or no log attached).
+    pub(crate) fn wal_commit_begin(&self, txn: TxnId) -> Result<Option<u64>, TxnError> {
+        let Some(wal) = self.wal.get() else {
+            return Ok(None);
+        };
+        if !self.wal_started.lock().contains(&txn) {
+            return Ok(None);
+        }
+        let _cut = self.commit_cut.read();
+        let lsn = wal.append_commit(txn.0).map_err(|_| TxnError::Durability)?;
+        self.wal_committed.lock().insert(txn);
+        Ok(Some(lsn))
+    }
+
+    /// Blocks until the commit record's batch is durable. Done *outside*
+    /// the cut guard — a checkpoint must never wait on an `fsync` it
+    /// didn't issue.
+    pub(crate) fn wal_commit_wait(&self, txn: TxnId, lsn: u64) -> Result<(), TxnError> {
+        let wal = self
+            .wal
+            .get()
+            .expect("wal_commit_wait follows wal_commit_begin");
+        if wal.wait_durable(lsn).is_err() {
+            // In doubt (see module docs) — but locally this transaction
+            // rolls back, so stop classifying it as committed.
+            self.wal_committed.lock().remove(&txn);
+            self.wal_started.lock().remove(&txn);
+            return Err(TxnError::Durability);
+        }
+        Ok(())
+    }
+
+    /// Clears the transaction's log bookkeeping after `commit` drained
+    /// its undo queue (the `wal_committed` window closes here).
+    pub(crate) fn wal_finish(&self, txn: TxnId) {
+        if self.wal.get().is_none() {
+            return;
+        }
+        self.wal_committed.lock().remove(&txn);
+        self.wal_started.lock().remove(&txn);
+    }
+
+    /// Best-effort `Abort` record on rollback (recovery discards
+    /// uncommitted transactions with or without it; the record just lets
+    /// replay drop their buffered operations early).
+    pub(crate) fn wal_abort(&self, txn: TxnId) {
+        let Some(wal) = self.wal.get() else {
+            return;
+        };
+        self.wal_committed.lock().remove(&txn);
+        if self.wal_started.lock().remove(&txn) {
+            let _ = wal.append(&WalRecord::Abort { txn: txn.0 });
+        }
+    }
+
+    /// Whether a threshold-triggered checkpoint should be dispatched now
+    /// (claims the pending slot when it returns true).
+    pub(crate) fn should_auto_checkpoint(&self) -> bool {
+        let Some(threshold) = self.checkpoint_threshold else {
+            return false;
+        };
+        let Some(wal) = self.wal.get() else {
+            return false;
+        };
+        if wal.is_crashed() || wal.bytes_since_checkpoint() < threshold {
+            return false;
+        }
+        !self.ckpt_pending.swap(true, Ordering::SeqCst)
+    }
+
+    /// Runs one checkpoint and records its outcome (also releases the
+    /// auto-checkpoint pending slot). The entry point for both explicit
+    /// [`DglRTree::checkpoint`] calls and maintenance-dispatched ones.
+    pub(crate) fn run_checkpoint_guarded(&self) -> Result<(), TxnError> {
+        // Drop guard: the pending slot is released even if the
+        // checkpoint panics (otherwise auto-checkpointing would be
+        // disabled for the rest of the process).
+        struct PendingReset<'a>(&'a std::sync::atomic::AtomicBool);
+        impl Drop for PendingReset<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::SeqCst);
+            }
+        }
+        let _reset = PendingReset(&self.ckpt_pending);
+        let res = self.run_checkpoint();
+        match res {
+            Ok(()) => {
+                OpStats::bump(&self.stats.checkpoints);
+                Ok(())
+            }
+            Err(_) => {
+                OpStats::bump(&self.stats.checkpoint_failures);
+                Err(TxnError::Durability)
+            }
+        }
+    }
+
+    /// The checkpoint protocol (see module docs): capture + rotate under
+    /// the shared latch, then snapshot write, flush and truncation with
+    /// writers running.
+    fn run_checkpoint(&self) -> Result<(), WalError> {
+        let Some(wal) = self.wal.get() else {
+            return Ok(());
+        };
+        // Exclude system operations for the cut: a condensation
+        // mid-flight spans several latch sessions (orphan re-insertion),
+        // and a cut between them would capture orphans outside the tree.
+        // Also serializes concurrent checkpoints.
+        let _gate = self.deferred_gate.lock();
+        let (info, image) = {
+            let _cut = self.commit_cut.write();
+            let tree = self.latch_shared();
+            let committed = self.wal_committed.lock().clone();
+            let undo: Vec<UndoEntry> = self
+                .undo
+                .snapshot_all()
+                .into_iter()
+                .filter(|(t, _)| !committed.contains(t))
+                .filter_map(|(t, recs)| {
+                    let ops: Vec<UndoOp> = recs
+                        .iter()
+                        .filter_map(|r| match r {
+                            UndoRecord::Insert { oid, rect } => Some(UndoOp::Insert {
+                                oid: oid.0,
+                                rect: rect_to_arr(rect),
+                            }),
+                            UndoRecord::LogicalDelete { oid, rect } => Some(UndoOp::Delete {
+                                oid: oid.0,
+                                rect: rect_to_arr(rect),
+                            }),
+                            // Payload versions are not part of the tree
+                            // image; nothing to peel at recovery.
+                            UndoRecord::Update { .. } => None,
+                        })
+                        .collect();
+                    (!ops.is_empty()).then_some(UndoEntry { txn: t.0, ops })
+                })
+                .collect();
+            let gen = wal.current_gen() + 1;
+            let info = wal.rotate(&WalRecord::Checkpoint { gen, undo })?;
+            let image = checkpoint_tree(&tree);
+            (info, image)
+        };
+        // Crash window: the cut exists, the snapshot does not — recovery
+        // falls back to the previous generation (its segment and
+        // snapshot are only deleted below, after the new pair is
+        // durable).
+        dgl_faults::failpoint!("wal/checkpoint" => {
+            wal.crash();
+            WalError::Crashed
+        });
+        write_snapshot(wal.dir(), info.gen, &image)?;
+        // Everything the new generation depends on — the sealed old
+        // segments and the new segment's checkpoint header — must be
+        // durable before the old generation's files disappear.
+        wal.sync_to(info.cut_lsn)?;
+        prune_generations_below(wal.dir(), info.gen)?;
+        Ok(())
+    }
+}
+
+// --- snapshot + directory plumbing --------------------------------------
+
+/// Atomically publishes generation `gen`'s snapshot (tmp + fsync +
+/// rename + directory fsync).
+fn write_snapshot(dir: &Path, gen: u64, image: &TreeCheckpoint<2>) -> Result<(), WalError> {
+    let bytes = encode_file_image(image);
+    let tmp = dir.join(format!("snapshot-{gen:010}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, snapshot_path(dir, gen))?;
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Deletes segment and snapshot files of generations below `keep`.
+fn prune_generations_below(dir: &Path, keep: u64) -> Result<(), WalError> {
+    let listing = scan_dir(dir)?;
+    let mut removed = false;
+    for g in listing.segments.iter().filter(|&&g| g < keep) {
+        fs::remove_file(segment_path(dir, *g))?;
+        removed = true;
+    }
+    for g in listing.snapshots.iter().filter(|&&g| g < keep) {
+        fs::remove_file(snapshot_path(dir, *g))?;
+        removed = true;
+    }
+    if removed {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+// --- open / recover / checkpoint ----------------------------------------
+
+impl DglRTree {
+    /// Opens (or creates) a durable index in `dir`.
+    ///
+    /// An empty directory is bootstrapped: an empty-tree snapshot and a
+    /// generation-0 log are written before the first transaction can
+    /// commit. A non-empty directory goes through full
+    /// [`recovery`](Self::recover).
+    pub fn open(dir: impl AsRef<Path>, config: DglConfig) -> Result<Self, RecoverError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let listing = scan_dir(dir)?;
+        if listing.segments.is_empty() && listing.snapshots.is_empty() {
+            let db = Self::new_in_memory_shell(&config);
+            db.attach_fresh_generation(dir, 0, &config)?;
+            return Ok(db);
+        }
+        Self::recover(dir, config)
+    }
+
+    /// Recovers an index from `dir`: newest intact snapshot, undo peel of
+    /// uncommitted in-flight transactions, committed-tail replay through
+    /// the normal write path, tombstone re-enqueue, then (with durability
+    /// enabled) a fresh log generation so the next crash recovers from
+    /// this point.
+    pub fn recover(dir: impl AsRef<Path>, config: DglConfig) -> Result<Self, RecoverError> {
+        let dir = dir.as_ref();
+        let t0 = Instant::now();
+        let listing = scan_dir(dir)?;
+        if listing.segments.is_empty() && listing.snapshots.is_empty() {
+            // Nothing to recover: equivalent to a fresh open.
+            let db = Self::new_in_memory_shell(&config);
+            db.attach_fresh_generation(dir, 0, &config)?;
+            return Ok(db);
+        }
+        let mut segments: BTreeMap<u64, SegmentData> = BTreeMap::new();
+        for &g in &listing.segments {
+            segments.insert(g, read_segment(&segment_path(dir, g))?);
+        }
+        let max_gen = listing
+            .segments
+            .iter()
+            .chain(listing.snapshots.iter())
+            .copied()
+            .max()
+            .unwrap_or(0);
+
+        // Base selection: newest generation whose snapshot decodes AND
+        // whose segment opens with the matching Checkpoint record. A
+        // checkpoint that died mid-write leaves one of the two invalid;
+        // the previous generation is still intact (its files are deleted
+        // only after the new pair is durable).
+        let mut base: Option<(u64, TreeCheckpoint<2>, Vec<UndoEntry>)> = None;
+        for &g in listing.snapshots.iter().rev() {
+            let Some(sd) = segments.get(&g) else { continue };
+            if sd.gen != Some(g) {
+                continue;
+            }
+            let Some(WalRecord::Checkpoint { gen: cg, undo }) = sd.records.first() else {
+                continue;
+            };
+            if *cg != g {
+                continue;
+            }
+            let Ok(bytes) = fs::read(snapshot_path(dir, g)) else {
+                continue;
+            };
+            let Ok(image) = decode_file_image(&bytes) else {
+                continue;
+            };
+            base = Some((g, image, undo.clone()));
+            break;
+        }
+        let Some((base_gen, image, cut_undo)) = base else {
+            // No usable checkpoint. Only safe to start fresh when no
+            // user record was ever durable (e.g. a crash inside the very
+            // first bootstrap) — otherwise committed data would vanish
+            // silently.
+            let any_user = segments.values().any(|s| {
+                s.records
+                    .iter()
+                    .any(|r| !matches!(r, WalRecord::Checkpoint { .. }))
+            });
+            if any_user {
+                return Err(RecoverError::Corrupt(
+                    "no usable checkpoint beneath logged transactions".into(),
+                ));
+            }
+            drop(segments);
+            let db = Self::new_in_memory_shell(&config);
+            db.attach_fresh_generation(dir, max_gen + 1, &config)?;
+            return Ok(db);
+        };
+
+        // Tail chain: contiguous generations from the base upward.
+        // Trailing segments that never got their header flushed (a
+        // rotation raced the crash) read as empty and are dropped; a torn
+        // segment anywhere *before* the last live one breaks the
+        // prefix-durability contract and is real corruption.
+        let mut tail: Vec<u64> = listing
+            .segments
+            .iter()
+            .copied()
+            .filter(|&g| g >= base_gen)
+            .collect();
+        while tail.len() > 1 {
+            let last = *tail.last().expect("nonempty");
+            let sd = &segments[&last];
+            if sd.gen.is_none() && sd.records.is_empty() {
+                tail.pop();
+            } else {
+                break;
+            }
+        }
+        for (i, &g) in tail.iter().enumerate() {
+            let expected = base_gen + i as u64;
+            if g != expected {
+                return Err(RecoverError::Corrupt(format!(
+                    "segment chain gap: expected generation {expected}, found {g}"
+                )));
+            }
+            let sd = &segments[&g];
+            if sd.gen != Some(g) {
+                return Err(RecoverError::Corrupt(format!(
+                    "segment {g} header unreadable mid-chain"
+                )));
+            }
+            if i + 1 != tail.len() && sd.torn_bytes > 0 {
+                return Err(RecoverError::Corrupt(format!(
+                    "segment {g} torn mid-chain ({} bytes)",
+                    sd.torn_bytes
+                )));
+            }
+        }
+        let records: Vec<WalRecord> = tail
+            .iter()
+            .flat_map(|g| segments[g].records.iter())
+            .filter(|r| !matches!(r, WalRecord::Checkpoint { .. }))
+            .cloned()
+            .collect();
+
+        // Peel: transactions in flight at the cut whose commit never made
+        // the tail had their pre-cut operations captured in the image;
+        // undo them against the raw tree (reverse order), exactly as a
+        // live abort would have.
+        let committed: HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        let mut tree: RTree2 = restore_tree(&image)
+            .map_err(|e| RecoverError::Corrupt(format!("snapshot image inconsistent: {e}")))?;
+        for entry in cut_undo.iter().filter(|e| !committed.contains(&e.txn)) {
+            for op in entry.ops.iter().rev() {
+                match *op {
+                    UndoOp::Insert { oid, rect } => {
+                        tree.remove_entry_raw(ObjectId(oid), arr_to_rect(rect));
+                    }
+                    UndoOp::Delete { oid, rect } => {
+                        tree.clear_tombstone(ObjectId(oid), arr_to_rect(rect));
+                    }
+                }
+            }
+        }
+
+        // Surviving tombstones belong to committed deleters whose
+        // deferred physical deletion never ran; `from_snapshot` feeds
+        // them back through the maintenance subsystem and drains it.
+        let db = Self::from_snapshot(tree, config.clone());
+
+        // Replay the committed tail through the normal write path, each
+        // transaction at its commit position (= its 2PL serialization
+        // position). Single-threaded, fresh transaction ids; the log is
+        // not attached yet, so nothing is re-logged.
+        let mut buffered: BTreeMap<u64, Vec<WalRecord>> = BTreeMap::new();
+        for rec in records {
+            match rec {
+                WalRecord::Begin { txn } => {
+                    buffered.entry(txn).or_default();
+                }
+                WalRecord::Insert { txn, .. } | WalRecord::Delete { txn, .. } => {
+                    buffered.entry(txn).or_default().push(rec);
+                }
+                WalRecord::Abort { txn } => {
+                    buffered.remove(&txn);
+                }
+                WalRecord::Commit { txn } => {
+                    let ops = buffered.remove(&txn).unwrap_or_default();
+                    db.replay_txn(&ops).map_err(RecoverError::Replay)?;
+                }
+                WalRecord::Checkpoint { .. } => unreachable!("filtered above"),
+            }
+        }
+        // Transactions still buffered never committed: discarded.
+        db.quiesce().map_err(RecoverError::Replay)?;
+        db.core.obs.record(
+            Hist::WalReplay,
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        drop(segments);
+        db.attach_fresh_generation(dir, max_gen + 1, &config)?;
+        Ok(db)
+    }
+
+    /// Takes an explicit checkpoint now: snapshot + log truncation. A
+    /// no-op `Ok(())` without an attached log;
+    /// `Err(TxnError::Durability)` when the log is poisoned or the
+    /// snapshot write failed (the previous checkpoint stays the base).
+    pub fn checkpoint(&self) -> Result<(), TxnError> {
+        if self.core.wal.get().is_none() {
+            return Ok(());
+        }
+        self.core.run_checkpoint_guarded()
+    }
+
+    /// Whether a write-ahead log is attached (durable commits).
+    pub fn is_durable(&self) -> bool {
+        self.core.wal.get().is_some()
+    }
+
+    /// Simulates a process kill with page-cache loss: every log segment
+    /// is truncated to its fsynced prefix and the log is poisoned (all
+    /// further commits fail with [`TxnError::Durability`]). The on-disk
+    /// state is exactly what [`DglRTree::recover`] would find after
+    /// `kill -9`. Testing hook for the crash-matrix harness.
+    pub fn crash_wal(&self) {
+        if let Some(wal) = self.core.wal.get() {
+            wal.crash();
+        }
+    }
+
+    /// An empty index shaped by `config` with no log attached yet.
+    fn new_in_memory_shell(config: &DglConfig) -> Self {
+        let tree = match config.buffer_pages {
+            Some(pages) => RTree2::with_buffer(config.rtree, config.world, pages),
+            None => RTree2::new(config.rtree, config.world),
+        };
+        Self::build(tree, std::collections::HashMap::new(), config)
+    }
+
+    /// Publishes the current tree as generation `gen` (snapshot + fresh
+    /// log segment), prunes older generations, and attaches the log.
+    /// No-op when durability is disabled.
+    fn attach_fresh_generation(
+        &self,
+        dir: &Path,
+        gen: u64,
+        config: &DglConfig,
+    ) -> Result<(), RecoverError> {
+        if !config.durability.enabled {
+            return Ok(());
+        }
+        let image = {
+            let tree = self.core.latch_shared();
+            checkpoint_tree(&tree)
+        };
+        write_snapshot(dir, gen, &image)?;
+        let wal = Wal::create(
+            dir,
+            gen,
+            &WalRecord::Checkpoint {
+                gen,
+                undo: Vec::new(),
+            },
+            WalConfig {
+                sync: config.durability.sync,
+            },
+            Arc::clone(&self.core.obs),
+        )?;
+        prune_generations_below(dir, gen)?;
+        self.core
+            .wal
+            .set(Arc::new(wal))
+            .map_err(|_| RecoverError::Corrupt("log already attached".into()))?;
+        Ok(())
+    }
+
+    /// Executes one recovered transaction's operations through the
+    /// normal write path and commits it.
+    fn replay_txn(&self, ops: &[WalRecord]) -> Result<(), TxnError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let t = self.begin();
+        for op in ops {
+            match *op {
+                WalRecord::Insert { oid, rect, .. } => {
+                    self.insert(t, ObjectId(oid), arr_to_rect(rect))?;
+                }
+                WalRecord::Delete { oid, rect, .. } => {
+                    self.delete(t, ObjectId(oid), arr_to_rect(rect))?;
+                }
+                _ => unreachable!("only operation records are buffered"),
+            }
+        }
+        self.commit(t)
+    }
+}

@@ -129,10 +129,24 @@ impl MaintenanceHandle {
         }
     }
 
-    /// Blocks until every dispatched deletion has finished executing,
-    /// then reports whether any was dropped after exhausting its retry
-    /// budget ([`TxnError::MaintenanceFailed`]) — the queue always drains
-    /// either way; failure never shows up as a hang.
+    /// Hands a checkpoint request to the subsystem: runs it now (inline)
+    /// or enqueues it behind the pending deletions (background), so
+    /// commits never pay for snapshot encoding in background mode. The
+    /// outcome lands in `OpStats::checkpoints` / `checkpoint_failures`.
+    pub(crate) fn dispatch_checkpoint(&self, core: &DglCore) {
+        match self {
+            Self::Inline => {
+                let _ = core.run_checkpoint_guarded();
+            }
+            Self::Background(w) => w.enqueue_checkpoint(core),
+        }
+    }
+
+    /// Blocks until every dispatched deletion (and queued checkpoint) has
+    /// finished executing, then reports whether any deletion was dropped
+    /// after exhausting its retry budget
+    /// ([`TxnError::MaintenanceFailed`]) — the queue always drains either
+    /// way; failure never shows up as a hang.
     pub(crate) fn quiesce(&self, core: &DglCore) -> Result<(), TxnError> {
         if let Self::Background(w) = self {
             w.wait_drained();
@@ -192,8 +206,16 @@ struct QueuedDelete {
     enqueued: Instant,
 }
 
+/// One unit of background work: a committed physical deletion, or a
+/// threshold-triggered checkpoint riding the same queue (so `quiesce`
+/// covers it and it runs strictly after the deletions queued before it).
+enum WorkItem {
+    Delete(QueuedDelete),
+    Checkpoint,
+}
+
 struct QueueState {
-    queue: VecDeque<QueuedDelete>,
+    queue: VecDeque<WorkItem>,
     /// Records popped but still executing.
     running: usize,
     shutdown: bool,
@@ -249,16 +271,31 @@ impl MaintenanceWorker {
             run_with_retries(core, d, enqueued);
             return;
         }
-        st.queue.push_back(QueuedDelete {
+        st.queue.push_back(WorkItem::Delete(QueuedDelete {
             d,
             attempts: 0,
             enqueued,
-        });
+        }));
         OpStats::raise(
             &core.stats.maint_queue_peak,
             (st.queue.len() + st.running) as u64,
         );
         self.shared.cond.notify_all();
+    }
+
+    /// Checkpoints skip the capacity backpressure (they are rare, and a
+    /// commit must never deadlock against the full queue it is trying to
+    /// shrink); on shutdown the request just runs inline.
+    fn enqueue_checkpoint(&self, core: &DglCore) {
+        {
+            let mut st = self.shared.state.lock();
+            if !st.shutdown {
+                st.queue.push_back(WorkItem::Checkpoint);
+                self.shared.cond.notify_all();
+                return;
+            }
+        }
+        let _ = core.run_checkpoint_guarded();
     }
 
     fn wait_drained(&self) {
@@ -314,18 +351,30 @@ fn worker_loop(core: &DglCore, shared: &Shared) {
                 shared.cond.wait(&mut st);
             }
         };
-        let Some(QueuedDelete {
-            d,
-            attempts,
-            enqueued,
-        }) = next
-        else {
-            return;
+        let item = match next {
+            Some(item) => item,
+            None => return,
         };
         // Keeps `running > 0` (and thus `quiesce` blocked) until *after*
         // any requeue below — a panicked record never becomes invisible
         // to a concurrent quiesce.
         let _guard = RunningGuard(shared);
+        let QueuedDelete {
+            d,
+            attempts,
+            enqueued,
+        } = match item {
+            WorkItem::Delete(q) => q,
+            WorkItem::Checkpoint => {
+                // Outcome (and the pending-slot release) is recorded
+                // inside; a panic is contained like any maintenance
+                // panic — the next threshold crossing retries.
+                if catch_unwind(AssertUnwindSafe(|| core.run_checkpoint_guarded())).is_err() {
+                    OpStats::bump(&core.stats.checkpoint_failures);
+                }
+                continue;
+            }
+        };
         if run_caught(core, d) {
             record_drain(core, enqueued);
             continue;
@@ -338,11 +387,11 @@ fn worker_loop(core: &DglCore, shared: &Shared) {
         OpStats::bump(&core.stats.maint_requeues);
         {
             let mut st = shared.state.lock();
-            st.queue.push_front(QueuedDelete {
+            st.queue.push_front(WorkItem::Delete(QueuedDelete {
                 d,
                 attempts: attempts + 1,
                 enqueued,
-            });
+            }));
         }
         shared.cond.notify_all();
     }

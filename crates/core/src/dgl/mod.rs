@@ -58,19 +58,24 @@
 //! the ordering with a debug assertion.
 
 mod deferred;
+mod durability;
 mod maintenance;
 mod ops_read;
 mod ops_write;
 
+pub use durability::{DurabilityConfig, RecoverError};
 pub use maintenance::{MaintenanceConfig, MaintenanceMode};
 
 use maintenance::MaintenanceHandle;
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::{Deref, DerefMut};
-use std::sync::Arc;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+use dgl_wal::Wal;
 
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -145,6 +150,11 @@ pub struct DglConfig {
     /// Maintenance subsystem: when (and where) deferred physical
     /// deletions run — inline in `commit` or on a background worker.
     pub maintenance: MaintenanceConfig,
+    /// Durability subsystem: write-ahead logging and checkpointing.
+    /// Only consulted by the directory-backed constructors
+    /// ([`DglRTree::open`] / [`DglRTree::recover`]); purely in-memory
+    /// indexes ([`DglRTree::new`]) never touch disk regardless.
+    pub durability: DurabilityConfig,
     /// Always-on observability recording (counters + histograms in the
     /// shared [`dgl_obs::Registry`]). On by default — the recording cost
     /// is a few relaxed atomics per operation (measured <3% ops/sec on
@@ -189,6 +199,7 @@ impl Default for DglConfig {
             wait_timeout: None,
             buffer_pages: None,
             maintenance: MaintenanceConfig::default(),
+            durability: DurabilityConfig::default(),
             obs_recording: true,
             coarse_external_granule: false,
             testing_skip_growth_compensation: false,
@@ -196,8 +207,11 @@ impl Default for DglConfig {
     }
 }
 
-/// What abort must undo, in reverse order.
-#[derive(Debug)]
+/// What abort must undo, in reverse order. `Clone` because a checkpoint
+/// captures the undo queues of in-flight transactions into its cut
+/// record (recovery peels their already-applied operations out of the
+/// snapshot image when no commit follows in the log tail).
+#[derive(Debug, Clone)]
 pub(crate) enum UndoRecord {
     Insert { oid: ObjectId, rect: Rect2 },
     LogicalDelete { oid: ObjectId, rect: Rect2 },
@@ -232,6 +246,31 @@ pub(crate) struct DglCore {
     /// Shared observability registry — the same instance the lock manager
     /// reports into, so lock waits and latch holds land in one place.
     pub(crate) obs: Arc<Registry>,
+    /// The write-ahead log, attached once by the directory-backed
+    /// constructors *after* recovery replay (so replayed operations are
+    /// not re-logged). Empty for purely in-memory indexes.
+    pub(crate) wal: OnceLock<Arc<Wal>>,
+    /// Transactions that have appended their `Begin` record (i.e. logged
+    /// at least one operation). Read-only transactions never enter.
+    pub(crate) wal_started: Mutex<HashSet<TxnId>>,
+    /// Transactions whose `Commit` record has been appended but whose
+    /// undo queue has not yet been drained by `commit`. A checkpoint
+    /// capturing its cut inside that window must treat them as committed
+    /// — their undo must NOT ride into the checkpoint record, or recovery
+    /// would peel committed operations out of the snapshot image.
+    pub(crate) wal_committed: Mutex<HashSet<TxnId>>,
+    /// Orders commit-record appends against checkpoint cuts: `commit`
+    /// appends its record and marks `wal_committed` under a read guard;
+    /// the checkpoint captures the undo image and rotates the log under
+    /// the write guard — so every commit lands wholly before or wholly
+    /// after the cut, never astraddle.
+    pub(crate) commit_cut: RwLock<()>,
+    /// A threshold-triggered checkpoint has been dispatched and not yet
+    /// finished (dedupes auto-checkpoint requests).
+    pub(crate) ckpt_pending: AtomicBool,
+    /// Bytes appended since the last checkpoint that trigger an automatic
+    /// one (`None` disables auto-checkpointing).
+    pub(crate) checkpoint_threshold: Option<u64>,
 }
 
 thread_local! {
@@ -412,68 +451,10 @@ impl std::fmt::Debug for DglRTree {
 }
 
 impl DglRTree {
-    /// Creates an empty index.
-    pub fn new(config: DglConfig) -> Self {
-        let maintenance = config.maintenance;
-        let obs = Self::new_registry(&config);
-        let lm = Arc::new(LockManager::with_obs(
-            config.effective_lock(),
-            Arc::clone(&obs),
-        ));
-        let tree = match config.buffer_pages {
-            Some(pages) => RTree2::with_buffer(config.rtree, config.world, pages),
-            None => RTree2::new(config.rtree, config.world),
-        };
-        tree.io_stats().attach_obs(Arc::clone(&obs));
-        let core = Arc::new(DglCore {
-            tree: RwLock::new(tree),
-            tm: TxnManager::new(Arc::clone(&lm)),
-            lm,
-            undo: Journal::new(),
-            deferred: Journal::new(),
-            payloads: Mutex::new(HashMap::new()),
-            deferred_gate: Mutex::new(()),
-            policy: config.policy,
-            write_path: config.write_path,
-            coarse_external: config.coarse_external_granule,
-            skip_growth_compensation: config.testing_skip_growth_compensation,
-            stats: OpStats::default(),
-            obs,
-        });
-        Self {
-            maint: MaintenanceHandle::new(&core, maintenance),
-            core,
-        }
-    }
-
-    /// Rebuilds a transactional index around a tree restored from a
-    /// snapshot (see `dgl_rtree::persist`).
-    ///
-    /// Snapshots are taken at quiescent points, but a snapshot written by
-    /// a crashed process may still contain tombstoned entries whose
-    /// deferred physical deletion never ran; those deletes were already
-    /// committed, so recovery feeds them through the maintenance subsystem
-    /// — the same system-operation path (removal, condensation, orphan
-    /// re-insertion) a live commit uses — and drains it before returning,
-    /// so the first user transaction sees a fully recovered tree. Payload
-    /// versions are not part of the tree image and restart at 1.
-    pub fn from_snapshot(tree: RTree2, config: DglConfig) -> Self {
-        let maintenance = config.maintenance;
-        // Tombstoned entries are committed-but-unapplied deletions; they
-        // stay in the tree (and in `payloads`, keeping their ids reserved)
-        // until the maintenance pass below removes them.
-        let pending: Vec<DeferredDelete> = tree
-            .all_objects()
-            .into_iter()
-            .filter(|(_, _, tombstone)| tombstone.is_some())
-            .map(|(oid, rect, _)| DeferredDelete { oid, rect })
-            .collect();
-        let payloads: HashMap<ObjectId, u64> = tree
-            .all_objects()
-            .into_iter()
-            .map(|(oid, ..)| (oid, 1))
-            .collect();
-        let obs = Self::new_registry(&config);
+    /// Assembles a core + maintenance handle around an existing tree and
+    /// payload map (shared tail of every constructor).
+    fn build(tree: RTree2, payloads: HashMap<ObjectId, u64>, config: &DglConfig) -> Self {
+        let obs = Self::new_registry(config);
         tree.io_stats().attach_obs(Arc::clone(&obs));
         let lm = Arc::new(LockManager::with_obs(
             config.effective_lock(),
@@ -493,11 +474,55 @@ impl DglRTree {
             skip_growth_compensation: config.testing_skip_growth_compensation,
             stats: OpStats::default(),
             obs,
+            wal: OnceLock::new(),
+            wal_started: Mutex::new(HashSet::new()),
+            wal_committed: Mutex::new(HashSet::new()),
+            commit_cut: RwLock::new(()),
+            ckpt_pending: AtomicBool::new(false),
+            checkpoint_threshold: config.durability.checkpoint_threshold,
         });
-        let db = Self {
-            maint: MaintenanceHandle::new(&core, maintenance),
+        Self {
+            maint: MaintenanceHandle::new(&core, config.maintenance),
             core,
+        }
+    }
+
+    /// Creates an empty index.
+    pub fn new(config: DglConfig) -> Self {
+        let tree = match config.buffer_pages {
+            Some(pages) => RTree2::with_buffer(config.rtree, config.world, pages),
+            None => RTree2::new(config.rtree, config.world),
         };
+        Self::build(tree, HashMap::new(), &config)
+    }
+
+    /// Rebuilds a transactional index around a tree restored from a
+    /// snapshot (see `dgl_rtree::persist`).
+    ///
+    /// Snapshots are taken at quiescent points, but a snapshot written by
+    /// a crashed process may still contain tombstoned entries whose
+    /// deferred physical deletion never ran; those deletes were already
+    /// committed, so recovery feeds them through the maintenance subsystem
+    /// — the same system-operation path (removal, condensation, orphan
+    /// re-insertion) a live commit uses — and drains it before returning,
+    /// so the first user transaction sees a fully recovered tree. Payload
+    /// versions are not part of the tree image and restart at 1.
+    pub fn from_snapshot(tree: RTree2, config: DglConfig) -> Self {
+        // Tombstoned entries are committed-but-unapplied deletions; they
+        // stay in the tree (and in `payloads`, keeping their ids reserved)
+        // until the maintenance pass below removes them.
+        let pending: Vec<DeferredDelete> = tree
+            .all_objects()
+            .into_iter()
+            .filter(|(_, _, tombstone)| tombstone.is_some())
+            .map(|(oid, rect, _)| DeferredDelete { oid, rect })
+            .collect();
+        let payloads: HashMap<ObjectId, u64> = tree
+            .all_objects()
+            .into_iter()
+            .map(|(oid, ..)| (oid, 1))
+            .collect();
+        let db = Self::build(tree, payloads, &config);
         for d in pending {
             db.maint.dispatch(&db.core, d);
         }
@@ -731,19 +756,26 @@ impl DglCore {
     /// while the transaction still holds all its locks, so no other
     /// transaction can observe the intermediate states.
     pub(crate) fn rollback_now(&self, txn: TxnId) {
-        let records = self.undo.take_reversed(txn);
-        if !records.is_empty() {
-            // Update records only touch the payload table; an Update-only
-            // undo log (the common single-op abort) skips the tree latch
-            // entirely so it never stalls behind writers or scans.
-            let mut tree = if records
-                .iter()
-                .any(|r| !matches!(r, UndoRecord::Update { .. }))
-            {
+        // Update records only touch the payload table; an Update-only
+        // undo log (the common single-op abort) skips the tree latch
+        // entirely so it never stalls behind writers or scans. Peeked
+        // (not taken) so the latch decision commits first: a checkpoint
+        // captures undo queues and tree image atomically under the
+        // shared latch, so the take and the tree undo below must sit
+        // inside one exclusive hold — taking the records before
+        // latching would open a window where the image has this
+        // transaction's operations but the cut record has no undo for
+        // them, resurrecting them at recovery.
+        let needs_latch = self.undo.with_records(txn, |rs| {
+            rs.iter().any(|r| !matches!(r, UndoRecord::Update { .. }))
+        });
+        {
+            let mut tree = if needs_latch {
                 Some(self.latch_exclusive())
             } else {
                 None
             };
+            let records = self.undo.take_reversed(txn);
             let mut payloads = self.payload_table();
             for rec in records {
                 match rec {
@@ -765,6 +797,7 @@ impl DglCore {
             }
         }
         let _ = self.deferred.take(txn);
+        self.wal_abort(txn);
         self.tm.abort(txn);
     }
 
@@ -831,6 +864,27 @@ impl TransactionalRTree for DglRTree {
             self.core.rollback_now(txn);
             TxnError::Injected
         });
+        // Durability point: the commit record must be on disk before any
+        // lock is released or any effect becomes post-commit (deferred
+        // deletions). A flush failure means the commit may or may not be
+        // durable (its batch can have partially reached disk before the
+        // log died); the transaction is rolled back locally and the
+        // caller sees `TxnError::Durability` — in-doubt, resolved by
+        // recovery. No *later* commit can succeed off a poisoned log, so
+        // the divergence cannot compound.
+        match self.core.wal_commit_begin(txn) {
+            Ok(None) => {}
+            Ok(Some(lsn)) => {
+                if let Err(e) = self.core.wal_commit_wait(txn, lsn) {
+                    self.core.rollback_now(txn);
+                    return Err(e);
+                }
+            }
+            Err(e) => {
+                self.core.rollback_now(txn);
+                return Err(e);
+            }
+        }
         let deferred = self.core.deferred.take(txn);
         let _ = self.core.undo.take(txn);
         // Release all locks first: the deferred deletions run as *system
@@ -839,6 +893,7 @@ impl TransactionalRTree for DglRTree {
         // commit-duration locks. Visibility stays correct in the window:
         // the tombstones persist until each deferred deletion runs.
         self.core.tm.commit(txn);
+        self.core.wal_finish(txn);
         // Inline mode executes the deletions here; background mode only
         // enqueues them — the commit-latency split the maintenance
         // subsystem exists for.
@@ -849,6 +904,11 @@ impl TransactionalRTree for DglRTree {
         OpStats::bump(&self.core.stats.commits);
         OpStats::add(&self.core.stats.commit_nanos, nanos);
         self.core.obs.record(Hist::Commit, nanos);
+        // Enough log grew since the last cut? Hand a checkpoint to the
+        // maintenance subsystem (runs here in inline mode).
+        if self.core.should_auto_checkpoint() {
+            self.maint.dispatch_checkpoint(&self.core);
+        }
         Ok(())
     }
 

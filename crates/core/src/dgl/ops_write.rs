@@ -118,8 +118,18 @@ impl DglCore {
                 "root-half prediction must be exact"
             );
             self.payload_table().insert(oid, 1);
-            drop(apply);
+            // Undo entry and log record land while the exclusive latch is
+            // still held: a checkpoint captures tree image + undo queues
+            // under the shared latch, so this op is either wholly inside
+            // its cut (image + undo + record) or wholly after it.
             self.undo.push(txn, UndoRecord::Insert { oid, rect });
+            let logged = self.wal_log_insert(txn, oid, rect);
+            drop(apply);
+            if let Err(e) = logged {
+                // Log poisoned: the mutation cannot ever become durable.
+                self.rollback_now(txn);
+                return Err(e);
+            }
             if plan.changes_granules() {
                 OpStats::bump(&self.stats.granule_changing_inserts);
             }
@@ -342,9 +352,16 @@ impl DglCore {
                             dgl_faults::failpoint!("dgl/apply");
                             let marked = apply.set_tombstone(oid, rect, txn.0);
                             debug_assert!(marked, "entry verified present under latch");
-                            drop(apply);
+                            // Undo + log inside the latch hold (see
+                            // insert_op for the checkpoint-cut argument).
                             self.undo.push(txn, UndoRecord::LogicalDelete { oid, rect });
                             self.deferred.push(txn, DeferredDelete { oid, rect });
+                            let logged = self.wal_log_delete(txn, oid, rect);
+                            drop(apply);
+                            if let Err(e) = logged {
+                                self.rollback_now(txn);
+                                return Err(e);
+                            }
                             self.end_op(txn);
                             return Ok(true);
                         }

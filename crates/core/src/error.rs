@@ -32,6 +32,12 @@ pub enum TxnError {
     /// Surfaced by `quiesce` instead of hanging; the index may still hold
     /// tombstoned entries whose ids stay reserved.
     MaintenanceFailed,
+    /// The write-ahead log could not make this transaction's commit
+    /// durable (flush failure or simulated crash); the transaction has
+    /// been rolled back. Not retryable: once the log is poisoned, no
+    /// later commit can become durable either — the store must be
+    /// recovered.
+    Durability,
 }
 
 impl TxnError {
@@ -62,6 +68,12 @@ impl fmt::Display for TxnError {
                     "background maintenance failed: deferred deletion exhausted its retry budget"
                 )
             }
+            TxnError::Durability => {
+                write!(
+                    f,
+                    "transaction aborted: write-ahead log failed to make the commit durable"
+                )
+            }
         }
     }
 }
@@ -82,6 +94,7 @@ mod tests {
         assert!(TxnError::MaintenanceFailed
             .to_string()
             .contains("maintenance"));
+        assert!(TxnError::Durability.to_string().contains("durable"));
     }
 
     #[test]
@@ -92,5 +105,6 @@ mod tests {
         assert!(!TxnError::NotActive.is_retryable());
         assert!(!TxnError::DuplicateObject.is_retryable());
         assert!(!TxnError::MaintenanceFailed.is_retryable());
+        assert!(!TxnError::Durability.is_retryable());
     }
 }

@@ -52,7 +52,8 @@ mod stats;
 mod traits;
 
 pub use dgl::{
-    DglConfig, DglRTree, InsertPolicy, MaintenanceConfig, MaintenanceMode, WritePathMode,
+    DglConfig, DglRTree, DurabilityConfig, InsertPolicy, MaintenanceConfig, MaintenanceMode,
+    RecoverError, WritePathMode,
 };
 pub use error::TxnError;
 pub use executor::{ExecError, RetryPolicy, TxnExecutor};
@@ -63,3 +64,4 @@ pub use traits::{ScanHit, TransactionalRTree};
 pub use dgl_geom::{Rect, Rect2};
 pub use dgl_lockmgr::TxnId;
 pub use dgl_rtree::ObjectId;
+pub use dgl_wal::SyncPolicy;

@@ -85,6 +85,11 @@ pub struct OpStats {
     /// Deferred deletions dropped after exhausting their retry budget;
     /// nonzero makes `quiesce` report `TxnError::MaintenanceFailed`.
     pub(crate) maint_failed: AtomicU64,
+    /// Completed checkpoints (snapshot written, log truncated).
+    pub(crate) checkpoints: AtomicU64,
+    /// Checkpoint attempts that failed (log poisoned or snapshot I/O
+    /// error); the previous checkpoint remains the recovery base.
+    pub(crate) checkpoint_failures: AtomicU64,
 }
 
 /// A point-in-time copy of [`OpStats`].
@@ -123,6 +128,8 @@ pub struct OpStatsSnapshot {
     pub maint_panics: u64,
     pub maint_requeues: u64,
     pub maint_failed: u64,
+    pub checkpoints: u64,
+    pub checkpoint_failures: u64,
 }
 
 impl OpStats {
@@ -181,6 +188,8 @@ impl OpStats {
             maint_panics: self.maint_panics.load(Ordering::Relaxed),
             maint_requeues: self.maint_requeues.load(Ordering::Relaxed),
             maint_failed: self.maint_failed.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -225,6 +234,8 @@ impl OpStatsSnapshot {
             maint_panics: self.maint_panics - earlier.maint_panics,
             maint_requeues: self.maint_requeues - earlier.maint_requeues,
             maint_failed: self.maint_failed - earlier.maint_failed,
+            checkpoints: self.checkpoints - earlier.checkpoints,
+            checkpoint_failures: self.checkpoint_failures - earlier.checkpoint_failures,
         }
     }
 

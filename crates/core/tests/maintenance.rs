@@ -91,6 +91,48 @@ fn recovery_applies_pending_deletions_before_first_txn() {
     }
 }
 
+/// A snapshot with tombstones *plus* fresh deferred deletions queued
+/// right after `from_snapshot` returns: the queue is non-empty again
+/// and an explicit `quiesce()` must drain it cleanly — the recovery
+/// path and the steady-state path share one worker and one backlog
+/// accounting.
+#[test]
+fn from_snapshot_then_new_deferrals_drain_through_quiesce() {
+    let mut tree = RTree2::new(RTreeConfig::with_fanout(6), Rect2::unit());
+    let mut rects = Vec::new();
+    for i in 0..30u64 {
+        let x = 0.025 * i as f64;
+        let rect = r([x, x * 0.6], [x + 0.02, x * 0.6 + 0.02]);
+        tree.insert(ObjectId(i), rect);
+        rects.push((ObjectId(i), rect));
+    }
+    for &i in &[2u64, 9, 16] {
+        let (oid, rect) = rects[i as usize];
+        assert!(tree.set_tombstone(oid, rect, 7), "tombstone target exists");
+    }
+    let restored = restore_tree(&checkpoint_tree(&tree)).expect("restore");
+    let db = DglRTree::from_snapshot(restored, snapshot_config(MaintenanceMode::Background));
+    assert_eq!(db.len(), 27, "snapshot tombstones drained at construction");
+
+    // Refill the deferred queue through the normal path.
+    for &i in &[5u64, 12, 19, 26] {
+        let (oid, rect) = rects[i as usize];
+        let txn = db.begin();
+        assert_eq!(db.delete(txn, oid, rect), Ok(true));
+        db.commit(txn).unwrap();
+    }
+    db.quiesce().expect("quiesce drains the refilled queue");
+    let s = db.op_stats().snapshot();
+    assert_eq!(db.op_stats().maintenance_backlog(), 0);
+    assert_eq!(
+        (s.maint_enqueued, s.maint_completed),
+        (7, 7),
+        "3 snapshot tombstones + 4 fresh deletes, all completed"
+    );
+    assert_eq!(db.len(), 23);
+    db.validate().unwrap();
+}
+
 /// In background mode `commit` must NOT execute the physical deletion
 /// inline. A scanner parked on ext(root) blocks the system operation (its
 /// BR adjustment needs short SIX there) without blocking the logical

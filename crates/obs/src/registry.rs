@@ -33,17 +33,23 @@ pub enum Hist {
     MaintDrain,
     /// Nanoseconds slept by the executor's abort-retry backoff.
     ExecBackoff,
+    /// Nanoseconds per WAL flush batch (write + `fsync`).
+    WalFsync,
+    /// Nanoseconds per replayed operation during crash recovery.
+    WalReplay,
 }
 
 impl Hist {
     /// All histograms, in export order.
-    pub const ALL: [Hist; 6] = [
+    pub const ALL: [Hist; 8] = [
         Hist::LockWait,
         Hist::LatchHold,
         Hist::PlanPhase,
         Hist::Commit,
         Hist::MaintDrain,
         Hist::ExecBackoff,
+        Hist::WalFsync,
+        Hist::WalReplay,
     ];
 
     /// Stable metric name (also the Prometheus/JSON key, prefixed
@@ -56,6 +62,8 @@ impl Hist {
             Hist::Commit => "commit_nanos",
             Hist::MaintDrain => "maint_drain_nanos",
             Hist::ExecBackoff => "exec_backoff_nanos",
+            Hist::WalFsync => "wal_fsync_nanos",
+            Hist::WalReplay => "wal_replay_nanos",
         }
     }
 
@@ -84,11 +92,20 @@ pub enum Ctr {
     MaintEnqueued,
     /// Deferred deletions physically completed.
     MaintCompleted,
+    /// WAL flush batches (`fsync` calls).
+    WalFsyncs,
+    /// Bytes appended to the WAL (headers + framed records).
+    WalAppendedBytes,
+    /// Records appended to the WAL.
+    WalRecords,
+    /// Commits acknowledged by WAL flushes; divided by `wal_fsyncs`
+    /// this is the mean group-commit batch size.
+    WalGroupCommitCommits,
 }
 
 impl Ctr {
     /// All counters, in export order.
-    pub const ALL: [Ctr; 8] = [
+    pub const ALL: [Ctr; 12] = [
         Ctr::LockReqShort,
         Ctr::LockReqCommit,
         Ctr::LockConditionalFail,
@@ -97,6 +114,10 @@ impl Ctr {
         Ctr::PageWrites,
         Ctr::MaintEnqueued,
         Ctr::MaintCompleted,
+        Ctr::WalFsyncs,
+        Ctr::WalAppendedBytes,
+        Ctr::WalRecords,
+        Ctr::WalGroupCommitCommits,
     ];
 
     /// Stable metric name (exported as `dgl_<name>_total`).
@@ -110,6 +131,10 @@ impl Ctr {
             Ctr::PageWrites => "page_writes",
             Ctr::MaintEnqueued => "maint_enqueued",
             Ctr::MaintCompleted => "maint_completed",
+            Ctr::WalFsyncs => "wal_fsyncs",
+            Ctr::WalAppendedBytes => "wal_appended_bytes",
+            Ctr::WalRecords => "wal_records",
+            Ctr::WalGroupCommitCommits => "wal_group_commit_commits",
         }
     }
 

@@ -86,6 +86,15 @@ fn prometheus_text_matches_golden() {
     reg.record(Hist::Commit, 0); // bucket 0
     reg.add(Ctr::LockReqShort, 12);
     reg.add(Ctr::LockReqCommit, 3);
+    // Durability metrics: one fsync batch of 4 grouped commits, one
+    // replayed recovery, some appended bytes — pins the wal_* exporter
+    // names alongside the locking ones.
+    reg.record(Hist::WalFsync, 1 << 20);
+    reg.record(Hist::WalReplay, 5_000_000);
+    reg.incr(Ctr::WalFsyncs);
+    reg.add(Ctr::WalGroupCommitCommits, 4);
+    reg.add(Ctr::WalRecords, 9);
+    reg.add(Ctr::WalAppendedBytes, 413);
 
     let got = prometheus_text(&reg.snapshot());
     let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/prometheus_golden.txt");
@@ -97,6 +106,43 @@ fn prometheus_text_matches_golden() {
         got, golden,
         "Prometheus dump drifted from golden file (REGEN_GOLDEN=1 to update)"
     );
+}
+
+/// The durability metrics are first-class exporter citizens: stable
+/// names, TYPE lines, and counter arithmetic that merges like every
+/// other metric.
+#[test]
+fn wal_metrics_export_with_stable_names() {
+    let reg = Registry::new();
+    reg.record(Hist::WalFsync, 250_000);
+    reg.record(Hist::WalReplay, 1_000);
+    reg.add(Ctr::WalFsyncs, 2);
+    reg.add(Ctr::WalGroupCommitCommits, 7);
+    reg.add(Ctr::WalRecords, 21);
+    reg.add(Ctr::WalAppendedBytes, 1_234);
+
+    let text = prometheus_text(&reg.snapshot());
+    for needle in [
+        "# TYPE dgl_wal_fsync_nanos histogram",
+        "# TYPE dgl_wal_replay_nanos histogram",
+        "dgl_wal_fsync_nanos_count 1",
+        "dgl_wal_replay_nanos_count 1",
+        "dgl_wal_fsyncs_total 2",
+        "dgl_wal_group_commit_commits_total 7",
+        "dgl_wal_records_total 21",
+        "dgl_wal_appended_bytes_total 1234",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // Deltas isolate a phase for the wal counters too.
+    let before = reg.snapshot();
+    reg.add(Ctr::WalFsyncs, 3);
+    reg.add(Ctr::WalGroupCommitCommits, 12);
+    let delta = reg.snapshot().since(&before);
+    assert_eq!(delta.ctr(Ctr::WalFsyncs), 3);
+    assert_eq!(delta.ctr(Ctr::WalGroupCommitCommits), 12);
+    assert_eq!(delta.ctr(Ctr::WalRecords), 0);
 }
 
 #[test]

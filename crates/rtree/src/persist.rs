@@ -155,6 +155,9 @@ pub fn decode_file_image(data: &[u8]) -> Result<TreeCheckpoint<2>, PersistError>
     need(&buf, 4 * 8, "world")?;
     let lo = [buf.get_f64_le(), buf.get_f64_le()];
     let hi = [buf.get_f64_le(), buf.get_f64_le()];
+    if lo.iter().chain(hi.iter()).any(|v| !v.is_finite()) {
+        return Err(PersistError::Corrupt("non-finite world coordinate".into()));
+    }
     if lo.iter().zip(hi.iter()).any(|(l, h)| l > h) {
         return Err(PersistError::Corrupt("world lo > hi".into()));
     }
@@ -171,6 +174,15 @@ pub fn decode_file_image(data: &[u8]) -> Result<TreeCheckpoint<2>, PersistError>
     let root = PageId(buf.get_u64_le());
     let slot_count = buf.get_u64_le();
     let page_count = buf.get_u64_le() as usize;
+    // Every page costs at least 16 header bytes, so an untrusted page count
+    // larger than `remaining / 16` cannot possibly be satisfied — reject it
+    // up front instead of letting `with_capacity` attempt a huge allocation.
+    if page_count > buf.remaining() / 16 {
+        return Err(PersistError::Corrupt(format!(
+            "page count {page_count} exceeds what {} remaining bytes can hold",
+            buf.remaining()
+        )));
+    }
     let mut pages = Vec::with_capacity(page_count);
     for i in 0..page_count {
         need(&buf, 16, "page header")?;
@@ -324,6 +336,58 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = load_tree(Path::new("/nonexistent/dgl.tree")).unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    /// Recomputes and patches the trailing checksum so decoding reaches the
+    /// field a test corrupted instead of stopping at the checksum gate.
+    fn fix_checksum(image: &mut [u8]) {
+        let body_len = image.len() - 8;
+        let sum = fnv1a(&image[..body_len]).to_le_bytes();
+        image[body_len..].copy_from_slice(&sum);
+    }
+
+    #[test]
+    fn garbage_bytes_are_rejected_not_panicked() {
+        // Deterministic pseudo-random garbage at several lengths; every one
+        // must come back as a clean `Corrupt`/short-file error.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for len in [0usize, 1, 7, 8, 9, 64, 1024, 65_536] {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 56) as u8
+                })
+                .collect();
+            let err = decode_file_image(&bytes).unwrap_err();
+            assert!(matches!(err, PersistError::Corrupt(_)), "len {len}: {err}");
+        }
+    }
+
+    #[test]
+    fn absurd_page_count_rejected_without_allocation() {
+        let tree = sample_tree(10);
+        let mut image = encode_file_image(&checkpoint_tree(&tree));
+        // The page-count field sits right after magic(4) + version(4) +
+        // world(32) + fanout(17) + object_count(8) + root(8) + slot_count(8).
+        let off = 4 + 4 + 32 + 17 + 8 + 8 + 8;
+        image[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        fix_checksum(&mut image);
+        let err = decode_file_image(&image).unwrap_err();
+        assert!(err.to_string().contains("page count"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_world_rejected() {
+        let tree = sample_tree(10);
+        let base = encode_file_image(&checkpoint_tree(&tree));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut image = base.clone();
+            // First world coordinate lives right after magic + version.
+            image[8..16].copy_from_slice(&bad.to_le_bytes());
+            fix_checksum(&mut image);
+            let err = decode_file_image(&image).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -61,6 +61,31 @@ impl<R> Journal<R> {
     pub fn transactions(&self) -> usize {
         self.records.lock().len()
     }
+
+    /// Runs `f` over `txn`'s queued records without consuming them
+    /// (peek — e.g. to decide whether an abort needs the tree latch
+    /// before committing to taking the records).
+    pub fn with_records<T>(&self, txn: TxnId, f: impl FnOnce(&[R]) -> T) -> T {
+        f(self
+            .records
+            .lock()
+            .get(&txn)
+            .map_or(&[] as &[R], Vec::as_slice))
+    }
+}
+
+impl<R: Clone> Journal<R> {
+    /// Clones every transaction's queue (checkpoint image capture). The
+    /// caller is responsible for ordering this against concurrent
+    /// `take`s — the snapshot is atomic per the journal's one lock, but
+    /// says nothing about records in flight outside it.
+    pub fn snapshot_all(&self) -> Vec<(TxnId, Vec<R>)> {
+        self.records
+            .lock()
+            .iter()
+            .map(|(t, v)| (*t, v.clone()))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,545 @@
+//! Log records and their on-disk framing.
+//!
+//! Every record is framed as `len: u32 LE | crc: u32 LE | payload`,
+//! where `crc` is the CRC32-IEEE of the payload and `len` its byte
+//! length. The payload starts with a one-byte tag; integers are
+//! little-endian, rectangles are four `f64` (lo.x lo.y hi.x hi.y).
+//! A reader that hits a frame whose length header runs past the end of
+//! the file, or whose CRC does not match, treats it as the torn tail of
+//! an interrupted write: the valid prefix is the log.
+//!
+//! Each segment file opens with a 16-byte header
+//! (`"DGLW" | version u32 | generation u64`) so a directory scan can
+//! order segments without trusting file names alone.
+
+/// Magic of a segment file header ("DGLW" little-endian).
+pub const SEGMENT_MAGIC: u32 = 0x4447_4C57;
+/// Segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Byte length of a segment header.
+pub const SEGMENT_HEADER_LEN: usize = 16;
+/// Byte length of a record frame header (`len` + `crc`).
+pub const FRAME_HEADER_LEN: usize = 8;
+/// Upper bound on a single record's payload; anything larger in a `len`
+/// field is treated as corruption (or a torn frame header), never
+/// allocated.
+pub const MAX_RECORD_LEN: usize = 64 << 20;
+
+const TAG_BEGIN: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_DELETE: u8 = 3;
+const TAG_COMMIT: u8 = 4;
+const TAG_ABORT: u8 = 5;
+const TAG_CHECKPOINT: u8 = 6;
+
+const UNDO_INSERT: u8 = 1;
+const UNDO_DELETE: u8 = 2;
+
+/// One reversible operation of a transaction that was still active when
+/// a checkpoint cut the log — enough for recovery to peel the
+/// transaction's applied effects back out of the snapshot image if it
+/// never commits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UndoOp {
+    /// The transaction inserted `oid`; undo removes the entry.
+    Insert {
+        /// Object id.
+        oid: u64,
+        /// Object rectangle (`[lo.x, lo.y, hi.x, hi.y]`).
+        rect: [f64; 4],
+    },
+    /// The transaction tombstoned `oid`; undo clears the tombstone.
+    Delete {
+        /// Object id.
+        oid: u64,
+        /// Object rectangle (`[lo.x, lo.y, hi.x, hi.y]`).
+        rect: [f64; 4],
+    },
+}
+
+/// The undo list of one transaction active at a checkpoint cut, ops in
+/// execution order (recovery applies them in reverse).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UndoEntry {
+    /// Transaction id.
+    pub txn: u64,
+    /// Applied tree mutations, in execution order.
+    pub ops: Vec<UndoOp>,
+}
+
+/// A logical log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// First write of a transaction.
+    Begin {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// An applied insert.
+    Insert {
+        /// Transaction id.
+        txn: u64,
+        /// Object id.
+        oid: u64,
+        /// Object rectangle (`[lo.x, lo.y, hi.x, hi.y]`).
+        rect: [f64; 4],
+    },
+    /// An applied logical delete (tombstone).
+    Delete {
+        /// Transaction id.
+        txn: u64,
+        /// Object id.
+        oid: u64,
+        /// Object rectangle (`[lo.x, lo.y, hi.x, hi.y]`).
+        rect: [f64; 4],
+    },
+    /// Commit point; durable once its batch is fsynced.
+    Commit {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// Rollback marker (informational: absence of `Commit` is what makes
+    /// a loser).
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// First record of a segment: anchors the segment to the snapshot of
+    /// the same generation and carries the undo lists of transactions
+    /// active at the cut.
+    Checkpoint {
+        /// Generation this checkpoint (segment + snapshot pair) belongs to.
+        gen: u64,
+        /// Undo lists of transactions with applied-but-uncommitted ops.
+        undo: Vec<UndoEntry>,
+    },
+}
+
+impl WalRecord {
+    /// Whether this is a commit record (group-commit accounting).
+    pub fn is_commit(&self) -> bool {
+        matches!(self, WalRecord::Commit { .. })
+    }
+}
+
+/// Errors of the log layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The log is poisoned: a flush failed or a simulated crash fired.
+    /// Nothing further will be made durable.
+    Crashed,
+    /// Structural damage that cannot be read past (distinct from a torn
+    /// final record, which readers tolerate silently).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Crashed => write!(f, "wal crashed: log is poisoned, nothing durable"),
+            WalError::Corrupt(m) => write!(f, "wal corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+// --- CRC32 (IEEE 802.3, reflected) -----------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32-IEEE of `data` (the polynomial `zlib`/Ethernet use).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for b in data {
+        c = CRC_TABLE[((c ^ u32::from(*b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// --- encoding ---------------------------------------------------------
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_rect(buf: &mut Vec<u8>, r: &[f64; 4]) {
+    for v in r {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Serializes the record payload (no frame).
+pub fn encode_payload(rec: &WalRecord) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(48);
+    match rec {
+        WalRecord::Begin { txn } => {
+            buf.push(TAG_BEGIN);
+            put_u64(&mut buf, *txn);
+        }
+        WalRecord::Insert { txn, oid, rect } => {
+            buf.push(TAG_INSERT);
+            put_u64(&mut buf, *txn);
+            put_u64(&mut buf, *oid);
+            put_rect(&mut buf, rect);
+        }
+        WalRecord::Delete { txn, oid, rect } => {
+            buf.push(TAG_DELETE);
+            put_u64(&mut buf, *txn);
+            put_u64(&mut buf, *oid);
+            put_rect(&mut buf, rect);
+        }
+        WalRecord::Commit { txn } => {
+            buf.push(TAG_COMMIT);
+            put_u64(&mut buf, *txn);
+        }
+        WalRecord::Abort { txn } => {
+            buf.push(TAG_ABORT);
+            put_u64(&mut buf, *txn);
+        }
+        WalRecord::Checkpoint { gen, undo } => {
+            buf.push(TAG_CHECKPOINT);
+            put_u64(&mut buf, *gen);
+            put_u64(&mut buf, undo.len() as u64);
+            for entry in undo {
+                put_u64(&mut buf, entry.txn);
+                put_u64(&mut buf, entry.ops.len() as u64);
+                for op in &entry.ops {
+                    match op {
+                        UndoOp::Insert { oid, rect } => {
+                            buf.push(UNDO_INSERT);
+                            put_u64(&mut buf, *oid);
+                            put_rect(&mut buf, rect);
+                        }
+                        UndoOp::Delete { oid, rect } => {
+                            buf.push(UNDO_DELETE);
+                            put_u64(&mut buf, *oid);
+                            put_rect(&mut buf, rect);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Serializes a record into its framed form (`len | crc | payload`).
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let payload = encode_payload(rec);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Serializes a segment header.
+pub fn encode_segment_header(gen: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_LEN);
+    out.extend_from_slice(&SEGMENT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.extend_from_slice(&gen.to_le_bytes());
+    out
+}
+
+/// Parses a segment header, returning its generation. `None` if the
+/// data is too short, the magic is wrong, or the version is unknown —
+/// i.e. the header itself is torn or foreign.
+pub fn read_segment_header(data: &[u8]) -> Option<u64> {
+    if data.len() < SEGMENT_HEADER_LEN {
+        return None;
+    }
+    let magic = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if magic != SEGMENT_MAGIC || version != SEGMENT_VERSION {
+        return None;
+    }
+    Some(u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")))
+}
+
+// --- decoding ---------------------------------------------------------
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WalError> {
+        if self.data.len() - self.pos < n {
+            return Err(WalError::Corrupt(format!("record truncated at {what}")));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WalError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WalError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn rect(&mut self, what: &str) -> Result<[f64; 4], WalError> {
+        let mut r = [0.0f64; 4];
+        for v in &mut r {
+            *v = f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes"));
+        }
+        Ok(r)
+    }
+}
+
+/// Parses a record payload (frame already validated by the reader).
+pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, WalError> {
+    let mut c = Cursor {
+        data: payload,
+        pos: 0,
+    };
+    let tag = c.u8("tag")?;
+    let rec = match tag {
+        TAG_BEGIN => WalRecord::Begin { txn: c.u64("txn")? },
+        TAG_INSERT => WalRecord::Insert {
+            txn: c.u64("txn")?,
+            oid: c.u64("oid")?,
+            rect: c.rect("rect")?,
+        },
+        TAG_DELETE => WalRecord::Delete {
+            txn: c.u64("txn")?,
+            oid: c.u64("oid")?,
+            rect: c.rect("rect")?,
+        },
+        TAG_COMMIT => WalRecord::Commit { txn: c.u64("txn")? },
+        TAG_ABORT => WalRecord::Abort { txn: c.u64("txn")? },
+        TAG_CHECKPOINT => {
+            let gen = c.u64("gen")?;
+            let n = c.u64("undo count")?;
+            // The count is untrusted: bound the pre-allocation by what the
+            // payload could physically hold (each entry is >= 16 bytes).
+            let cap = usize::try_from(n.min(payload.len() as u64 / 16 + 1)).unwrap_or(0);
+            let mut undo = Vec::with_capacity(cap);
+            for _ in 0..n {
+                let txn = c.u64("undo txn")?;
+                let ops_n = c.u64("undo op count")?;
+                let ops_cap =
+                    usize::try_from(ops_n.min(payload.len() as u64 / 41 + 1)).unwrap_or(0);
+                let mut ops = Vec::with_capacity(ops_cap);
+                for _ in 0..ops_n {
+                    let kind = c.u8("undo op tag")?;
+                    let oid = c.u64("undo oid")?;
+                    let rect = c.rect("undo rect")?;
+                    ops.push(match kind {
+                        UNDO_INSERT => UndoOp::Insert { oid, rect },
+                        UNDO_DELETE => UndoOp::Delete { oid, rect },
+                        other => {
+                            return Err(WalError::Corrupt(format!("unknown undo op tag {other}")))
+                        }
+                    });
+                }
+                undo.push(UndoEntry { txn, ops });
+            }
+            WalRecord::Checkpoint { gen, undo }
+        }
+        other => return Err(WalError::Corrupt(format!("unknown record tag {other}"))),
+    };
+    if c.pos != payload.len() {
+        return Err(WalError::Corrupt(format!(
+            "{} trailing payload bytes",
+            payload.len() - c.pos
+        )));
+    }
+    Ok(rec)
+}
+
+/// Outcome of reading one frame from `data` at `pos`.
+pub enum FrameRead {
+    /// A valid record; `next` is the offset just past its frame.
+    Record(WalRecord, usize),
+    /// End of data, exactly at a frame boundary.
+    End,
+    /// The bytes from `pos` on are an incomplete or corrupt final frame —
+    /// the torn tail of an interrupted write. Contains the number of
+    /// bytes discarded.
+    Torn(usize),
+}
+
+/// Reads the frame starting at `pos`. Incomplete/corrupt frames are
+/// reported as [`FrameRead::Torn`], never an error: the caller decides
+/// whether a torn frame is tolerable (last segment) or fatal.
+pub fn read_frame(data: &[u8], pos: usize) -> FrameRead {
+    let remaining = data.len() - pos;
+    if remaining == 0 {
+        return FrameRead::End;
+    }
+    if remaining < FRAME_HEADER_LEN {
+        return FrameRead::Torn(remaining);
+    }
+    let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+    if len > MAX_RECORD_LEN || remaining - FRAME_HEADER_LEN < len {
+        return FrameRead::Torn(remaining);
+    }
+    let payload = &data[pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + len];
+    if crc32(payload) != crc {
+        return FrameRead::Torn(remaining);
+    }
+    match decode_payload(payload) {
+        Ok(rec) => FrameRead::Record(rec, pos + FRAME_HEADER_LEN + len),
+        // CRC passed but the payload does not parse: structural damage,
+        // not a torn write — still reported as torn so the valid prefix
+        // survives, but a caller checking non-final segments will reject.
+        Err(_) => FrameRead::Torn(remaining),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Begin { txn: 7 },
+            WalRecord::Insert {
+                txn: 7,
+                oid: 42,
+                rect: [0.1, 0.2, 0.3, 0.4],
+            },
+            WalRecord::Delete {
+                txn: 9,
+                oid: 1,
+                rect: [-1.0, 0.0, 1.0, 2.0],
+            },
+            WalRecord::Commit { txn: 7 },
+            WalRecord::Abort { txn: 9 },
+            WalRecord::Checkpoint {
+                gen: 3,
+                undo: vec![
+                    UndoEntry {
+                        txn: 11,
+                        ops: vec![
+                            UndoOp::Insert {
+                                oid: 5,
+                                rect: [0.0; 4],
+                            },
+                            UndoOp::Delete {
+                                oid: 6,
+                                rect: [0.5, 0.5, 0.6, 0.6],
+                            },
+                        ],
+                    },
+                    UndoEntry {
+                        txn: 12,
+                        ops: vec![],
+                    },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical check value of CRC32-IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for rec in samples() {
+            let framed = encode_record(&rec);
+            match read_frame(&framed, 0) {
+                FrameRead::Record(got, next) => {
+                    assert_eq!(got, rec);
+                    assert_eq!(next, framed.len());
+                }
+                _ => panic!("frame did not read back: {rec:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_of_records_reads_in_order() {
+        let recs = samples();
+        let mut data = Vec::new();
+        for r in &recs {
+            data.extend_from_slice(&encode_record(r));
+        }
+        let mut pos = 0;
+        let mut got = Vec::new();
+        loop {
+            match read_frame(&data, pos) {
+                FrameRead::Record(r, next) => {
+                    got.push(r);
+                    pos = next;
+                }
+                FrameRead::End => break,
+                FrameRead::Torn(_) => panic!("clean stream read as torn"),
+            }
+        }
+        assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_error() {
+        let rec = WalRecord::Insert {
+            txn: 1,
+            oid: 2,
+            rect: [0.0, 0.0, 1.0, 1.0],
+        };
+        let framed = encode_record(&rec);
+        for cut in 1..framed.len() {
+            match read_frame(&framed[..cut], 0) {
+                FrameRead::Torn(n) => assert_eq!(n, cut),
+                _ => panic!("cut at {cut} not torn"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_is_torn() {
+        let mut framed = encode_record(&WalRecord::Commit { txn: 3 });
+        let last = framed.len() - 1;
+        framed[last] ^= 0xFF;
+        assert!(matches!(read_frame(&framed, 0), FrameRead::Torn(_)));
+    }
+
+    #[test]
+    fn absurd_length_header_is_torn_not_alloc() {
+        let mut data = vec![0u8; 16];
+        data[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_frame(&data, 0), FrameRead::Torn(_)));
+    }
+}

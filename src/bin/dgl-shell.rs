@@ -18,7 +18,9 @@
 //! Lock waits use a 1-second timeout so a conflicting command returns
 //! with `timeout` (and rolls its transaction back) instead of hanging the
 //! single-threaded prompt. `save`/`load` persist the index as a snapshot
-//! file.
+//! file; `open <dir>` attaches a write-ahead log so every commit is
+//! durable, `checkpoint` truncates it behind a fresh snapshot, and
+//! `recover <dir>` rebuilds an index from snapshot + committed log tail.
 //!
 //! With `--background`, deferred physical deletions run on the
 //! maintenance worker instead of inline at commit. This matters in a
@@ -281,6 +283,43 @@ fn run_command(
             *db = DglRTree::from_snapshot(tree, config(mode));
             Ok(Some(format!("loaded {} objects from {path}", db.len())))
         }
+        "open" => {
+            let dir = parts.get(1).ok_or("usage: open <dir>")?;
+            if db.txn_manager().active_count() > 0 {
+                return Err("cannot open with active transactions".into());
+            }
+            *db = DglRTree::open(std::path::Path::new(dir), config(mode))
+                .map_err(|e| e.to_string())?;
+            Ok(Some(format!(
+                "opened {dir} ({} objects); commits are now write-ahead logged",
+                db.len()
+            )))
+        }
+        "recover" => {
+            let dir = parts.get(1).ok_or("usage: recover <dir>")?;
+            if db.txn_manager().active_count() > 0 {
+                return Err("cannot recover with active transactions".into());
+            }
+            *db = DglRTree::recover(std::path::Path::new(dir), config(mode))
+                .map_err(|e| e.to_string())?;
+            let replay = db
+                .obs()
+                .snapshot()
+                .hist(granular_rtree::obs::Hist::WalReplay)
+                .sum;
+            Ok(Some(format!(
+                "recovered {dir}: {} objects (log replay took {}µs)",
+                db.len(),
+                replay / 1_000
+            )))
+        }
+        "checkpoint" => {
+            if !db.is_durable() {
+                return Err("no write-ahead log attached — `open <dir>` first".into());
+            }
+            db.checkpoint().map_err(|e| e.to_string())?;
+            Ok(Some("ok (snapshot written, log truncated)".into()))
+        }
         "locktable" => {
             let table = db.lock_manager().table_snapshot();
             if table.is_empty() {
@@ -335,7 +374,10 @@ commands:
   stats --histograms                     latency histograms + obs counters
   locktable                              live lock table (grants and waiters)
   quiesce                                drain the background maintenance queue
-  save <path> | load <path>              snapshot persistence
+  save <path> | load <path>              snapshot persistence (no log)
+  open <dir>                             durable index: WAL + checkpoints in <dir>
+  checkpoint                             snapshot the open dir, truncate its log
+  recover <dir>                          rebuild from snapshot + committed log tail
   quit
 locks that cannot be granted within 1s roll the transaction back (timeout).
 start with --background to run deferred physical deletions on the

@@ -1,0 +1,808 @@
+//! Crash-matrix chaos harness for the durability subsystem.
+//!
+//! Every cell runs a seeded single-writer (or multi-writer) workload
+//! against a directory-backed [`DglRTree`] while one `wal/*` failpoint
+//! is armed — killing the log before an append, at the commit record,
+//! mid-fsync (torn batch tail) or mid-checkpoint — then recovers the
+//! directory and compares the index against an in-memory **shadow
+//! oracle** that tracked every acknowledgement:
+//!
+//! * every *acked* commit survives recovery, byte-for-byte (oid → rect),
+//! * no aborted or never-committed transaction resurrects,
+//! * a commit that failed with [`TxnError::Durability`] is **in doubt**:
+//!   its effects may be present or absent after recovery, but only
+//!   *atomically* — all of its operations or none,
+//! * a torn final record is detected and discarded, never an error,
+//! * recovery is idempotent: recovering the recovered directory again
+//!   yields the same contents.
+//!
+//! On top of the matrix, the phantom-protection and serializability
+//! oracles re-run **on a recovered tree**, proving the DGL protocol's
+//! guarantees hold over state rebuilt from log replay.
+//!
+//! Fixed seeds run in CI; `recovery_randomized_seed` adds a fresh seed
+//! per run (replay with `CRASH_SEED=<n>`). Set `RECOVERY_PROM=<path>`
+//! to dump the recovery Prometheus snapshot for the CI artifact.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dgl_faults::FaultSpec;
+use granular_rtree::core::{
+    DglConfig, DglRTree, DurabilityConfig, InsertPolicy, MaintenanceConfig, MaintenanceMode, Rect2,
+    SyncPolicy, TransactionalRTree, TxnError,
+};
+use granular_rtree::rtree::{ObjectId, RTreeConfig};
+
+/// The fault registry is process-global: matrix cells must not overlap.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A per-cell scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "dgl-recovery-{tag}-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Aborts the process if a cell wedges — a hang is a failure.
+struct Watchdog {
+    done: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(label: &str) -> Self {
+        let done = Arc::new(AtomicBool::new(false));
+        let observed = Arc::clone(&done);
+        let label = label.to_string();
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(180);
+            while Instant::now() < deadline {
+                if observed.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            eprintln!("recovery watchdog: '{label}' wedged; aborting");
+            std::process::abort();
+        });
+        Self { done }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+fn small_rect(rng: &mut XorShift) -> Rect2 {
+    let x = rng.f64() * 0.98;
+    let y = rng.f64() * 0.98;
+    Rect2::new([x, y], [x + 0.01, y + 0.01])
+}
+
+fn durable_config(sync: SyncPolicy, maint: MaintenanceMode, threshold: Option<u64>) -> DglConfig {
+    DglConfig {
+        rtree: RTreeConfig::with_fanout(5),
+        policy: InsertPolicy::Modified,
+        wait_timeout: Some(Duration::from_millis(500)),
+        maintenance: MaintenanceConfig {
+            mode: maint,
+            ..Default::default()
+        },
+        durability: DurabilityConfig {
+            enabled: true,
+            sync,
+            checkpoint_threshold: threshold,
+        },
+        ..Default::default()
+    }
+}
+
+/// One logical operation of a workload transaction, for the oracle.
+#[derive(Debug, Clone)]
+enum Op {
+    Ins(u64, Rect2),
+    Del(u64, Rect2),
+}
+
+/// What the shadow oracle knows after the workload stopped.
+struct Outcome {
+    /// Live set implied by *acknowledged* commits only.
+    committed: BTreeMap<u64, Rect2>,
+    /// Ops of the single transaction whose commit returned
+    /// [`TxnError::Durability`] (the driver stops at the first one, so
+    /// at most one commit can be in doubt).
+    in_doubt: Option<Vec<Op>>,
+    /// Commits acknowledged (for "the cell actually did work" checks).
+    acked: u64,
+}
+
+fn apply_ops(base: &BTreeMap<u64, Rect2>, ops: &[Op]) -> BTreeMap<u64, Rect2> {
+    let mut out = base.clone();
+    for op in ops {
+        match op {
+            Op::Ins(oid, rect) => {
+                out.insert(*oid, *rect);
+            }
+            Op::Del(oid, _) => {
+                out.remove(oid);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the seeded workload until the log dies (or the budget runs
+/// out, in which case the caller clean-kills). Maintains the oracle.
+fn drive_until_crash(
+    db: &DglRTree,
+    rng: &mut XorShift,
+    txn_budget: usize,
+    checkpoint_every: Option<usize>,
+) -> Outcome {
+    let mut committed = BTreeMap::new();
+    let mut in_doubt = None;
+    let mut acked = 0u64;
+    let mut next_oid = 1u64;
+
+    for t in 0..txn_budget {
+        if let Some(every) = checkpoint_every {
+            if t > 0 && t % every == 0 && db.checkpoint().is_err() {
+                break; // checkpoint killed the log
+            }
+        }
+        let txn = db.begin();
+        let mut ops: Vec<Op> = Vec::new();
+        for _ in 0..1 + (rng.next() % 3) {
+            let del_candidate = committed
+                .keys()
+                .nth(rng.next() as usize % committed.len().max(1))
+                .copied()
+                .filter(|oid| !ops.iter().any(|op| matches!(op, Op::Del(o, _) if o == oid)));
+            let op = match del_candidate {
+                Some(oid) if rng.chance(0.25) => Op::Del(oid, committed[&oid]),
+                _ => {
+                    let oid = next_oid;
+                    next_oid += 1;
+                    Op::Ins(oid, small_rect(rng))
+                }
+            };
+            let res = match &op {
+                Op::Ins(oid, rect) => db.insert(txn, ObjectId(*oid), *rect),
+                Op::Del(oid, rect) => db.delete(txn, ObjectId(*oid), *rect).map(|_| ()),
+            };
+            match res {
+                Ok(()) => ops.push(op),
+                // The transaction is already rolled back; no commit
+                // record can exist, so it must be absent after
+                // recovery — same as an abort. Stop driving.
+                Err(TxnError::Durability) => {
+                    return Outcome {
+                        committed,
+                        in_doubt,
+                        acked,
+                    };
+                }
+                Err(e) => panic!("op failed unexpectedly: {e}"),
+            }
+        }
+        if rng.chance(0.1) {
+            // Clean abort: must never resurrect.
+            db.abort(txn).expect("abort");
+            continue;
+        }
+        match db.commit(txn) {
+            Ok(()) => {
+                committed = apply_ops(&committed, &ops);
+                acked += 1;
+            }
+            Err(TxnError::Durability) => {
+                // In doubt: the commit record may or may not be durable.
+                in_doubt = Some(ops);
+                break;
+            }
+            Err(e) => panic!("commit failed unexpectedly: {e}"),
+        }
+    }
+    Outcome {
+        committed,
+        in_doubt,
+        acked,
+    }
+}
+
+/// Full index contents as the oracle sees them.
+fn contents(db: &DglRTree) -> BTreeMap<u64, Rect2> {
+    let txn = db.begin();
+    let hits = db.read_scan(txn, Rect2::unit()).expect("full scan");
+    db.commit(txn).expect("scan commit");
+    hits.iter().map(|h| (h.oid.0, h.rect)).collect()
+}
+
+/// Recovers `dir` and checks it against the oracle: acked commits all
+/// present, nothing resurrected, the in-doubt commit atomic. Returns
+/// the recovered contents for further checks.
+fn recover_and_check(
+    dir: &Path,
+    config: DglConfig,
+    outcome: &Outcome,
+    label: &str,
+) -> BTreeMap<u64, Rect2> {
+    let recovered = DglRTree::recover(dir, config).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let seen = contents(&recovered);
+    let without = &outcome.committed;
+    match &outcome.in_doubt {
+        None => assert_eq!(
+            &seen, without,
+            "{label}: recovered contents diverged from acked commits"
+        ),
+        Some(ops) => {
+            let with = apply_ops(without, ops);
+            assert!(
+                seen == *without || seen == with,
+                "{label}: in-doubt commit applied non-atomically\n\
+                 seen: {seen:?}\nwithout: {without:?}\nwith: {with:?}"
+            );
+        }
+    }
+    recovered.quiesce().expect("quiesce after recovery");
+    recovered
+        .validate()
+        .unwrap_or_else(|e| panic!("{label}: validation failed: {e}"));
+    drop(recovered);
+
+    // Idempotence: recovering the recovered directory changes nothing.
+    let again = DglRTree::recover(
+        dir,
+        durable_config(SyncPolicy::Immediate, MaintenanceMode::Inline, None),
+    )
+    .unwrap_or_else(|e| panic!("{label}: second recovery failed: {e}"));
+    assert_eq!(
+        contents(&again),
+        seen,
+        "{label}: second recovery changed the contents"
+    );
+    seen
+}
+
+/// One matrix cell: workload + armed failpoint + kill + recover + check.
+fn run_cell(seed: u64, failpoint: &'static str, one_in: u32, sync: SyncPolicy) {
+    let _serial = serialize();
+    let label = format!("cell[{failpoint} seed={seed:#x} sync={sync:?}]");
+    let _watchdog = Watchdog::arm(&label);
+    let dir = TempDir::new("cell");
+    let mut rng = XorShift::new(seed);
+
+    let config = durable_config(sync, MaintenanceMode::Inline, None);
+    let db = DglRTree::open(dir.path(), config.clone()).expect("open fresh dir");
+
+    let guard = dgl_faults::register(failpoint, FaultSpec::error().one_in(one_in, seed ^ 0x57A1));
+    let outcome = drive_until_crash(&db, &mut rng, 150, Some(7));
+    drop(guard);
+    // If the failpoint never fired, clean-kill: every acked commit is
+    // fsynced (both policies sync the commit before acking), so the
+    // durable prefix covers them all.
+    db.crash_wal();
+    drop(db);
+
+    let seen = recover_and_check(dir.path(), config, &outcome, &label);
+    eprintln!(
+        "{label}: {} acked commits, in-doubt: {}, {} live objects after recovery",
+        outcome.acked,
+        outcome.in_doubt.is_some(),
+        seen.len()
+    );
+}
+
+#[test]
+fn matrix_killed_before_append() {
+    for seed in [0x11AA_u64, 0x22BB] {
+        run_cell(seed, "wal/append", 60, SyncPolicy::Immediate);
+        run_cell(
+            seed ^ 0xF0F0,
+            "wal/append",
+            60,
+            SyncPolicy::Batch(Duration::from_millis(2)),
+        );
+    }
+}
+
+#[test]
+fn matrix_killed_at_commit_record() {
+    for seed in [0x33CC_u64, 0x44DD] {
+        run_cell(seed, "wal/commit", 40, SyncPolicy::Immediate);
+        run_cell(
+            seed ^ 0xF0F0,
+            "wal/commit",
+            40,
+            SyncPolicy::Batch(Duration::from_millis(2)),
+        );
+    }
+}
+
+#[test]
+fn matrix_killed_mid_fsync_torn_batch() {
+    for seed in [0x55EE_u64, 0x66FF] {
+        run_cell(seed, "wal/fsync", 30, SyncPolicy::Immediate);
+        run_cell(
+            seed ^ 0xF0F0,
+            "wal/fsync",
+            30,
+            SyncPolicy::Batch(Duration::from_millis(2)),
+        );
+    }
+}
+
+#[test]
+fn matrix_killed_mid_checkpoint() {
+    for seed in [0x7711_u64, 0x8822] {
+        run_cell(seed, "wal/checkpoint", 4, SyncPolicy::Immediate);
+        run_cell(
+            seed ^ 0xF0F0,
+            "wal/checkpoint",
+            4,
+            SyncPolicy::Batch(Duration::from_millis(2)),
+        );
+    }
+}
+
+/// A fresh seed per run across all four failpoints; replay a failure
+/// with `CRASH_SEED=<n>`.
+#[test]
+fn recovery_randomized_seed() {
+    let seed = match std::env::var("CRASH_SEED") {
+        Ok(s) => s.parse().expect("CRASH_SEED must be a u64"),
+        Err(_) => {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock after epoch")
+                .subsec_nanos() as u64
+                ^ 0xC4A5_0000
+        }
+    };
+    eprintln!("recovery_randomized_seed: rerun with CRASH_SEED={seed}");
+    for fp in ["wal/append", "wal/commit", "wal/fsync", "wal/checkpoint"] {
+        run_cell(seed, fp, 40, SyncPolicy::Immediate);
+    }
+}
+
+/// Clean kill with no failpoint: recovery must reproduce the acked
+/// state exactly. Also the hook for the CI Prometheus artifact.
+#[test]
+fn clean_kill_recovers_exact_state() {
+    let _serial = serialize();
+    let _watchdog = Watchdog::arm("clean-kill");
+    let dir = TempDir::new("clean");
+    let mut rng = XorShift::new(0xC1EA_u64);
+
+    let config = durable_config(SyncPolicy::Immediate, MaintenanceMode::Inline, None);
+    let db = DglRTree::open(dir.path(), config.clone()).expect("open");
+    let outcome = drive_until_crash(&db, &mut rng, 120, Some(10));
+    assert!(outcome.in_doubt.is_none(), "no faults armed");
+    assert!(outcome.acked > 50, "workload must do real work");
+    db.crash_wal();
+    drop(db);
+
+    let recovered = DglRTree::recover(dir.path(), config).expect("recover");
+    assert_eq!(contents(&recovered), outcome.committed);
+    recovered.validate().expect("validate");
+
+    // CI artifact: the recovery run's metrics (replay histogram,
+    // wal counters) as a Prometheus dump.
+    if let Ok(path) = std::env::var("RECOVERY_PROM") {
+        std::fs::write(&path, recovered.prometheus_dump()).expect("write RECOVERY_PROM");
+        eprintln!("clean-kill: wrote recovery metrics to {path}");
+    }
+}
+
+/// A torn final record — the tail of the last segment truncated
+/// mid-frame — is detected and discarded, never an error.
+#[test]
+fn torn_final_record_discarded() {
+    let _serial = serialize();
+    let _watchdog = Watchdog::arm("torn-tail");
+    let dir = TempDir::new("torn");
+    let mut rng = XorShift::new(0x70A4_u64);
+
+    let config = durable_config(SyncPolicy::Immediate, MaintenanceMode::Inline, None);
+    let db = DglRTree::open(dir.path(), config.clone()).expect("open");
+    let outcome = drive_until_crash(&db, &mut rng, 60, None);
+    db.crash_wal();
+    drop(db);
+
+    // Model a record torn by the crash: a frame that made it only
+    // partially out of the page cache. The fsynced prefix itself is
+    // never torn (that is what fsync means), so the torn frame sits
+    // *past* the durable prefix — append a header claiming 64 payload
+    // bytes followed by only 6.
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir.path())
+        .expect("read dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    segments.sort();
+    let last = segments.last().expect("at least one segment");
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(last)
+            .expect("open segment");
+        file.write_all(&64u32.to_le_bytes()).expect("torn len");
+        file.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02])
+            .expect("torn fragment");
+    }
+
+    // Recovery must discard the torn frame silently; every acked commit
+    // (all durable before the ack) must be intact.
+    let recovered = DglRTree::recover(dir.path(), config).expect("torn tail must not error");
+    let seen = contents(&recovered);
+    for (oid, rect) in &outcome.committed {
+        assert_eq!(
+            seen.get(oid),
+            Some(rect),
+            "torn tail: acked commit of oid {oid} lost"
+        );
+    }
+    recovered.validate().expect("validate");
+}
+
+/// Background maintenance + automatic checkpoints (tiny threshold, so
+/// they fire constantly) under the checkpoint failpoint.
+#[test]
+fn background_auto_checkpoint_cell() {
+    let _serial = serialize();
+    let _watchdog = Watchdog::arm("auto-ckpt");
+    let dir = TempDir::new("autockpt");
+    let mut rng = XorShift::new(0xAC47_u64);
+
+    let config = durable_config(
+        SyncPolicy::Batch(Duration::from_millis(1)),
+        MaintenanceMode::Background,
+        Some(2_048),
+    );
+    let db = DglRTree::open(dir.path(), config.clone()).expect("open");
+    let guard = dgl_faults::register("wal/checkpoint", FaultSpec::error().one_in(6, 0xAC47));
+    let outcome = drive_until_crash(&db, &mut rng, 150, None);
+    drop(guard);
+    db.crash_wal();
+    db.quiesce().ok(); // background worker may still hold a queued checkpoint
+    drop(db);
+
+    recover_and_check(dir.path(), config, &outcome, "auto-ckpt");
+}
+
+/// Four writers over disjoint oid ranges, group commit, clean kill:
+/// every acked commit from every thread survives.
+#[test]
+fn multithread_acked_commits_survive() {
+    let _serial = serialize();
+    let _watchdog = Watchdog::arm("multithread");
+    let dir = TempDir::new("mt");
+
+    let config = durable_config(
+        SyncPolicy::Batch(Duration::from_millis(2)),
+        MaintenanceMode::Background,
+        None,
+    );
+    let db = Arc::new(DglRTree::open(dir.path(), config.clone()).expect("open"));
+
+    const THREADS: u64 = 4;
+    const TXNS: u64 = 25;
+    let acked: Vec<BTreeMap<u64, Rect2>> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let db = Arc::clone(&db);
+            handles.push(s.spawn(move || {
+                let mut rng = XorShift::new(0xB0B0 + tid);
+                let mut mine = BTreeMap::new();
+                for i in 0..TXNS {
+                    let oid = (tid << 32) | (i + 1);
+                    let rect = small_rect(&mut rng);
+                    loop {
+                        let txn = db.begin();
+                        match db
+                            .insert(txn, ObjectId(oid), rect)
+                            .and_then(|()| db.commit(txn))
+                        {
+                            Ok(()) => break,
+                            Err(TxnError::Deadlock | TxnError::Timeout) => continue,
+                            Err(e) => panic!("writer {tid}: {e}"),
+                        }
+                    }
+                    mine.insert(oid, rect);
+                }
+                mine
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    db.crash_wal();
+    drop(db);
+
+    let recovered = DglRTree::recover(dir.path(), config).expect("recover");
+    let seen = contents(&recovered);
+    let mut expected = BTreeMap::new();
+    for m in acked {
+        expected.extend(m);
+    }
+    assert_eq!(seen, expected, "an acked commit was lost across threads");
+    recovered.validate().expect("validate");
+}
+
+/// The serializability oracle (observed-counts pattern from
+/// `tests/serializability.rs`) on a *recovered* tree: under any
+/// serializable history the i-th committed transaction saw exactly i
+/// objects in the region. Then the whole run crash-kills and recovers
+/// once more — serializability and durability composed.
+#[test]
+fn recovered_tree_is_serializable() {
+    let _serial = serialize();
+    let _watchdog = Watchdog::arm("recovered-serializable");
+    let dir = TempDir::new("serial");
+    const REGION: Rect2 = Rect2 {
+        lo: [0.3, 0.3],
+        hi: [0.7, 0.7],
+    };
+
+    let config = durable_config(SyncPolicy::Immediate, MaintenanceMode::Inline, None);
+    {
+        // Seed the directory with committed objects *outside* the
+        // region (so observed counts start at zero), then crash.
+        let db = DglRTree::open(dir.path(), config.clone()).expect("open");
+        let mut rng = XorShift::new(0x5E41_u64);
+        for i in 0..40u64 {
+            let x = 0.75 + 0.2 * rng.f64();
+            let y = 0.75 + 0.2 * rng.f64();
+            let txn = db.begin();
+            db.insert(
+                txn,
+                ObjectId(1_000_000 + i),
+                Rect2::new([x, y], [x + 0.005, y + 0.005]),
+            )
+            .expect("preload insert");
+            db.commit(txn).expect("preload commit");
+        }
+        db.crash_wal();
+    }
+
+    let db = Arc::new(DglRTree::recover(dir.path(), config.clone()).expect("recover"));
+    assert_eq!(db.len(), 40, "preload must survive");
+
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10;
+    let counts: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let db = Arc::clone(&db);
+            handles.push(s.spawn(move || {
+                let mut seen = Vec::new();
+                let mut serial = 0u64;
+                while (seen.len() as u64) < PER_THREAD {
+                    let txn = db.begin();
+                    let count = match db.read_scan(txn, REGION) {
+                        Ok(hits) => hits.len() as u64,
+                        Err(TxnError::Deadlock | TxnError::Timeout) => continue,
+                        Err(e) => panic!("scan: {e}"),
+                    };
+                    serial += 1;
+                    let oid = (tid << 32) | serial;
+                    let fx = 0.31 + 0.38 * ((tid as f64 + 0.5) / THREADS as f64);
+                    let fy = 0.31 + 0.38 * ((serial % 97) as f64 / 97.0);
+                    let rect = Rect2::new([fx, fy], [fx + 0.001, fy + 0.001]);
+                    match db
+                        .insert(txn, ObjectId(oid), rect)
+                        .and_then(|()| db.commit(txn))
+                    {
+                        Ok(()) => seen.push(count),
+                        Err(TxnError::Deadlock | TxnError::Timeout) => {
+                            serial -= 1;
+                            continue;
+                        }
+                        Err(e) => panic!("insert/commit: {e}"),
+                    }
+                }
+                seen
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut all: Vec<u64> = counts.into_iter().flatten().collect();
+    all.sort_unstable();
+    let expected: Vec<u64> = (0..THREADS * PER_THREAD).collect();
+    assert_eq!(
+        all, expected,
+        "recovered tree produced a non-serializable history"
+    );
+
+    db.crash_wal();
+    let total = db.len();
+    drop(db);
+    let again = DglRTree::recover(dir.path(), config).expect("second recover");
+    assert_eq!(again.len(), total, "serializable run's commits lost");
+    again.validate().expect("validate");
+}
+
+/// The phantom-protection core on a *recovered* tree: a repeatable-read
+/// scan blocks an overlapping insert (Timeout under a short lock wait)
+/// and rescans identically; a disjoint insert proceeds; after the
+/// searcher commits, the blocked insert succeeds.
+#[test]
+fn recovered_tree_blocks_phantoms() {
+    let _serial = serialize();
+    let _watchdog = Watchdog::arm("recovered-phantom");
+    let dir = TempDir::new("phantom");
+    const REGION: Rect2 = Rect2 {
+        lo: [0.35, 0.35],
+        hi: [0.65, 0.65],
+    };
+
+    let config = durable_config(SyncPolicy::Immediate, MaintenanceMode::Inline, None);
+    {
+        let db = DglRTree::open(dir.path(), config.clone()).expect("open");
+        let mut rng = XorShift::new(0xFA47_u64);
+        for i in 0..60u64 {
+            let txn = db.begin();
+            db.insert(txn, ObjectId(i + 1), small_rect(&mut rng))
+                .expect("preload");
+            db.commit(txn).expect("preload commit");
+        }
+        db.crash_wal();
+    }
+
+    let db = DglRTree::recover(dir.path(), config).expect("recover");
+    assert_eq!(db.len(), 60);
+
+    let searcher = db.begin();
+    let first = db.read_scan(searcher, REGION).expect("first scan");
+
+    // An insert inside the predicate must block on the searcher's S
+    // locks — with the short wait timeout it surfaces as Timeout and
+    // the writer is rolled back. That is the phantom being prevented.
+    let inside = Rect2::new([0.5, 0.5], [0.505, 0.505]);
+    let w1 = db.begin();
+    match db.insert(w1, ObjectId(9_001), inside) {
+        Err(TxnError::Timeout | TxnError::Deadlock) => {}
+        Ok(()) => panic!("insert inside a protected predicate did not block"),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+
+    // A disjoint insert commits freely.
+    let w2 = db.begin();
+    db.insert(w2, ObjectId(9_002), Rect2::new([0.9, 0.9], [0.905, 0.905]))
+        .expect("disjoint insert");
+    db.commit(w2).expect("disjoint commit");
+
+    // Repeatable read: the rescan equals the first scan exactly.
+    let second = db.read_scan(searcher, REGION).expect("rescan");
+    let a: Vec<u64> = first.iter().map(|h| h.oid.0).collect();
+    let b: Vec<u64> = second.iter().map(|h| h.oid.0).collect();
+    assert_eq!(a, b, "recovered tree admitted a phantom");
+    db.commit(searcher).expect("searcher commit");
+
+    // With the predicate released, the same insert goes through.
+    let w3 = db.begin();
+    db.insert(w3, ObjectId(9_001), inside)
+        .expect("post-commit insert");
+    db.commit(w3).expect("post-commit commit");
+    db.validate().expect("validate");
+}
+
+/// Deferred-deletion / recovery interaction: committed deletes in the
+/// log tail are replayed through the normal write path, which enqueues
+/// their physical deletions on the background worker; `recover` must
+/// drain that non-empty queue through `quiesce()` before returning.
+#[test]
+fn recovery_drains_replayed_deferred_deletions() {
+    let _serial = serialize();
+    let _watchdog = Watchdog::arm("deferred-drain");
+    let dir = TempDir::new("deferred");
+    let mut rng = XorShift::new(0xDE1E_u64);
+
+    let config = durable_config(SyncPolicy::Immediate, MaintenanceMode::Background, None);
+    let mut rects = BTreeMap::new();
+    {
+        let db = DglRTree::open(dir.path(), config.clone()).expect("open");
+        for i in 1..=30u64 {
+            let rect = small_rect(&mut rng);
+            let txn = db.begin();
+            db.insert(txn, ObjectId(i), rect).expect("insert");
+            db.commit(txn).expect("commit");
+            rects.insert(i, rect);
+        }
+        // Anchor the inserts in a snapshot; the deletes below live only
+        // in the log tail past this checkpoint.
+        db.checkpoint().expect("checkpoint");
+        for i in (1..=30u64).filter(|i| i % 3 == 0) {
+            let txn = db.begin();
+            db.delete(txn, ObjectId(i), rects[&i]).expect("delete");
+            db.commit(txn).expect("delete commit");
+        }
+        db.crash_wal();
+    }
+
+    let recovered = DglRTree::recover(dir.path(), config).expect("recover");
+    // Replay enqueued each committed delete's physical phase on the
+    // background worker and `recover` quiesced it: no backlog remains.
+    assert_eq!(recovered.op_stats().maintenance_backlog(), 0);
+    let s = recovered.op_stats().snapshot();
+    assert!(
+        s.maint_enqueued >= 10 && s.maint_enqueued == s.maint_completed,
+        "replayed deletes must flow through the maintenance queue \
+         (enqueued {}, completed {})",
+        s.maint_enqueued,
+        s.maint_completed
+    );
+    assert_eq!(recovered.len(), 20, "10 of 30 objects deleted");
+    let seen = contents(&recovered);
+    for i in 1..=30u64 {
+        assert_eq!(
+            seen.contains_key(&i),
+            i % 3 != 0,
+            "oid {i} in the wrong state after replay"
+        );
+    }
+    // A further explicit quiesce is a clean no-op, and the freed ids
+    // are insertable again (payload reservations released).
+    recovered.quiesce().expect("quiesce idempotent");
+    let txn = recovered.begin();
+    recovered
+        .insert(txn, ObjectId(3), small_rect(&mut rng))
+        .expect("freed id reusable");
+    recovered.commit(txn).expect("commit");
+    recovered.validate().expect("validate");
+}
