@@ -1,12 +1,15 @@
 //! Multi-threaded aggregate throughput: optimistic vs pessimistic write
-//! path vs whole-tree locking, swept over threads × operation mix.
+//! path vs whole-tree locking vs the space-partitioned sharded router,
+//! swept over threads × operation mix (× shard count).
 //!
 //! This is the perf artefact for the optimistic plan/validate/apply
 //! split: the pessimistic contender is the *same* DGL protocol with
 //! [`WritePathMode::Pessimistic`] (plan and apply under one exclusive
 //! latch hold — the historical single-writer behavior), so the delta
 //! between the two isolates exactly what the optimistic split buys.
-//! `tree-lock` rides along as the coarse-locking floor.
+//! `tree-lock` rides along as the coarse-locking floor, and
+//! `dgl-sharded-N` points measure what spatial partitioning buys once
+//! the single tree's structure latch saturates.
 //!
 //! Emitted as `BENCH_throughput.json` by the `throughput` binary.
 
@@ -15,11 +18,11 @@ use std::time::{Duration, Instant};
 
 use dgl_core::baseline::TreeLockRTree;
 use dgl_core::{
-    DglConfig, DglRTree, DurabilityConfig, InsertPolicy, SyncPolicy, TransactionalRTree,
-    WritePathMode,
+    DglConfig, DglRTree, DurabilityConfig, InsertPolicy, OpStatsSnapshot, ShardedDglRTree,
+    ShardingConfig, SyncPolicy, TransactionalRTree, WritePathMode,
 };
 use dgl_lockmgr::LockManagerConfig;
-use dgl_obs::Hist;
+use dgl_obs::{Hist, RegistrySnapshot};
 use dgl_rtree::RTreeConfig;
 use dgl_workload::{DriveConfig, Op, OpMix, OpStream};
 
@@ -36,7 +39,7 @@ const GROUP_COMMIT_WINDOW: Duration = Duration::from_micros(50);
 pub struct ThroughputConfig {
     /// Thread counts to sweep.
     pub threads: Vec<u64>,
-    /// Committed transactions per thread at each point.
+    /// Committed transactions per thread per pass at each point.
     pub txns_per_thread: u64,
     /// Operations per transaction.
     pub ops_per_txn: u64,
@@ -50,6 +53,15 @@ pub struct ThroughputConfig {
     /// (`DglConfig::obs_recording`). Defaults on; `--obs-off` runs the
     /// same sweep with a disabled registry for overhead A/B measurement.
     pub obs_recording: bool,
+    /// Shard counts for the `dgl-sharded-N` contenders (the unsharded
+    /// contenders are the 1-shard baseline). Empty disables them.
+    pub shards: Vec<u64>,
+    /// Minimum measured duration per cell, seconds. A cell that finishes
+    /// its fixed transaction count faster repeats whole passes (fresh
+    /// disjoint oid spaces each pass) until the floor is met; rows report
+    /// totals across passes. Sub-10ms cells measure scheduler noise, not
+    /// the protocol.
+    pub min_cell_secs: f64,
 }
 
 impl Default for ThroughputConfig {
@@ -62,18 +74,23 @@ impl Default for ThroughputConfig {
             preload: 4_000,
             seed: 42,
             obs_recording: true,
+            shards: vec![2, 4],
+            min_cell_secs: 0.25,
         }
     }
 }
 
 impl ThroughputConfig {
     /// Tiny run for CI smoke checks: the sweep still crosses every code
-    /// path (both latch modes, contention at 8 threads) in ~a second.
+    /// path (both latch modes, contention at 8 threads) in ~seconds.
+    /// Shard contenders are off by default here; the CI sharded leg adds
+    /// them back with `--shards`.
     pub fn smoke() -> Self {
         Self {
             threads: vec![2, 8],
             txns_per_thread: 30,
             preload: 400,
+            shards: vec![],
             ..Self::default()
         }
     }
@@ -99,13 +116,16 @@ pub fn mixes() -> Vec<(&'static str, OpMix)> {
     ]
 }
 
-/// One contender: the trait object the workload drives, plus the
-/// concrete DGL handle (when there is one) for the optimistic-path
-/// counters that are not part of the common trait.
+/// One contender: the trait object the workload drives, plus a concrete
+/// handle (when there is one) for the counters that are not part of the
+/// common trait.
 struct Contender {
-    label: &'static str,
+    label: String,
     db: Arc<dyn TransactionalRTree>,
     dgl: Option<Arc<DglRTree>>,
+    sharded: Option<Arc<ShardedDglRTree>>,
+    /// Shard count (1 for every single-tree contender).
+    shards: u64,
     /// Scratch directory keeping a durable contender's WAL alive for
     /// the sweep; removed when the contender is dropped.
     _dir: Option<BenchDir>,
@@ -134,7 +154,9 @@ impl Drop for BenchDir {
     }
 }
 
-fn contenders(fanout: usize, obs_recording: bool) -> Vec<Contender> {
+fn contenders(cfg: &ThroughputConfig) -> Vec<Contender> {
+    let fanout = cfg.fanout;
+    let obs_recording = cfg.obs_recording;
     let lock = LockManagerConfig {
         wait_timeout: Duration::from_secs(10),
         ..Default::default()
@@ -173,95 +195,130 @@ fn contenders(fanout: usize, obs_recording: bool) -> Vec<Contender> {
     let pessimistic = dgl_with(WritePathMode::Pessimistic);
     let (durable, durable_dir) = durable_with("durable", true);
     let (durable_off, durable_off_dir) = durable_with("durable-off", false);
-    vec![
+    let mut out = vec![
         Contender {
-            label: "dgl-optimistic",
+            label: "dgl-optimistic".to_string(),
             db: Arc::<DglRTree>::clone(&optimistic) as Arc<dyn TransactionalRTree>,
             dgl: Some(optimistic),
+            sharded: None,
+            shards: 1,
             _dir: None,
         },
         Contender {
-            label: "dgl-pessimistic",
+            label: "dgl-pessimistic".to_string(),
             db: Arc::<DglRTree>::clone(&pessimistic) as Arc<dyn TransactionalRTree>,
             dgl: Some(pessimistic),
+            sharded: None,
+            shards: 1,
             _dir: None,
         },
         Contender {
-            label: "dgl-durable",
+            label: "dgl-durable".to_string(),
             db: Arc::<DglRTree>::clone(&durable) as Arc<dyn TransactionalRTree>,
             dgl: Some(durable),
+            sharded: None,
+            shards: 1,
             _dir: Some(durable_dir),
         },
         Contender {
-            label: "dgl-durable-off",
+            label: "dgl-durable-off".to_string(),
             db: Arc::<DglRTree>::clone(&durable_off) as Arc<dyn TransactionalRTree>,
             dgl: Some(durable_off),
+            sharded: None,
+            shards: 1,
             _dir: Some(durable_off_dir),
         },
         Contender {
-            label: "tree-lock",
+            label: "tree-lock".to_string(),
             db: Arc::new(TreeLockRTree::new(
                 RTreeConfig::with_fanout(fanout),
                 dgl_core::Rect2::unit(),
-                lock,
+                lock.clone(),
             )),
             dgl: None,
+            sharded: None,
+            shards: 1,
             _dir: None,
         },
-    ]
+    ];
+    // The sharded grid: same optimistic protocol per shard, space split
+    // by the router. Non-durable, like `dgl-optimistic`, so the delta is
+    // purely what partitioning the structure latch + lock space buys.
+    for &n in &cfg.shards {
+        let sharded = Arc::new(ShardedDglRTree::new(
+            base_config(WritePathMode::Optimistic),
+            ShardingConfig {
+                shards: n.max(1) as usize,
+                max_object_extent: 0.05,
+            },
+        ));
+        out.push(Contender {
+            label: format!("dgl-sharded-{n}"),
+            db: Arc::<ShardedDglRTree>::clone(&sharded) as Arc<dyn TransactionalRTree>,
+            dgl: None,
+            sharded: Some(sharded),
+            shards: n.max(1),
+            _dir: None,
+        });
+    }
+    out
 }
 
-/// One measured point of the sweep.
+/// One measured point of the sweep. Metric columns are `None` when the
+/// contender structurally does not produce that metric (e.g. `tree-lock`
+/// has no optimistic write path and no exclusive structure latch) — the
+/// JSON emits `null` there, never a misleading `0`.
 #[derive(Debug, Clone)]
 pub struct ThroughputRow {
-    /// Contender label (`dgl-optimistic`, `dgl-pessimistic`, `tree-lock`).
+    /// Contender label (`dgl-optimistic`, `tree-lock`, `dgl-sharded-4`, …).
     pub protocol: String,
     /// Mix label.
     pub mix: String,
     /// Worker threads.
     pub threads: u64,
+    /// Shard count (1 for single-tree contenders).
+    pub shards: u64,
     /// Aggregate successful operations per second across all threads.
     pub ops_per_sec: f64,
-    /// Committed transactions.
+    /// Committed transactions (all passes of the cell).
     pub commits: u64,
     /// Aborted attempts: retries spent on deadlock/timeout victims plus
     /// runs that exhausted their retry budget.
     pub aborts: u64,
-    /// Wall-clock seconds.
+    /// Wall-clock seconds (≥ the configured cell floor).
     pub elapsed_secs: f64,
     /// Optimistic replans forced by stale-plan detection (DGL only).
-    pub optimistic_replans: u64,
+    pub optimistic_replans: Option<u64>,
     /// Stale plans detected under the exclusive latch (DGL only).
-    pub plan_validation_failures: u64,
+    pub plan_validation_failures: Option<u64>,
     /// Mean exclusive-latch hold of the write path, nanoseconds (DGL only).
     /// Kept for JSON compatibility; the percentile columns below are the
     /// headline numbers.
-    pub avg_x_latch_nanos: u64,
+    pub avg_x_latch_nanos: Option<u64>,
     /// Total nanoseconds the tree was exclusively latched (readers shut
     /// out) over the measured interval (DGL only).
-    pub x_latch_total_nanos: u64,
-    /// Median lock-wait, nanoseconds, from the obs registry (DGL only).
-    /// Quantiles report the containing log2 bucket's upper bound.
-    pub lock_wait_p50_nanos: u64,
-    /// 95th-percentile lock-wait, nanoseconds (DGL only).
-    pub lock_wait_p95_nanos: u64,
-    /// 99th-percentile lock-wait, nanoseconds (DGL only).
-    pub lock_wait_p99_nanos: u64,
+    pub x_latch_total_nanos: Option<u64>,
+    /// Median lock-wait, nanoseconds, from the obs registry. Quantiles
+    /// report the containing log2 bucket's upper bound.
+    pub lock_wait_p50_nanos: Option<u64>,
+    /// 95th-percentile lock-wait, nanoseconds.
+    pub lock_wait_p95_nanos: Option<u64>,
+    /// 99th-percentile lock-wait, nanoseconds.
+    pub lock_wait_p99_nanos: Option<u64>,
     /// Median exclusive-latch hold, nanoseconds (DGL only).
-    pub x_latch_p50_nanos: u64,
+    pub x_latch_p50_nanos: Option<u64>,
     /// 95th-percentile exclusive-latch hold, nanoseconds (DGL only).
-    pub x_latch_p95_nanos: u64,
+    pub x_latch_p95_nanos: Option<u64>,
     /// 99th-percentile exclusive-latch hold, nanoseconds (DGL only).
-    pub x_latch_p99_nanos: u64,
-    /// Median commit latency, nanoseconds (DGL only). For the durable
-    /// contender this includes the group-commit fsync wait.
-    pub commit_p50_nanos: u64,
-    /// 95th-percentile commit latency, nanoseconds (DGL only) — the
-    /// durability-tax headline compares this across `dgl-durable` /
-    /// `dgl-durable-off`.
-    pub commit_p95_nanos: u64,
-    /// 99th-percentile commit latency, nanoseconds (DGL only).
-    pub commit_p99_nanos: u64,
+    pub x_latch_p99_nanos: Option<u64>,
+    /// Median commit latency, nanoseconds. For the durable contender
+    /// this includes the group-commit fsync wait.
+    pub commit_p50_nanos: Option<u64>,
+    /// 95th-percentile commit latency, nanoseconds — the durability-tax
+    /// headline compares this across `dgl-durable` / `dgl-durable-off`.
+    pub commit_p95_nanos: Option<u64>,
+    /// 99th-percentile commit latency, nanoseconds.
+    pub commit_p99_nanos: Option<u64>,
 }
 
 /// Preload on a high thread id so worker oid spaces stay disjoint. Runs
@@ -293,24 +350,25 @@ fn preload(db: &Arc<dyn TransactionalRTree>, mix: OpMix, cfg: &ThroughputConfig)
     }
 }
 
-fn run_point(
-    c: &Contender,
-    mix_label: &str,
+/// One fixed-size pass of the workload: every thread drives its target
+/// transaction count to completion. `pass` feeds the stream ids so
+/// repeated passes (the minimum-duration floor) use fresh disjoint oid
+/// spaces.
+fn one_pass(
+    db: &Arc<dyn TransactionalRTree>,
     mix: OpMix,
     threads: u64,
+    pass: u64,
     cfg: &ThroughputConfig,
-) -> ThroughputRow {
-    let before = c.dgl.as_ref().map(|d| d.op_stats().snapshot());
-    let obs_before = c.dgl.as_ref().map(|d| d.obs().snapshot());
-    let db = &c.db;
-    let start = Instant::now();
-    let (ops, commits, aborts): (u64, u64, u64) = crossbeam::scope(|s| {
+) -> (u64, u64, u64) {
+    crossbeam::scope(|s| {
         let mut handles = Vec::new();
         for tid in 0..threads {
             let db = Arc::clone(db);
-            // Offset per-point so reruns on the same contender (the sweep
-            // reuses one index per mix) never collide on object ids.
-            let stream_id = threads * 1_000 + tid;
+            // Offset per-point and per-pass so reruns on the same
+            // contender (the sweep reuses one index per mix) never
+            // collide on object ids.
+            let stream_id = pass * 100_000 + threads * 1_000 + tid;
             let cfg = cfg.clone();
             handles.push(s.spawn(move |_| {
                 let mut stream = OpStream::new(mix, stream_id, cfg.seed);
@@ -347,38 +405,87 @@ fn run_point(
                 (o + do_, c + dc, a + da)
             })
     })
-    .unwrap();
+    .unwrap()
+}
+
+fn op_snapshot(c: &Contender) -> Option<OpStatsSnapshot> {
+    match (&c.dgl, &c.sharded) {
+        (Some(d), _) => Some(d.op_stats().snapshot()),
+        (_, Some(s)) => Some(s.stats_snapshot()),
+        _ => None,
+    }
+}
+
+fn obs_snapshot(c: &Contender) -> Option<RegistrySnapshot> {
+    match (&c.dgl, &c.sharded) {
+        (Some(d), _) => Some(d.obs().snapshot()),
+        (_, Some(s)) => Some(s.obs_snapshot()),
+        // Baselines report through the trait's registry hook.
+        _ => c.db.obs_registry().map(|r| r.snapshot()),
+    }
+}
+
+fn run_point(
+    c: &Contender,
+    mix_label: &str,
+    mix: OpMix,
+    threads: u64,
+    cfg: &ThroughputConfig,
+) -> ThroughputRow {
+    let op_before = op_snapshot(c);
+    let obs_before = obs_snapshot(c);
+    let db = &c.db;
+    let start = Instant::now();
+    let (mut ops, mut commits, mut aborts) = (0u64, 0u64, 0u64);
+    let mut pass = 0u64;
+    // Minimum-duration floor: repeat whole fixed-size passes until the
+    // cell has been measured for at least `min_cell_secs` — a cell over
+    // in a few milliseconds reports scheduler noise, not throughput.
+    loop {
+        let (o, cm, ab) = one_pass(db, mix, threads, pass, cfg);
+        ops += o;
+        commits += cm;
+        aborts += ab;
+        pass += 1;
+        if start.elapsed().as_secs_f64() >= cfg.min_cell_secs {
+            break;
+        }
+    }
     let elapsed = start.elapsed().as_secs_f64();
 
-    let (replans, failures, avg_x, total_x) = match (&c.dgl, before) {
-        (Some(d), Some(before)) => {
-            let delta = d.op_stats().snapshot().since(&before);
+    let (replans, failures, avg_x, total_x) = match (op_snapshot(c), op_before) {
+        (Some(after), Some(before)) => {
+            let delta = after.since(&before);
             (
-                delta.optimistic_replans,
-                delta.plan_validation_failures,
-                delta.avg_x_latch_nanos(),
-                delta.x_latch_nanos,
+                Some(delta.optimistic_replans),
+                Some(delta.plan_validation_failures),
+                Some(delta.avg_x_latch_nanos()),
+                Some(delta.x_latch_nanos),
             )
         }
-        _ => (0, 0, 0, 0),
+        _ => (None, None, None, None),
     };
     // Percentiles come from the registry's log2 histograms; the sweep
     // reuses one index across thread counts, so take per-point deltas.
-    let (wait, hold, commit) = match (&c.dgl, obs_before) {
-        (Some(d), Some(obs_before)) => {
-            let delta = d.obs().snapshot().since(&obs_before);
+    // The exclusive-latch histogram only exists for DGL contenders —
+    // `tree-lock` has no structure latch, so those columns stay None.
+    let is_dgl = c.dgl.is_some() || c.sharded.is_some();
+    let (wait, hold, commit) = match (obs_snapshot(c), obs_before) {
+        (Some(after), Some(before)) => {
+            let delta = after.since(&before);
             (
-                *delta.hist(Hist::LockWait),
-                *delta.hist(Hist::LatchHold),
-                *delta.hist(Hist::Commit),
+                Some(*delta.hist(Hist::LockWait)),
+                is_dgl.then(|| *delta.hist(Hist::LatchHold)),
+                Some(*delta.hist(Hist::Commit)),
             )
         }
-        _ => Default::default(),
+        _ => (None, None, None),
     };
     ThroughputRow {
-        protocol: c.label.to_string(),
+        protocol: c.label.clone(),
         mix: mix_label.to_string(),
         threads,
+        shards: c.shards,
         ops_per_sec: ops as f64 / elapsed,
         commits,
         aborts,
@@ -387,15 +494,15 @@ fn run_point(
         plan_validation_failures: failures,
         avg_x_latch_nanos: avg_x,
         x_latch_total_nanos: total_x,
-        lock_wait_p50_nanos: wait.p50(),
-        lock_wait_p95_nanos: wait.p95(),
-        lock_wait_p99_nanos: wait.p99(),
-        x_latch_p50_nanos: hold.p50(),
-        x_latch_p95_nanos: hold.p95(),
-        x_latch_p99_nanos: hold.p99(),
-        commit_p50_nanos: commit.p50(),
-        commit_p95_nanos: commit.p95(),
-        commit_p99_nanos: commit.p99(),
+        lock_wait_p50_nanos: wait.map(|h| h.p50()),
+        lock_wait_p95_nanos: wait.map(|h| h.p95()),
+        lock_wait_p99_nanos: wait.map(|h| h.p99()),
+        x_latch_p50_nanos: hold.map(|h| h.p50()),
+        x_latch_p95_nanos: hold.map(|h| h.p95()),
+        x_latch_p99_nanos: hold.map(|h| h.p99()),
+        commit_p50_nanos: commit.map(|h| h.p50()),
+        commit_p95_nanos: commit.map(|h| h.p95()),
+        commit_p99_nanos: commit.map(|h| h.p99()),
     }
 }
 
@@ -413,7 +520,7 @@ pub fn run_sweep_with_dump(cfg: &ThroughputConfig) -> (Vec<ThroughputRow>, Strin
     let mut rows = Vec::new();
     let mut dump = String::new();
     for (mix_label, mix) in mixes() {
-        for c in contenders(cfg.fanout, cfg.obs_recording) {
+        for c in contenders(cfg) {
             preload(&c.db, mix, cfg);
             for &threads in &cfg.threads {
                 rows.push(run_point(&c, mix_label, mix, threads, cfg));
@@ -422,43 +529,54 @@ pub fn run_sweep_with_dump(cfg: &ThroughputConfig) -> (Vec<ThroughputRow>, Strin
                 dump.push_str(&format!("# contender {} mix {}\n", c.label, mix_label));
                 dump.push_str(&d.prometheus_dump());
                 dump.push('\n');
+            } else if let Some(s) = &c.sharded {
+                dump.push_str(&format!("# contender {} mix {}\n", c.label, mix_label));
+                dump.push_str(&s.prometheus_dump());
+                dump.push('\n');
             }
         }
     }
     (rows, dump)
 }
 
+/// `Option<u64>` → JSON scalar (`null` for structurally-absent metrics).
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
 /// Hand-rolled JSON (the offline `serde` shim is marker-only).
 pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
     let mut out = String::from("{\n  \"bench\": \"throughput\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"threads\": {:?}, \"txns_per_thread\": {}, \"ops_per_txn\": {}, \"fanout\": {}, \"preload\": {}, \"seed\": {}}},\n",
-        cfg.threads, cfg.txns_per_thread, cfg.ops_per_txn, cfg.fanout, cfg.preload, cfg.seed
+        "  \"config\": {{\"threads\": {:?}, \"txns_per_thread\": {}, \"ops_per_txn\": {}, \"fanout\": {}, \"preload\": {}, \"seed\": {}, \"shards\": {:?}, \"min_cell_secs\": {}}},\n",
+        cfg.threads, cfg.txns_per_thread, cfg.ops_per_txn, cfg.fanout, cfg.preload, cfg.seed,
+        cfg.shards, cfg.min_cell_secs
     ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
             r.protocol,
             r.mix,
             r.threads,
+            r.shards,
             r.ops_per_sec,
             r.commits,
             r.aborts,
             r.elapsed_secs,
-            r.optimistic_replans,
-            r.plan_validation_failures,
-            r.avg_x_latch_nanos,
-            r.x_latch_total_nanos,
-            r.lock_wait_p50_nanos,
-            r.lock_wait_p95_nanos,
-            r.lock_wait_p99_nanos,
-            r.x_latch_p50_nanos,
-            r.x_latch_p95_nanos,
-            r.x_latch_p99_nanos,
-            r.commit_p50_nanos,
-            r.commit_p95_nanos,
-            r.commit_p99_nanos,
+            json_opt(r.optimistic_replans),
+            json_opt(r.plan_validation_failures),
+            json_opt(r.avg_x_latch_nanos),
+            json_opt(r.x_latch_total_nanos),
+            json_opt(r.lock_wait_p50_nanos),
+            json_opt(r.lock_wait_p95_nanos),
+            json_opt(r.lock_wait_p99_nanos),
+            json_opt(r.x_latch_p50_nanos),
+            json_opt(r.x_latch_p95_nanos),
+            json_opt(r.x_latch_p99_nanos),
+            json_opt(r.commit_p50_nanos),
+            json_opt(r.commit_p95_nanos),
+            json_opt(r.commit_p99_nanos),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -467,15 +585,17 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
 }
 
 /// Markdown rendering of the sweep. Latency columns are registry
-/// percentiles in microseconds, rendered `p50/p95/p99`.
+/// percentiles in microseconds, rendered `p50/p95/p99`; `-` marks a
+/// metric the contender does not produce.
 pub fn render(rows: &[ThroughputRow]) -> String {
-    let tri = |p50: u64, p95: u64, p99: u64| {
-        format!(
+    let tri = |p50: Option<u64>, p95: Option<u64>, p99: Option<u64>| match (p50, p95, p99) {
+        (Some(a), Some(b), Some(c)) => format!(
             "{:.1}/{:.1}/{:.1}",
-            p50 as f64 / 1_000.0,
-            p95 as f64 / 1_000.0,
-            p99 as f64 / 1_000.0
-        )
+            a as f64 / 1_000.0,
+            b as f64 / 1_000.0,
+            c as f64 / 1_000.0
+        ),
+        _ => "-".to_string(),
     };
     let body: Vec<Vec<String>> = rows
         .iter()
@@ -484,10 +604,12 @@ pub fn render(rows: &[ThroughputRow]) -> String {
                 r.mix.clone(),
                 r.protocol.clone(),
                 r.threads.to_string(),
+                r.shards.to_string(),
                 format!("{:.0}", r.ops_per_sec),
                 r.commits.to_string(),
                 r.aborts.to_string(),
-                r.optimistic_replans.to_string(),
+                r.optimistic_replans
+                    .map_or_else(|| "-".to_string(), |v| v.to_string()),
                 tri(
                     r.lock_wait_p50_nanos,
                     r.lock_wait_p95_nanos,
@@ -507,6 +629,7 @@ pub fn render(rows: &[ThroughputRow]) -> String {
             "Mix",
             "Protocol",
             "Threads",
+            "Shards",
             "Ops/s",
             "Commits",
             "Aborts",
@@ -548,7 +671,8 @@ pub fn headline_x_latch_reduction(rows: &[ThroughputRow]) -> Option<f64> {
             .find(|r| {
                 r.protocol == proto && r.mix == "read-heavy-90-10" && r.threads == max_threads
             })
-            .map(|r| r.x_latch_p95_nanos as f64)
+            .and_then(|r| r.x_latch_p95_nanos)
+            .map(|v| v as f64)
     };
     let opt = pick("dgl-optimistic")?;
     if opt == 0.0 {
@@ -571,13 +695,38 @@ pub fn headline_durability_tax(rows: &[ThroughputRow]) -> Option<f64> {
     let pick = |proto: &str| {
         rows.iter()
             .find(|r| r.protocol == proto && r.mix == "balanced" && r.threads == threads)
-            .map(|r| r.commit_p95_nanos as f64)
+            .and_then(|r| r.commit_p95_nanos)
+            .map(|v| v as f64)
     };
     let off = pick("dgl-durable-off")?;
     if off == 0.0 {
         return None;
     }
     Some(pick("dgl-durable")? / off)
+}
+
+/// Sharded scaling headline: the best sharded contender's aggregate
+/// ops/sec over the single-tree optimistic contender, read-heavy mix at
+/// the highest swept thread count. Returns `(shard_count, ratio)`.
+/// Caveat: the ratio only reflects parallelism when cores ≥ threads — on
+/// a saturated single core the router's fan-out cost makes it ≤ 1.
+pub fn headline_shard_scaling(rows: &[ThroughputRow]) -> Option<(u64, f64)> {
+    let max_threads = rows.iter().map(|r| r.threads).max()?;
+    let base = rows
+        .iter()
+        .find(|r| {
+            r.protocol == "dgl-optimistic"
+                && r.mix == "read-heavy-90-10"
+                && r.threads == max_threads
+        })?
+        .ops_per_sec;
+    if base == 0.0 {
+        return None;
+    }
+    rows.iter()
+        .filter(|r| r.shards > 1 && r.mix == "read-heavy-90-10" && r.threads == max_threads)
+        .map(|r| (r.shards, r.ops_per_sec / base))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 #[cfg(test)]
@@ -587,7 +736,8 @@ mod tests {
     #[test]
     fn smoke_sweep_runs_and_serializes() {
         // Deliberately tiny: timing-based tests (table4, maintenance)
-        // share this test binary and must not be starved of cores.
+        // share this test binary and must not be starved of cores. The
+        // 50ms floor still exercises the repeat-until-floor machinery.
         let cfg = ThroughputConfig {
             threads: vec![1, 2],
             txns_per_thread: 5,
@@ -596,47 +746,77 @@ mod tests {
             preload: 60,
             seed: 3,
             obs_recording: true,
+            shards: vec![2],
+            min_cell_secs: 0.05,
         };
         let (rows, prom) = run_sweep_with_dump(&cfg);
-        // 3 mixes × 5 contenders × 2 thread counts.
-        assert_eq!(rows.len(), 30);
+        // 3 mixes × 6 contenders × 2 thread counts.
+        assert_eq!(rows.len(), 36);
+        let base = cfg.txns_per_thread;
         for r in &rows {
             assert!(r.ops_per_sec > 0.0, "{r:?}");
-            assert_eq!(r.commits, r.threads * cfg.txns_per_thread);
+            // The minimum-duration floor repeats whole passes, so commits
+            // are a (≥1) multiple of the per-pass target and the cell ran
+            // at least as long as the floor.
+            assert!(r.commits >= r.threads * base, "{r:?}");
+            assert_eq!(r.commits % (r.threads * base), 0, "{r:?}");
+            assert!(r.elapsed_secs >= cfg.min_cell_secs, "{r:?}");
         }
-        // tree-lock never reports optimistic counters or percentiles.
-        assert!(rows
-            .iter()
-            .filter(|r| r.protocol == "tree-lock")
-            .all(|r| r.optimistic_replans == 0
-                && r.avg_x_latch_nanos == 0
-                && r.x_latch_p95_nanos == 0));
+        // tree-lock has no optimistic write path and no structure latch:
+        // those columns must be null, not zero. Its lock-wait and commit
+        // percentiles, though, are real (wired through the obs registry).
+        for r in rows.iter().filter(|r| r.protocol == "tree-lock") {
+            assert!(r.optimistic_replans.is_none(), "{r:?}");
+            assert!(r.avg_x_latch_nanos.is_none(), "{r:?}");
+            assert!(r.x_latch_total_nanos.is_none(), "{r:?}");
+            assert!(r.x_latch_p95_nanos.is_none(), "{r:?}");
+            assert!(r.lock_wait_p50_nanos.is_some(), "{r:?}");
+            assert!(
+                r.commit_p50_nanos.expect("tree-lock commit p50") > 0,
+                "{r:?}"
+            );
+        }
         // Every DGL point commits writes, so latch-hold percentiles are
         // populated and ordered.
         for r in rows.iter().filter(|r| r.protocol.starts_with("dgl-")) {
-            assert!(r.x_latch_p50_nanos > 0, "{r:?}");
-            assert!(r.x_latch_p50_nanos <= r.x_latch_p95_nanos, "{r:?}");
-            assert!(r.x_latch_p95_nanos <= r.x_latch_p99_nanos, "{r:?}");
+            let (p50, p95, p99) = (
+                r.x_latch_p50_nanos.expect("dgl p50"),
+                r.x_latch_p95_nanos.expect("dgl p95"),
+                r.x_latch_p99_nanos.expect("dgl p99"),
+            );
+            assert!(p50 > 0, "{r:?}");
+            assert!(p50 <= p95, "{r:?}");
+            assert!(p95 <= p99, "{r:?}");
+            assert!(r.commit_p95_nanos.expect("dgl commit p95") > 0, "{r:?}");
         }
+        // The sharded contender reports its shard count on every row.
+        assert!(rows
+            .iter()
+            .filter(|r| r.protocol == "dgl-sharded-2")
+            .all(|r| r.shards == 2));
         let json = to_json(&cfg, &rows);
         assert!(json.contains("\"bench\": \"throughput\""));
         assert!(json.contains("dgl-pessimistic"));
+        assert!(json.contains("dgl-sharded-2"));
+        assert!(json.contains("\"shards\": 2"));
         assert!(json.contains("x_latch_total_nanos"));
         assert!(json.contains("lock_wait_p95_nanos"));
-        assert!(json.contains("x_latch_p99_nanos"));
+        // tree-lock's structurally-absent metrics serialize as null.
+        assert!(json.contains("\"x_latch_p95_nanos\": null"));
         assert!(prom.contains("# contender dgl-optimistic mix read-heavy-90-10"));
+        assert!(prom.contains("# contender dgl-sharded-2 mix balanced"));
         assert!(prom.contains("dgl_x_latch_hold_nanos_count"));
         assert!(headline_speedup(&rows).unwrap() > 0.0);
         assert!(headline_x_latch_reduction(&rows).unwrap() > 0.0);
+        let (n, ratio) = headline_shard_scaling(&rows).expect("shard headline");
+        assert_eq!(n, 2);
+        assert!(ratio > 0.0);
         // Durability pair: both rows exist, the durable one actually
         // fsyncs (wal counters in its prom section), commit percentiles
         // are populated, and the tax headline computes.
         assert!(json.contains("dgl-durable"));
         assert!(json.contains("commit_p95_nanos"));
         assert!(prom.contains("# contender dgl-durable mix balanced"));
-        for r in rows.iter().filter(|r| r.protocol.starts_with("dgl-")) {
-            assert!(r.commit_p95_nanos > 0, "{r:?}");
-        }
         assert!(headline_durability_tax(&rows).unwrap() > 0.0);
     }
 }

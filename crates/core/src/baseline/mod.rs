@@ -37,6 +37,7 @@ use parking_lot::{Mutex, RwLock};
 
 use dgl_geom::Rect2;
 use dgl_lockmgr::{LockManager, LockManagerConfig, TxnId};
+use dgl_obs::Registry;
 use dgl_rtree::{ObjectId, RTree2, RTreeConfig};
 use dgl_txn::{Journal, TxnManager};
 
@@ -74,11 +75,17 @@ pub(crate) struct BaseInner {
     /// id until its deleter commits.
     pub reserved: Mutex<HashMap<TxnId, HashSet<ObjectId>>>,
     pub stats: OpStats,
+    /// Shared observability registry: the lock manager reports its wait
+    /// histogram here, and protocols record commit latency, so baseline
+    /// contenders emit real percentile columns in benches instead of
+    /// all-zero placeholders.
+    pub obs: Arc<Registry>,
 }
 
 impl BaseInner {
     pub fn new(rtree: RTreeConfig, world: Rect2, lock: LockManagerConfig) -> Self {
-        let lm = Arc::new(LockManager::new(lock));
+        let obs = Arc::new(Registry::new());
+        let lm = Arc::new(LockManager::with_obs(lock, Arc::clone(&obs)));
         Self {
             tree: RwLock::new(RTree2::new(rtree, world)),
             tm: TxnManager::new(Arc::clone(&lm)),
@@ -87,6 +94,7 @@ impl BaseInner {
             payloads: Mutex::new(HashMap::new()),
             reserved: Mutex::new(HashMap::new()),
             stats: OpStats::default(),
+            obs,
         }
     }
 

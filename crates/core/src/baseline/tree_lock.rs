@@ -70,7 +70,11 @@ impl TransactionalRTree for TreeLockRTree {
 
     fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
         self.inner.check_active(txn)?;
+        let start = std::time::Instant::now();
         self.inner.commit_now(txn);
+        self.inner
+            .obs
+            .record(dgl_obs::Hist::Commit, start.elapsed().as_nanos() as u64);
         Ok(())
     }
 
@@ -155,5 +159,9 @@ impl TransactionalRTree for TreeLockRTree {
     fn lock_stats(&self) -> (u64, u64) {
         let s = self.inner.lm.stats().snapshot();
         (s.requests, s.waits)
+    }
+
+    fn obs_registry(&self) -> Option<&std::sync::Arc<dgl_obs::Registry>> {
+        Some(&self.inner.obs)
     }
 }

@@ -259,6 +259,38 @@ impl DglCore {
         Ok(())
     }
 
+    /// Phase-1 prepare of a cross-shard (2PC) commit: appends a `Prepare`
+    /// record binding this participant to the coordinator's global
+    /// transaction `gtxn` and forces it durable. After `Ok(true)` the
+    /// transaction is *in doubt* — recovery commits it iff the
+    /// coordinator logged a decision for `gtxn`. `Ok(false)` means
+    /// nothing was ever logged (read-only participant, or no log
+    /// attached): the coordinator need not record a decision for this
+    /// shard.
+    pub(crate) fn wal_prepare(&self, txn: TxnId, gtxn: u64) -> Result<bool, TxnError> {
+        let Some(wal) = self.wal.get() else {
+            return Ok(false);
+        };
+        if !self.wal_started.lock().contains(&txn) {
+            return Ok(false);
+        }
+        let lsn = {
+            // Same cut ordering as a commit record: the prepare (and its
+            // registration below) lands wholly before or wholly after a
+            // checkpoint cut, so the cut's `prepared` list is exact.
+            let _cut = self.commit_cut.read();
+            let lsn = wal
+                .append(&WalRecord::Prepare { txn: txn.0, gtxn })
+                .map_err(|_| TxnError::Durability)?;
+            self.wal_prepared.lock().insert(txn, gtxn);
+            lsn
+        };
+        // Prepare records don't ride the group-commit trigger (only
+        // commits do) — force the flush.
+        wal.sync_to(lsn).map_err(|_| TxnError::Durability)?;
+        Ok(true)
+    }
+
     /// Clears the transaction's log bookkeeping after `commit` drained
     /// its undo queue (the `wal_committed` window closes here).
     pub(crate) fn wal_finish(&self, txn: TxnId) {
@@ -267,6 +299,7 @@ impl DglCore {
         }
         self.wal_committed.lock().remove(&txn);
         self.wal_started.lock().remove(&txn);
+        self.wal_prepared.lock().remove(&txn);
     }
 
     /// Best-effort `Abort` record on rollback (recovery discards
@@ -277,6 +310,7 @@ impl DglCore {
             return;
         };
         self.wal_committed.lock().remove(&txn);
+        self.wal_prepared.lock().remove(&txn);
         if self.wal_started.lock().remove(&txn) {
             let _ = wal.append(&WalRecord::Abort { txn: txn.0 });
         }
@@ -365,8 +399,24 @@ impl DglCore {
                     (!ops.is_empty()).then_some(UndoEntry { txn: t.0, ops })
                 })
                 .collect();
+            // Prepared-but-undecided transactions: their undo already
+            // rides in `undo` (they are not in `wal_committed`); the
+            // (txn, gtxn) mapping must ride too, or rotating away their
+            // `Prepare` records would leave recovery unable to resolve
+            // them against the coordinator log.
+            let prepared: Vec<(u64, u64)> = self
+                .wal_prepared
+                .lock()
+                .iter()
+                .filter(|(t, _)| !committed.contains(t))
+                .map(|(t, g)| (t.0, *g))
+                .collect();
             let gen = wal.current_gen() + 1;
-            let info = wal.rotate(&WalRecord::Checkpoint { gen, undo })?;
+            let info = wal.rotate(&WalRecord::Checkpoint {
+                gen,
+                undo,
+                prepared,
+            })?;
             let image = checkpoint_tree(&tree);
             (info, image)
         };
@@ -449,8 +499,31 @@ impl DglRTree {
     /// the normal write path, tombstone re-enqueue, then (with durability
     /// enabled) a fresh log generation so the next crash recovers from
     /// this point.
+    ///
+    /// Transactions that were *prepared* under two-phase commit but never
+    /// locally decided are presumed aborted here — a standalone index has
+    /// no coordinator to consult. Shard recovery goes through
+    /// [`Self::recover_with_resolver`] with the coordinator's decision
+    /// log instead.
     pub fn recover(dir: impl AsRef<Path>, config: DglConfig) -> Result<Self, RecoverError> {
-        let dir = dir.as_ref();
+        Self::recover_with_resolver(dir.as_ref(), config, &|_| false)
+    }
+
+    /// [`Self::recover`] with an in-doubt resolver: `resolver(gtxn)`
+    /// answers whether the 2PC coordinator durably committed global
+    /// transaction `gtxn`. Prepared-but-undecided participants are
+    /// committed iff the resolver says so; everything else is identical
+    /// to plain recovery.
+    ///
+    /// Replaying a resolver-committed prepared transaction at the end of
+    /// the tail is order-safe: it held all its locks when the process
+    /// died, so no conflicting transaction can appear after its prepare
+    /// in the log.
+    pub(crate) fn recover_with_resolver(
+        dir: &Path,
+        config: DglConfig,
+        resolver: &dyn Fn(u64) -> bool,
+    ) -> Result<Self, RecoverError> {
         let t0 = Instant::now();
         let listing = scan_dir(dir)?;
         if listing.segments.is_empty() && listing.snapshots.is_empty() {
@@ -476,13 +549,19 @@ impl DglRTree {
         // checkpoint that died mid-write leaves one of the two invalid;
         // the previous generation is still intact (its files are deleted
         // only after the new pair is durable).
-        let mut base: Option<(u64, TreeCheckpoint<2>, Vec<UndoEntry>)> = None;
+        type Base = (u64, TreeCheckpoint<2>, Vec<UndoEntry>, Vec<(u64, u64)>);
+        let mut base: Option<Base> = None;
         for &g in listing.snapshots.iter().rev() {
             let Some(sd) = segments.get(&g) else { continue };
             if sd.gen != Some(g) {
                 continue;
             }
-            let Some(WalRecord::Checkpoint { gen: cg, undo }) = sd.records.first() else {
+            let Some(WalRecord::Checkpoint {
+                gen: cg,
+                undo,
+                prepared,
+            }) = sd.records.first()
+            else {
                 continue;
             };
             if *cg != g {
@@ -494,10 +573,10 @@ impl DglRTree {
             let Ok(image) = decode_file_image(&bytes) else {
                 continue;
             };
-            base = Some((g, image, undo.clone()));
+            base = Some((g, image, undo.clone(), prepared.clone()));
             break;
         }
-        let Some((base_gen, image, cut_undo)) = base else {
+        let Some((base_gen, image, cut_undo, cut_prepared)) = base else {
             // No usable checkpoint. Only safe to start fresh when no
             // user record was ever durable (e.g. a crash inside the very
             // first bootstrap) — otherwise committed data would vanish
@@ -565,16 +644,33 @@ impl DglRTree {
             .cloned()
             .collect();
 
+        // 2PC mappings: prepared-but-locally-undecided transactions, from
+        // the cut record (prepare pre-cut) and the tail (prepare
+        // post-cut). The coordinator resolver is the tie-breaker.
+        let mut prepared_map: BTreeMap<u64, u64> = cut_prepared.iter().copied().collect();
+        for r in &records {
+            if let WalRecord::Prepare { txn, gtxn } = r {
+                prepared_map.insert(*txn, *gtxn);
+            }
+        }
+
         // Peel: transactions in flight at the cut whose commit never made
         // the tail had their pre-cut operations captured in the image;
         // undo them against the raw tree (reverse order), exactly as a
-        // live abort would have.
+        // live abort would have. A prepared transaction counts as
+        // committed iff the coordinator durably decided so.
         let committed: HashSet<u64> = records
             .iter()
             .filter_map(|r| match r {
                 WalRecord::Commit { txn } => Some(*txn),
                 _ => None,
             })
+            .chain(
+                prepared_map
+                    .iter()
+                    .filter(|(_, &g)| resolver(g))
+                    .map(|(&t, _)| t),
+            )
             .collect();
         let mut tree: RTree2 = restore_tree(&image)
             .map_err(|e| RecoverError::Corrupt(format!("snapshot image inconsistent: {e}")))?;
@@ -594,7 +690,7 @@ impl DglRTree {
         // Surviving tombstones belong to committed deleters whose
         // deferred physical deletion never ran; `from_snapshot` feeds
         // them back through the maintenance subsystem and drains it.
-        let db = Self::from_snapshot(tree, config.clone());
+        let db = Self::from_snapshot(tree, config.clone()).map_err(RecoverError::Replay)?;
 
         // Replay the committed tail through the normal write path, each
         // transaction at its commit position (= its 2PL serialization
@@ -616,7 +712,20 @@ impl DglRTree {
                     let ops = buffered.remove(&txn).unwrap_or_default();
                     db.replay_txn(&ops).map_err(RecoverError::Replay)?;
                 }
+                WalRecord::Prepare { .. } => {
+                    // Mapping already collected above; the buffered ops
+                    // stay pending until a local decision or end-of-tail
+                    // resolution.
+                }
                 WalRecord::Checkpoint { .. } => unreachable!("filtered above"),
+            }
+        }
+        // Still-buffered transactions with a coordinator-committed
+        // prepare replay now; the position is safe (they held all their
+        // locks at the crash, so nothing later in the tail conflicts).
+        for (txn, ops) in std::mem::take(&mut buffered) {
+            if prepared_map.get(&txn).is_some_and(|&g| resolver(g)) {
+                db.replay_txn(&ops).map_err(RecoverError::Replay)?;
             }
         }
         // Transactions still buffered never committed: discarded.
@@ -689,6 +798,7 @@ impl DglRTree {
             &WalRecord::Checkpoint {
                 gen,
                 undo: Vec::new(),
+                prepared: Vec::new(),
             },
             WalConfig {
                 sync: config.durability.sync,

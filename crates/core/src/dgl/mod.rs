@@ -62,9 +62,11 @@ mod durability;
 mod maintenance;
 mod ops_read;
 mod ops_write;
+mod shard;
 
 pub use durability::{DurabilityConfig, RecoverError};
 pub use maintenance::{MaintenanceConfig, MaintenanceMode};
+pub use shard::{ShardedDglRTree, ShardingConfig};
 
 use maintenance::MaintenanceHandle;
 
@@ -259,6 +261,13 @@ pub(crate) struct DglCore {
     /// — their undo must NOT ride into the checkpoint record, or recovery
     /// would peel committed operations out of the snapshot image.
     pub(crate) wal_committed: Mutex<HashSet<TxnId>>,
+    /// Transactions prepared under two-phase commit but not yet decided:
+    /// local txn id → global (coordinator) transaction id. A prepared
+    /// transaction is *not* in `wal_committed` — its undo rides into any
+    /// checkpoint cut so recovery can still peel it if the coordinator
+    /// aborted — and the mapping here is persisted in the cut record so
+    /// the coordinator decision stays resolvable after rotation.
+    pub(crate) wal_prepared: Mutex<HashMap<TxnId, u64>>,
     /// Orders commit-record appends against checkpoint cuts: `commit`
     /// appends its record and marks `wal_committed` under a read guard;
     /// the checkpoint captures the undo image and rotates the log under
@@ -477,6 +486,7 @@ impl DglRTree {
             wal: OnceLock::new(),
             wal_started: Mutex::new(HashSet::new()),
             wal_committed: Mutex::new(HashSet::new()),
+            wal_prepared: Mutex::new(HashMap::new()),
             commit_cut: RwLock::new(()),
             ckpt_pending: AtomicBool::new(false),
             checkpoint_threshold: config.durability.checkpoint_threshold,
@@ -507,7 +517,12 @@ impl DglRTree {
     /// re-insertion) a live commit uses — and drains it before returning,
     /// so the first user transaction sees a fully recovered tree. Payload
     /// versions are not part of the tree image and restart at 1.
-    pub fn from_snapshot(tree: RTree2, config: DglConfig) -> Self {
+    ///
+    /// `Err(TxnError::MaintenanceFailed)` means the snapshot's pending
+    /// deletions could not be applied (an inconsistent or corrupt image):
+    /// the caller decides whether to surface, retry from an older
+    /// generation, or discard — the process is never taken down.
+    pub fn from_snapshot(tree: RTree2, config: DglConfig) -> Result<Self, TxnError> {
         // Tombstoned entries are committed-but-unapplied deletions; they
         // stay in the tree (and in `payloads`, keeping their ids reserved)
         // until the maintenance pass below removes them.
@@ -527,11 +542,9 @@ impl DglRTree {
             db.maint.dispatch(&db.core, d);
         }
         // Recovery completes before the first user transaction.
-        db.maint
-            .quiesce(&db.core)
-            .expect("snapshot recovery: deferred deletions must apply");
+        db.maint.quiesce(&db.core)?;
         debug_assert_eq!(db.core.tm.active_count(), 0);
-        db
+        Ok(db)
     }
 
     /// Builds the shared observability registry for a new index

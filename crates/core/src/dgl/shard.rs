@@ -1,0 +1,818 @@
+//! Space-partitioned sharding: N independent [`DglRTree`] shards behind
+//! one transactional router.
+//!
+//! The single-tree protocol serializes every structure modification on
+//! one tree latch and funnels every lock request through one lock
+//! manager — fine for protocol fidelity, but a hard ceiling for
+//! multi-core scaling. [`ShardedDglRTree`] partitions the embedded
+//! space `S` with a static grid directory and gives every shard its own
+//! *complete* DGL instance: lock manager, structure-version counter,
+//! tree latch, WAL directory, maintenance worker, and observability
+//! registry. Transactions touching one shard pay exactly the
+//! single-tree cost (including the one-fsync durable commit);
+//! cross-shard transactions run two-phase commit over a dedicated
+//! coordinator decision log.
+//!
+//! # Routing
+//!
+//! Objects route by the *center* of their rectangle into a fixed
+//! `gx × gy` grid over the world, cells mapping round-robin onto
+//! shards. Phantom protection requires that a scan consult every shard
+//! that could ever hold a qualifying object — including objects
+//! *inserted after the scan* — so routing must be a pure function of
+//! the rectangle, and scans must over-approximate:
+//!
+//! - An object whose extent exceeds
+//!   [`ShardingConfig::max_object_extent`] in any dimension routes to
+//!   the **overflow shard** (shard 0), which every scan consults.
+//! - A scan consults the shards of all cells intersecting the query
+//!   *inflated by half the extent bound* — any small object
+//!   intersecting the query has its center inside that inflation.
+//!
+//! Each consulted shard holds the scan's Table-3 granule S-locks for
+//! its own region, so the per-shard phantom guarantee composes: a
+//! qualifying insert anywhere must route into some consulted shard and
+//! collide with that shard's commit-duration locks.
+//!
+//! # Cross-shard atomicity (presumed-abort 2PC)
+//!
+//! A global transaction with writes on ≥ 2 durable shards commits in
+//! three phases:
+//!
+//! 1. **Prepare** — each writing participant appends + fsyncs a
+//!    `Prepare { txn, gtxn }` record (`DglCore::wal_prepare`) while
+//!    still holding all its locks.
+//! 2. **Decide** — the coordinator appends + fsyncs
+//!    `Commit { txn: gtxn }` to its own append-only decision log
+//!    (`<dir>/coord`). This fsync *is* the commit point.
+//! 3. **Complete** — every participant commits locally (its own
+//!    `Commit` record, lock release, deferred deletions).
+//!
+//! Recovery: each shard recovers independently via
+//! `DglRTree::recover_with_resolver`, resolving prepared-but-undecided
+//! participants against the set of gtxns in the coordinator log —
+//! present ⇒ commit, absent ⇒ presumed abort. Decision records are
+//! never pruned, and fresh global ids start above every recorded
+//! decision so a recycled gtxn can never match a stale decision.
+//!
+//! Global transactions with ≤ 1 writing participant skip all of this:
+//! the lone writer's local commit record is the global decision — the
+//! same one-fsync fast path a single tree pays.
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use dgl_geom::Rect2;
+use dgl_lockmgr::TxnId;
+use dgl_obs::{Hist, Registry, RegistrySnapshot};
+use dgl_rtree::ObjectId;
+use dgl_wal::{read_segment, scan_dir, segment_path, Wal, WalConfig, WalRecord};
+
+use crate::stats::{OpStats, OpStatsSnapshot};
+use crate::{ScanHit, TransactionalRTree, TxnError};
+
+use super::{DglConfig, DglRTree, RecoverError};
+
+/// How the embedded space is partitioned across shards.
+#[derive(Debug, Clone)]
+pub struct ShardingConfig {
+    /// Number of shards (≥ 1). Shard 0 doubles as the overflow shard
+    /// for objects too large to route by center.
+    pub shards: usize,
+    /// Largest per-dimension extent (in world units) an object may have
+    /// and still route by its center cell. Larger objects live on the
+    /// overflow shard, which every scan consults — keep this small
+    /// relative to the world so the overflow shard stays cold. Scans
+    /// are inflated by half this bound when selecting shards, so the
+    /// bound also caps scan fan-out slop.
+    pub max_object_extent: f64,
+}
+
+impl Default for ShardingConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            max_object_extent: 0.05,
+        }
+    }
+}
+
+/// Static grid over the world mapping rectangles to shards.
+///
+/// Routing is a pure function of the rectangle (no state, no dynamic
+/// re-balancing) — the property the phantom argument in the module docs
+/// rests on.
+#[derive(Debug, Clone)]
+struct GridDirectory {
+    world: Rect2,
+    gx: usize,
+    gy: usize,
+    cell_w: f64,
+    cell_h: f64,
+    shards: usize,
+    /// Half of `max_object_extent`: the center of any routable object
+    /// intersecting a query lies within this distance of it per
+    /// dimension.
+    half_bound: f64,
+}
+
+impl GridDirectory {
+    fn new(world: Rect2, shards: usize, max_object_extent: f64) -> Self {
+        let gx = (shards as f64).sqrt().ceil().max(1.0) as usize;
+        let gy = shards.div_ceil(gx);
+        Self {
+            world,
+            gx,
+            gy,
+            cell_w: (world.extent(0) / gx as f64).max(f64::MIN_POSITIVE),
+            cell_h: (world.extent(1) / gy as f64).max(f64::MIN_POSITIVE),
+            shards,
+            half_bound: max_object_extent / 2.0,
+        }
+    }
+
+    /// Grid cell containing a point (clamped — objects outside the
+    /// world still route deterministically).
+    fn cell_of(&self, x: f64, y: f64) -> (usize, usize) {
+        let ix = ((x - self.world.lo[0]) / self.cell_w).floor() as isize;
+        let iy = ((y - self.world.lo[1]) / self.cell_h).floor() as isize;
+        (
+            ix.clamp(0, self.gx as isize - 1) as usize,
+            iy.clamp(0, self.gy as isize - 1) as usize,
+        )
+    }
+
+    fn shard_of_cell(&self, ix: usize, iy: usize) -> usize {
+        (iy * self.gx + ix) % self.shards
+    }
+
+    /// The shard an object with this rectangle lives on.
+    fn home_shard(&self, rect: &Rect2) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        if rect.extent(0) > self.half_bound * 2.0 || rect.extent(1) > self.half_bound * 2.0 {
+            return 0; // overflow shard
+        }
+        let c = rect.center();
+        let (ix, iy) = self.cell_of(c.coords[0], c.coords[1]);
+        self.shard_of_cell(ix, iy)
+    }
+
+    /// Every shard that could hold an object intersecting `query` (now
+    /// or in the future), in ascending order. Always includes the
+    /// overflow shard; scans visit shards in this order, which keeps
+    /// cross-shard lock acquisition roughly ordered.
+    fn scan_shards(&self, query: &Rect2) -> Vec<usize> {
+        if self.shards == 1 {
+            return vec![0];
+        }
+        let mut hit = vec![false; self.shards];
+        hit[0] = true;
+        let (x0, y0) = self.cell_of(query.lo[0] - self.half_bound, query.lo[1] - self.half_bound);
+        let (x1, y1) = self.cell_of(query.hi[0] + self.half_bound, query.hi[1] + self.half_bound);
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                hit[self.shard_of_cell(ix, iy)] = true;
+            }
+        }
+        (0..self.shards).filter(|&s| hit[s]).collect()
+    }
+}
+
+// --- participant-side 2PC hooks on the single-tree index ---------------
+
+impl DglRTree {
+    /// Phase-1 vote of two-phase commit: durably logs (and fsyncs) this
+    /// participant's `Prepare` record while every lock stays held. After
+    /// `Ok(())` the participant is *in doubt*: it commits iff the
+    /// coordinator logs a decision for `gtxn` (consulted at recovery via
+    /// [`DglRTree::recover_with_resolver`]). On `Err` the participant
+    /// has been rolled back, like any failed commit.
+    ///
+    /// Read-only participants (nothing logged) vote yes trivially and
+    /// stay un-prepared — their later local commit is a lock release.
+    pub(crate) fn prepare_commit(&self, txn: TxnId, gtxn: u64) -> Result<(), TxnError> {
+        self.core.check_active(txn)?;
+        match self.core.wal_prepare(txn, gtxn) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.core.rollback_now(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether `txn` has appended log records (i.e. holds writes whose
+    /// durability needs a 2PC vote). Always `false` without a WAL.
+    pub(crate) fn has_logged_writes(&self, txn: TxnId) -> bool {
+        self.core.wal.get().is_some() && self.core.wal_started.lock().contains(&txn)
+    }
+}
+
+// --- the router --------------------------------------------------------
+
+/// Per-global-transaction state: the local participant transaction on
+/// each shard, begun lazily on first touch.
+type Session = Vec<Option<TxnId>>;
+
+/// N space-partitioned [`DglRTree`] shards behind one
+/// [`TransactionalRTree`] facade.
+///
+/// See the module docs for the routing and 2PC design. Constructed
+/// in-memory ([`Self::new`]) or directory-backed ([`Self::open`], which
+/// also performs crash recovery: shard directories `shard-<i>/` plus
+/// the coordinator decision log `coord/`).
+pub struct ShardedDglRTree {
+    shards: Vec<DglRTree>,
+    grid: GridDirectory,
+    /// Next global transaction id. Starts above every decision ever
+    /// recorded by the coordinator (see module docs).
+    next_gtxn: AtomicU64,
+    /// Live global transactions → per-shard participants.
+    sessions: Mutex<HashMap<u64, Session>>,
+    /// Coordinator decision log (`None` when durability is off — then
+    /// multi-shard commits are atomic only in the absence of failures,
+    /// exactly as in-memory single-tree commits are).
+    coord: Option<Wal>,
+    /// Router-level registry: global commit latency plus the
+    /// coordinator WAL's flush metrics.
+    obs: Arc<Registry>,
+    /// Router-level counters: global commits and executor accounting
+    /// (shard-level stats count participant work).
+    stats: OpStats,
+}
+
+impl std::fmt::Debug for ShardedDglRTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDglRTree")
+            .field("shards", &self.shards.len())
+            .field("durable", &self.coord.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fallback lock-wait bound applied when the caller sets none. Each
+/// shard's deadlock detector only sees its own wait-for graph, so a
+/// cycle spanning two shards (T1 holds S on shard A and waits on shard
+/// B, T2 the reverse) is invisible to both — the classic distributed
+/// deadlock. Bounded waits are the standard resolution: the victim
+/// times out, the router aborts its other participants, and the caller
+/// retries. Without this bound such cycles would stall for the lock
+/// manager's 10-second default. The bound is deliberately tight —
+/// roughly 1000× a typical transaction, so false victims under
+/// scheduler noise are rare, while a genuine cross-shard deadlock
+/// costs 50 ms instead of 10 s.
+const CROSS_SHARD_WAIT: std::time::Duration = std::time::Duration::from_millis(50);
+
+fn shard_config(mut config: DglConfig) -> DglConfig {
+    if config.wait_timeout.is_none() {
+        config.wait_timeout = Some(CROSS_SHARD_WAIT);
+    }
+    config
+}
+
+impl ShardedDglRTree {
+    /// Creates an empty in-memory sharded index (no durability).
+    pub fn new(config: DglConfig, sharding: ShardingConfig) -> Self {
+        let config = shard_config(config);
+        let n = sharding.shards.max(1);
+        let shards = (0..n).map(|_| DglRTree::new(config.clone())).collect();
+        let obs = Arc::new(if config.obs_recording {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        });
+        Self::assemble(shards, config.world, &sharding, None, obs, 1)
+    }
+
+    /// Opens (or crash-recovers) a sharded index from `dir`.
+    ///
+    /// Layout: `dir/shard-<i>/` holds shard `i`'s snapshots + log
+    /// segments; `dir/coord/` holds the coordinator's append-only
+    /// decision log. Each shard recovers independently, resolving
+    /// prepared-but-undecided 2PC participants against the decision set
+    /// read from `coord/`. With `config.durability.enabled == false`
+    /// this loads whatever is recoverable and runs in memory, like
+    /// [`DglRTree::open`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: DglConfig,
+        sharding: ShardingConfig,
+    ) -> Result<Self, RecoverError> {
+        let dir = dir.as_ref();
+        let config = shard_config(config);
+        let n = sharding.shards.max(1);
+        std::fs::create_dir_all(dir)?;
+
+        // Router registry: global commit latency + coordinator flush
+        // metrics land here.
+        let obs = Arc::new(if config.obs_recording {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        });
+        let (decisions, coord) = if config.durability.enabled {
+            let coord_dir = dir.join("coord");
+            std::fs::create_dir_all(&coord_dir)?;
+            let (decisions, max_gen, any) = read_decisions(&coord_dir)?;
+            // A fresh generation per open: the previous segment may have
+            // a torn tail; decisions already read stay where they are
+            // (the log is append-only and never pruned).
+            let gen = if any { max_gen + 1 } else { 0 };
+            let wal = Wal::create(
+                &coord_dir,
+                gen,
+                &WalRecord::Checkpoint {
+                    gen,
+                    undo: Vec::new(),
+                    prepared: Vec::new(),
+                },
+                WalConfig {
+                    sync: config.durability.sync,
+                },
+                Arc::clone(&obs),
+            )
+            .map_err(RecoverError::Wal)?;
+            (decisions, Some(wal))
+        } else {
+            (HashSet::new(), None)
+        };
+
+        let resolver = |gtxn: u64| decisions.contains(&gtxn);
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            let shard_dir = dir.join(format!("shard-{i}"));
+            std::fs::create_dir_all(&shard_dir)?;
+            shards.push(DglRTree::recover_with_resolver(
+                &shard_dir,
+                config.clone(),
+                &resolver,
+            )?);
+        }
+        let next = decisions.iter().max().map_or(1, |m| m + 1);
+        Ok(Self::assemble(
+            shards,
+            config.world,
+            &sharding,
+            coord,
+            obs,
+            next,
+        ))
+    }
+
+    fn assemble(
+        shards: Vec<DglRTree>,
+        world: Rect2,
+        sharding: &ShardingConfig,
+        coord: Option<Wal>,
+        obs: Arc<Registry>,
+        next_gtxn: u64,
+    ) -> Self {
+        Self {
+            grid: GridDirectory::new(world, shards.len(), sharding.max_object_extent),
+            shards,
+            next_gtxn: AtomicU64::new(next_gtxn),
+            sessions: Mutex::new(HashMap::new()),
+            coord,
+            obs,
+            stats: OpStats::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The individual shards (tests, benchmarks).
+    pub fn shard_handles(&self) -> &[DglRTree] {
+        &self.shards
+    }
+
+    /// The local participant of `g` on shard `s`, begun on first touch.
+    fn participant(&self, g: TxnId, s: usize) -> Result<TxnId, TxnError> {
+        let mut sessions = self.sessions.lock();
+        let parts = sessions.get_mut(&g.0).ok_or(TxnError::NotActive)?;
+        Ok(match parts[s] {
+            Some(t) => t,
+            None => {
+                let t = self.shards[s].begin();
+                parts[s] = Some(t);
+                t
+            }
+        })
+    }
+
+    /// Propagates a shard-operation result. `Deadlock`/`Timeout` mean
+    /// the failing shard already rolled its participant back (the
+    /// single-tree contract), so the global transaction is dead: every
+    /// other participant is aborted and the session removed — the
+    /// caller retries the whole global transaction, same as with one
+    /// tree.
+    fn guard<T>(&self, g: TxnId, failed: usize, r: Result<T, TxnError>) -> Result<T, TxnError> {
+        if matches!(r, Err(TxnError::Deadlock) | Err(TxnError::Timeout)) {
+            if let Some(parts) = self.sessions.lock().remove(&g.0) {
+                for (s, t) in parts.iter().enumerate() {
+                    if let Some(t) = t {
+                        if s != failed {
+                            let _ = self.shards[s].abort(*t);
+                        }
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    fn abort_parts(&self, parts: &[(usize, TxnId)]) {
+        for &(s, t) in parts {
+            // Already-rolled-back participants answer NotActive; fine.
+            let _ = self.shards[s].abort(t);
+        }
+    }
+
+    /// Commits the session's participants. `parts` is in ascending
+    /// shard order (sessions are indexed by shard).
+    fn commit_parts(&self, gtxn: u64, parts: &[(usize, TxnId)]) -> Result<(), TxnError> {
+        let writers: Vec<(usize, TxnId)> = parts
+            .iter()
+            .copied()
+            .filter(|&(s, t)| self.shards[s].has_logged_writes(t))
+            .collect();
+
+        if self.coord.is_none() || writers.len() <= 1 {
+            // Fast path: at most one durable decision to make, so the
+            // lone writer's local commit record *is* the global decision
+            // (one fsync). Read-only participants just release locks.
+            // Without a coordinator log, multi-writer commits take this
+            // path too — atomic except under failpoint-injected faults,
+            // matching the in-memory single-tree guarantee.
+            for (i, &(s, t)) in parts.iter().enumerate() {
+                if let Err(e) = self.shards[s].commit(t) {
+                    // The failed participant rolled itself back; the
+                    // global transaction aborts, so release the rest.
+                    self.abort_parts(&parts[i + 1..]);
+                    return Err(e);
+                }
+            }
+            return Ok(());
+        }
+
+        // Full two-phase commit.
+        let coord = self.coord.as_ref().expect("coord checked above");
+        for &(s, t) in &writers {
+            if let Err(e) = self.shards[s].prepare_commit(t, gtxn) {
+                // No decision was logged: presumed abort everywhere.
+                self.abort_parts(parts);
+                return Err(e);
+            }
+        }
+        // Crash window A: every participant prepared, no decision yet.
+        // Recovery must presume abort.
+        dgl_faults::failpoint!("shard/2pc-before-decision" => {
+            self.crash_all_wals();
+            self.abort_parts(parts);
+            TxnError::Durability
+        });
+        let decided = coord
+            .append_commit(gtxn)
+            .and_then(|lsn| coord.wait_durable(lsn));
+        if decided.is_err() {
+            // The decision may or may not have reached disk — the
+            // coordinator log is poisoned, so nothing *later* commits
+            // either way; roll the participants back and report
+            // in-doubt. Recovery resolves against whatever the log
+            // actually holds.
+            self.abort_parts(parts);
+            return Err(TxnError::Durability);
+        }
+        // Crash window B: decision durable, participants not yet
+        // committed. Recovery must commit every prepared participant.
+        dgl_faults::failpoint!("shard/2pc-after-decision" => {
+            self.crash_all_wals();
+            self.abort_parts(parts);
+            TxnError::Durability
+        });
+        let mut result = Ok(());
+        for &(s, t) in parts {
+            // After the decision every participant must complete; an
+            // individual failure (poisoned shard log) leaves that
+            // participant prepared — recovery commits it from the
+            // decision log.
+            if let Err(e) = self.shards[s].commit(t) {
+                result = Err(e);
+            }
+        }
+        result
+    }
+
+    // --- testing / operational hooks -----------------------------------
+
+    /// Crashes every shard WAL and the coordinator log (page-cache-loss
+    /// model; see [`DglRTree::crash_wal`]). Crash-matrix testing hook.
+    pub fn crash_all_wals(&self) {
+        for s in &self.shards {
+            s.crash_wal();
+        }
+        if let Some(c) = &self.coord {
+            c.crash();
+        }
+    }
+
+    /// Checkpoints every shard (snapshot + log truncation). The
+    /// coordinator log is append-only and keeps its full history.
+    pub fn checkpoint(&self) -> Result<(), TxnError> {
+        for s in &self.shards {
+            s.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Drains every shard's maintenance queue (see [`DglRTree::quiesce`]).
+    pub fn quiesce(&self) -> Result<(), TxnError> {
+        for s in &self.shards {
+            s.quiesce()?;
+        }
+        Ok(())
+    }
+
+    /// Whether the index is durably backed (coordinator log attached).
+    pub fn is_durable(&self) -> bool {
+        self.coord.is_some()
+    }
+
+    // --- merged exports -------------------------------------------------
+
+    /// One operation-statistics view over the whole index: physical
+    /// per-shard work summed, with the global (router-level) commit and
+    /// executor counters in place of the per-participant ones — a
+    /// participant commit is an internal phase of a global commit, not
+    /// a second commit.
+    pub fn stats_snapshot(&self) -> OpStatsSnapshot {
+        let merged = self
+            .shards
+            .iter()
+            .map(|s| s.op_stats().snapshot())
+            .fold(OpStatsSnapshot::default(), |a, b| a.merge(&b));
+        let router = self.stats.snapshot();
+        OpStatsSnapshot {
+            commits: router.commits,
+            commit_nanos: router.commit_nanos,
+            exec_attempts: router.exec_attempts,
+            exec_retries: router.exec_retries,
+            exec_backoff_nanos: router.exec_backoff_nanos,
+            exec_panics: router.exec_panics,
+            exec_giveups: router.exec_giveups,
+            ..merged
+        }
+    }
+
+    /// One observability snapshot over the whole index: per-shard
+    /// registries merged metric-wise with the router registry, except
+    /// the commit-latency histogram, which is the router's alone (see
+    /// [`Self::stats_snapshot`] for the rationale).
+    pub fn obs_snapshot(&self) -> RegistrySnapshot {
+        let router = self.obs.snapshot();
+        let mut merged = self
+            .shards
+            .iter()
+            .map(|s| s.obs().snapshot())
+            .fold(router.clone(), |a, b| a.merge(&b));
+        merged.hists[Hist::Commit as usize] = router.hists[Hist::Commit as usize];
+        merged
+    }
+
+    /// Renders the merged registry as a Prometheus text dump.
+    pub fn prometheus_dump(&self) -> String {
+        dgl_obs::prometheus_text(&self.obs_snapshot())
+    }
+}
+
+impl TransactionalRTree for ShardedDglRTree {
+    fn begin(&self) -> TxnId {
+        let g = self.next_gtxn.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .insert(g, vec![None; self.shards.len()]);
+        TxnId(g)
+    }
+
+    fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
+        let start = Instant::now();
+        let parts: Vec<(usize, TxnId)> = {
+            let mut sessions = self.sessions.lock();
+            let parts = sessions.remove(&txn.0).ok_or(TxnError::NotActive)?;
+            parts
+                .iter()
+                .enumerate()
+                .filter_map(|(s, t)| t.map(|t| (s, t)))
+                .collect()
+        };
+        self.commit_parts(txn.0, &parts)?;
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        OpStats::bump(&self.stats.commits);
+        OpStats::add(&self.stats.commit_nanos, nanos);
+        self.obs.record(Hist::Commit, nanos);
+        Ok(())
+    }
+
+    fn abort(&self, txn: TxnId) -> Result<(), TxnError> {
+        let parts = self
+            .sessions
+            .lock()
+            .remove(&txn.0)
+            .ok_or(TxnError::NotActive)?;
+        for (s, t) in parts.iter().enumerate() {
+            if let Some(t) = t {
+                let _ = self.shards[s].abort(*t);
+            }
+        }
+        Ok(())
+    }
+
+    fn insert(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<(), TxnError> {
+        let s = self.grid.home_shard(&rect);
+        let t = self.participant(txn, s)?;
+        self.guard(txn, s, self.shards[s].insert(t, oid, rect))
+    }
+
+    fn delete(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<bool, TxnError> {
+        let s = self.grid.home_shard(&rect);
+        let t = self.participant(txn, s)?;
+        self.guard(txn, s, self.shards[s].delete(t, oid, rect))
+    }
+
+    fn read_single(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<Option<u64>, TxnError> {
+        let s = self.grid.home_shard(&rect);
+        let t = self.participant(txn, s)?;
+        self.guard(txn, s, self.shards[s].read_single(t, oid, rect))
+    }
+
+    fn update_single(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<bool, TxnError> {
+        let s = self.grid.home_shard(&rect);
+        let t = self.participant(txn, s)?;
+        self.guard(txn, s, self.shards[s].update_single(t, oid, rect))
+    }
+
+    fn read_scan(&self, txn: TxnId, query: Rect2) -> Result<Vec<ScanHit>, TxnError> {
+        let mut hits = Vec::new();
+        for s in self.grid.scan_shards(&query) {
+            let t = self.participant(txn, s)?;
+            hits.extend(self.guard(txn, s, self.shards[s].read_scan(t, query))?);
+        }
+        Ok(hits)
+    }
+
+    fn update_scan(&self, txn: TxnId, query: Rect2) -> Result<Vec<ScanHit>, TxnError> {
+        let mut hits = Vec::new();
+        for s in self.grid.scan_shards(&query) {
+            let t = self.participant(txn, s)?;
+            hits.extend(self.guard(txn, s, self.shards[s].update_scan(t, query))?);
+        }
+        Ok(hits)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let mut seen: HashSet<ObjectId> = HashSet::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.validate().map_err(|e| format!("shard {i}: {e}"))?;
+            // Object ids must be globally unique: routing is per-rect,
+            // so a duplicate oid inserted under a different rect would
+            // evade the shard-local duplicate check.
+            let dup = shard.with_tree(|t| {
+                t.all_objects()
+                    .into_iter()
+                    .find(|(oid, ..)| !seen.insert(*oid))
+            });
+            if let Some((oid, ..)) = dup {
+                return Err(format!("object {oid} present on multiple shards"));
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "dgl-sharded"
+    }
+
+    fn lock_stats(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(r, w), s| {
+            let (sr, sw) = s.lock_stats();
+            (r + sr, w + sw)
+        })
+    }
+
+    fn quiesce(&self) {
+        let _ = ShardedDglRTree::quiesce(self);
+    }
+
+    fn exec_stats(&self) -> Option<&OpStats> {
+        Some(&self.stats)
+    }
+
+    fn obs_registry(&self) -> Option<&Arc<Registry>> {
+        Some(&self.obs)
+    }
+}
+
+/// Reads the coordinator decision set: every `Commit { txn: gtxn }` in
+/// any segment under `dir`, plus the highest generation present.
+/// Lenient like all log reading — a torn tail on the live segment is a
+/// normal crash artifact, and a decision that did not survive the tear
+/// was never durable (its transaction is presumed aborted).
+fn read_decisions(dir: &Path) -> Result<(HashSet<u64>, u64, bool), RecoverError> {
+    let listing = scan_dir(dir)?;
+    let mut decisions = HashSet::new();
+    let mut max_gen = 0u64;
+    for &g in &listing.segments {
+        max_gen = max_gen.max(g);
+        let seg = read_segment(&segment_path(dir, g))?;
+        for rec in &seg.records {
+            if let WalRecord::Commit { txn } = rec {
+                decisions.insert(*txn);
+            }
+        }
+    }
+    Ok((decisions, max_gen, !listing.segments.is_empty()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(shards: usize) -> GridDirectory {
+        GridDirectory::new(Rect2::unit(), shards, 0.05)
+    }
+
+    fn small_rect(cx: f64, cy: f64) -> Rect2 {
+        Rect2::new([cx - 0.01, cy - 0.01], [cx + 0.01, cy + 0.01])
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let g = grid(4);
+        for i in 0..100 {
+            let r = small_rect(0.01 + (i as f64) * 0.0097 % 0.98, (i as f64) * 0.013 % 0.98);
+            let s = g.home_shard(&r);
+            assert!(s < 4);
+            assert_eq!(s, g.home_shard(&r), "routing must be pure");
+        }
+    }
+
+    #[test]
+    fn oversized_objects_route_to_overflow_shard() {
+        let g = grid(4);
+        let big = Rect2::new([0.2, 0.2], [0.9, 0.9]);
+        assert_eq!(g.home_shard(&big), 0);
+    }
+
+    #[test]
+    fn scans_cover_every_possible_home_shard() {
+        // Phantom-safety core property: for any query and any object
+        // rectangle intersecting it, the object's home shard is among
+        // the scanned shards.
+        let g = grid(7);
+        let mut checked = 0usize;
+        for qi in 0..12 {
+            let q = Rect2::new(
+                [0.08 * qi as f64 % 0.7, 0.05 * qi as f64 % 0.6],
+                [0.08 * qi as f64 % 0.7 + 0.2, 0.05 * qi as f64 % 0.6 + 0.25],
+            );
+            let scanned = g.scan_shards(&q);
+            for oi in 0..200 {
+                let r = small_rect(
+                    0.015 + (oi as f64 * 0.031) % 0.96,
+                    0.015 + (oi as f64 * 0.047) % 0.96,
+                );
+                if r.intersects(&q) {
+                    checked += 1;
+                    assert!(
+                        scanned.contains(&g.home_shard(&r)),
+                        "object {r:?} intersects {q:?} but its home shard \
+                         {} is not in {scanned:?}",
+                        g.home_shard(&r)
+                    );
+                }
+            }
+            assert!(scanned.contains(&0), "overflow shard always consulted");
+        }
+        assert!(checked > 100, "property test exercised too few pairs");
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let g = grid(1);
+        assert_eq!(g.home_shard(&Rect2::unit()), 0);
+        assert_eq!(g.scan_shards(&Rect2::unit()), vec![0]);
+    }
+}

@@ -53,7 +53,7 @@ mod traits;
 
 pub use dgl::{
     DglConfig, DglRTree, DurabilityConfig, InsertPolicy, MaintenanceConfig, MaintenanceMode,
-    RecoverError, WritePathMode,
+    RecoverError, ShardedDglRTree, ShardingConfig, WritePathMode,
 };
 pub use error::TxnError;
 pub use executor::{ExecError, RetryPolicy, TxnExecutor};

@@ -239,6 +239,52 @@ impl OpStatsSnapshot {
         }
     }
 
+    /// Counter-wise sum `self + other` (merging per-shard stats into one
+    /// report view; the queue-peak high-water mark takes the max).
+    pub fn merge(&self, other: &OpStatsSnapshot) -> OpStatsSnapshot {
+        macro_rules! sum {
+            ($f:ident) => {
+                self.$f + other.$f
+            };
+        }
+        OpStatsSnapshot {
+            inserts: sum!(inserts),
+            deletes: sum!(deletes),
+            read_singles: sum!(read_singles),
+            update_singles: sum!(update_singles),
+            read_scans: sum!(read_scans),
+            update_scans: sum!(update_scans),
+            op_retries: sum!(op_retries),
+            granule_changing_inserts: sum!(granule_changing_inserts),
+            deferred_deletes: sum!(deferred_deletes),
+            predicate_checks: sum!(predicate_checks),
+            maint_enqueued: sum!(maint_enqueued),
+            maint_completed: sum!(maint_completed),
+            maint_queue_peak: self.maint_queue_peak.max(other.maint_queue_peak),
+            deferred_retries: sum!(deferred_retries),
+            backoff_nanos: sum!(backoff_nanos),
+            plan_validation_failures: sum!(plan_validation_failures),
+            optimistic_replans: sum!(optimistic_replans),
+            x_latch_holds: sum!(x_latch_holds),
+            x_latch_nanos: sum!(x_latch_nanos),
+            commits: sum!(commits),
+            commit_nanos: sum!(commit_nanos),
+            exec_attempts: sum!(exec_attempts),
+            exec_retries: sum!(exec_retries),
+            exec_backoff_nanos: sum!(exec_backoff_nanos),
+            exec_panics: sum!(exec_panics),
+            exec_giveups: sum!(exec_giveups),
+            unwind_rollbacks: sum!(unwind_rollbacks),
+            apply_unwinds: sum!(apply_unwinds),
+            unwind_validate_failures: sum!(unwind_validate_failures),
+            maint_panics: sum!(maint_panics),
+            maint_requeues: sum!(maint_requeues),
+            maint_failed: sum!(maint_failed),
+            checkpoints: sum!(checkpoints),
+            checkpoint_failures: sum!(checkpoint_failures),
+        }
+    }
+
     /// Average commit-path latency in nanoseconds (0 when no commits).
     pub fn avg_commit_nanos(&self) -> u64 {
         self.commit_nanos.checked_div(self.commits).unwrap_or(0)

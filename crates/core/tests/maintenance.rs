@@ -63,7 +63,8 @@ fn recovery_applies_pending_deletions_before_first_txn() {
         let image = checkpoint_tree(&tree);
         let restored = restore_tree(&image).expect("checkpoint restores");
 
-        let db = DglRTree::from_snapshot(restored, snapshot_config(mode));
+        let db =
+            DglRTree::from_snapshot(restored, snapshot_config(mode)).expect("snapshot recovers");
         // `from_snapshot` drains the maintenance queue before returning,
         // so the tombstoned entries are already physically gone.
         assert_eq!(db.len(), 35, "{mode:?}: pending deletions applied");
@@ -111,7 +112,8 @@ fn from_snapshot_then_new_deferrals_drain_through_quiesce() {
         assert!(tree.set_tombstone(oid, rect, 7), "tombstone target exists");
     }
     let restored = restore_tree(&checkpoint_tree(&tree)).expect("restore");
-    let db = DglRTree::from_snapshot(restored, snapshot_config(MaintenanceMode::Background));
+    let db = DglRTree::from_snapshot(restored, snapshot_config(MaintenanceMode::Background))
+        .expect("snapshot recovers");
     assert_eq!(db.len(), 27, "snapshot tombstones drained at construction");
 
     // Refill the deferred queue through the normal path.

@@ -11,9 +11,12 @@ use std::sync::Mutex;
 
 use common::{dgl, dgl_background, r};
 use dgl_core::{
-    DglRTree, InsertPolicy, ObjectId, Rect2, RetryPolicy, TransactionalRTree, TxnError, TxnExecutor,
+    DglConfig, DglRTree, InsertPolicy, MaintenanceConfig, MaintenanceMode, ObjectId, Rect2,
+    RetryPolicy, TransactionalRTree, TxnError, TxnExecutor,
 };
 use dgl_faults::FaultSpec;
+use dgl_rtree::codec::{checkpoint_tree, restore_tree};
+use dgl_rtree::{RTree2, RTreeConfig};
 
 // The failpoint registry is process-global; tests arming faults must not
 // overlap (cargo runs tests in this binary concurrently).
@@ -250,5 +253,48 @@ fn maintenance_permafailure_surfaces_through_quiesce() {
         assert_eq!(db.latch_probe(), (true, true));
         assert_eq!(db.txn_manager().active_count(), 0);
         assert_eq!(db.lock_manager().resource_count(), 0);
+    }
+}
+
+/// A deliberately inconsistent snapshot — tombstoned entries whose
+/// pending physical deletions cannot be applied — must make
+/// `from_snapshot` return `Err(TxnError::MaintenanceFailed)`, never
+/// panic or hang (the satellite bugfix: recovery used to take the
+/// process down on the first bad image).
+#[test]
+fn from_snapshot_with_inconsistent_image_returns_error() {
+    for mode in [MaintenanceMode::Inline, MaintenanceMode::Background] {
+        // A crash image with committed-but-unapplied deletions.
+        let mut tree = RTree2::new(RTreeConfig::with_fanout(6), Rect2::unit());
+        let mut rects = Vec::new();
+        for i in 0..20u64 {
+            let x = 0.04 * i as f64;
+            let rect = r([x, x * 0.5], [x + 0.02, x * 0.5 + 0.02]);
+            tree.insert(ObjectId(i), rect);
+            rects.push((ObjectId(i), rect));
+        }
+        for &i in &[4u64, 9, 14] {
+            let (oid, rect) = rects[i as usize];
+            assert!(tree.set_tombstone(oid, rect, 3), "tombstone target exists");
+        }
+        let restored = restore_tree(&checkpoint_tree(&tree)).expect("restore");
+
+        let _l = lock_faults();
+        let _g = dgl_faults::register("maint/deferred", FaultSpec::panic());
+        let config = DglConfig {
+            rtree: RTreeConfig::with_fanout(6),
+            world: Rect2::unit(),
+            policy: InsertPolicy::Modified,
+            maintenance: MaintenanceConfig {
+                mode,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(
+            DglRTree::from_snapshot(restored, config).map(|_| ()),
+            Err(TxnError::MaintenanceFailed),
+            "{mode:?}: inconsistent image surfaces as an error, not a panic"
+        );
     }
 }

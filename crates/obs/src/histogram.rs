@@ -153,6 +153,20 @@ impl HistogramSnapshot {
         out
     }
 
+    /// Bucket-wise sum `self + other` (merging per-shard registries into
+    /// one export view).
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+        };
+        for i in 0..BUCKETS {
+            out.buckets[i] = self.buckets[i] + other.buckets[i];
+        }
+        out
+    }
+
     /// The value at quantile `q` in `[0, 1]`, reported as the upper bound
     /// of the bucket containing it (conservative: the true value is never
     /// larger). `0` when the histogram is empty.

@@ -352,6 +352,25 @@ impl RegistrySnapshot {
             ctrs: std::array::from_fn(|i| self.ctrs[i] - earlier.ctrs[i]),
         }
     }
+
+    /// Metric-wise sum `self + other`: histograms merge bucket-wise,
+    /// counters add. How a sharded index presents its per-shard
+    /// registries as one export view.
+    pub fn merge(&self, other: &RegistrySnapshot) -> RegistrySnapshot {
+        RegistrySnapshot {
+            hists: std::array::from_fn(|i| self.hists[i].merge(&other.hists[i])),
+            ctrs: std::array::from_fn(|i| self.ctrs[i] + other.ctrs[i]),
+        }
+    }
+}
+
+impl Default for RegistrySnapshot {
+    fn default() -> Self {
+        RegistrySnapshot {
+            hists: std::array::from_fn(|_| HistogramSnapshot::default()),
+            ctrs: [0; Ctr::ALL.len()],
+        }
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +387,22 @@ mod tests {
         reg.set_enabled(true);
         reg.record(Hist::LockWait, 100);
         assert_eq!(reg.hist(Hist::LockWait).count, 1);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_per_metric() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.record(Hist::Commit, 8);
+        a.incr(Ctr::WalFsyncs);
+        b.record(Hist::Commit, 16);
+        b.add(Ctr::WalFsyncs, 3);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.hist(Hist::Commit).count, 2);
+        assert_eq!(merged.hist(Hist::Commit).sum, 24);
+        assert_eq!(merged.ctr(Ctr::WalFsyncs), 4);
+        let merged = merged.merge(&RegistrySnapshot::default());
+        assert_eq!(merged.hist(Hist::Commit).count, 2);
     }
 
     #[test]

@@ -535,6 +535,7 @@ mod tests {
         WalRecord::Checkpoint {
             gen,
             undo: Vec::new(),
+            prepared: Vec::new(),
         }
     }
 

@@ -31,6 +31,7 @@ const TAG_DELETE: u8 = 3;
 const TAG_COMMIT: u8 = 4;
 const TAG_ABORT: u8 = 5;
 const TAG_CHECKPOINT: u8 = 6;
+const TAG_PREPARE: u8 = 7;
 
 const UNDO_INSERT: u8 = 1;
 const UNDO_DELETE: u8 = 2;
@@ -104,6 +105,16 @@ pub enum WalRecord {
         /// Transaction id.
         txn: u64,
     },
+    /// Two-phase-commit prepare: this participant's writes are durable
+    /// and it will commit iff the coordinator logged a decision for
+    /// `gtxn`. A prepared transaction is in doubt until a local `Commit`
+    /// or `Abort` follows — recovery consults the coordinator log.
+    Prepare {
+        /// Local (per-shard) transaction id.
+        txn: u64,
+        /// Global transaction id the coordinator decides on.
+        gtxn: u64,
+    },
     /// First record of a segment: anchors the segment to the snapshot of
     /// the same generation and carries the undo lists of transactions
     /// active at the cut.
@@ -112,6 +123,12 @@ pub enum WalRecord {
         gen: u64,
         /// Undo lists of transactions with applied-but-uncommitted ops.
         undo: Vec<UndoEntry>,
+        /// `(txn, gtxn)` pairs of transactions prepared under 2PC but
+        /// undecided at the cut. Their undo lists ride in `undo`; the
+        /// mapping here lets recovery resolve them against the
+        /// coordinator log even after the `Prepare` record itself was
+        /// rotated away.
+        prepared: Vec<(u64, u64)>,
     },
 }
 
@@ -226,7 +243,16 @@ pub fn encode_payload(rec: &WalRecord) -> Vec<u8> {
             buf.push(TAG_ABORT);
             put_u64(&mut buf, *txn);
         }
-        WalRecord::Checkpoint { gen, undo } => {
+        WalRecord::Prepare { txn, gtxn } => {
+            buf.push(TAG_PREPARE);
+            put_u64(&mut buf, *txn);
+            put_u64(&mut buf, *gtxn);
+        }
+        WalRecord::Checkpoint {
+            gen,
+            undo,
+            prepared,
+        } => {
             buf.push(TAG_CHECKPOINT);
             put_u64(&mut buf, *gen);
             put_u64(&mut buf, undo.len() as u64);
@@ -247,6 +273,11 @@ pub fn encode_payload(rec: &WalRecord) -> Vec<u8> {
                         }
                     }
                 }
+            }
+            put_u64(&mut buf, prepared.len() as u64);
+            for (txn, gtxn) in prepared {
+                put_u64(&mut buf, *txn);
+                put_u64(&mut buf, *gtxn);
             }
         }
     }
@@ -344,6 +375,10 @@ pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, WalError> {
         },
         TAG_COMMIT => WalRecord::Commit { txn: c.u64("txn")? },
         TAG_ABORT => WalRecord::Abort { txn: c.u64("txn")? },
+        TAG_PREPARE => WalRecord::Prepare {
+            txn: c.u64("txn")?,
+            gtxn: c.u64("gtxn")?,
+        },
         TAG_CHECKPOINT => {
             let gen = c.u64("gen")?;
             let n = c.u64("undo count")?;
@@ -371,7 +406,19 @@ pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, WalError> {
                 }
                 undo.push(UndoEntry { txn, ops });
             }
-            WalRecord::Checkpoint { gen, undo }
+            let p_n = c.u64("prepared count")?;
+            let p_cap = usize::try_from(p_n.min(payload.len() as u64 / 16 + 1)).unwrap_or(0);
+            let mut prepared = Vec::with_capacity(p_cap);
+            for _ in 0..p_n {
+                let txn = c.u64("prepared txn")?;
+                let gtxn = c.u64("prepared gtxn")?;
+                prepared.push((txn, gtxn));
+            }
+            WalRecord::Checkpoint {
+                gen,
+                undo,
+                prepared,
+            }
         }
         other => return Err(WalError::Corrupt(format!("unknown record tag {other}"))),
     };
@@ -444,6 +491,7 @@ mod tests {
             },
             WalRecord::Commit { txn: 7 },
             WalRecord::Abort { txn: 9 },
+            WalRecord::Prepare { txn: 13, gtxn: 99 },
             WalRecord::Checkpoint {
                 gen: 3,
                 undo: vec![
@@ -465,6 +513,7 @@ mod tests {
                         ops: vec![],
                     },
                 ],
+                prepared: vec![(11, 99), (12, 100)],
             },
         ]
     }

@@ -280,7 +280,7 @@ fn run_command(
                 return Err("cannot load with active transactions".into());
             }
             let tree = rtree::load_tree(std::path::Path::new(path)).map_err(|e| e.to_string())?;
-            *db = DglRTree::from_snapshot(tree, config(mode));
+            *db = DglRTree::from_snapshot(tree, config(mode)).map_err(|e| e.to_string())?;
             Ok(Some(format!("loaded {} objects from {path}", db.len())))
         }
         "open" => {

@@ -165,7 +165,8 @@ fn snapshot_file_roundtrip_through_the_transactional_layer() {
         save_tree(&image, &path).unwrap();
     });
 
-    let restored = DglRTree::from_snapshot(load_tree(&path).unwrap(), DglConfig::default());
+    let restored =
+        DglRTree::from_snapshot(load_tree(&path).unwrap(), DglConfig::default()).unwrap();
     std::fs::remove_file(&path).ok();
     // Recovery completed the deferred deletion of the tombstoned entry.
     assert_eq!(restored.len(), 299);

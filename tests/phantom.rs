@@ -417,3 +417,292 @@ fn skipping_cover_lock_admits_a_phantom() {
         "phantom: rescan diverged inside one transaction"
     );
 }
+
+// --- sharded-router oracle ----------------------------------------------
+
+use granular_rtree::core::{ShardedDglRTree, ShardingConfig};
+
+fn build_sharded(shards: usize, maint: MaintenanceMode) -> Arc<ShardedDglRTree> {
+    Arc::new(ShardedDglRTree::new(
+        DglConfig {
+            rtree: RTreeConfig::with_fanout(8),
+            policy: InsertPolicy::Modified,
+            lock: LockManagerConfig {
+                wait_timeout: Duration::from_millis(50),
+                ..Default::default()
+            },
+            maintenance: MaintenanceConfig {
+                mode: maint,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ShardingConfig {
+            shards,
+            max_object_extent: 0.05,
+        },
+    ))
+}
+
+fn scan_set_dyn(db: &dyn TransactionalRTree, txn: TxnId) -> Result<BTreeSet<(u64, u64)>, TxnError> {
+    Ok(db
+        .read_scan(txn, REGION)?
+        .iter()
+        .map(|h| (h.oid.0, h.version))
+        .collect())
+}
+
+/// The rescan-divergence oracle against the sharded router: [`REGION`]
+/// straddles every shard of a 2×2 grid, so the searcher's predicate is
+/// a scatter-gather scan holding Table-3 granule S-locks on *each*
+/// shard, and every writer that would create a phantom must collide
+/// with the consulted shard that owns its home cell.
+fn sharded_oracle_run(seed: u64, shards: usize, maint: MaintenanceMode) {
+    let db = build_sharded(shards, maint);
+    let mut rng = XorShift::new(seed);
+
+    // Preload (~40 % inside the predicate), one committed transaction.
+    let mut inside: Vec<(ObjectId, Rect2)> = Vec::new();
+    let txn = db.begin();
+    for i in 0..400u64 {
+        let oid = ObjectId(1_000_000 + i);
+        let rect = if rng.chance(0.4) {
+            let r = rect_inside(&mut rng);
+            inside.push((oid, r));
+            r
+        } else {
+            rect_outside(&mut rng)
+        };
+        db.insert(txn, oid, rect).expect("preload insert");
+    }
+    db.commit(txn).expect("preload commit");
+    let inside_oids: BTreeSet<u64> = inside.iter().map(|(o, _)| o.0).collect();
+
+    let start = Arc::new(Barrier::new(WRITERS as usize + 1));
+    type WriterOut = (Vec<u64>, Vec<u64>);
+    let (baseline, writer_outs): (BTreeSet<(u64, u64)>, Vec<WriterOut>) = crossbeam::scope(|s| {
+        let searcher = {
+            let db = Arc::clone(&db);
+            let start = Arc::clone(&start);
+            s.spawn(move |_| -> BTreeSet<(u64, u64)> {
+                let mut released = Some(start);
+                loop {
+                    let txn = db.begin();
+                    let baseline = match scan_set_dyn(&*db, txn) {
+                        Ok(set) => set,
+                        Err(TxnError::Deadlock | TxnError::Timeout) => continue,
+                        Err(e) => panic!("searcher scan: {e}"),
+                    };
+                    if let Some(b) = released.take() {
+                        b.wait();
+                    }
+                    let mut aborted = false;
+                    for _ in 0..RESCANS {
+                        std::thread::sleep(Duration::from_millis(25));
+                        match scan_set_dyn(&*db, txn) {
+                            Ok(again) => assert_eq!(
+                                baseline, again,
+                                "phantom: sharded rescan diverged inside one transaction"
+                            ),
+                            Err(TxnError::Deadlock | TxnError::Timeout) => {
+                                aborted = true;
+                                break;
+                            }
+                            Err(e) => panic!("searcher rescan: {e}"),
+                        }
+                    }
+                    if aborted {
+                        continue;
+                    }
+                    db.commit(txn).expect("searcher commit");
+                    return baseline;
+                }
+            })
+        };
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let db = Arc::clone(&db);
+                let start = Arc::clone(&start);
+                let mut targets: Vec<(ObjectId, Rect2)> = inside
+                    .iter()
+                    .skip(w as usize)
+                    .step_by(WRITERS as usize)
+                    .copied()
+                    .collect();
+                s.spawn(move |_| -> WriterOut {
+                    start.wait();
+                    let mut rng = XorShift::new(seed ^ (w + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let (mut ins_inside, mut deleted) = (Vec::new(), Vec::new());
+                    let mut committed = 0u64;
+                    let mut serial = 0u64;
+                    while committed < WRITER_COMMITS {
+                        enum Plan {
+                            Ins(ObjectId, Rect2, bool),
+                            Del(ObjectId, Rect2),
+                        }
+                        let plan = if rng.chance(0.2) && !targets.is_empty() {
+                            let (oid, rect) = targets[targets.len() - 1];
+                            Plan::Del(oid, rect)
+                        } else {
+                            serial += 1;
+                            let oid = ObjectId(((w + 1) << 40) | serial);
+                            let ins = rng.chance(0.6);
+                            let rect = if ins {
+                                rect_inside(&mut rng)
+                            } else {
+                                rect_outside(&mut rng)
+                            };
+                            Plan::Ins(oid, rect, ins)
+                        };
+                        let txn = db.begin();
+                        let outcome = match &plan {
+                            Plan::Ins(oid, rect, _) => db.insert(txn, *oid, *rect),
+                            Plan::Del(oid, rect) => db.delete(txn, *oid, *rect).map(|found| {
+                                assert!(found, "writer {w}: own delete target vanished");
+                            }),
+                        };
+                        match outcome.and_then(|()| db.commit(txn)) {
+                            Ok(()) => {
+                                committed += 1;
+                                match plan {
+                                    Plan::Ins(oid, _, true) => ins_inside.push(oid.0),
+                                    Plan::Ins(..) => {}
+                                    Plan::Del(oid, _) => {
+                                        targets.pop();
+                                        deleted.push(oid.0);
+                                    }
+                                }
+                            }
+                            Err(TxnError::Deadlock | TxnError::Timeout) => continue,
+                            Err(e) => panic!("writer {w}: {e}"),
+                        }
+                    }
+                    (ins_inside, deleted)
+                })
+            })
+            .collect();
+        let outs = writers.into_iter().map(|h| h.join().unwrap()).collect();
+        (searcher.join().unwrap(), outs)
+    })
+    .unwrap();
+
+    assert_eq!(
+        baseline
+            .iter()
+            .map(|(oid, _)| *oid)
+            .collect::<BTreeSet<_>>(),
+        inside_oids,
+        "searcher baseline must be the preloaded predicate content"
+    );
+
+    // End state across all shards: preload ∪ inside-inserts − deletes.
+    TransactionalRTree::quiesce(&*db);
+    db.validate().expect("sharded invariants");
+    let mut expected = inside_oids;
+    for (ins, dels) in &writer_outs {
+        expected.extend(ins.iter().copied());
+        for d in dels {
+            expected.remove(d);
+        }
+    }
+    let txn = db.begin();
+    let final_oids: BTreeSet<u64> = scan_set_dyn(&*db, txn)
+        .expect("final scan")
+        .into_iter()
+        .map(|(oid, _)| oid)
+        .collect();
+    db.commit(txn).expect("final commit");
+    assert_eq!(
+        final_oids, expected,
+        "committed writes must be exactly the region's final content"
+    );
+
+    // Vacuousness guard: some writer must actually have waited on a
+    // shard's predicate locks during the run.
+    let (_, waits) = db.lock_stats();
+    assert!(
+        waits > 0,
+        "oracle vacuous: no lock ever waited across {shards} shards"
+    );
+}
+
+/// The oracle across a 2×2 shard grid (the predicate spans all four).
+#[test]
+fn phantom_oracle_sharded_grid() {
+    let _serial = serialize();
+    sharded_oracle_run(0xA5, 4, MaintenanceMode::Inline);
+}
+
+/// Same with background maintenance and a shard count that does not
+/// divide the grid evenly (3 shards on a 2×2 grid: one shard owns two
+/// cells).
+#[test]
+fn phantom_oracle_sharded_uneven_background() {
+    let _serial = serialize();
+    sharded_oracle_run(0xB6, 3, MaintenanceMode::Background);
+}
+
+/// Deterministic cross-shard blocking: a searcher's scatter-gather scan
+/// holds granule S-locks on every consulted shard, so an insert into
+/// *any* overlapped shard blocks until the searcher commits.
+#[test]
+fn sharded_scan_blocks_cross_shard_insert() {
+    let _serial = serialize();
+    let db = build_sharded(4, MaintenanceMode::Inline);
+    let mut rng = XorShift::new(0xC7);
+    let txn = db.begin();
+    for i in 0..60u64 {
+        db.insert(txn, ObjectId(i + 1), rect_outside(&mut rng))
+            .expect("preload");
+    }
+    // Dense cluster near [0.9, 0.9] so that corner gets a tight leaf
+    // granule disjoint from the (inflated) scan predicate — otherwise a
+    // coarse granule could legitimately cover both and the later
+    // "disjoint insert commits freely" step would be false blocking.
+    for i in 0..40u64 {
+        let x = 0.88 + 0.001 * i as f64;
+        db.insert(
+            txn,
+            ObjectId(500 + i),
+            Rect2::new([x, x], [x + 0.003, x + 0.003]),
+        )
+        .expect("cluster preload");
+    }
+    db.commit(txn).expect("preload commit");
+
+    let searcher = db.begin();
+    let first = db.read_scan(searcher, REGION).expect("first scan");
+
+    // Inserts inside the predicate, aimed at two different quadrants
+    // (different home shards), must both block.
+    for rect in [
+        Rect2::new([0.40, 0.40], [0.404, 0.404]),
+        Rect2::new([0.60, 0.60], [0.604, 0.604]),
+    ] {
+        let w = db.begin();
+        match db.insert(w, ObjectId(9_000 + rect.lo[0] as u64), rect) {
+            Err(TxnError::Timeout | TxnError::Deadlock) => {}
+            Ok(()) => panic!("insert inside a sharded predicate did not block"),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    // A disjoint insert (different shard region, outside the predicate)
+    // commits freely while the predicate is held.
+    let w = db.begin();
+    db.insert(w, ObjectId(9_100), Rect2::new([0.9, 0.9], [0.904, 0.904]))
+        .expect("disjoint insert");
+    db.commit(w).expect("disjoint commit");
+
+    let second = db.read_scan(searcher, REGION).expect("rescan");
+    let a: BTreeSet<u64> = first.iter().map(|h| h.oid.0).collect();
+    let b: BTreeSet<u64> = second.iter().map(|h| h.oid.0).collect();
+    assert_eq!(a, b, "sharded router admitted a phantom");
+    db.commit(searcher).expect("searcher commit");
+
+    // Predicate released: the same insert goes through.
+    let w = db.begin();
+    db.insert(w, ObjectId(9_200), Rect2::new([0.40, 0.40], [0.404, 0.404]))
+        .expect("post-commit insert");
+    db.commit(w).expect("post-commit commit");
+    db.validate().expect("validate");
+}

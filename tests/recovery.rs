@@ -806,3 +806,242 @@ fn recovery_drains_replayed_deferred_deletions() {
     recovered.commit(txn).expect("commit");
     recovered.validate().expect("validate");
 }
+
+// --- cross-shard two-phase-commit crash matrix --------------------------
+
+use granular_rtree::core::{ShardedDglRTree, ShardingConfig};
+
+/// A small rect centered on `(cx, cy)` — with 4 shards over the unit
+/// world the grid is 2×2, so the four quadrant centers land on four
+/// distinct shards.
+fn rect_at(cx: f64, cy: f64) -> Rect2 {
+    Rect2::new([cx - 0.004, cy - 0.004], [cx + 0.004, cy + 0.004])
+}
+
+fn sharded_contents(db: &ShardedDglRTree) -> BTreeMap<u64, Rect2> {
+    let txn = db.begin();
+    let hits = db.read_scan(txn, Rect2::unit()).expect("full scan");
+    db.commit(txn).expect("scan commit");
+    hits.iter().map(|h| (h.oid.0, h.rect)).collect()
+}
+
+/// One 2PC crash cell: a committed cross-shard baseline, then a
+/// cross-shard transaction whose coordinator dies at `failpoint` —
+/// either between the participant prepares and the decision record
+/// (`shard/2pc-before-decision`: recovery must presume abort on every
+/// shard) or between the decision record and the participant commits
+/// (`shard/2pc-after-decision`: recovery must commit every prepared
+/// participant from the decision log). Both ways the outcome must be
+/// atomic across shards, and the acked baseline intact.
+fn run_2pc_cell(failpoint: &'static str, survives: bool, sync: SyncPolicy) {
+    let _serial = serialize();
+    let label = format!("2pc[{failpoint} sync={sync:?}]");
+    let _watchdog = Watchdog::arm(&label);
+    let dir = TempDir::new("2pc");
+    let config = durable_config(sync, MaintenanceMode::Inline, None);
+    let sharding = ShardingConfig {
+        shards: 4,
+        max_object_extent: 0.05,
+    };
+    let db =
+        ShardedDglRTree::open(dir.path(), config.clone(), sharding.clone()).expect("open fresh");
+    assert!(db.is_durable());
+
+    // Acked baseline: single-shard commits on each quadrant (fast path)
+    // plus one clean cross-shard commit through full 2PC.
+    let centers = [(0.25, 0.25), (0.75, 0.25), (0.25, 0.75), (0.75, 0.75)];
+    let mut oracle = BTreeMap::new();
+    for (i, (cx, cy)) in centers.iter().enumerate() {
+        let oid = 1 + i as u64;
+        let rect = rect_at(*cx, *cy);
+        let txn = db.begin();
+        db.insert(txn, ObjectId(oid), rect)
+            .expect("baseline insert");
+        db.commit(txn).expect("baseline commit");
+        oracle.insert(oid, rect);
+    }
+    {
+        let txn = db.begin();
+        for (i, (cx, cy)) in centers.iter().enumerate() {
+            let oid = 10 + i as u64;
+            let rect = rect_at(cx - 0.05, cy - 0.05);
+            db.insert(txn, ObjectId(oid), rect).expect("cross insert");
+            oracle.insert(oid, rect);
+        }
+        db.commit(txn).expect("clean cross-shard commit");
+    }
+    assert_eq!(sharded_contents(&db), oracle, "baseline before crash");
+
+    // The doomed cross-shard transaction: two writers on two shards.
+    let doomed = [(101u64, rect_at(0.25, 0.35)), (102u64, rect_at(0.75, 0.65))];
+    let txn = db.begin();
+    for (oid, rect) in &doomed {
+        db.insert(txn, ObjectId(*oid), *rect)
+            .expect("doomed insert");
+    }
+    let guard = dgl_faults::register(failpoint, FaultSpec::error());
+    let res = db.commit(txn);
+    drop(guard);
+    assert!(
+        matches!(res, Err(TxnError::Durability)),
+        "{label}: crashed commit must report in-doubt, got {res:?}"
+    );
+    drop(db);
+
+    let recovered =
+        ShardedDglRTree::open(dir.path(), config.clone(), sharding.clone()).expect("recover");
+    let seen = sharded_contents(&recovered);
+    let mut expected = oracle.clone();
+    if survives {
+        for (oid, rect) in &doomed {
+            expected.insert(*oid, *rect);
+        }
+    }
+    assert_eq!(
+        seen, expected,
+        "{label}: in-doubt cross-shard transaction resolved wrong (or \
+         non-atomically) against the coordinator log"
+    );
+    recovered
+        .validate()
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    drop(recovered);
+
+    // Idempotence: resolving the same in-doubt state again changes
+    // nothing (decisions are append-only and never pruned).
+    let again = ShardedDglRTree::open(dir.path(), config, sharding).expect("second recover");
+    assert_eq!(
+        sharded_contents(&again),
+        expected,
+        "{label}: second recovery changed the contents"
+    );
+}
+
+#[test]
+fn matrix_2pc_coordinator_dies_before_decision() {
+    run_2pc_cell("shard/2pc-before-decision", false, SyncPolicy::Immediate);
+    run_2pc_cell(
+        "shard/2pc-before-decision",
+        false,
+        SyncPolicy::Batch(Duration::from_millis(2)),
+    );
+}
+
+#[test]
+fn matrix_2pc_coordinator_dies_after_decision() {
+    run_2pc_cell("shard/2pc-after-decision", true, SyncPolicy::Immediate);
+    run_2pc_cell(
+        "shard/2pc-after-decision",
+        true,
+        SyncPolicy::Batch(Duration::from_millis(2)),
+    );
+}
+
+/// Seeded mixed workload against the sharded tree with a probabilistic
+/// 2PC crash: single-shard and cross-shard transactions interleave
+/// until the failpoint kills the logs mid-2PC; recovery must keep every
+/// acked commit and resolve the one in-doubt transaction atomically.
+#[test]
+fn matrix_2pc_seeded_workload_in_doubt_atomicity() {
+    for (failpoint, survives) in [
+        ("shard/2pc-before-decision", false),
+        ("shard/2pc-after-decision", true),
+    ] {
+        let _serial = serialize();
+        let label = format!("2pc-seeded[{failpoint}]");
+        let _watchdog = Watchdog::arm(&label);
+        let dir = TempDir::new("2pc-seeded");
+        let config = durable_config(SyncPolicy::Immediate, MaintenanceMode::Inline, None);
+        let sharding = ShardingConfig {
+            shards: 4,
+            max_object_extent: 0.05,
+        };
+        let db = ShardedDglRTree::open(dir.path(), config.clone(), sharding.clone())
+            .expect("open fresh");
+        let mut rng = XorShift::new(0x2FC0 ^ failpoint.len() as u64);
+
+        // Fires on the 5th full-2PC commit — deterministic, so the cell
+        // always does real (acked) work first.
+        let guard = dgl_faults::register(failpoint, FaultSpec::error().nth(5));
+        let mut committed = BTreeMap::new();
+        let mut in_doubt: Option<Vec<(u64, Rect2)>> = None;
+        let mut acked = 0u64;
+        let mut next_oid = 1u64;
+        for _ in 0..120 {
+            let cross = rng.chance(0.4);
+            let txn = db.begin();
+            let mut ops = Vec::new();
+            let mut failed = false;
+            for _ in 0..if cross { 2 } else { 1 } {
+                let oid = next_oid;
+                next_oid += 1;
+                // Cross-shard ops scatter over quadrants; single-shard
+                // ops stay in one.
+                let (bx, by) = if cross {
+                    (
+                        if ops.is_empty() { 0.1 } else { 0.6 },
+                        if ops.is_empty() { 0.1 } else { 0.6 },
+                    )
+                } else {
+                    (0.1, 0.1)
+                };
+                let x = bx + rng.f64() * 0.3;
+                let y = by + rng.f64() * 0.3;
+                let rect = Rect2::new([x, y], [x + 0.005, y + 0.005]);
+                match db.insert(txn, ObjectId(oid), rect) {
+                    Ok(()) => ops.push((oid, rect)),
+                    Err(TxnError::Durability) => {
+                        failed = true;
+                        break;
+                    }
+                    Err(e) => panic!("{label}: op failed: {e}"),
+                }
+            }
+            if failed {
+                break;
+            }
+            match db.commit(txn) {
+                Ok(()) => {
+                    for (oid, rect) in ops {
+                        committed.insert(oid, rect);
+                    }
+                    acked += 1;
+                }
+                Err(TxnError::Durability) => {
+                    in_doubt = Some(ops);
+                    break;
+                }
+                Err(e) => panic!("{label}: commit failed: {e}"),
+            }
+        }
+        drop(guard);
+        db.crash_all_wals();
+        drop(db);
+
+        let recovered = ShardedDglRTree::open(dir.path(), config, sharding).expect("recover");
+        let seen = sharded_contents(&recovered);
+        let mut expected = committed.clone();
+        match &in_doubt {
+            Some(ops) => {
+                // Our failpoints have a known resolution; assert it, and
+                // with it atomicity (all ops or none, never a subset).
+                if survives {
+                    for (oid, rect) in ops {
+                        expected.insert(*oid, *rect);
+                    }
+                }
+                assert_eq!(seen, expected, "{label}: wrong in-doubt resolution");
+            }
+            None => assert_eq!(seen, expected, "{label}: acked commits diverged"),
+        }
+        assert!(acked > 5, "{label}: workload must do real work");
+        recovered
+            .validate()
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        eprintln!(
+            "{label}: {acked} acked, in-doubt: {}, {} live objects",
+            in_doubt.is_some(),
+            seen.len()
+        );
+    }
+}

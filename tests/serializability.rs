@@ -135,3 +135,23 @@ fn zorder_key_range_locking_is_serializable() {
         ..Default::default()
     })));
 }
+
+#[test]
+fn sharded_dgl_is_serializable() {
+    use granular_rtree::core::{ShardedDglRTree, ShardingConfig};
+    // The scan region straddles all four quadrants, so every
+    // transaction is a cross-shard scatter-gather read plus a
+    // single-shard write — the router must compose the per-shard
+    // Table-3 guarantees into one serializable global history.
+    assert_serializable_counts(Arc::new(ShardedDglRTree::new(
+        DglConfig {
+            rtree: RTreeConfig::with_fanout(6),
+            policy: InsertPolicy::Modified,
+            ..Default::default()
+        },
+        ShardingConfig {
+            shards: 4,
+            max_object_extent: 0.05,
+        },
+    )));
+}
