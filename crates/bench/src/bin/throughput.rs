@@ -110,6 +110,12 @@ fn main() {
              (pessimistic / optimistic, read-heavy 90/10 mix, {max_threads} threads)"
         );
     }
+    if let Some(snap) = throughput::headline_snapshot_speedup(&rows) {
+        println!(
+            "headline: snapshot reads / locked reads = {snap:.2}x aggregate ops/sec \
+             (scan-heavy mix, {max_threads} threads; scans issue zero lock requests)"
+        );
+    }
     if let Some(tax) = throughput::headline_durability_tax(&rows) {
         println!(
             "headline: durable commit p95 = {tax:.2}x non-durable \

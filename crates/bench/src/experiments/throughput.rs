@@ -19,10 +19,10 @@ use std::time::{Duration, Instant};
 use dgl_core::baseline::TreeLockRTree;
 use dgl_core::{
     DglConfig, DglRTree, DurabilityConfig, InsertPolicy, OpStatsSnapshot, ShardedDglRTree,
-    ShardingConfig, SyncPolicy, TransactionalRTree, WritePathMode,
+    ShardingConfig, SnapshotReadRTree, SyncPolicy, TransactionalRTree, WritePathMode,
 };
 use dgl_lockmgr::LockManagerConfig;
-use dgl_obs::{Hist, RegistrySnapshot};
+use dgl_obs::{Ctr, Hist, RegistrySnapshot};
 use dgl_rtree::RTreeConfig;
 use dgl_workload::{DriveConfig, Op, OpMix, OpStream};
 
@@ -113,6 +113,7 @@ pub fn mixes() -> Vec<(&'static str, OpMix)> {
         ("read-heavy-90-10", read_heavy),
         ("balanced", OpMix::balanced()),
         ("write-heavy", OpMix::write_heavy()),
+        ("scan-heavy", OpMix::scan_heavy()),
     ]
 }
 
@@ -123,6 +124,9 @@ struct Contender {
     label: String,
     db: Arc<dyn TransactionalRTree>,
     dgl: Option<Arc<DglRTree>>,
+    /// The snapshot-read wrapper (`dgl-snapshot`): its inner tree carries
+    /// the concrete counters.
+    snap: Option<Arc<SnapshotReadRTree>>,
     sharded: Option<Arc<ShardedDglRTree>>,
     /// Shard count (1 for every single-tree contender).
     shards: u64,
@@ -195,11 +199,15 @@ fn contenders(cfg: &ThroughputConfig) -> Vec<Contender> {
     let pessimistic = dgl_with(WritePathMode::Pessimistic);
     let (durable, durable_dir) = durable_with("durable", true);
     let (durable_off, durable_off_dir) = durable_with("durable-off", false);
+    let snapshot = Arc::new(SnapshotReadRTree::new(DglRTree::new(base_config(
+        WritePathMode::Optimistic,
+    ))));
     let mut out = vec![
         Contender {
             label: "dgl-optimistic".to_string(),
             db: Arc::<DglRTree>::clone(&optimistic) as Arc<dyn TransactionalRTree>,
             dgl: Some(optimistic),
+            snap: None,
             sharded: None,
             shards: 1,
             _dir: None,
@@ -208,6 +216,7 @@ fn contenders(cfg: &ThroughputConfig) -> Vec<Contender> {
             label: "dgl-pessimistic".to_string(),
             db: Arc::<DglRTree>::clone(&pessimistic) as Arc<dyn TransactionalRTree>,
             dgl: Some(pessimistic),
+            snap: None,
             sharded: None,
             shards: 1,
             _dir: None,
@@ -216,6 +225,7 @@ fn contenders(cfg: &ThroughputConfig) -> Vec<Contender> {
             label: "dgl-durable".to_string(),
             db: Arc::<DglRTree>::clone(&durable) as Arc<dyn TransactionalRTree>,
             dgl: Some(durable),
+            snap: None,
             sharded: None,
             shards: 1,
             _dir: Some(durable_dir),
@@ -224,6 +234,7 @@ fn contenders(cfg: &ThroughputConfig) -> Vec<Contender> {
             label: "dgl-durable-off".to_string(),
             db: Arc::<DglRTree>::clone(&durable_off) as Arc<dyn TransactionalRTree>,
             dgl: Some(durable_off),
+            snap: None,
             sharded: None,
             shards: 1,
             _dir: Some(durable_off_dir),
@@ -236,6 +247,20 @@ fn contenders(cfg: &ThroughputConfig) -> Vec<Contender> {
                 lock.clone(),
             )),
             dgl: None,
+            snap: None,
+            sharded: None,
+            shards: 1,
+            _dir: None,
+        },
+        // MVCC snapshot reads over the same optimistic protocol: writes
+        // unchanged, reads through a per-transaction snapshot with zero
+        // lock-manager traffic. The delta against `dgl-optimistic` on
+        // the scan-heavy mix is the snapshot-vs-locking headline.
+        Contender {
+            label: "dgl-snapshot".to_string(),
+            db: Arc::<SnapshotReadRTree>::clone(&snapshot) as Arc<dyn TransactionalRTree>,
+            dgl: None,
+            snap: Some(snapshot),
             sharded: None,
             shards: 1,
             _dir: None,
@@ -256,6 +281,7 @@ fn contenders(cfg: &ThroughputConfig) -> Vec<Contender> {
             label: format!("dgl-sharded-{n}"),
             db: Arc::<ShardedDglRTree>::clone(&sharded) as Arc<dyn TransactionalRTree>,
             dgl: None,
+            snap: None,
             sharded: Some(sharded),
             shards: n.max(1),
             _dir: None,
@@ -311,6 +337,23 @@ pub struct ThroughputRow {
     pub x_latch_p95_nanos: Option<u64>,
     /// 99th-percentile exclusive-latch hold, nanoseconds (DGL only).
     pub x_latch_p99_nanos: Option<u64>,
+    /// Lock waits attributed to region scans (count). `0` on every
+    /// `dgl-snapshot` row: its scans issue no lock-manager requests, so
+    /// the scan kind vanishes from the per-op wait histogram.
+    pub lock_wait_scan_count: Option<u64>,
+    /// 95th-percentile scan lock-wait, nanoseconds.
+    pub lock_wait_scan_p95_nanos: Option<u64>,
+    /// Lock waits attributed to point reads (count).
+    pub lock_wait_point_count: Option<u64>,
+    /// 95th-percentile point-read lock-wait, nanoseconds.
+    pub lock_wait_point_p95_nanos: Option<u64>,
+    /// Lock waits attributed to writes (count).
+    pub lock_wait_write_count: Option<u64>,
+    /// 95th-percentile write lock-wait, nanoseconds.
+    pub lock_wait_write_p95_nanos: Option<u64>,
+    /// Snapshot scans served over the measured interval (MVCC read path;
+    /// `0` for the locking contenders).
+    pub snapshot_scans: Option<u64>,
     /// Median commit latency, nanoseconds. For the durable contender
     /// this includes the group-commit fsync wait.
     pub commit_p50_nanos: Option<u64>,
@@ -408,8 +451,16 @@ fn one_pass(
     .unwrap()
 }
 
+/// The concrete single-tree handle, reaching through the snapshot-read
+/// wrapper when that is the contender.
+fn dgl_handle(c: &Contender) -> Option<&DglRTree> {
+    c.dgl
+        .as_deref()
+        .or_else(|| c.snap.as_deref().map(SnapshotReadRTree::inner))
+}
+
 fn op_snapshot(c: &Contender) -> Option<OpStatsSnapshot> {
-    match (&c.dgl, &c.sharded) {
+    match (dgl_handle(c), &c.sharded) {
         (Some(d), _) => Some(d.op_stats().snapshot()),
         (_, Some(s)) => Some(s.stats_snapshot()),
         _ => None,
@@ -417,7 +468,7 @@ fn op_snapshot(c: &Contender) -> Option<OpStatsSnapshot> {
 }
 
 fn obs_snapshot(c: &Contender) -> Option<RegistrySnapshot> {
-    match (&c.dgl, &c.sharded) {
+    match (dgl_handle(c), &c.sharded) {
         (Some(d), _) => Some(d.obs().snapshot()),
         (_, Some(s)) => Some(s.obs_snapshot()),
         // Baselines report through the trait's registry hook.
@@ -469,17 +520,23 @@ fn run_point(
     // reuses one index across thread counts, so take per-point deltas.
     // The exclusive-latch histogram only exists for DGL contenders —
     // `tree-lock` has no structure latch, so those columns stay None.
-    let is_dgl = c.dgl.is_some() || c.sharded.is_some();
-    let (wait, hold, commit) = match (obs_snapshot(c), obs_before) {
+    let is_dgl = dgl_handle(c).is_some() || c.sharded.is_some();
+    let (wait, hold, commit, kinds, snap_scans) = match (obs_snapshot(c), obs_before) {
         (Some(after), Some(before)) => {
             let delta = after.since(&before);
             (
                 Some(*delta.hist(Hist::LockWait)),
                 is_dgl.then(|| *delta.hist(Hist::LatchHold)),
                 Some(*delta.hist(Hist::Commit)),
+                Some([
+                    *delta.hist(Hist::LockWaitScan),
+                    *delta.hist(Hist::LockWaitPoint),
+                    *delta.hist(Hist::LockWaitWrite),
+                ]),
+                Some(delta.ctr(Ctr::SnapshotScans)),
             )
         }
-        _ => (None, None, None),
+        _ => (None, None, None, None, None),
     };
     ThroughputRow {
         protocol: c.label.clone(),
@@ -497,6 +554,13 @@ fn run_point(
         lock_wait_p50_nanos: wait.map(|h| h.p50()),
         lock_wait_p95_nanos: wait.map(|h| h.p95()),
         lock_wait_p99_nanos: wait.map(|h| h.p99()),
+        lock_wait_scan_count: kinds.map(|k| k[0].count),
+        lock_wait_scan_p95_nanos: kinds.map(|k| k[0].p95()),
+        lock_wait_point_count: kinds.map(|k| k[1].count),
+        lock_wait_point_p95_nanos: kinds.map(|k| k[1].p95()),
+        lock_wait_write_count: kinds.map(|k| k[2].count),
+        lock_wait_write_p95_nanos: kinds.map(|k| k[2].p95()),
+        snapshot_scans: snap_scans,
         x_latch_p50_nanos: hold.map(|h| h.p50()),
         x_latch_p95_nanos: hold.map(|h| h.p95()),
         x_latch_p99_nanos: hold.map(|h| h.p99()),
@@ -523,9 +587,13 @@ pub fn run_sweep_with_dump(cfg: &ThroughputConfig) -> (Vec<ThroughputRow>, Strin
         for c in contenders(cfg) {
             preload(&c.db, mix, cfg);
             for &threads in &cfg.threads {
+                eprintln!(
+                    "cell: mix={mix_label} contender={} threads={threads}",
+                    c.label
+                );
                 rows.push(run_point(&c, mix_label, mix, threads, cfg));
             }
-            if let Some(d) = &c.dgl {
+            if let Some(d) = dgl_handle(&c) {
                 dump.push_str(&format!("# contender {} mix {}\n", c.label, mix_label));
                 dump.push_str(&d.prometheus_dump());
                 dump.push('\n');
@@ -555,7 +623,7 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"lock_wait_scan_count\": {}, \"lock_wait_scan_p95_nanos\": {}, \"lock_wait_point_count\": {}, \"lock_wait_point_p95_nanos\": {}, \"lock_wait_write_count\": {}, \"lock_wait_write_p95_nanos\": {}, \"snapshot_scans\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
             r.protocol,
             r.mix,
             r.threads,
@@ -571,6 +639,13 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
             json_opt(r.lock_wait_p50_nanos),
             json_opt(r.lock_wait_p95_nanos),
             json_opt(r.lock_wait_p99_nanos),
+            json_opt(r.lock_wait_scan_count),
+            json_opt(r.lock_wait_scan_p95_nanos),
+            json_opt(r.lock_wait_point_count),
+            json_opt(r.lock_wait_point_p95_nanos),
+            json_opt(r.lock_wait_write_count),
+            json_opt(r.lock_wait_write_p95_nanos),
+            json_opt(r.snapshot_scans),
             json_opt(r.x_latch_p50_nanos),
             json_opt(r.x_latch_p95_nanos),
             json_opt(r.x_latch_p99_nanos),
@@ -615,6 +690,14 @@ pub fn render(rows: &[ThroughputRow]) -> String {
                     r.lock_wait_p95_nanos,
                     r.lock_wait_p99_nanos,
                 ),
+                match (
+                    r.lock_wait_scan_count,
+                    r.lock_wait_point_count,
+                    r.lock_wait_write_count,
+                ) {
+                    (Some(s), Some(p), Some(w)) => format!("{s}/{p}/{w}"),
+                    _ => "-".to_string(),
+                },
                 tri(
                     r.x_latch_p50_nanos,
                     r.x_latch_p95_nanos,
@@ -635,6 +718,7 @@ pub fn render(rows: &[ThroughputRow]) -> String {
             "Aborts",
             "Replans",
             "Wait µs p50/95/99",
+            "Waits scan/pt/wr",
             "X-latch µs p50/95/99",
             "Commit µs p50/95/99",
         ],
@@ -705,6 +789,25 @@ pub fn headline_durability_tax(rows: &[ThroughputRow]) -> Option<f64> {
     Some(pick("dgl-durable")? / off)
 }
 
+/// Snapshot-vs-locking headline: `dgl-snapshot` over `dgl-optimistic`
+/// aggregate ops/sec on the scan-heavy mix at the highest swept thread
+/// count — what trading locked scans for MVCC snapshot scans buys on the
+/// workload built to show it. Like the other throughput ratios it only
+/// reflects parallelism when cores ≥ threads.
+pub fn headline_snapshot_speedup(rows: &[ThroughputRow]) -> Option<f64> {
+    let max_threads = rows.iter().map(|r| r.threads).max()?;
+    let pick = |proto: &str| {
+        rows.iter()
+            .find(|r| r.protocol == proto && r.mix == "scan-heavy" && r.threads == max_threads)
+            .map(|r| r.ops_per_sec)
+    };
+    let base = pick("dgl-optimistic")?;
+    if base == 0.0 {
+        return None;
+    }
+    Some(pick("dgl-snapshot")? / base)
+}
+
 /// Sharded scaling headline: the best sharded contender's aggregate
 /// ops/sec over the single-tree optimistic contender, read-heavy mix at
 /// the highest swept thread count. Returns `(shard_count, ratio)`.
@@ -737,7 +840,9 @@ mod tests {
     fn smoke_sweep_runs_and_serializes() {
         // Deliberately tiny: timing-based tests (table4, maintenance)
         // share this test binary and must not be starved of cores. The
-        // 50ms floor still exercises the repeat-until-floor machinery.
+        // 30ms floor still exercises the repeat-until-floor machinery
+        // (and keeps the total measured time flat as the sweep grows
+        // cells — 56 × 30ms here ≈ the historical 36 × 50ms).
         let cfg = ThroughputConfig {
             threads: vec![1, 2],
             txns_per_thread: 5,
@@ -747,11 +852,11 @@ mod tests {
             seed: 3,
             obs_recording: true,
             shards: vec![2],
-            min_cell_secs: 0.05,
+            min_cell_secs: 0.03,
         };
         let (rows, prom) = run_sweep_with_dump(&cfg);
-        // 3 mixes × 6 contenders × 2 thread counts.
-        assert_eq!(rows.len(), 36);
+        // 4 mixes × 7 contenders × 2 thread counts.
+        assert_eq!(rows.len(), 56);
         let base = cfg.txns_per_thread;
         for r in &rows {
             assert!(r.ops_per_sec > 0.0, "{r:?}");
@@ -789,6 +894,23 @@ mod tests {
             assert!(p95 <= p99, "{r:?}");
             assert!(r.commit_p95_nanos.expect("dgl commit p95") > 0, "{r:?}");
         }
+        // The snapshot contender's scans never touch the lock manager:
+        // the scan kind is absent from its per-op wait histogram on every
+        // row, while its MVCC scan counter proves the scans actually ran.
+        for r in rows.iter().filter(|r| r.protocol == "dgl-snapshot") {
+            assert_eq!(r.lock_wait_scan_count, Some(0), "{r:?}");
+            assert_eq!(r.lock_wait_point_count, Some(0), "{r:?}");
+        }
+        let snap_scans: u64 = rows
+            .iter()
+            .filter(|r| r.protocol == "dgl-snapshot")
+            .map(|r| r.snapshot_scans.expect("snapshot ctr"))
+            .sum();
+        assert!(snap_scans > 0, "snapshot contender never scanned");
+        // Locking contenders, conversely, never take the snapshot path.
+        for r in rows.iter().filter(|r| r.protocol == "dgl-optimistic") {
+            assert_eq!(r.snapshot_scans, Some(0), "{r:?}");
+        }
         // The sharded contender reports its shard count on every row.
         assert!(rows
             .iter()
@@ -803,10 +925,16 @@ mod tests {
         assert!(json.contains("lock_wait_p95_nanos"));
         // tree-lock's structurally-absent metrics serialize as null.
         assert!(json.contains("\"x_latch_p95_nanos\": null"));
+        assert!(json.contains("dgl-snapshot"));
+        assert!(json.contains("\"mix\": \"scan-heavy\""));
+        assert!(json.contains("lock_wait_scan_count"));
+        assert!(json.contains("\"snapshot_scans\": 0"));
         assert!(prom.contains("# contender dgl-optimistic mix read-heavy-90-10"));
+        assert!(prom.contains("# contender dgl-snapshot mix scan-heavy"));
         assert!(prom.contains("# contender dgl-sharded-2 mix balanced"));
         assert!(prom.contains("dgl_x_latch_hold_nanos_count"));
         assert!(headline_speedup(&rows).unwrap() > 0.0);
+        assert!(headline_snapshot_speedup(&rows).unwrap() > 0.0);
         assert!(headline_x_latch_reduction(&rows).unwrap() > 0.0);
         let (n, ratio) = headline_shard_scaling(&rows).expect("shard headline");
         assert_eq!(n, 2);

@@ -74,7 +74,10 @@ impl DglCore {
         // to clean up beyond the guard below, making this the safe place
         // for chaos schedules to kill maintenance work.
         dgl_faults::failpoint!("maint/deferred");
-        let _gate = self.deferred_gate.lock();
+        // Exclusive: one system operation at a time, and snapshot readers
+        // (who hold the gate shared) never observe the multi-latch-session
+        // window while condensation orphans are out of the tree.
+        let _gate = self.deferred_gate.write();
         let sys = self.tm.begin();
         self.lm.set_system(sys);
         let mut cleanup = SysCleanup {
@@ -131,8 +134,31 @@ impl DglCore {
                     let result = apply.apply_delete(&plan);
                     // Tree entry and payload entry vanish atomically under
                     // the exclusive latch — the latchless duplicate probe
-                    // in `insert_op` depends on this.
-                    self.payload_table().remove(&d.oid);
+                    // in `insert_op` depends on this. If an active snapshot
+                    // predates the delete, the version chain moves to the
+                    // dead-object side table (still under the latch, so a
+                    // snapshot scan holding the shared latch sees the
+                    // object in exactly one of the two places); otherwise
+                    // it is dropped outright. Recovery-fed tombstones have
+                    // only a bootstrap version (timestamp 0), so they can
+                    // never be retired — no snapshot predates them.
+                    // (The guard drops at the statement end — the clock
+                    // probe below must not run while the payload table is
+                    // held; the clock mutex sits above it.)
+                    let chain = self.payload_table().remove(&d.oid);
+                    if let Some(chain) = chain {
+                        let retire = self
+                            .clock
+                            .min_active()
+                            .is_some_and(|min| min < chain.latest_ts());
+                        if retire {
+                            self.dead.lock().push(super::mvcc::DeadObject {
+                                oid: d.oid,
+                                rect: d.rect,
+                                chain,
+                            });
+                        }
+                    }
                     drop(apply);
                     debug_assert_eq!(
                         {

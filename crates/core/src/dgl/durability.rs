@@ -69,6 +69,7 @@ use dgl_obs::Hist;
 use dgl_rtree::codec::{checkpoint_tree, restore_tree, TreeCheckpoint};
 use dgl_rtree::persist::{decode_file_image, encode_file_image};
 use dgl_rtree::{ObjectId, PersistError, RTree2};
+use dgl_txn::CommitClock;
 use dgl_wal::{
     read_segment, scan_dir, segment_path, snapshot_path, SegmentData, SyncPolicy, UndoEntry,
     UndoOp, Wal, WalConfig, WalError, WalRecord,
@@ -369,7 +370,7 @@ impl DglCore {
         // mid-flight spans several latch sessions (orphan re-insertion),
         // and a cut between them would capture orphans outside the tree.
         // Also serializes concurrent checkpoints.
-        let _gate = self.deferred_gate.lock();
+        let _gate = self.deferred_gate.write();
         let (info, image) = {
             let _cut = self.commit_cut.write();
             let tree = self.latch_shared();
@@ -487,7 +488,7 @@ impl DglRTree {
         fs::create_dir_all(dir)?;
         let listing = scan_dir(dir)?;
         if listing.segments.is_empty() && listing.snapshots.is_empty() {
-            let db = Self::new_in_memory_shell(&config);
+            let db = Self::new_in_memory_shell(&config, Arc::new(CommitClock::new()));
             db.attach_fresh_generation(dir, 0, &config)?;
             return Ok(db);
         }
@@ -506,7 +507,12 @@ impl DglRTree {
     /// [`Self::recover_with_resolver`] with the coordinator's decision
     /// log instead.
     pub fn recover(dir: impl AsRef<Path>, config: DglConfig) -> Result<Self, RecoverError> {
-        Self::recover_with_resolver(dir.as_ref(), config, &|_| false)
+        Self::recover_with_resolver(
+            dir.as_ref(),
+            config,
+            &|_| false,
+            Arc::new(CommitClock::new()),
+        )
     }
 
     /// [`Self::recover`] with an in-doubt resolver: `resolver(gtxn)`
@@ -523,12 +529,13 @@ impl DglRTree {
         dir: &Path,
         config: DglConfig,
         resolver: &dyn Fn(u64) -> bool,
+        clock: Arc<CommitClock>,
     ) -> Result<Self, RecoverError> {
         let t0 = Instant::now();
         let listing = scan_dir(dir)?;
         if listing.segments.is_empty() && listing.snapshots.is_empty() {
             // Nothing to recover: equivalent to a fresh open.
-            let db = Self::new_in_memory_shell(&config);
+            let db = Self::new_in_memory_shell(&config, clock);
             db.attach_fresh_generation(dir, 0, &config)?;
             return Ok(db);
         }
@@ -592,7 +599,7 @@ impl DglRTree {
                 ));
             }
             drop(segments);
-            let db = Self::new_in_memory_shell(&config);
+            let db = Self::new_in_memory_shell(&config, clock);
             db.attach_fresh_generation(dir, max_gen + 1, &config)?;
             return Ok(db);
         };
@@ -690,7 +697,11 @@ impl DglRTree {
         // Surviving tombstones belong to committed deleters whose
         // deferred physical deletion never ran; `from_snapshot` feeds
         // them back through the maintenance subsystem and drains it.
-        let db = Self::from_snapshot(tree, config.clone()).map_err(RecoverError::Replay)?;
+        // Version chains rebuild as the replay below runs through the
+        // normal write path on the (fresh) clock — GC state is in-memory
+        // only, so nothing is lost by a crash mid-GC.
+        let db = Self::from_snapshot_with_clock(tree, config.clone(), clock)
+            .map_err(RecoverError::Replay)?;
 
         // Replay the committed tail through the normal write path, each
         // transaction at its commit position (= its 2PL serialization
@@ -767,12 +778,12 @@ impl DglRTree {
     }
 
     /// An empty index shaped by `config` with no log attached yet.
-    fn new_in_memory_shell(config: &DglConfig) -> Self {
+    fn new_in_memory_shell(config: &DglConfig, clock: Arc<CommitClock>) -> Self {
         let tree = match config.buffer_pages {
             Some(pages) => RTree2::with_buffer(config.rtree, config.world, pages),
             None => RTree2::new(config.rtree, config.world),
         };
-        Self::build(tree, std::collections::HashMap::new(), config)
+        Self::build(tree, std::collections::HashMap::new(), config, clock)
     }
 
     /// Publishes the current tree as generation `gen` (snapshot + fresh

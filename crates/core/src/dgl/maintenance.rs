@@ -142,6 +142,16 @@ impl MaintenanceHandle {
         }
     }
 
+    /// Hands a version-GC request to the subsystem: runs it now (inline)
+    /// or enqueues it behind the pending work (background), so snapshot
+    /// drops never pay for chain pruning in background mode.
+    pub(crate) fn dispatch_version_gc(&self, core: &DglCore) {
+        match self {
+            Self::Inline => core.run_version_gc(),
+            Self::Background(w) => w.enqueue_version_gc(core),
+        }
+    }
+
     /// Blocks until every dispatched deletion (and queued checkpoint) has
     /// finished executing, then reports whether any deletion was dropped
     /// after exhausting its retry budget
@@ -212,6 +222,10 @@ struct QueuedDelete {
 enum WorkItem {
     Delete(QueuedDelete),
     Checkpoint,
+    /// MVCC version-GC pass (prune version chains below the min-active
+    /// snapshot watermark). Dispatched by snapshot drops; deduped by
+    /// `DglCore::gc_pending`.
+    VersionGc,
 }
 
 struct QueueState {
@@ -298,6 +312,21 @@ impl MaintenanceWorker {
         let _ = core.run_checkpoint_guarded();
     }
 
+    /// Version-GC requests skip the capacity backpressure like
+    /// checkpoints (rare, deduped by `gc_pending`); on shutdown the
+    /// request runs inline.
+    fn enqueue_version_gc(&self, core: &DglCore) {
+        {
+            let mut st = self.shared.state.lock();
+            if !st.shutdown {
+                st.queue.push_back(WorkItem::VersionGc);
+                self.shared.cond.notify_all();
+                return;
+            }
+        }
+        core.run_version_gc();
+    }
+
     fn wait_drained(&self) {
         let mut st = self.shared.state.lock();
         while !st.queue.is_empty() || st.running > 0 {
@@ -372,6 +401,13 @@ fn worker_loop(core: &DglCore, shared: &Shared) {
                 if catch_unwind(AssertUnwindSafe(|| core.run_checkpoint_guarded())).is_err() {
                     OpStats::bump(&core.stats.checkpoint_failures);
                 }
+                continue;
+            }
+            WorkItem::VersionGc => {
+                // GC is best-effort: a panic (injected fault) leaves the
+                // chains untouched — the next snapshot drop re-dispatches.
+                // The `gc_pending` flag resets via the drop guard inside.
+                let _ = catch_unwind(AssertUnwindSafe(|| core.run_version_gc()));
                 continue;
             }
         };

@@ -55,25 +55,31 @@
 //! acquire it while holding the tree latch (either mode), but must never
 //! acquire or wait for the tree latch while holding it. All latch and
 //! payload-table accesses go through `DglCore`'s helpers, which enforce
-//! the ordering with a debug assertion.
+//! the ordering with a debug assertion. The MVCC commit clock's internal
+//! mutex sits *above* the payload table (commit stamping holds the clock
+//! while touching `payloads`); never touch the clock while holding the
+//! payload table.
 
 mod deferred;
 mod durability;
 mod maintenance;
+mod mvcc;
 mod ops_read;
 mod ops_write;
 mod shard;
 
 pub use durability::{DurabilityConfig, RecoverError};
 pub use maintenance::{MaintenanceConfig, MaintenanceMode};
-pub use shard::{ShardedDglRTree, ShardingConfig};
+pub use mvcc::{MvccStats, Snapshot, SnapshotReadRTree};
+pub use shard::{ShardedDglRTree, ShardedSnapshot, ShardingConfig};
 
 use maintenance::MaintenanceHandle;
+use mvcc::{DeadObject, VersionChain};
 
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -88,7 +94,7 @@ use dgl_lockmgr::{
 };
 use dgl_pager::PageId;
 use dgl_rtree::{ObjectId, RTree2, RTreeConfig};
-use dgl_txn::{Journal, TxnManager};
+use dgl_txn::{CommitClock, Journal, TxnManager};
 
 use dgl_obs::{Hist, Registry};
 
@@ -236,10 +242,32 @@ pub(crate) struct DglCore {
     pub(crate) tm: TxnManager,
     pub(crate) undo: Journal<UndoRecord>,
     pub(crate) deferred: Journal<DeferredDelete>,
-    /// Payload versions of live objects (also the duplicate-oid check).
-    pub(crate) payloads: Mutex<HashMap<ObjectId, u64>>,
-    /// Serializes post-commit deferred deletions (system operations).
-    pub(crate) deferred_gate: Mutex<()>,
+    /// Version chains of live objects (also the duplicate-oid check).
+    /// The chain head's value is the payload version the locking paths
+    /// read and bump; older entries exist only for MVCC snapshots.
+    pub(crate) payloads: Mutex<HashMap<ObjectId, VersionChain>>,
+    /// Physically removed objects whose versions an active snapshot can
+    /// still see (pruned by the version GC). A leaf lock like
+    /// `payloads`; taken after it, never before.
+    pub(crate) dead: Mutex<Vec<DeadObject>>,
+    /// The MVCC commit clock + active-snapshot registry. Shared across
+    /// every shard of a sharded index so one snapshot timestamp is
+    /// consistent index-wide. Ordering: the clock's internal mutex may
+    /// be held while taking `payloads` (commit stamping), never the
+    /// reverse.
+    pub(crate) clock: Arc<CommitClock>,
+    /// A version-GC pass has been dispatched and not yet run (dedupes
+    /// requests, mirrors `ckpt_pending`).
+    pub(crate) gc_pending: AtomicBool,
+    /// Snapshot drops since startup (every [`mvcc`] `GC_EVERY_DROPS`]th
+    /// triggers a GC dispatch).
+    pub(crate) gc_drops: AtomicU64,
+    /// Serializes post-commit deferred deletions (system operations) and
+    /// checkpoints, which hold it exclusively. Snapshot reads hold it
+    /// *shared*: they take no granule locks, so this is what keeps them
+    /// from observing the multi-latch-session window while condensation
+    /// orphans are out of the tree.
+    pub(crate) deferred_gate: RwLock<()>,
     pub(crate) policy: InsertPolicy,
     pub(crate) write_path: WritePathMode,
     pub(crate) coarse_external: bool,
@@ -294,11 +322,11 @@ thread_local! {
 /// Obtained via [`DglCore::payload_table`] — never lock
 /// `DglCore::payloads` directly.
 pub(crate) struct PayloadsGuard<'a> {
-    inner: MutexGuard<'a, HashMap<ObjectId, u64>>,
+    inner: MutexGuard<'a, HashMap<ObjectId, VersionChain>>,
 }
 
 impl Deref for PayloadsGuard<'_> {
-    type Target = HashMap<ObjectId, u64>;
+    type Target = HashMap<ObjectId, VersionChain>;
     fn deref(&self) -> &Self::Target {
         &self.inner
     }
@@ -462,7 +490,12 @@ impl std::fmt::Debug for DglRTree {
 impl DglRTree {
     /// Assembles a core + maintenance handle around an existing tree and
     /// payload map (shared tail of every constructor).
-    fn build(tree: RTree2, payloads: HashMap<ObjectId, u64>, config: &DglConfig) -> Self {
+    fn build(
+        tree: RTree2,
+        payloads: HashMap<ObjectId, VersionChain>,
+        config: &DglConfig,
+        clock: Arc<CommitClock>,
+    ) -> Self {
         let obs = Self::new_registry(config);
         tree.io_stats().attach_obs(Arc::clone(&obs));
         let lm = Arc::new(LockManager::with_obs(
@@ -476,7 +509,11 @@ impl DglRTree {
             undo: Journal::new(),
             deferred: Journal::new(),
             payloads: Mutex::new(payloads),
-            deferred_gate: Mutex::new(()),
+            dead: Mutex::new(Vec::new()),
+            clock,
+            gc_pending: AtomicBool::new(false),
+            gc_drops: AtomicU64::new(0),
+            deferred_gate: RwLock::new(()),
             policy: config.policy,
             write_path: config.write_path,
             coarse_external: config.coarse_external_granule,
@@ -499,11 +536,18 @@ impl DglRTree {
 
     /// Creates an empty index.
     pub fn new(config: DglConfig) -> Self {
+        Self::new_with_clock(config, Arc::new(CommitClock::new()))
+    }
+
+    /// Creates an empty index on a caller-provided commit clock (sharded
+    /// indexes hand every shard the same clock so one snapshot timestamp
+    /// is consistent index-wide).
+    pub(crate) fn new_with_clock(config: DglConfig, clock: Arc<CommitClock>) -> Self {
         let tree = match config.buffer_pages {
             Some(pages) => RTree2::with_buffer(config.rtree, config.world, pages),
             None => RTree2::new(config.rtree, config.world),
         };
-        Self::build(tree, HashMap::new(), &config)
+        Self::build(tree, HashMap::new(), &config, clock)
     }
 
     /// Rebuilds a transactional index around a tree restored from a
@@ -523,6 +567,16 @@ impl DglRTree {
     /// the caller decides whether to surface, retry from an older
     /// generation, or discard — the process is never taken down.
     pub fn from_snapshot(tree: RTree2, config: DglConfig) -> Result<Self, TxnError> {
+        Self::from_snapshot_with_clock(tree, config, Arc::new(CommitClock::new()))
+    }
+
+    /// [`Self::from_snapshot`] on a caller-provided commit clock (used by
+    /// sharded recovery so every shard shares one clock).
+    pub(crate) fn from_snapshot_with_clock(
+        tree: RTree2,
+        config: DglConfig,
+        clock: Arc<CommitClock>,
+    ) -> Result<Self, TxnError> {
         // Tombstoned entries are committed-but-unapplied deletions; they
         // stay in the tree (and in `payloads`, keeping their ids reserved)
         // until the maintenance pass below removes them.
@@ -532,12 +586,15 @@ impl DglRTree {
             .filter(|(_, _, tombstone)| tombstone.is_some())
             .map(|(oid, rect, _)| DeferredDelete { oid, rect })
             .collect();
-        let payloads: HashMap<ObjectId, u64> = tree
+        // Restored payload versions restart at 1 as a single bootstrap
+        // version (timestamp 0, visible to every snapshot) — version
+        // history is not part of the snapshot image.
+        let payloads: HashMap<ObjectId, VersionChain> = tree
             .all_objects()
             .into_iter()
-            .map(|(oid, ..)| (oid, 1))
+            .map(|(oid, ..)| (oid, VersionChain::bootstrap(1)))
             .collect();
-        let db = Self::build(tree, payloads, &config);
+        let db = Self::build(tree, payloads, &config, clock);
         for d in pending {
             db.maint.dispatch(&db.core, d);
         }
@@ -625,6 +682,94 @@ impl DglRTree {
     /// name generic drivers use via [`TransactionalRTree::exec_stats`]).
     pub fn stats(&self) -> &OpStats {
         &self.core.stats
+    }
+
+    // --- commit phases --------------------------------------------------
+    //
+    // `commit` = phase_durable → stamp_commit_versions → finish. The
+    // sharded router drives the phases itself so it can stamp every
+    // participant's pending versions under ONE clock critical section
+    // (a cross-shard snapshot then sees all of a global transaction's
+    // effects or none).
+
+    /// Commit phase 1: make the commit durable (WAL commit record on
+    /// disk). On any error the transaction is rolled back and gone; on
+    /// `Ok(())` it is still active and holds all its locks, and the
+    /// caller must proceed to stamping + [`Self::commit_finish`].
+    pub(crate) fn commit_phase_durable(&self, txn: TxnId) -> Result<(), TxnError> {
+        self.core.check_active(txn)?;
+        // A panic past this point must not leave the transaction holding
+        // locks.
+        let _unwind = UnwindRollback {
+            core: &self.core,
+            txn,
+        };
+        // Failpoint: abort instead of committing — the clean-abort flavor
+        // of a commit-time fault (the Panic flavor exercises the guard).
+        dgl_faults::failpoint!("dgl/commit" => {
+            self.core.rollback_now(txn);
+            TxnError::Injected
+        });
+        // Durability point: the commit record must be on disk before any
+        // lock is released or any effect becomes post-commit (deferred
+        // deletions). A flush failure means the commit may or may not be
+        // durable (its batch can have partially reached disk before the
+        // log died); the transaction is rolled back locally and the
+        // caller sees `TxnError::Durability` — in-doubt, resolved by
+        // recovery. No *later* commit can succeed off a poisoned log, so
+        // the divergence cannot compound.
+        match self.core.wal_commit_begin(txn) {
+            Ok(None) => Ok(()),
+            Ok(Some(lsn)) => {
+                if let Err(e) = self.core.wal_commit_wait(txn, lsn) {
+                    self.core.rollback_now(txn);
+                    return Err(e);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.core.rollback_now(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Commit phase 3: release locks, dispatch deferred deletions, and
+    /// record commit statistics. Infallible; the commit is already
+    /// durable and (if versioned) stamped.
+    pub(crate) fn commit_finish(&self, txn: TxnId, start: Instant) {
+        // An inline deferred deletion below can panic (injected faults);
+        // the guard keeps a still-active transaction from wedging the
+        // lock table. (After `tm.commit` the transaction is no longer
+        // active and the guard is a no-op.)
+        let _unwind = UnwindRollback {
+            core: &self.core,
+            txn,
+        };
+        let deferred = self.core.deferred.take(txn);
+        let _ = self.core.undo.take(txn);
+        // Release all locks first: the deferred deletions run as *system
+        // operations* under fresh ids ("executed as a separate operation",
+        // §3.6) and would otherwise block on this transaction's own
+        // commit-duration locks. Visibility stays correct in the window:
+        // the tombstones persist until each deferred deletion runs.
+        self.core.tm.commit(txn);
+        self.core.wal_finish(txn);
+        // Inline mode executes the deletions here; background mode only
+        // enqueues them — the commit-latency split the maintenance
+        // subsystem exists for.
+        for d in deferred {
+            self.maint.dispatch(&self.core, d);
+        }
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        OpStats::bump(&self.core.stats.commits);
+        OpStats::add(&self.core.stats.commit_nanos, nanos);
+        self.core.obs.record(Hist::Commit, nanos);
+        // Enough log grew since the last cut? Hand a checkpoint to the
+        // maintenance subsystem (runs here in inline mode).
+        if self.core.should_auto_checkpoint() {
+            self.maint.dispatch_checkpoint(&self.core);
+        }
     }
 }
 
@@ -802,9 +947,22 @@ impl DglCore {
                         let tree = tree.as_mut().expect("delete undo latched the tree");
                         let cleared = tree.clear_tombstone(oid, rect);
                         debug_assert!(cleared, "undo of delete found no tombstone");
+                        // Pop the pending delete marker the logical delete
+                        // pushed; the prior committed version becomes the
+                        // head again.
+                        let chain = payloads.get_mut(&oid).expect("deleted object has a chain");
+                        let popped = chain.pop_pending();
+                        debug_assert!(popped, "delete-marker pop emptied the chain");
                     }
                     UndoRecord::Update { oid, old_version } => {
-                        payloads.insert(oid, old_version);
+                        let chain = payloads.get_mut(&oid).expect("updated object has a chain");
+                        let popped = chain.pop_pending();
+                        debug_assert!(popped, "update pop emptied the chain");
+                        debug_assert_eq!(
+                            chain.current(),
+                            Some(old_version),
+                            "update pop did not restore the prior payload"
+                        );
                     }
                 }
             }
@@ -864,64 +1022,14 @@ impl TransactionalRTree for DglRTree {
 
     fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
         let start = std::time::Instant::now();
-        self.core.check_active(txn)?;
-        // A panic past this point (injected below, or out of an inline
-        // deferred deletion) must not leave the transaction holding locks.
-        let _unwind = UnwindRollback {
-            core: &self.core,
-            txn,
-        };
-        // Failpoint: abort instead of committing — the clean-abort flavor
-        // of a commit-time fault (the Panic flavor exercises the guard).
-        dgl_faults::failpoint!("dgl/commit" => {
-            self.core.rollback_now(txn);
-            TxnError::Injected
-        });
-        // Durability point: the commit record must be on disk before any
-        // lock is released or any effect becomes post-commit (deferred
-        // deletions). A flush failure means the commit may or may not be
-        // durable (its batch can have partially reached disk before the
-        // log died); the transaction is rolled back locally and the
-        // caller sees `TxnError::Durability` — in-doubt, resolved by
-        // recovery. No *later* commit can succeed off a poisoned log, so
-        // the divergence cannot compound.
-        match self.core.wal_commit_begin(txn) {
-            Ok(None) => {}
-            Ok(Some(lsn)) => {
-                if let Err(e) = self.core.wal_commit_wait(txn, lsn) {
-                    self.core.rollback_now(txn);
-                    return Err(e);
-                }
-            }
-            Err(e) => {
-                self.core.rollback_now(txn);
-                return Err(e);
-            }
-        }
-        let deferred = self.core.deferred.take(txn);
-        let _ = self.core.undo.take(txn);
-        // Release all locks first: the deferred deletions run as *system
-        // operations* under fresh ids ("executed as a separate operation",
-        // §3.6) and would otherwise block on this transaction's own
-        // commit-duration locks. Visibility stays correct in the window:
-        // the tombstones persist until each deferred deletion runs.
-        self.core.tm.commit(txn);
-        self.core.wal_finish(txn);
-        // Inline mode executes the deletions here; background mode only
-        // enqueues them — the commit-latency split the maintenance
-        // subsystem exists for.
-        for d in deferred {
-            self.maint.dispatch(&self.core, d);
-        }
-        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        OpStats::bump(&self.core.stats.commits);
-        OpStats::add(&self.core.stats.commit_nanos, nanos);
-        self.core.obs.record(Hist::Commit, nanos);
-        // Enough log grew since the last cut? Hand a checkpoint to the
-        // maintenance subsystem (runs here in inline mode).
-        if self.core.should_auto_checkpoint() {
-            self.maint.dispatch_checkpoint(&self.core);
-        }
+        // Phase split (used directly by the sharded router, which stamps
+        // all participants under one clock critical section):
+        //   1. durable — commit record on disk, still abortable;
+        //   2. stamp — pending versions get the commit timestamp;
+        //   3. finish — locks release, deferred deletions dispatch.
+        self.commit_phase_durable(txn)?;
+        self.core.stamp_commit_versions(txn);
+        self.commit_finish(txn, start);
         Ok(())
     }
 

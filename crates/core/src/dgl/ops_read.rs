@@ -6,6 +6,7 @@ use dgl_lockmgr::{
     LockMode::{S, SIX, X},
     TxnId,
 };
+use dgl_obs::OpKind;
 use dgl_rtree::ObjectId;
 
 use crate::granules::overlapping_granules;
@@ -19,6 +20,12 @@ impl DglCore {
     /// ReadSingle: commit S on the object only (Table 3). The object lock
     /// doubles as a name lock, so a not-found answer is repeatable against
     /// later inserts of the same object id.
+    ///
+    /// The lock is negotiated *before* the tree latch is taken: the object
+    /// lock does not depend on tree structure (unlike scan granule locks),
+    /// so the retry loop never holds — and, more importantly, never
+    /// re-acquires — the shared latch. Only the final lookup, after the
+    /// lock is granted, latches the tree, once.
     pub(crate) fn read_single_op(
         &self,
         txn: TxnId,
@@ -27,29 +34,24 @@ impl DglCore {
     ) -> Result<Option<u64>, TxnError> {
         self.check_active(txn)?;
         let _unwind = UnwindRollback { core: self, txn };
+        let _kind = dgl_obs::op_kind_scope(OpKind::Point);
         OpStats::bump(&self.stats.read_singles);
-        loop {
-            let tree = self.latch_shared();
-            let locks = super::single_lock(Self::object(oid), S, Commit);
-            match locks.try_acquire(&self.lm, txn) {
-                Ok(()) => {
-                    let state = tree.lookup(oid, rect);
-                    drop(tree);
-                    self.end_op(txn);
-                    return Ok(match state {
-                        Some(None) => self.payload_table().get(&oid).copied(),
-                        // Tombstoned (committed delete pending physical
-                        // removal) or absent.
-                        Some(Some(_)) | None => None,
-                    });
-                }
-                Err((res, mode, dur)) => {
-                    drop(tree);
-                    OpStats::bump(&self.stats.op_retries);
-                    self.wait_or_abort(txn, res, mode, dur)?;
-                }
-            }
+        let locks = super::single_lock(Self::object(oid), S, Commit);
+        while let Err((res, mode, dur)) = locks.try_acquire(&self.lm, txn) {
+            OpStats::bump(&self.stats.op_retries);
+            self.wait_or_abort(txn, res, mode, dur)?;
         }
+        let state = {
+            let tree = self.latch_shared();
+            tree.lookup(oid, rect)
+        };
+        self.end_op(txn);
+        Ok(match state {
+            Some(None) => self.payload_table().get(&oid).and_then(|c| c.current()),
+            // Tombstoned (committed delete pending physical removal) or
+            // absent.
+            Some(Some(_)) | None => None,
+        })
     }
 
     /// ReadScan: commit-duration S locks on **every** granule overlapping
@@ -59,6 +61,7 @@ impl DglCore {
     pub(crate) fn read_scan_op(&self, txn: TxnId, query: Rect2) -> Result<Vec<ScanHit>, TxnError> {
         self.check_active(txn)?;
         let _unwind = UnwindRollback { core: self, txn };
+        let _kind = dgl_obs::op_kind_scope(OpKind::Scan);
         OpStats::bump(&self.stats.read_scans);
         loop {
             dgl_faults::failpoint!("dgl/plan" => {
@@ -101,6 +104,11 @@ impl DglCore {
     ) -> Result<Vec<ScanHit>, TxnError> {
         self.check_active(txn)?;
         let _unwind = UnwindRollback { core: self, txn };
+        // Update scans are writes for wait attribution: they stay on the
+        // locking path even under the snapshot-read wrapper, so counting
+        // them as scans would break the "scans vanish from the wait
+        // histogram" claim.
+        let _kind = dgl_obs::op_kind_scope(OpKind::Write);
         OpStats::bump(&self.stats.update_scans);
         loop {
             let tree = self.latch_shared();
@@ -125,9 +133,11 @@ impl DglCore {
                     {
                         let mut payloads = self.payload_table();
                         for h in &pre_hits {
-                            let slot = payloads.entry(h.oid).or_insert(1);
-                            let old = *slot;
-                            *slot = old + 1;
+                            let chain = payloads
+                                .entry(h.oid)
+                                .or_insert_with(|| super::mvcc::VersionChain::bootstrap(1));
+                            let old = chain.current().expect("updated object is live");
+                            chain.push_pending(Some(old + 1));
                             self.undo.push(
                                 txn,
                                 super::UndoRecord::Update {
@@ -158,6 +168,10 @@ impl DglCore {
     /// Region search with visibility filtering: tombstoned entries are
     /// logically deleted (by this transaction, or by a committed deleter
     /// whose physical removal is still pending) and never returned.
+    ///
+    /// Locking paths read the chain *head* regardless of its stamping
+    /// state: 2PL guarantees the head is either committed or this
+    /// transaction's own write.
     pub(crate) fn collect_hits(&self, tree: &dgl_rtree::RTree2, query: &Rect2) -> Vec<ScanHit> {
         let payloads = self.payload_table();
         tree.search(query)
@@ -166,7 +180,7 @@ impl DglCore {
             .map(|(oid, rect, _)| ScanHit {
                 oid,
                 rect,
-                version: payloads.get(&oid).copied().unwrap_or(1),
+                version: payloads.get(&oid).and_then(|c| c.current()).unwrap_or(1),
             })
             .collect()
     }

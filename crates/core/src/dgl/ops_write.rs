@@ -10,7 +10,7 @@ use dgl_lockmgr::{
 use dgl_pager::PageId;
 use dgl_rtree::{Entry, InsertPlan, ObjectId};
 
-use dgl_obs::{span, Hist};
+use dgl_obs::{span, Hist, OpKind};
 
 use crate::granules::overlapping_granules;
 use crate::locks::LockList;
@@ -25,6 +25,7 @@ impl DglCore {
     pub(crate) fn insert_op(&self, txn: TxnId, oid: ObjectId, rect: Rect2) -> Result<(), TxnError> {
         self.check_active(txn)?;
         let _unwind = UnwindRollback { core: self, txn };
+        let _kind = dgl_obs::op_kind_scope(OpKind::Write);
         OpStats::bump(&self.stats.inserts);
         // The commit-duration X on the object name must be held BEFORE
         // consulting `payloads`: a concurrent inserter publishes its
@@ -117,7 +118,8 @@ impl DglCore {
                     || result.root_split.map(|(a, _)| a) == predicted.last().copied(),
                 "root-half prediction must be exact"
             );
-            self.payload_table().insert(oid, 1);
+            self.payload_table()
+                .insert(oid, super::mvcc::VersionChain::pending(1));
             // Undo entry and log record land while the exclusive latch is
             // still held: a checkpoint captures tree image + undo queues
             // under the shared latch, so this op is either wholly inside
@@ -305,6 +307,7 @@ impl DglCore {
     ) -> Result<bool, TxnError> {
         self.check_active(txn)?;
         let _unwind = UnwindRollback { core: self, txn };
+        let _kind = dgl_obs::op_kind_scope(OpKind::Write);
         OpStats::bump(&self.stats.deletes);
         loop {
             dgl_faults::failpoint!("dgl/plan" => {
@@ -352,6 +355,15 @@ impl DglCore {
                             dgl_faults::failpoint!("dgl/apply");
                             let marked = apply.set_tombstone(oid, rect, txn.0);
                             debug_assert!(marked, "entry verified present under latch");
+                            // Push the pending delete marker: once stamped
+                            // at commit, snapshots at or after that
+                            // timestamp see the object as gone (snapshot
+                            // paths ignore the tombstone flag — the chain
+                            // alone decides visibility).
+                            self.payload_table()
+                                .get_mut(&oid)
+                                .expect("live object has a chain")
+                                .push_pending(None);
                             // Undo + log inside the latch hold (see
                             // insert_op for the checkpoint-cut argument).
                             self.undo.push(txn, UndoRecord::LogicalDelete { oid, rect });
@@ -412,6 +424,7 @@ impl DglCore {
     ) -> Result<bool, TxnError> {
         self.check_active(txn)?;
         let _unwind = UnwindRollback { core: self, txn };
+        let _kind = dgl_obs::op_kind_scope(OpKind::Write);
         OpStats::bump(&self.stats.update_singles);
         // UpdateSingle never mutates the tree (only the payload table), so
         // the whole operation runs under the planning latch — in optimistic
@@ -451,9 +464,11 @@ impl DglCore {
                     }
                     {
                         let mut payloads = self.payload_table();
-                        let slot = payloads.entry(oid).or_insert(1);
-                        let old = *slot;
-                        *slot = old + 1;
+                        let chain = payloads
+                            .entry(oid)
+                            .or_insert_with(|| super::mvcc::VersionChain::bootstrap(1));
+                        let old = chain.current().expect("updated object is live");
+                        chain.push_pending(Some(old + 1));
                         self.undo.push(
                             txn,
                             UndoRecord::Update {

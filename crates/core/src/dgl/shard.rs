@@ -71,11 +71,13 @@ use dgl_geom::Rect2;
 use dgl_lockmgr::TxnId;
 use dgl_obs::{Hist, Registry, RegistrySnapshot};
 use dgl_rtree::ObjectId;
+use dgl_txn::CommitClock;
 use dgl_wal::{read_segment, scan_dir, segment_path, Wal, WalConfig, WalRecord};
 
 use crate::stats::{OpStats, OpStatsSnapshot};
 use crate::{ScanHit, TransactionalRTree, TxnError};
 
+use super::mvcc::GC_EVERY_DROPS;
 use super::{DglConfig, DglRTree, RecoverError};
 
 /// How the embedded space is partitioned across shards.
@@ -231,6 +233,12 @@ type Session = Vec<Option<TxnId>>;
 pub struct ShardedDglRTree {
     shards: Vec<DglRTree>,
     grid: GridDirectory,
+    /// The one commit clock every shard shares: a snapshot timestamp
+    /// from it means the same thing on every shard, and the router
+    /// stamps all of a global transaction's participants under one
+    /// clock critical section — so cross-shard snapshots are
+    /// all-or-nothing per global transaction.
+    clock: Arc<CommitClock>,
     /// Next global transaction id. Starts above every decision ever
     /// recorded by the coordinator (see module docs).
     next_gtxn: AtomicU64,
@@ -282,13 +290,16 @@ impl ShardedDglRTree {
     pub fn new(config: DglConfig, sharding: ShardingConfig) -> Self {
         let config = shard_config(config);
         let n = sharding.shards.max(1);
-        let shards = (0..n).map(|_| DglRTree::new(config.clone())).collect();
+        let clock = Arc::new(CommitClock::new());
+        let shards = (0..n)
+            .map(|_| DglRTree::new_with_clock(config.clone(), Arc::clone(&clock)))
+            .collect();
         let obs = Arc::new(if config.obs_recording {
             Registry::new()
         } else {
             Registry::disabled()
         });
-        Self::assemble(shards, config.world, &sharding, None, obs, 1)
+        Self::assemble(shards, config.world, &sharding, None, obs, 1, clock)
     }
 
     /// Opens (or crash-recovers) a sharded index from `dir`.
@@ -345,6 +356,7 @@ impl ShardedDglRTree {
         };
 
         let resolver = |gtxn: u64| decisions.contains(&gtxn);
+        let clock = Arc::new(CommitClock::new());
         let mut shards = Vec::with_capacity(n);
         for i in 0..n {
             let shard_dir = dir.join(format!("shard-{i}"));
@@ -353,6 +365,7 @@ impl ShardedDglRTree {
                 &shard_dir,
                 config.clone(),
                 &resolver,
+                Arc::clone(&clock),
             )?);
         }
         let next = decisions.iter().max().map_or(1, |m| m + 1);
@@ -363,6 +376,7 @@ impl ShardedDglRTree {
             coord,
             obs,
             next,
+            clock,
         ))
     }
 
@@ -373,10 +387,12 @@ impl ShardedDglRTree {
         coord: Option<Wal>,
         obs: Arc<Registry>,
         next_gtxn: u64,
+        clock: Arc<CommitClock>,
     ) -> Self {
         Self {
             grid: GridDirectory::new(world, shards.len(), sharding.max_object_extent),
             shards,
+            clock,
             next_gtxn: AtomicU64::new(next_gtxn),
             sessions: Mutex::new(HashMap::new()),
             coord,
@@ -437,9 +453,32 @@ impl ShardedDglRTree {
         }
     }
 
+    /// Stamps the pending versions of every staged (durably committed)
+    /// participant under **one** clock critical section, so a snapshot
+    /// sees all of a global transaction's cross-shard effects or none.
+    fn stamp_parts(&self, staged: &[(usize, TxnId)]) {
+        let per_shard: Vec<(usize, Vec<ObjectId>)> = staged
+            .iter()
+            .map(|&(s, t)| (s, self.shards[s].core.pending_write_oids(t)))
+            .collect();
+        if per_shard.iter().all(|(_, oids)| oids.is_empty()) {
+            return;
+        }
+        self.clock.stamp(|ts| {
+            for (s, oids) in &per_shard {
+                self.shards[*s].core.stamp_oids(oids, ts);
+            }
+        });
+    }
+
     /// Commits the session's participants. `parts` is in ascending
     /// shard order (sessions are indexed by shard).
+    ///
+    /// Both paths drive the per-shard commit phases explicitly
+    /// (durable → stamp → finish) so all participants stamp at one
+    /// timestamp via [`Self::stamp_parts`].
     fn commit_parts(&self, gtxn: u64, parts: &[(usize, TxnId)]) -> Result<(), TxnError> {
+        let start = Instant::now();
         let writers: Vec<(usize, TxnId)> = parts
             .iter()
             .copied()
@@ -453,15 +492,31 @@ impl ShardedDglRTree {
             // Without a coordinator log, multi-writer commits take this
             // path too — atomic except under failpoint-injected faults,
             // matching the in-memory single-tree guarantee.
+            let mut staged: Vec<(usize, TxnId)> = Vec::with_capacity(parts.len());
+            let mut failure = None;
             for (i, &(s, t)) in parts.iter().enumerate() {
-                if let Err(e) = self.shards[s].commit(t) {
-                    // The failed participant rolled itself back; the
-                    // global transaction aborts, so release the rest.
-                    self.abort_parts(&parts[i + 1..]);
-                    return Err(e);
+                match self.shards[s].commit_phase_durable(t) {
+                    Ok(()) => staged.push((s, t)),
+                    Err(e) => {
+                        // The failed participant rolled itself back; the
+                        // global transaction aborts, so release the rest.
+                        // Participants already durable stay committed
+                        // (the historical non-atomicity under injected
+                        // faults) — they still stamp and finish below.
+                        self.abort_parts(&parts[i + 1..]);
+                        failure = Some(e);
+                        break;
+                    }
                 }
             }
-            return Ok(());
+            self.stamp_parts(&staged);
+            for &(s, t) in &staged {
+                self.shards[s].commit_finish(t, start);
+            }
+            return match failure {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
         }
 
         // Full two-phase commit.
@@ -500,14 +555,22 @@ impl ShardedDglRTree {
             TxnError::Durability
         });
         let mut result = Ok(());
+        let mut staged: Vec<(usize, TxnId)> = Vec::with_capacity(parts.len());
         for &(s, t) in parts {
             // After the decision every participant must complete; an
             // individual failure (poisoned shard log) leaves that
             // participant prepared — recovery commits it from the
-            // decision log.
-            if let Err(e) = self.shards[s].commit(t) {
-                result = Err(e);
+            // decision log. Its pending versions stay unstamped
+            // (invisible to snapshots); after the crash the in-memory
+            // chains are moot anyway.
+            match self.shards[s].commit_phase_durable(t) {
+                Ok(()) => staged.push((s, t)),
+                Err(e) => result = Err(e),
             }
+        }
+        self.stamp_parts(&staged);
+        for &(s, t) in &staged {
+            self.shards[s].commit_finish(t, start);
         }
         result
     }
@@ -591,6 +654,76 @@ impl ShardedDglRTree {
     /// Renders the merged registry as a Prometheus text dump.
     pub fn prometheus_dump(&self) -> String {
         dgl_obs::prometheus_text(&self.obs_snapshot())
+    }
+
+    // --- MVCC snapshot reads --------------------------------------------
+
+    /// Begins a zero-lock snapshot read over **every** shard at one
+    /// commit timestamp from the shared clock (see
+    /// [`DglRTree::begin_snapshot`] for the single-tree semantics).
+    /// Because the router stamps all participants of a global
+    /// transaction inside one clock critical section, a sharded
+    /// snapshot observes each global transaction all-or-nothing, even
+    /// when its writes span shards.
+    pub fn begin_snapshot(&self) -> ShardedSnapshot<'_> {
+        ShardedSnapshot {
+            db: self,
+            ts: self.clock.begin_snapshot(),
+        }
+    }
+}
+
+/// A consistent zero-lock read view over every shard of a
+/// [`ShardedDglRTree`], pinned at one commit timestamp of the shared
+/// clock. Dropping it unregisters the snapshot and periodically kicks
+/// version GC on every shard.
+pub struct ShardedSnapshot<'a> {
+    db: &'a ShardedDglRTree,
+    ts: u64,
+}
+
+impl ShardedSnapshot<'_> {
+    /// The commit timestamp this snapshot reads at.
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// Snapshot region scan: consults the same over-approximated shard
+    /// set a locking scan would (so no qualifying object can be
+    /// missed), merges the per-shard results, and returns them sorted
+    /// by object id — bit-identical across repeated calls regardless of
+    /// concurrent writers.
+    pub fn read_scan(&self, query: Rect2) -> Vec<ScanHit> {
+        let mut hits = Vec::new();
+        for s in self.db.grid.scan_shards(&query) {
+            hits.extend(self.db.shards[s].core.snapshot_scan(self.ts, &query));
+        }
+        hits.sort_unstable_by_key(|h| h.oid.0);
+        hits
+    }
+
+    /// Snapshot point read by object id (first shard holding a version
+    /// visible at this timestamp wins; ids are globally unique).
+    pub fn read_single(&self, oid: ObjectId) -> Option<u64> {
+        self.db
+            .shards
+            .iter()
+            .find_map(|s| s.core.snapshot_read_single(self.ts, oid))
+    }
+}
+
+impl Drop for ShardedSnapshot<'_> {
+    fn drop(&mut self) {
+        self.db.clock.end_snapshot(self.ts);
+        // Same throttled GC trigger as the single-tree snapshot drop,
+        // applied per shard (each shard prunes its own chains).
+        for s in &self.db.shards {
+            if s.core.gc_drops.fetch_add(1, Ordering::Relaxed) % GC_EVERY_DROPS
+                == GC_EVERY_DROPS - 1
+            {
+                s.dispatch_version_gc();
+            }
+        }
     }
 }
 

@@ -53,7 +53,8 @@ mod traits;
 
 pub use dgl::{
     DglConfig, DglRTree, DurabilityConfig, InsertPolicy, MaintenanceConfig, MaintenanceMode,
-    RecoverError, ShardedDglRTree, ShardingConfig, WritePathMode,
+    MvccStats, RecoverError, ShardedDglRTree, ShardedSnapshot, ShardingConfig, Snapshot,
+    SnapshotReadRTree, WritePathMode,
 };
 pub use error::TxnError;
 pub use executor::{ExecError, RetryPolicy, TxnExecutor};

@@ -90,6 +90,17 @@ pub struct OpStats {
     /// Checkpoint attempts that failed (log poisoned or snapshot I/O
     /// error); the previous checkpoint remains the recovery base.
     pub(crate) checkpoint_failures: AtomicU64,
+    /// MVCC snapshots begun (`begin_snapshot`).
+    pub(crate) snapshot_begins: AtomicU64,
+    /// Region scans served from an MVCC snapshot (no lock-manager calls).
+    pub(crate) snapshot_scans: AtomicU64,
+    /// Point reads served from an MVCC snapshot (no lock-manager calls).
+    pub(crate) snapshot_point_reads: AtomicU64,
+    /// Version-GC passes executed by the maintenance subsystem.
+    pub(crate) version_gc_runs: AtomicU64,
+    /// Object versions (chain entries and retired dead objects) reclaimed
+    /// by version GC below the min-active-snapshot watermark.
+    pub(crate) versions_reclaimed: AtomicU64,
 }
 
 /// A point-in-time copy of [`OpStats`].
@@ -130,6 +141,11 @@ pub struct OpStatsSnapshot {
     pub maint_failed: u64,
     pub checkpoints: u64,
     pub checkpoint_failures: u64,
+    pub snapshot_begins: u64,
+    pub snapshot_scans: u64,
+    pub snapshot_point_reads: u64,
+    pub version_gc_runs: u64,
+    pub versions_reclaimed: u64,
 }
 
 impl OpStats {
@@ -190,6 +206,11 @@ impl OpStats {
             maint_failed: self.maint_failed.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
+            snapshot_begins: self.snapshot_begins.load(Ordering::Relaxed),
+            snapshot_scans: self.snapshot_scans.load(Ordering::Relaxed),
+            snapshot_point_reads: self.snapshot_point_reads.load(Ordering::Relaxed),
+            version_gc_runs: self.version_gc_runs.load(Ordering::Relaxed),
+            versions_reclaimed: self.versions_reclaimed.load(Ordering::Relaxed),
         }
     }
 }
@@ -236,6 +257,11 @@ impl OpStatsSnapshot {
             maint_failed: self.maint_failed - earlier.maint_failed,
             checkpoints: self.checkpoints - earlier.checkpoints,
             checkpoint_failures: self.checkpoint_failures - earlier.checkpoint_failures,
+            snapshot_begins: self.snapshot_begins - earlier.snapshot_begins,
+            snapshot_scans: self.snapshot_scans - earlier.snapshot_scans,
+            snapshot_point_reads: self.snapshot_point_reads - earlier.snapshot_point_reads,
+            version_gc_runs: self.version_gc_runs - earlier.version_gc_runs,
+            versions_reclaimed: self.versions_reclaimed - earlier.versions_reclaimed,
         }
     }
 
@@ -282,6 +308,11 @@ impl OpStatsSnapshot {
             maint_failed: sum!(maint_failed),
             checkpoints: sum!(checkpoints),
             checkpoint_failures: sum!(checkpoint_failures),
+            snapshot_begins: sum!(snapshot_begins),
+            snapshot_scans: sum!(snapshot_scans),
+            snapshot_point_reads: sum!(snapshot_point_reads),
+            version_gc_runs: sum!(version_gc_runs),
+            versions_reclaimed: sum!(versions_reclaimed),
         }
     }
 

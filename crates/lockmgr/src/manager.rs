@@ -450,6 +450,13 @@ impl LockManager {
         let finish_wait = |granted: bool| {
             let nanos = wait_start.elapsed().as_nanos() as u64;
             self.obs.record(Hist::LockWait, nanos);
+            // Per-operation-kind breakdown (scan vs point vs write): the
+            // protocol layer declares the kind through a thread-local
+            // scope; waits outside any scope (system operations, direct
+            // lock-manager use) stay aggregate-only.
+            if let Some(kind) = dgl_obs::current_op_kind() {
+                self.obs.record(kind.wait_hist(), nanos);
+            }
             if self.obs.detail() {
                 self.obs.emit(Event::LockWaitEnd {
                     txn: txn.0,

@@ -26,6 +26,7 @@ mod counter;
 mod event;
 mod export;
 mod histogram;
+mod opkind;
 mod registry;
 
 pub use counter::ShardedCounter;
@@ -35,6 +36,7 @@ pub use histogram::{
     bucket_lower_bound, bucket_of, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS,
     SHARDS,
 };
+pub use opkind::{current_op_kind, op_kind_scope, OpKind, OpKindGuard};
 #[cfg(feature = "full")]
 pub use registry::EVENT_RING_CAPACITY;
 pub use registry::{Ctr, Hist, Registry, RegistrySnapshot};

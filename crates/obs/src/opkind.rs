@@ -1,0 +1,104 @@
+//! Thread-local operation-kind attribution for lock waits.
+//!
+//! The lock manager sits *below* the protocol layer in the dependency
+//! graph, so it cannot know whether the request it is about to block on
+//! came from a region scan, a point read, or a write. The protocol layer
+//! declares the current operation kind through a thread-local scope
+//! guard; the lock manager reads it when a wait finishes and records the
+//! wait into the matching per-kind histogram ([`Hist::LockWaitScan`] /
+//! [`Hist::LockWaitPoint`] / [`Hist::LockWaitWrite`]) alongside the
+//! aggregate [`Hist::LockWait`].
+//!
+//! This turns "scans vanished from the lock-wait histogram" (the MVCC
+//! snapshot-read claim) into a measurable statement instead of an
+//! inference from aggregate counts.
+//!
+//! [`Hist::LockWaitScan`]: crate::Hist::LockWaitScan
+//! [`Hist::LockWaitPoint`]: crate::Hist::LockWaitPoint
+//! [`Hist::LockWaitWrite`]: crate::Hist::LockWaitWrite
+
+use crate::registry::Hist;
+use std::cell::Cell;
+
+/// What kind of operation the current thread is executing, for lock-wait
+/// attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Region scan (`ReadScan`) — the commit-duration S granule locks.
+    Scan,
+    /// Point read (`ReadSingle`) — the single object name lock.
+    Point,
+    /// Write operation (`Insert` / `Delete` / `UpdateSingle` /
+    /// `UpdateScan`).
+    Write,
+}
+
+impl OpKind {
+    /// The per-kind lock-wait histogram this kind records into.
+    pub fn wait_hist(self) -> Hist {
+        match self {
+            OpKind::Scan => Hist::LockWaitScan,
+            OpKind::Point => Hist::LockWaitPoint,
+            OpKind::Write => Hist::LockWaitWrite,
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT_OP_KIND: Cell<Option<OpKind>> = const { Cell::new(None) };
+}
+
+/// Declares the operation kind for the current thread until the returned
+/// guard drops (restoring whatever was set before — scopes nest).
+#[must_use = "the attribution lasts only while the guard is alive"]
+pub fn op_kind_scope(kind: OpKind) -> OpKindGuard {
+    let prev = CURRENT_OP_KIND.with(|c| c.replace(Some(kind)));
+    OpKindGuard { prev }
+}
+
+/// The operation kind the current thread declared, if any.
+pub fn current_op_kind() -> Option<OpKind> {
+    CURRENT_OP_KIND.with(|c| c.get())
+}
+
+/// RAII guard returned by [`op_kind_scope`]; restores the previous
+/// attribution on drop (including during unwinding, so a panicking
+/// operation never leaks its kind into unrelated work on the thread).
+#[derive(Debug)]
+pub struct OpKindGuard {
+    prev: Option<OpKind>,
+}
+
+impl Drop for OpKindGuard {
+    fn drop(&mut self) {
+        CURRENT_OP_KIND.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current_op_kind(), None);
+        {
+            let _outer = op_kind_scope(OpKind::Scan);
+            assert_eq!(current_op_kind(), Some(OpKind::Scan));
+            {
+                let _inner = op_kind_scope(OpKind::Write);
+                assert_eq!(current_op_kind(), Some(OpKind::Write));
+            }
+            assert_eq!(current_op_kind(), Some(OpKind::Scan));
+        }
+        assert_eq!(current_op_kind(), None);
+    }
+
+    #[test]
+    fn kinds_map_to_distinct_histograms() {
+        let hists = [OpKind::Scan, OpKind::Point, OpKind::Write].map(OpKind::wait_hist);
+        assert_eq!(hists[0], Hist::LockWaitScan);
+        assert_eq!(hists[1], Hist::LockWaitPoint);
+        assert_eq!(hists[2], Hist::LockWaitWrite);
+    }
+}

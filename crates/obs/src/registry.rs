@@ -37,11 +37,20 @@ pub enum Hist {
     WalFsync,
     /// Nanoseconds per replayed operation during crash recovery.
     WalReplay,
+    /// Lock-wait nanoseconds attributed to region scans ([`OpKind::Scan`]).
+    /// Sibling breakdown of [`Hist::LockWait`]: the same wait is recorded
+    /// into both, so the per-kind histograms partition the total.
+    LockWaitScan,
+    /// Lock-wait nanoseconds attributed to point reads ([`OpKind::Point`]).
+    LockWaitPoint,
+    /// Lock-wait nanoseconds attributed to write operations
+    /// ([`OpKind::Write`]).
+    LockWaitWrite,
 }
 
 impl Hist {
     /// All histograms, in export order.
-    pub const ALL: [Hist; 8] = [
+    pub const ALL: [Hist; 11] = [
         Hist::LockWait,
         Hist::LatchHold,
         Hist::PlanPhase,
@@ -50,6 +59,9 @@ impl Hist {
         Hist::ExecBackoff,
         Hist::WalFsync,
         Hist::WalReplay,
+        Hist::LockWaitScan,
+        Hist::LockWaitPoint,
+        Hist::LockWaitWrite,
     ];
 
     /// Stable metric name (also the Prometheus/JSON key, prefixed
@@ -64,6 +76,9 @@ impl Hist {
             Hist::ExecBackoff => "exec_backoff_nanos",
             Hist::WalFsync => "wal_fsync_nanos",
             Hist::WalReplay => "wal_replay_nanos",
+            Hist::LockWaitScan => "lock_wait_scan_nanos",
+            Hist::LockWaitPoint => "lock_wait_point_nanos",
+            Hist::LockWaitWrite => "lock_wait_write_nanos",
         }
     }
 
@@ -101,11 +116,18 @@ pub enum Ctr {
     /// Commits acknowledged by WAL flushes; divided by `wal_fsyncs`
     /// this is the mean group-commit batch size.
     WalGroupCommitCommits,
+    /// Region scans served from an MVCC snapshot (zero lock-manager
+    /// requests; compare against `lock_requests_*` staying flat).
+    SnapshotScans,
+    /// Point reads served from an MVCC snapshot.
+    SnapshotPointReads,
+    /// Object versions reclaimed by the epoch-based version GC.
+    VersionsReclaimed,
 }
 
 impl Ctr {
     /// All counters, in export order.
-    pub const ALL: [Ctr; 12] = [
+    pub const ALL: [Ctr; 15] = [
         Ctr::LockReqShort,
         Ctr::LockReqCommit,
         Ctr::LockConditionalFail,
@@ -118,6 +140,9 @@ impl Ctr {
         Ctr::WalAppendedBytes,
         Ctr::WalRecords,
         Ctr::WalGroupCommitCommits,
+        Ctr::SnapshotScans,
+        Ctr::SnapshotPointReads,
+        Ctr::VersionsReclaimed,
     ];
 
     /// Stable metric name (exported as `dgl_<name>_total`).
@@ -135,6 +160,9 @@ impl Ctr {
             Ctr::WalAppendedBytes => "wal_appended_bytes",
             Ctr::WalRecords => "wal_records",
             Ctr::WalGroupCommitCommits => "wal_group_commit_commits",
+            Ctr::SnapshotScans => "snapshot_scans",
+            Ctr::SnapshotPointReads => "snapshot_point_reads",
+            Ctr::VersionsReclaimed => "versions_reclaimed",
         }
     }
 

@@ -11,14 +11,19 @@
 //!   the attached lock manager;
 //! * [`Journal`] — a per-transaction record queue, used by the protocol
 //!   layer once for undo records (rollback) and once for deferred
-//!   deletions (the paper's §3.6/§3.7 logical-then-deferred delete).
+//!   deletions (the paper's §3.6/§3.7 logical-then-deferred delete);
+//! * [`CommitClock`] — the MVCC commit-timestamp counter and
+//!   active-snapshot registry (shared across shards so one snapshot
+//!   timestamp is consistent index-wide).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod journal;
 mod manager;
+mod snapshot;
 
 pub use dgl_lockmgr::TxnId;
 pub use journal::Journal;
 pub use manager::{TxnManager, TxnStats, TxnStatsSnapshot};
+pub use snapshot::CommitClock;

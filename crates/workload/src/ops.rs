@@ -70,6 +70,23 @@ impl OpMix {
         }
     }
 
+    /// A scan-dominated mix (analytics over a slowly churning dataset) —
+    /// the workload where snapshot reads pay off: most operations are
+    /// region scans, with just enough writes to keep version chains and
+    /// lock conflicts alive.
+    pub fn scan_heavy() -> Self {
+        Self {
+            insert: 10,
+            delete: 5,
+            read_scan: 70,
+            update_scan: 0,
+            read_single: 10,
+            update_single: 5,
+            scan_extent: 0.25,
+            object_extent: 0.02,
+        }
+    }
+
     /// A balanced mix.
     pub fn balanced() -> Self {
         Self {

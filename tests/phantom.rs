@@ -706,3 +706,270 @@ fn sharded_scan_blocks_cross_shard_insert() {
     db.commit(w).expect("post-commit commit");
     db.validate().expect("validate");
 }
+
+// --- MVCC snapshot reads -------------------------------------------------
+//
+// Snapshot phantom protection is by *versioning*, not locking: a snapshot
+// sees the commit prefix at its timestamp, so rescans are bit-identical
+// without holding any predicate locks — and therefore without blocking
+// the writers the locking oracle above proves are blocked.
+
+/// A snapshot's scans stay bit-identical while writers commit inserts
+/// into the predicate — and issue zero lock-manager requests doing so.
+#[test]
+fn snapshot_scan_is_phantom_free_without_locks() {
+    let _serial = serialize();
+    let db = build(16, MaintenanceMode::Inline);
+    let mut rng = XorShift::new(0xF1);
+    let inside = preload(&db, &mut rng, 200);
+
+    let snap = db.begin_snapshot();
+    let baseline = snap.read_scan(REGION);
+    assert_eq!(
+        baseline.iter().map(|h| h.oid.0).collect::<BTreeSet<_>>(),
+        inside.iter().map(|(o, _)| o.0).collect::<BTreeSet<_>>(),
+        "snapshot baseline must be the preloaded predicate content"
+    );
+
+    // Commit inserts inside the predicate (and delete one preloaded
+    // object from it) while the snapshot is held.
+    for i in 0..20u64 {
+        let txn = db.begin();
+        db.insert(txn, ObjectId(77_000 + i), rect_inside(&mut rng))
+            .expect("concurrent insert");
+        db.commit(txn).expect("concurrent commit");
+    }
+    let (victim, victim_rect) = inside[0];
+    let txn = db.begin();
+    assert!(db.delete(txn, victim, victim_rect).expect("delete"));
+    db.commit(txn).expect("delete commit");
+
+    // The rescans below are the zero-lock claim: bracket them (and only
+    // them) with the lock manager's request counter.
+    let (req_before, waits_before) = db.lock_stats();
+    for _ in 0..4 {
+        assert_eq!(
+            snap.read_scan(REGION),
+            baseline,
+            "snapshot rescan diverged across committed writes"
+        );
+    }
+    assert_eq!(
+        snap.read_single(victim),
+        Some(1),
+        "snapshot predates the delete, so the victim is still visible"
+    );
+    let (req_after, waits_after) = db.lock_stats();
+    assert_eq!(
+        (req_before, waits_before),
+        (req_after, waits_after),
+        "snapshot reads must issue zero lock-manager requests"
+    );
+
+    // A snapshot begun *after* the writes sees all of them — the old one
+    // was consistent, not stale-forever.
+    drop(snap);
+    let fresh = db.begin_snapshot();
+    let now: BTreeSet<u64> = fresh.read_scan(REGION).iter().map(|h| h.oid.0).collect();
+    assert!(!now.contains(&victim.0), "fresh snapshot sees the delete");
+    assert!(
+        (0..20u64).all(|i| now.contains(&(77_000 + i))),
+        "fresh snapshot sees every committed insert"
+    );
+}
+
+/// Anti-vacuity: with MVCC available, the *locking* read path still
+/// blocks writers exactly as before — snapshot reads are an opt-in
+/// parallel plane, not a weakening of the serializable one.
+#[test]
+fn locking_readers_still_block_writers_snapshot_readers_never_do() {
+    let _serial = serialize();
+    let db = build(16, MaintenanceMode::Inline);
+    let mut rng = XorShift::new(0xF2);
+    let inside = preload(&db, &mut rng, 120);
+
+    let searcher = db.begin();
+    db.read_scan(searcher, REGION).expect("locked scan");
+
+    // A writer inside the predicate blocks on the searcher's S locks.
+    let w = db.begin();
+    match db.insert(w, ObjectId(9_001), rect_inside(&mut rng)) {
+        Err(TxnError::Timeout | TxnError::Deadlock) => {}
+        Ok(()) => panic!("insert inside a held predicate did not block"),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+
+    // A snapshot scan of the same region completes immediately while the
+    // predicate is held — it takes no locks, so there is nothing to wait
+    // on.
+    let snap = db.begin_snapshot();
+    assert_eq!(
+        snap.read_scan(REGION)
+            .iter()
+            .map(|h| h.oid.0)
+            .collect::<BTreeSet<_>>(),
+        inside.iter().map(|(o, _)| o.0).collect::<BTreeSet<_>>(),
+    );
+    db.commit(searcher).expect("searcher commit");
+}
+
+/// Negative control: the snapshot plane's safety assertion has teeth —
+/// reading at a timestamp above the commit clock (state that is not yet
+/// stable) panics instead of returning garbage.
+#[test]
+#[should_panic(expected = "above the commit clock")]
+fn snapshot_read_above_commit_clock_panics() {
+    let _serial = serialize();
+    let db = build(16, MaintenanceMode::Inline);
+    let mut rng = XorShift::new(0xF3);
+    preload(&db, &mut rng, 20);
+    let snap = db.begin_snapshot_at(db.mvcc_stats().commit_ts + 1_000);
+    let _ = snap.read_scan(REGION);
+}
+
+/// Version GC: history below the min-active-snapshot watermark is
+/// reclaimed; a pinned snapshot keeps every version (live and dead) it
+/// can see until it drops.
+#[test]
+fn version_gc_reclaims_below_watermark_and_respects_pins() {
+    let _serial = serialize();
+    let db = build(16, MaintenanceMode::Inline);
+    let mut rng = XorShift::new(0xF4);
+    let rect = rect_inside(&mut rng);
+    let keep = ObjectId(1);
+    let gone = ObjectId(2);
+    let gone_rect = rect_inside(&mut rng);
+    let txn = db.begin();
+    db.insert(txn, keep, rect).expect("insert");
+    db.insert(txn, gone, gone_rect).expect("insert");
+    db.commit(txn).expect("commit");
+
+    // Pin the initial state, then churn: five updates of `keep` and a
+    // physical delete of `gone`.
+    let pin = db.begin_snapshot();
+    for _ in 0..5 {
+        let txn = db.begin();
+        assert!(db.update_single(txn, keep, rect).expect("update"));
+        db.commit(txn).expect("update commit");
+    }
+    let txn = db.begin();
+    assert!(db.delete(txn, gone, gone_rect).expect("delete"));
+    db.commit(txn).expect("delete commit");
+    TransactionalRTree::quiesce(&*db);
+
+    // The deleted object left the tree but its history is retained on
+    // the dead list for the pinned snapshot.
+    let stats = db.mvcc_stats();
+    assert_eq!(stats.live_chains, 1, "{stats:?}");
+    assert_eq!(stats.live_versions, 6, "insert + five updates");
+    assert_eq!(stats.dead_objects, 1, "{stats:?}");
+    assert_eq!(pin.read_single(gone), Some(1), "pin predates the delete");
+
+    // GC with the pin active reclaims nothing the pin can resolve.
+    db.dispatch_version_gc();
+    let pinned = db.mvcc_stats();
+    assert_eq!(pinned.live_versions, 6, "{pinned:?}");
+    assert_eq!(pinned.dead_objects, 1, "{pinned:?}");
+    assert_eq!(
+        pin.read_single(keep),
+        Some(1),
+        "pin keeps the first version"
+    );
+
+    // Unpin: the next pass reclaims the update history and the dead
+    // object outright.
+    drop(pin);
+    db.dispatch_version_gc();
+    let after = db.mvcc_stats();
+    assert_eq!(after.live_versions, 1, "{after:?}");
+    assert_eq!(after.dead_objects, 0, "{after:?}");
+    assert_eq!(after.active_snapshots, 0, "{after:?}");
+    let fresh = db.begin_snapshot();
+    assert_eq!(fresh.read_single(keep), Some(6), "newest version survives");
+    assert_eq!(fresh.read_single(gone), None, "deleted object is gone");
+}
+
+/// Sharded snapshots read every shard at one timestamp: a cross-shard
+/// transaction (object pairs landing on different shards of a 2×2 grid)
+/// is visible all-or-nothing, and a held snapshot stays bit-identical
+/// while such transactions commit around it.
+#[test]
+fn sharded_snapshot_is_atomic_across_shards() {
+    let _serial = serialize();
+    let db = build_sharded(4, MaintenanceMode::Inline);
+    let mut rng = XorShift::new(0xF5);
+    let txn = db.begin();
+    for i in 0..120u64 {
+        let rect = if rng.chance(0.4) {
+            rect_inside(&mut rng)
+        } else {
+            rect_outside(&mut rng)
+        };
+        db.insert(txn, ObjectId(1_000_000 + i), rect)
+            .expect("preload");
+    }
+    db.commit(txn).expect("preload commit");
+
+    const PAIRS: u64 = 25;
+    let held = db.begin_snapshot();
+    let baseline = held.read_scan(REGION);
+
+    crossbeam::scope(|s| {
+        let writer = {
+            let db = Arc::clone(&db);
+            s.spawn(move |_| {
+                for k in 0..PAIRS {
+                    // One transaction, two quadrants: (0.40, 0.40) and
+                    // (0.60, 0.60) have different home shards on the 2×2
+                    // grid, so this commit is routed through 2PC.
+                    let txn = db.begin();
+                    db.insert(
+                        txn,
+                        ObjectId(2_000_000 + 2 * k),
+                        Rect2::new([0.40, 0.40], [0.403, 0.403]),
+                    )
+                    .expect("pair insert lo");
+                    db.insert(
+                        txn,
+                        ObjectId(2_000_000 + 2 * k + 1),
+                        Rect2::new([0.60, 0.60], [0.603, 0.603]),
+                    )
+                    .expect("pair insert hi");
+                    db.commit(txn).expect("pair commit");
+                }
+            })
+        };
+        // Race fresh snapshots against the committing pairs: each must
+        // see both halves of a pair or neither — a torn read would mean
+        // the shards were stamped in separate clock sections.
+        for _ in 0..200 {
+            let snap = db.begin_snapshot();
+            let seen: BTreeSet<u64> = snap.read_scan(REGION).iter().map(|h| h.oid.0).collect();
+            for k in 0..PAIRS {
+                assert_eq!(
+                    seen.contains(&(2_000_000 + 2 * k)),
+                    seen.contains(&(2_000_000 + 2 * k + 1)),
+                    "torn cross-shard commit visible at ts {}",
+                    snap.ts()
+                );
+            }
+        }
+        writer.join().unwrap();
+    })
+    .unwrap();
+
+    // The held snapshot never saw any of it.
+    assert_eq!(
+        held.read_scan(REGION),
+        baseline,
+        "held sharded snapshot diverged across cross-shard commits"
+    );
+    // A snapshot from after the writer sees every pair.
+    let fresh = db.begin_snapshot();
+    let seen: BTreeSet<u64> = fresh.read_scan(REGION).iter().map(|h| h.oid.0).collect();
+    assert!(
+        (0..2 * PAIRS).all(|i| seen.contains(&(2_000_000 + i))),
+        "fresh sharded snapshot must see every committed pair"
+    );
+    db.validate().expect("sharded invariants");
+}
