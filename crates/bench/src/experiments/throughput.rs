@@ -311,6 +311,15 @@ pub struct ThroughputRow {
     /// Aborted attempts: retries spent on deadlock/timeout victims plus
     /// runs that exhausted their retry budget.
     pub aborts: u64,
+    /// Lock-wait timeout verdicts over the measured interval. With the
+    /// global deadlock detector armed (the default) a sharded cell
+    /// should report `0` here: cross-shard cycles are wounded as proper
+    /// deadlocks instead of being guessed at by the wait-timeout
+    /// backstop.
+    pub timeout_aborts: Option<u64>,
+    /// Deadlock verdicts over the measured interval: per-shard lock
+    /// manager wounds plus global-detector wounds.
+    pub deadlock_aborts: Option<u64>,
     /// Wall-clock seconds (≥ the configured cell floor).
     pub elapsed_secs: f64,
     /// Optimistic replans forced by stale-plan detection (DGL only).
@@ -521,7 +530,7 @@ fn run_point(
     // The exclusive-latch histogram only exists for DGL contenders —
     // `tree-lock` has no structure latch, so those columns stay None.
     let is_dgl = dgl_handle(c).is_some() || c.sharded.is_some();
-    let (wait, hold, commit, kinds, snap_scans) = match (obs_snapshot(c), obs_before) {
+    let (wait, hold, commit, kinds, snap_scans, verdicts) = match (obs_snapshot(c), obs_before) {
         (Some(after), Some(before)) => {
             let delta = after.since(&before);
             (
@@ -534,9 +543,13 @@ fn run_point(
                     *delta.hist(Hist::LockWaitWrite),
                 ]),
                 Some(delta.ctr(Ctr::SnapshotScans)),
+                Some((
+                    delta.ctr(Ctr::LockTimeouts),
+                    delta.ctr(Ctr::LockDeadlocks) + delta.ctr(Ctr::GlobalDeadlocks),
+                )),
             )
         }
-        _ => (None, None, None, None, None),
+        _ => (None, None, None, None, None, None),
     };
     ThroughputRow {
         protocol: c.label.clone(),
@@ -546,6 +559,8 @@ fn run_point(
         ops_per_sec: ops as f64 / elapsed,
         commits,
         aborts,
+        timeout_aborts: verdicts.map(|v| v.0),
+        deadlock_aborts: verdicts.map(|v| v.1),
         elapsed_secs: elapsed,
         optimistic_replans: replans,
         plan_validation_failures: failures,
@@ -623,7 +638,7 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"lock_wait_scan_count\": {}, \"lock_wait_scan_p95_nanos\": {}, \"lock_wait_point_count\": {}, \"lock_wait_point_p95_nanos\": {}, \"lock_wait_write_count\": {}, \"lock_wait_write_p95_nanos\": {}, \"snapshot_scans\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"timeout_aborts\": {}, \"deadlock_aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"lock_wait_scan_count\": {}, \"lock_wait_scan_p95_nanos\": {}, \"lock_wait_point_count\": {}, \"lock_wait_point_p95_nanos\": {}, \"lock_wait_write_count\": {}, \"lock_wait_write_p95_nanos\": {}, \"snapshot_scans\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
             r.protocol,
             r.mix,
             r.threads,
@@ -631,6 +646,8 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
             r.ops_per_sec,
             r.commits,
             r.aborts,
+            json_opt(r.timeout_aborts),
+            json_opt(r.deadlock_aborts),
             r.elapsed_secs,
             json_opt(r.optimistic_replans),
             json_opt(r.plan_validation_failures),
@@ -683,6 +700,10 @@ pub fn render(rows: &[ThroughputRow]) -> String {
                 format!("{:.0}", r.ops_per_sec),
                 r.commits.to_string(),
                 r.aborts.to_string(),
+                match (r.timeout_aborts, r.deadlock_aborts) {
+                    (Some(t), Some(d)) => format!("{t}/{d}"),
+                    _ => "-".to_string(),
+                },
                 r.optimistic_replans
                     .map_or_else(|| "-".to_string(), |v| v.to_string()),
                 tri(
@@ -716,6 +737,7 @@ pub fn render(rows: &[ThroughputRow]) -> String {
             "Ops/s",
             "Commits",
             "Aborts",
+            "TO/DL",
             "Replans",
             "Wait µs p50/95/99",
             "Waits scan/pt/wr",
@@ -916,6 +938,17 @@ mod tests {
             .iter()
             .filter(|r| r.protocol == "dgl-sharded-2")
             .all(|r| r.shards == 2));
+        // With the global detector armed (the default) the sharded
+        // cells never fall back on the wait-timeout guess: every
+        // multi-thread sharded row reports zero timeout verdicts, and
+        // the verdict columns are populated on every obs-wired row.
+        for r in rows.iter().filter(|r| r.shards > 1 && r.threads > 1) {
+            assert_eq!(r.timeout_aborts, Some(0), "{r:?}");
+        }
+        for r in rows.iter().filter(|r| r.protocol.starts_with("dgl-")) {
+            assert!(r.timeout_aborts.is_some(), "{r:?}");
+            assert!(r.deadlock_aborts.is_some(), "{r:?}");
+        }
         let json = to_json(&cfg, &rows);
         assert!(json.contains("\"bench\": \"throughput\""));
         assert!(json.contains("dgl-pessimistic"));
@@ -923,6 +956,8 @@ mod tests {
         assert!(json.contains("\"shards\": 2"));
         assert!(json.contains("x_latch_total_nanos"));
         assert!(json.contains("lock_wait_p95_nanos"));
+        assert!(json.contains("timeout_aborts"));
+        assert!(json.contains("deadlock_aborts"));
         // tree-lock's structurally-absent metrics serialize as null.
         assert!(json.contains("\"x_latch_p95_nanos\": null"));
         assert!(json.contains("dgl-snapshot"));

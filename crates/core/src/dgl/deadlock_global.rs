@@ -1,0 +1,677 @@
+//! Global deadlock detection: one wait-for graph over every wait source.
+//!
+//! The per-shard lock manager detects cycles only inside its own lock
+//! table. Two kinds of waits escape it:
+//!
+//! * **Cross-shard lock cycles** — T1 holds a granule on shard A and
+//!   waits on shard B while T2 holds B and waits on A. Each shard sees
+//!   one edge of the cycle; neither sees a cycle. The historical remedy
+//!   was a tight per-shard wait timeout (the old `CROSS_SHARD_WAIT`
+//!   bound), which also aborted innocently slow waiters — the
+//!   timeout-convoy pathology the throughput experiments measured.
+//! * **Gate cycles** — a deferred physical deletion holds the
+//!   system-operation gate exclusively *across its own lock waits*,
+//!   while a lock-holding transaction polls for shared gate access. The
+//!   gate is not a lock-manager resource, so the cycle (system op waits
+//!   for T's granule lock, T waits for the gate) is invisible to lock
+//!   deadlock detection.
+//!
+//! [`GlobalDetector`] owns a background thread that periodically unions
+//! every source into one graph:
+//!
+//! * `LockManager::wait_edges()` from every shard (waiter → each
+//!   transaction it cannot be granted before);
+//! * gate edges from `DglCore::gate_waiters` → `DglCore::gate_holder`;
+//! * 2PC session identity from the router: per-shard participant ids of
+//!   one global transaction collapse into a single `Key::Global` node
+//!   (including sessions mid-commit, whose participant union must stay
+//!   visible while `commit_parts` runs).
+//!
+//! Cycles are resolved by **wounding**: the youngest non-system member
+//! gets `LockManager::cancel_and_poison`, which unparks its blocked
+//! `lock()` with a [`LockOutcome::Deadlock`](dgl_lockmgr::LockOutcome)
+//! verdict (or, for a gate poll, surfaces through
+//! `LockManager::take_poison`). The victim rolls back through the
+//! ordinary deadlock path; everyone else keeps waiting and is granted
+//! moments later. To avoid double-victims, the detector only wounds
+//! cycles a per-shard detector *cannot* resolve: cycles whose edges span
+//! ≥ 2 shards, or cycles containing a gate edge.
+//!
+//! Long waits with **no** cycle are not aborted: the stall watchdog
+//! flags them (counter + event + an optional merged lock-table dump to
+//! the file named by `DGL_WATCHDOG_DUMP`) and lets them keep waiting —
+//! a stall is diagnosed, not punished with a spurious abort.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use dgl_lockmgr::{obs_res, ResourceId, TxnId};
+use dgl_obs::{Ctr, Event, Registry};
+
+use super::DglCore;
+
+/// A wait past this with no deadlock cycle found is flagged by the stall
+/// watchdog. Same value the router's old bounded-wait default used —
+/// roughly 1000× a typical transaction — but crossing it now produces a
+/// diagnostic, not an abort.
+pub(crate) const STALL_THRESHOLD: Duration = Duration::from_millis(50);
+
+/// Detection pass cadence. A genuine deadlock therefore costs a few
+/// milliseconds instead of a 50 ms timeout (and instead of the 10 s
+/// lock-manager backstop for gate cycles).
+const DETECT_INTERVAL: Duration = Duration::from_millis(2);
+
+/// A wounded victim suppresses re-wounding of cycles it appears in for
+/// this long — the time it takes a victim to observe its verdict and
+/// roll back, so a lingering cycle snapshot cannot claim a second
+/// victim.
+const WOUND_QUIET: Duration = Duration::from_millis(100);
+
+/// Minimum gap between watchdog flags for one stalled waiter.
+const STALL_REFLAG: Duration = Duration::from_secs(1);
+
+/// Per-global-transaction participant vector, mirrored from the router
+/// (`shard index → local participant id`).
+pub(crate) type SessionMap = HashMap<u64, Vec<Option<TxnId>>>;
+
+/// Participants of global transactions currently inside `commit_parts`
+/// (their session entry is already removed, but their identity union
+/// must survive until every participant finishes).
+pub(crate) type CommittingMap = HashMap<u64, Vec<(usize, TxnId)>>;
+
+/// Node identity in the unified graph: a global (router) transaction, or
+/// a purely local one named by `(shard, txn)` — local ids collide across
+/// shards, so the shard index is part of the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Global(u64),
+    Local(usize, TxnId),
+}
+
+impl Key {
+    /// Stable diagnostic label (also the `cycle` field of
+    /// [`Event::DeadlockVictim`]).
+    fn label(&self) -> String {
+        match self {
+            Key::Global(g) => format!("g:{g}"),
+            Key::Local(s, t) => format!("s{s}:{}", t.0),
+        }
+    }
+
+    /// The transaction id reported in events.
+    fn txn_id(&self) -> u64 {
+        match self {
+            Key::Global(g) => *g,
+            Key::Local(_, t) => t.0,
+        }
+    }
+
+    /// Deterministic victim rank: higher = younger = preferred victim.
+    /// Global ids and local ids are monotone within their own space;
+    /// globals rank above locals so a cross-shard cycle wounds the
+    /// global transaction (whose router retry loop is built for it).
+    fn rank(&self) -> (u8, u64, usize) {
+        match self {
+            Key::Global(g) => (1, *g, 0),
+            Key::Local(s, t) => (0, t.0, *s),
+        }
+    }
+}
+
+/// One blocking edge with its provenance.
+struct EdgeInfo {
+    from: Key,
+    to: Key,
+    shard: usize,
+    gate: bool,
+    res: Option<ResourceId>,
+    waited: Duration,
+    /// The raw (shard, local id) of the waiter — what a wound must be
+    /// delivered to when `from` is local.
+    raw_waiter: (usize, TxnId),
+}
+
+/// State shared between the detector thread and its handle.
+struct Shared {
+    shutdown: Mutex<bool>,
+    cv: Condvar,
+    cores: Vec<Arc<DglCore>>,
+    sessions: Option<Arc<Mutex<SessionMap>>>,
+    committing: Option<Arc<Mutex<CommittingMap>>>,
+    /// Where victim/stall counters and events land: the router registry
+    /// for a sharded index, the tree's own registry for a single tree.
+    obs: Arc<Registry>,
+}
+
+/// Cross-pass detector memory.
+#[derive(Default)]
+struct PassState {
+    /// Victims wounded recently (pruned past [`WOUND_QUIET`]).
+    wounded: HashMap<Key, Instant>,
+    /// Last watchdog flag per stalled waiter (pruned when the wait
+    /// resolves).
+    stall_flagged: HashMap<(usize, TxnId), Instant>,
+}
+
+/// Handle owning the detector thread; dropping it shuts the thread down
+/// and joins it.
+pub(crate) struct GlobalDetector {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for GlobalDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalDetector")
+            .field("cores", &self.shared.cores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GlobalDetector {
+    /// Detector for a standalone tree: lock edges + gate edges, no
+    /// session union. Only gate cycles are wounded (pure lock cycles
+    /// stay owned by the lock manager's own detector).
+    pub(crate) fn spawn_single(core: Arc<DglCore>) -> Self {
+        let obs = Arc::clone(&core.obs);
+        Self::spawn(vec![core], None, None, obs)
+    }
+
+    /// Unified detector for a sharded index: every shard's lock edges
+    /// and gate edges, collapsed over the router's session identity.
+    pub(crate) fn spawn_sharded(
+        cores: Vec<Arc<DglCore>>,
+        sessions: Arc<Mutex<SessionMap>>,
+        committing: Arc<Mutex<CommittingMap>>,
+        obs: Arc<Registry>,
+    ) -> Self {
+        Self::spawn(cores, Some(sessions), Some(committing), obs)
+    }
+
+    fn spawn(
+        cores: Vec<Arc<DglCore>>,
+        sessions: Option<Arc<Mutex<SessionMap>>>,
+        committing: Option<Arc<Mutex<CommittingMap>>>,
+        obs: Arc<Registry>,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            shutdown: Mutex::new(false),
+            cv: Condvar::new(),
+            cores,
+            sessions,
+            committing,
+            obs,
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("dgl-deadlock".into())
+            .spawn(move || detector_loop(&thread_shared))
+            .expect("spawn deadlock detector thread");
+        Self {
+            shared,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for GlobalDetector {
+    fn drop(&mut self) {
+        *self.shared.shutdown.lock() = true;
+        self.shared.cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn detector_loop(shared: &Shared) {
+    let mut state = PassState::default();
+    loop {
+        {
+            let mut guard = shared.shutdown.lock();
+            if *guard {
+                return;
+            }
+            shared
+                .cv
+                .wait_until(&mut guard, Instant::now() + DETECT_INTERVAL);
+            if *guard {
+                return;
+            }
+        }
+        // Chaos hook: a Delay spec stalls the pass inside `eval`, an
+        // Error spec skips it entirely — either way waits survive (and
+        // eventually trip the watchdog) rather than misfiring a wound.
+        if dgl_faults::fired!("deadlock/detector-stall") {
+            continue;
+        }
+        run_pass(shared, &mut state);
+    }
+}
+
+/// One detection pass: snapshot, union, find cycles, wound, watchdog.
+fn run_pass(shared: &Shared, state: &mut PassState) {
+    let now = Instant::now();
+    state
+        .wounded
+        .retain(|_, at| now.saturating_duration_since(*at) < WOUND_QUIET);
+
+    // Cheap skip: nothing is waiting anywhere.
+    let busy = shared.cores.iter().any(|c| {
+        c.lm.waiter_count() > 0 || !c.gate_waiters.lock().is_empty()
+    });
+    if !busy {
+        state.stall_flagged.clear();
+        return;
+    }
+
+    let (alias, global_parts) = session_identity(shared);
+    let canon = |s: usize, t: TxnId| -> Key {
+        match alias.get(&(s, t)) {
+            Some(g) => Key::Global(*g),
+            None => Key::Local(s, t),
+        }
+    };
+
+    let mut edges: Vec<EdgeInfo> = Vec::new();
+    for (i, core) in shared.cores.iter().enumerate() {
+        for e in core.lm.wait_edges() {
+            edges.push(EdgeInfo {
+                from: canon(i, e.waiter),
+                to: canon(i, e.holder),
+                shard: i,
+                gate: false,
+                res: Some(e.res),
+                waited: e.waited,
+                raw_waiter: (i, e.waiter),
+            });
+        }
+        // Gate edges: every registered gate poller waits on the system
+        // transaction holding the gate exclusively. Snapshot the holder
+        // first — a waiter observed after the holder cleared simply
+        // yields no edge this pass.
+        let holder = *core.gate_holder.lock();
+        if let Some(h) = holder {
+            for w in core.gate_waiters.lock().iter() {
+                edges.push(EdgeInfo {
+                    from: canon(i, *w),
+                    to: Key::Local(i, h),
+                    shard: i,
+                    gate: true,
+                    res: None,
+                    waited: Duration::ZERO,
+                    raw_waiter: (i, *w),
+                });
+            }
+        }
+    }
+
+    // Adjacency + per-pair provenance (self-edges from session collapse
+    // — one participant of a global txn behind another — are not waits).
+    let mut adj: HashMap<Key, Vec<Key>> = HashMap::new();
+    let mut prov: HashMap<(Key, Key), (HashSet<usize>, bool)> = HashMap::new();
+    for e in &edges {
+        if e.from == e.to {
+            continue;
+        }
+        let entry = prov.entry((e.from, e.to)).or_default();
+        entry.0.insert(e.shard);
+        entry.1 |= e.gate;
+        let succ = adj.entry(e.from).or_default();
+        if !succ.contains(&e.to) {
+            succ.push(e.to);
+        }
+    }
+
+    let mut cycle_members: HashSet<Key> = HashSet::new();
+    // Bounded like the lock manager's resolver: each iteration finds at
+    // most one cycle and wounds at most one victim.
+    for _ in 0..8 {
+        let Some(cycle) = find_cycle(&adj) else { break };
+        cycle_members.extend(cycle.iter().copied());
+
+        let mut shards_involved: HashSet<usize> = HashSet::new();
+        let mut gate = false;
+        for (i, k) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % cycle.len()];
+            if let Some((shards, g)) = prov.get(&(*k, next)) {
+                shards_involved.extend(shards.iter().copied());
+                gate |= *g;
+            }
+        }
+        // Ownership rule: a single-shard pure-lock cycle belongs to that
+        // shard's lock manager (its detector fires on the same cycle and
+        // wounding here too would claim a second victim). This detector
+        // resolves only what no shard can: multi-shard cycles and cycles
+        // through the gate.
+        let ours = gate || shards_involved.len() >= 2;
+        let recently_wounded = cycle.iter().any(|k| state.wounded.contains_key(k));
+        if ours && !recently_wounded {
+            if let Some(victim) = select_victim(shared, &cycle) {
+                wound(shared, victim, &cycle, gate, &global_parts);
+                state.wounded.insert(victim, Instant::now());
+                adj.remove(&victim);
+                continue;
+            }
+        }
+        // Not ours (or all-system, or quieted): break the cycle in our
+        // *model* so the next iteration can look for further cycles.
+        if let Some(first) = cycle.first() {
+            adj.remove(first);
+        }
+    }
+
+    watchdog(shared, state, &edges, &cycle_members);
+}
+
+/// Builds the session identity maps: `(shard, local txn) → gtxn` and its
+/// reverse `gtxn → participants`. Sessions mid-commit are included.
+#[allow(clippy::type_complexity)]
+fn session_identity(
+    shared: &Shared,
+) -> (HashMap<(usize, TxnId), u64>, HashMap<u64, Vec<(usize, TxnId)>>) {
+    let mut alias = HashMap::new();
+    let mut parts_of: HashMap<u64, Vec<(usize, TxnId)>> = HashMap::new();
+    if let Some(sessions) = &shared.sessions {
+        for (g, parts) in sessions.lock().iter() {
+            for (s, t) in parts.iter().enumerate() {
+                if let Some(t) = t {
+                    alias.insert((s, *t), *g);
+                    parts_of.entry(*g).or_default().push((s, *t));
+                }
+            }
+        }
+    }
+    if let Some(committing) = &shared.committing {
+        for (g, parts) in committing.lock().iter() {
+            for &(s, t) in parts {
+                alias.insert((s, t), *g);
+                parts_of.entry(*g).or_default().push((s, t));
+            }
+        }
+    }
+    (alias, parts_of)
+}
+
+/// Finds one cycle in the adjacency map (iterative DFS with an explicit
+/// path stack), returned as the member sequence in wait order.
+fn find_cycle(adj: &HashMap<Key, Vec<Key>>) -> Option<Vec<Key>> {
+    let mut done: HashSet<Key> = HashSet::new();
+    let mut starts: Vec<Key> = adj.keys().copied().collect();
+    // Deterministic exploration order → deterministic victim choice.
+    starts.sort_by_key(Key::rank);
+    for start in starts {
+        if done.contains(&start) {
+            continue;
+        }
+        let mut path: Vec<Key> = Vec::new();
+        let mut on_path: HashSet<Key> = HashSet::new();
+        // (node, next successor index) stack.
+        let mut stack: Vec<(Key, usize)> = vec![(start, 0)];
+        path.push(start);
+        on_path.insert(start);
+        while let Some(&(node, idx)) = stack.last() {
+            let succs = adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if idx < succs.len() {
+                stack.last_mut().expect("just peeked").1 += 1;
+                let next = succs[idx];
+                if on_path.contains(&next) {
+                    let at = path.iter().position(|k| *k == next).expect("on path");
+                    return Some(path[at..].to_vec());
+                }
+                if !done.contains(&next) {
+                    stack.push((next, 0));
+                    path.push(next);
+                    on_path.insert(next);
+                }
+            } else {
+                stack.pop();
+                let finished = path.pop().expect("path tracks stack");
+                on_path.remove(&finished);
+                done.insert(finished);
+            }
+        }
+    }
+    None
+}
+
+/// The youngest non-system cycle member (deterministic across passes and
+/// shards); `None` when every member is a system transaction — then
+/// nothing is wounded and the cycle must dissolve by other means (system
+/// operations always make progress once user locks clear).
+fn select_victim(shared: &Shared, cycle: &[Key]) -> Option<Key> {
+    cycle
+        .iter()
+        .filter(|k| match k {
+            Key::Global(_) => true,
+            Key::Local(s, t) => !shared.cores[*s].lm.is_system(*t),
+        })
+        .max_by_key(|k| k.rank())
+        .copied()
+}
+
+/// Delivers the wound: poisons (and cancels any parked wait of) every
+/// local participant of the victim, bumps the counter and emits the
+/// victim event with the full cycle as evidence.
+fn wound(
+    shared: &Shared,
+    victim: Key,
+    cycle: &[Key],
+    gate: bool,
+    global_parts: &HashMap<u64, Vec<(usize, TxnId)>>,
+) {
+    match victim {
+        Key::Global(g) => {
+            for &(s, t) in global_parts.get(&g).map(Vec::as_slice).unwrap_or(&[]) {
+                shared.cores[s].lm.cancel_and_poison(t);
+            }
+        }
+        Key::Local(s, t) => {
+            shared.cores[s].lm.cancel_and_poison(t);
+        }
+    }
+    shared.obs.incr(Ctr::GlobalDeadlocks);
+    shared.obs.emit(Event::DeadlockVictim {
+        txn: victim.txn_id(),
+        cycle: cycle.iter().map(Key::label).collect(),
+        gate,
+    });
+}
+
+/// Stall watchdog: lock waits past [`STALL_THRESHOLD`] that are not part
+/// of any cycle found this pass are *reported* — counter, event, and an
+/// appended merged lock-table dump when `DGL_WATCHDOG_DUMP` names a file
+/// — and left to wait. This replaces the old tight cross-shard wait
+/// timeout, which converted every slow-but-innocent wait into a spurious
+/// `Timeout` abort.
+fn watchdog(shared: &Shared, state: &mut PassState, edges: &[EdgeInfo], in_cycle: &HashSet<Key>) {
+    let now = Instant::now();
+    let mut still_waiting: HashSet<(usize, TxnId)> = HashSet::new();
+    for e in edges {
+        if e.gate {
+            continue;
+        }
+        still_waiting.insert(e.raw_waiter);
+        if e.waited < STALL_THRESHOLD || in_cycle.contains(&e.from) {
+            continue;
+        }
+        let last = state.stall_flagged.get(&e.raw_waiter);
+        if last.is_some_and(|at| now.saturating_duration_since(*at) < STALL_REFLAG) {
+            continue;
+        }
+        state.stall_flagged.insert(e.raw_waiter, now);
+        shared.obs.incr(Ctr::WatchdogStalls);
+        let res = e.res.expect("lock edges carry a resource");
+        shared.obs.emit(Event::WatchdogStall {
+            txn: e.from.txn_id(),
+            res: obs_res(res),
+            wait_nanos: e.waited.as_nanos() as u64,
+        });
+        if let Ok(path) = std::env::var("DGL_WATCHDOG_DUMP") {
+            if !path.is_empty() {
+                let dump = format!(
+                    "=== watchdog stall: {} waited {:?} on {res} ===\n{}",
+                    e.from.label(),
+                    e.waited,
+                    merged_dump(shared)
+                );
+                let _ = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| std::io::Write::write_all(&mut f, dump.as_bytes()));
+            }
+        }
+    }
+    state.stall_flagged.retain(|w, _| still_waiting.contains(w));
+}
+
+/// Renders the union the detector reasons over: every shard's lock
+/// table, gate state, and the session identity map. Shared by the
+/// watchdog dump and the shell's `locktable --merged`.
+fn merged_dump(shared: &Shared) -> String {
+    render_merged(
+        &shared.cores,
+        shared
+            .sessions
+            .as_ref()
+            .map(|s| s.lock().clone())
+            .unwrap_or_default(),
+        shared
+            .committing
+            .as_ref()
+            .map(|c| c.lock().clone())
+            .unwrap_or_default(),
+    )
+}
+
+/// Textual merged wait-state dump over `cores` with session identities
+/// and gate edges annotated (see [`merged_dump`]).
+pub(crate) fn render_merged(
+    cores: &[Arc<DglCore>],
+    sessions: SessionMap,
+    committing: CommittingMap,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (i, core) in cores.iter().enumerate() {
+        let _ = writeln!(out, "shard {i}:");
+        let mut entries = core.lm.table_snapshot();
+        entries.sort_by_key(|e| format!("{}", e.res));
+        for e in entries {
+            let _ = write!(out, "  {}: granted[", e.res);
+            for g in &e.grants {
+                let _ = write!(out, " {}:{}", g.txn, g.mode);
+            }
+            let _ = write!(out, " ] waiting[");
+            for w in &e.waiters {
+                let _ = write!(
+                    out,
+                    " {}:{}{}",
+                    w.txn,
+                    w.mode,
+                    if w.conversion { "(conv)" } else { "" }
+                );
+            }
+            let _ = writeln!(out, " ]");
+        }
+        let holder = *core.gate_holder.lock();
+        if let Some(h) = holder {
+            let mut waiters: Vec<u64> = core.gate_waiters.lock().iter().map(|t| t.0).collect();
+            waiters.sort_unstable();
+            let _ = writeln!(
+                out,
+                "  gate: held by system txn {} — gate-waiters {waiters:?}",
+                h.0
+            );
+        }
+        for e in core.lm.wait_edges() {
+            let _ = writeln!(
+                out,
+                "  wait-for: {} -> {} on {} ({:?}{})",
+                e.waiter,
+                e.holder,
+                e.res,
+                e.waited,
+                if e.waiter_system { ", system" } else { "" }
+            );
+        }
+    }
+    let mut globals: Vec<(u64, Vec<String>)> = sessions
+        .iter()
+        .map(|(g, parts)| {
+            (
+                *g,
+                parts
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, t)| t.map(|t| format!("s{s}:{}", t.0)))
+                    .collect(),
+            )
+        })
+        .chain(committing.iter().map(|(g, parts)| {
+            (
+                *g,
+                parts
+                    .iter()
+                    .map(|(s, t)| format!("s{s}:{} (committing)", t.0))
+                    .collect(),
+            )
+        }))
+        .collect();
+    globals.sort_by_key(|(g, _)| *g);
+    for (g, parts) in globals {
+        let _ = writeln!(out, "session g:{g} -> {parts:?}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_cycle_reports_members_in_wait_order() {
+        let a = Key::Local(0, TxnId(1));
+        let b = Key::Local(0, TxnId(2));
+        let c = Key::Local(1, TxnId(3));
+        let mut adj: HashMap<Key, Vec<Key>> = HashMap::new();
+        adj.insert(a, vec![b]);
+        adj.insert(b, vec![c]);
+        adj.insert(c, vec![a]);
+        let cycle = find_cycle(&adj).expect("three-node cycle");
+        assert_eq!(cycle.len(), 3);
+        for (i, k) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % cycle.len()];
+            assert!(adj[k].contains(&next), "consecutive members are edges");
+        }
+    }
+
+    #[test]
+    fn find_cycle_ignores_acyclic_chains() {
+        let a = Key::Local(0, TxnId(1));
+        let b = Key::Local(0, TxnId(2));
+        let c = Key::Global(9);
+        let mut adj: HashMap<Key, Vec<Key>> = HashMap::new();
+        adj.insert(a, vec![b, c]);
+        adj.insert(b, vec![c]);
+        assert!(find_cycle(&adj).is_none());
+    }
+
+    #[test]
+    fn victim_rank_prefers_youngest_and_globals() {
+        let members = [
+            Key::Local(0, TxnId(5)),
+            Key::Local(1, TxnId(9)),
+            Key::Global(2),
+        ];
+        let victim = members.iter().max_by_key(|k| k.rank()).unwrap();
+        assert_eq!(*victim, Key::Global(2), "globals outrank locals");
+        let locals = [Key::Local(0, TxnId(5)), Key::Local(1, TxnId(9))];
+        let victim = locals.iter().max_by_key(|k| k.rank()).unwrap();
+        assert_eq!(*victim, Key::Local(1, TxnId(9)), "youngest local");
+    }
+}

@@ -53,6 +53,7 @@ impl Drop for SysCleanup<'_> {
         if self.done {
             return;
         }
+        *self.core.gate_holder.lock() = None;
         self.core.lm.clear_system(self.sys);
         if self.core.tm.is_active(self.sys) {
             // Abort (not commit): releases the short locks without
@@ -80,6 +81,10 @@ impl DglCore {
         let _gate = self.deferred_gate.write();
         let sys = self.tm.begin();
         self.lm.set_system(sys);
+        // Publish the gate holder so the global deadlock detector can
+        // attribute gate waits to this system transaction (the edge its
+        // lock waits close a cycle through).
+        *self.gate_holder.lock() = Some(sys);
         let mut cleanup = SysCleanup {
             core: self,
             sys,
@@ -101,6 +106,7 @@ impl DglCore {
         }
 
         cleanup.done = true;
+        *self.gate_holder.lock() = None;
         self.lm.clear_system(sys);
         // Releases every short lock of the system operation.
         self.tm.commit(sys);

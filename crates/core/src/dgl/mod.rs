@@ -60,6 +60,7 @@
 //! while touching `payloads`); never touch the clock while holding the
 //! payload table.
 
+mod deadlock_global;
 mod deferred;
 mod durability;
 mod maintenance;
@@ -73,6 +74,7 @@ pub use maintenance::{MaintenanceConfig, MaintenanceMode};
 pub use mvcc::{MvccStats, Snapshot, SnapshotReadRTree};
 pub use shard::{ShardedDglRTree, ShardedSnapshot, ShardingConfig};
 
+use deadlock_global::GlobalDetector;
 use maintenance::MaintenanceHandle;
 use mvcc::{DeadObject, VersionChain};
 
@@ -169,6 +171,16 @@ pub struct DglConfig {
     /// the contended read-heavy point; see EXPERIMENTS.md). Off builds a
     /// disabled registry for overhead A/B measurement.
     pub obs_recording: bool,
+    /// Global deadlock detection: a background thread that unions the
+    /// lock manager's wait-for graph with deferred-gate wait edges (and,
+    /// on a sharded index, every shard's graph plus 2PC session edges),
+    /// finds cycles no single shard can see, and *wounds* the youngest
+    /// non-system member — its blocked wait returns
+    /// [`TxnError::Deadlock`] instead of stalling until a timeout. Also
+    /// arms the stall watchdog (long waits with no cycle are reported,
+    /// not aborted). On by default; the thread spawns lazily on the
+    /// first wait it could ever need to break.
+    pub global_detector: bool,
     /// ABLATION: collapse every external granule onto one shared resource
     /// — the "single extra lockable granule which covers the space that is
     /// not covered by the R-tree leaf granules" design that §3.1 rejects
@@ -209,6 +221,7 @@ impl Default for DglConfig {
             maintenance: MaintenanceConfig::default(),
             durability: DurabilityConfig::default(),
             obs_recording: true,
+            global_detector: true,
             coarse_external_granule: false,
             testing_skip_growth_compensation: false,
         }
@@ -268,6 +281,15 @@ pub(crate) struct DglCore {
     /// from observing the multi-latch-session window while condensation
     /// orphans are out of the tree.
     pub(crate) deferred_gate: RwLock<()>,
+    /// The system transaction currently holding [`Self::deferred_gate`]
+    /// exclusively (a deferred physical deletion mid-flight). The global
+    /// deadlock detector reads this to attribute gate waits to a holder
+    /// — the edge the lock manager's own graph cannot see.
+    pub(crate) gate_holder: Mutex<Option<TxnId>>,
+    /// Transactions currently polling for shared gate access while
+    /// holding granule locks (the poisonable gate wait in [`mvcc`]).
+    /// Each is a detector wait edge `waiter → gate_holder`.
+    pub(crate) gate_waiters: Mutex<HashSet<TxnId>>,
     pub(crate) policy: InsertPolicy,
     pub(crate) write_path: WritePathMode,
     pub(crate) coarse_external: bool,
@@ -476,6 +498,12 @@ pub struct DglRTree {
     // Declared before `core` so a drop tears the worker down (which joins
     // the thread) while the core it references is still guaranteed alive.
     maint: MaintenanceHandle,
+    /// Lazily spawned global deadlock detector (set on the first gate
+    /// wait by a lock-holding transaction; never set when
+    /// [`DglConfig::global_detector`] is off — e.g. on the shards of a
+    /// sharded index, whose router runs one unified detector instead).
+    detector: OnceLock<GlobalDetector>,
+    detector_enabled: bool,
     core: Arc<DglCore>,
 }
 
@@ -514,6 +542,8 @@ impl DglRTree {
             gc_pending: AtomicBool::new(false),
             gc_drops: AtomicU64::new(0),
             deferred_gate: RwLock::new(()),
+            gate_holder: Mutex::new(None),
+            gate_waiters: Mutex::new(HashSet::new()),
             policy: config.policy,
             write_path: config.write_path,
             coarse_external: config.coarse_external_granule,
@@ -530,8 +560,23 @@ impl DglRTree {
         });
         Self {
             maint: MaintenanceHandle::new(&core, config.maintenance),
+            detector: OnceLock::new(),
+            detector_enabled: config.global_detector,
             core,
         }
+    }
+
+    /// Arms the global deadlock detector for this tree (idempotent).
+    /// Returns whether a detector is (now) watching — `false` when the
+    /// config disabled it, in which case gate waits fall back to the
+    /// bounded-patience behavior.
+    pub(crate) fn ensure_detector(&self) -> bool {
+        if !self.detector_enabled {
+            return false;
+        }
+        self.detector
+            .get_or_init(|| GlobalDetector::spawn_single(Arc::clone(&self.core)));
+        true
     }
 
     /// Creates an empty index.
@@ -624,6 +669,18 @@ impl DglRTree {
     /// event stream).
     pub fn obs(&self) -> &Arc<Registry> {
         &self.core.obs
+    }
+
+    /// Renders the detector's merged wait-for view of this tree: the
+    /// lock-manager wait edges plus the deferred-deletion gate edge when
+    /// one is registered. The sharded router's variant of the same dump
+    /// unions this across every shard.
+    pub fn merged_locktable_dump(&self) -> String {
+        deadlock_global::render_merged(
+            std::slice::from_ref(&self.core),
+            Default::default(),
+            Default::default(),
+        )
     }
 
     /// Renders the registry as a Prometheus text dump.
@@ -738,26 +795,44 @@ impl DglRTree {
     /// record commit statistics. Infallible; the commit is already
     /// durable and (if versioned) stamped.
     pub(crate) fn commit_finish(&self, txn: TxnId, start: Instant) {
-        // An inline deferred deletion below can panic (injected faults);
-        // the guard keeps a still-active transaction from wedging the
-        // lock table. (After `tm.commit` the transaction is no longer
-        // active and the guard is a no-op.)
+        let deferred = self.commit_release(txn);
+        self.commit_maintenance(deferred, start);
+    }
+
+    /// Commit phase 3a: release locks and retire the transaction,
+    /// returning its deferred deletions *without* dispatching them.
+    /// Locks must release before any deferred deletion runs: the
+    /// deletions execute as *system operations* under fresh ids
+    /// ("executed as a separate operation", §3.6) and would otherwise
+    /// block on this transaction's own commit-duration locks. The
+    /// sharded router relies on the split — a cross-shard commit must
+    /// release **every** participant's locks before any shard's inline
+    /// maintenance runs, or the system operation can deadlock against
+    /// scanners blocked on a sibling participant's still-held locks.
+    /// Visibility stays correct in the window: the tombstones persist
+    /// until each deferred deletion runs.
+    pub(crate) fn commit_release(&self, txn: TxnId) -> Vec<DeferredDelete> {
+        // The take/commit sequence can observe an injected panic; the
+        // guard keeps a still-active transaction from wedging the lock
+        // table. (After `tm.commit` the transaction is no longer active
+        // and the guard is a no-op.)
         let _unwind = UnwindRollback {
             core: &self.core,
             txn,
         };
         let deferred = self.core.deferred.take(txn);
         let _ = self.core.undo.take(txn);
-        // Release all locks first: the deferred deletions run as *system
-        // operations* under fresh ids ("executed as a separate operation",
-        // §3.6) and would otherwise block on this transaction's own
-        // commit-duration locks. Visibility stays correct in the window:
-        // the tombstones persist until each deferred deletion runs.
         self.core.tm.commit(txn);
         self.core.wal_finish(txn);
-        // Inline mode executes the deletions here; background mode only
-        // enqueues them — the commit-latency split the maintenance
-        // subsystem exists for.
+        deferred
+    }
+
+    /// Commit phase 3b: dispatch the deferred deletions from
+    /// [`Self::commit_release`] and record commit statistics. Inline
+    /// mode executes the deletions here; background mode only enqueues
+    /// them — the commit-latency split the maintenance subsystem
+    /// exists for.
+    pub(crate) fn commit_maintenance(&self, deferred: Vec<DeferredDelete>, start: Instant) {
         for d in deferred {
             self.maint.dispatch(&self.core, d);
         }

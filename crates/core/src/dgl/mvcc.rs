@@ -318,7 +318,9 @@ impl DglCore {
     /// `try_read` (the vendored lock has no timed wait) until `patience`
     /// runs out. The poll interval is coarse — this path only spins while
     /// a deferred deletion is mid-flight, and its caller aborts on `None`
-    /// anyway.
+    /// anyway. Fallback for indexes running without the global deadlock
+    /// detector; with it armed, [`Self::gate_read_watched`] waits
+    /// unboundedly under detection instead.
     fn try_gate_read(&self, patience: Duration) -> Option<parking_lot::RwLockReadGuard<'_, ()>> {
         let deadline = std::time::Instant::now() + patience;
         loop {
@@ -330,6 +332,67 @@ impl DglCore {
             }
             std::thread::sleep(Duration::from_micros(200));
         }
+    }
+
+    /// Shared gate acquisition for a lock-holding transaction, watched
+    /// by the global deadlock detector: registers `txn` as a *gate
+    /// waiter* (the wait-for edge `txn → gate holder` the detector
+    /// unions into its graph) and polls without a deadline. If the wait
+    /// really is part of a cycle — the gate-holding system operation is
+    /// blocked on one of `txn`'s own granule locks — the detector wounds
+    /// `txn` and the poll returns `Err(TxnError::Deadlock)`; an innocent
+    /// wait simply outlasts the system operation, with no spurious
+    /// timeout abort.
+    pub(crate) fn gate_read_watched(
+        &self,
+        txn: TxnId,
+    ) -> Result<parking_lot::RwLockReadGuard<'_, ()>, TxnError> {
+        if let Some(gate) = self.deferred_gate.try_read() {
+            return Ok(gate);
+        }
+        struct Deregister<'a>(&'a DglCore, TxnId);
+        impl Drop for Deregister<'_> {
+            fn drop(&mut self) {
+                self.0.gate_waiters.lock().remove(&self.1);
+            }
+        }
+        self.gate_waiters.lock().insert(txn);
+        let _dereg = Deregister(self, txn);
+        loop {
+            if self.lm.take_poison(txn) {
+                return Err(TxnError::Deadlock);
+            }
+            if let Some(gate) = self.deferred_gate.try_read() {
+                return Ok(gate);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// [`Self::snapshot_scan`] through the watched gate wait — for
+    /// lock-holding transactions on an index with the global detector
+    /// armed. `Err(TxnError::Deadlock)` means the detector wounded `txn`
+    /// (the caller rolls it back).
+    pub(crate) fn snapshot_scan_watched(
+        &self,
+        ts: u64,
+        query: &Rect2,
+        txn: TxnId,
+    ) -> Result<Vec<ScanHit>, TxnError> {
+        let _gate = self.gate_read_watched(txn)?;
+        Ok(self.snapshot_scan_gated(ts, query))
+    }
+
+    /// [`Self::snapshot_read_single`] through the watched gate wait; see
+    /// [`Self::snapshot_scan_watched`].
+    pub(crate) fn snapshot_read_single_watched(
+        &self,
+        ts: u64,
+        oid: ObjectId,
+        txn: TxnId,
+    ) -> Result<Option<u64>, TxnError> {
+        let _gate = self.gate_read_watched(txn)?;
+        Ok(self.snapshot_read_single_gated(ts, oid))
     }
 
     fn snapshot_scan_gated(&self, ts: u64, query: &Rect2) -> Vec<ScanHit> {
@@ -620,9 +683,11 @@ struct TxnSnapState {
 }
 
 /// How long a read of a lock-holding transaction waits for the
-/// system-operation gate before the transaction is rolled back. Large
-/// against a normal condensation (microseconds), small against the
-/// deadlock it exists to break.
+/// system-operation gate before the transaction is rolled back, on an
+/// index running **without** the global deadlock detector. Large against
+/// a normal condensation (microseconds), small against the deadlock it
+/// exists to break. With the detector armed (the default) gate waits are
+/// unbounded and gate cycles are resolved by wounding instead.
 const GATE_PATIENCE: Duration = Duration::from_millis(5);
 
 impl SnapshotReadRTree {
@@ -667,13 +732,14 @@ impl SnapshotReadRTree {
         }
     }
 
-    /// Rolls the transaction back after its bounded gate wait expired and
-    /// reports it like a lock-wait timeout (retryable with a fresh
-    /// transaction).
-    fn gate_timeout<T>(&self, txn: TxnId) -> Result<T, TxnError> {
+    /// Rolls the transaction back after its gate wait failed and reports
+    /// the verdict: `Deadlock` when the global detector wounded it,
+    /// `Timeout` when the detector-less bounded wait expired. Retryable
+    /// with a fresh transaction either way.
+    fn gate_abort<T>(&self, txn: TxnId, e: TxnError) -> Result<T, TxnError> {
         let _ = self.inner.abort(txn);
         self.release(txn);
-        Err(TxnError::Timeout)
+        Err(e)
     }
 
     /// After a failed inner operation: if the error killed the
@@ -735,13 +801,20 @@ impl TransactionalRTree for SnapshotReadRTree {
         }
         let (ts, wrote) = self.snap_ts(txn);
         if wrote {
-            match self
-                .inner
-                .core
-                .try_snapshot_read_single(ts, oid, GATE_PATIENCE)
-            {
-                Some(v) => Ok(v),
-                None => self.gate_timeout(txn),
+            if self.inner.ensure_detector() {
+                match self.inner.core.snapshot_read_single_watched(ts, oid, txn) {
+                    Ok(v) => Ok(v),
+                    Err(e) => self.gate_abort(txn, e),
+                }
+            } else {
+                match self
+                    .inner
+                    .core
+                    .try_snapshot_read_single(ts, oid, GATE_PATIENCE)
+                {
+                    Some(v) => Ok(v),
+                    None => self.gate_abort(txn, TxnError::Timeout),
+                }
             }
         } else {
             Ok(self.inner.core.snapshot_read_single(ts, oid))
@@ -764,9 +837,16 @@ impl TransactionalRTree for SnapshotReadRTree {
         }
         let (ts, wrote) = self.snap_ts(txn);
         if wrote {
-            match self.inner.core.try_snapshot_scan(ts, &query, GATE_PATIENCE) {
-                Some(hits) => Ok(hits),
-                None => self.gate_timeout(txn),
+            if self.inner.ensure_detector() {
+                match self.inner.core.snapshot_scan_watched(ts, &query, txn) {
+                    Ok(hits) => Ok(hits),
+                    Err(e) => self.gate_abort(txn, e),
+                }
+            } else {
+                match self.inner.core.try_snapshot_scan(ts, &query, GATE_PATIENCE) {
+                    Some(hits) => Ok(hits),
+                    None => self.gate_abort(txn, TxnError::Timeout),
+                }
             }
         } else {
             Ok(self.inner.core.snapshot_scan(ts, &query))
@@ -856,41 +936,101 @@ mod tests {
     }
 
     #[test]
-    fn lock_holders_time_out_on_a_writer_held_gate_instead_of_deadlocking() {
-        // A deferred deletion holds the system-operation gate exclusively
-        // while waiting for user locks; a transaction that holds locks
-        // and blocks on the gate unboundedly would complete a cycle no
-        // deadlock detector can see. Hold the gate the way the system op
-        // does and assert that a lock-holding transaction's snapshot
-        // read gives up and rolls back, while a pure reader opened
-        // before the gate was taken is unaffected once it is released.
+    fn gate_cycle_is_wounded_as_a_deadlock_not_a_timeout() {
+        // The PR-7 deferred-gate cycle: a system operation holds the gate
+        // exclusively and blocks on a granule lock held by `txn`, while
+        // `txn` (a lock holder) waits for shared gate access. Neither
+        // wait is visible to the other's detector alone; the *global*
+        // detector unions the gate edge with the lock edge, finds the
+        // cycle, and wounds the user transaction — which sees a clean
+        // `TxnError::Deadlock`, never a timeout, and releases the locks
+        // the system operation needs.
         let db = SnapshotReadRTree::new(DglRTree::new(crate::DglConfig::default()));
         let setup = db.begin();
         db.insert(setup, ObjectId(1), Rect2::new([0.1, 0.1], [0.2, 0.2]))
             .unwrap();
         db.commit(setup).unwrap();
 
-        let gate = db.inner().core.deferred_gate.write();
         let txn = db.begin();
         db.insert(txn, ObjectId(2), Rect2::new([0.3, 0.3], [0.4, 0.4]))
             .unwrap();
-        let start = std::time::Instant::now();
-        let r = db.read_scan(txn, Rect2::unit());
-        assert_eq!(r, Err(TxnError::Timeout), "bounded gate wait expires");
-        assert!(
-            start.elapsed() < Duration::from_secs(5),
-            "gave up promptly rather than deadlocking"
+
+        // Play the system operation by hand, exactly as deferred.rs does:
+        // exclusive gate, system-flagged transaction, registered holder.
+        let core = &db.inner().core;
+        let gate = core.deferred_gate.write();
+        let sys = core.tm.begin();
+        core.lm.set_system(sys);
+        *core.gate_holder.lock() = Some(sys);
+
+        std::thread::scope(|s| {
+            let blocked = s.spawn(|| {
+                // The system op needs the object lock `txn` holds X.
+                core.lm.lock(
+                    sys,
+                    dgl_lockmgr::ResourceId::Object(2),
+                    dgl_lockmgr::LockMode::X,
+                    dgl_lockmgr::LockDuration::Short,
+                    dgl_lockmgr::RequestKind::Unconditional,
+                )
+            });
+            // Let the system wait park before closing the cycle.
+            std::thread::sleep(Duration::from_millis(30));
+            let start = std::time::Instant::now();
+            let r = db.read_scan(txn, Rect2::unit());
+            assert_eq!(r, Err(TxnError::Deadlock), "wounded, not timed out");
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "the detector resolved the cycle promptly"
+            );
+            assert!(
+                db.inner().core.check_active(txn).is_err(),
+                "the victim was rolled back (its locks are released)"
+            );
+            // The victim's rollback unblocks the system operation.
+            assert_eq!(
+                blocked.join().unwrap(),
+                dgl_lockmgr::LockOutcome::Granted,
+                "the system operation proceeds once the victim dies"
+            );
+        });
+        assert_eq!(
+            db.inner().lock_manager().stats().snapshot().timeouts,
+            0,
+            "no timeout verdict anywhere in the cycle's resolution"
         );
-        assert!(
-            db.inner().core.check_active(txn).is_err(),
-            "the victim was rolled back (its locks are released)"
-        );
+        *core.gate_holder.lock() = None;
+        core.lm.clear_system(sys);
+        core.tm.commit(sys);
         drop(gate);
 
         let reader = db.begin();
         let hits = db.read_scan(reader, Rect2::unit()).unwrap();
         assert_eq!(hits.len(), 1, "aborted insert never became visible");
         db.commit(reader).unwrap();
+    }
+
+    #[test]
+    fn lock_holders_time_out_on_a_writer_held_gate_without_the_detector() {
+        // With the global detector disabled the historical safety valve
+        // remains: a lock-holding transaction's gate wait is bounded and
+        // expires as a timeout rather than stalling forever.
+        let config = crate::DglConfig {
+            global_detector: false,
+            ..crate::DglConfig::default()
+        };
+        let db = SnapshotReadRTree::new(DglRTree::new(config));
+        let gate = db.inner().core.deferred_gate.write();
+        let txn = db.begin();
+        db.insert(txn, ObjectId(2), Rect2::new([0.3, 0.3], [0.4, 0.4]))
+            .unwrap();
+        let r = db.read_scan(txn, Rect2::unit());
+        assert_eq!(r, Err(TxnError::Timeout), "bounded gate wait expires");
+        assert!(
+            db.inner().core.check_active(txn).is_err(),
+            "the victim was rolled back"
+        );
+        drop(gate);
     }
 
     #[test]

@@ -51,9 +51,13 @@
 //! Recovery: each shard recovers independently via
 //! `DglRTree::recover_with_resolver`, resolving prepared-but-undecided
 //! participants against the set of gtxns in the coordinator log —
-//! present ⇒ commit, absent ⇒ presumed abort. Decision records are
-//! never pruned, and fresh global ids start above every recorded
-//! decision so a recycled gtxn can never match a stale decision.
+//! present ⇒ commit, absent ⇒ presumed abort. [`Self::checkpoint`]
+//! prunes the decision log: decisions whose global transactions no
+//! shard still holds a prepared-undecided participant for are dropped
+//! (no recovery will ever consult them), in-doubt decisions are carried
+//! into the fresh segment, and the highest decision is always carried
+//! so fresh global ids keep starting above every recorded decision — a
+//! recycled gtxn can never match a stale decision.
 //!
 //! Global transactions with ≤ 1 writing participant skip all of this:
 //! the lone writer's local commit record is the global decision — the
@@ -77,6 +81,7 @@ use dgl_wal::{read_segment, scan_dir, segment_path, Wal, WalConfig, WalRecord};
 use crate::stats::{OpStats, OpStatsSnapshot};
 use crate::{ScanHit, TransactionalRTree, TxnError};
 
+use super::deadlock_global::{self, CommittingMap, GlobalDetector, SessionMap};
 use super::mvcc::GC_EVERY_DROPS;
 use super::{DglConfig, DglRTree, RecoverError};
 
@@ -219,10 +224,6 @@ impl DglRTree {
 
 // --- the router --------------------------------------------------------
 
-/// Per-global-transaction state: the local participant transaction on
-/// each shard, begun lazily on first touch.
-type Session = Vec<Option<TxnId>>;
-
 /// N space-partitioned [`DglRTree`] shards behind one
 /// [`TransactionalRTree`] facade.
 ///
@@ -242,8 +243,17 @@ pub struct ShardedDglRTree {
     /// Next global transaction id. Starts above every decision ever
     /// recorded by the coordinator (see module docs).
     next_gtxn: AtomicU64,
-    /// Live global transactions → per-shard participants.
-    sessions: Mutex<HashMap<u64, Session>>,
+    /// Live global transactions → per-shard participants. Shared with
+    /// the global deadlock detector, which collapses a session's
+    /// participants into one wait-for-graph node.
+    sessions: Arc<Mutex<SessionMap>>,
+    /// Sessions currently inside [`Self::commit_parts`]: their entry
+    /// has left `sessions`, but their identity union must stay visible
+    /// to the detector until every participant finishes.
+    committing: Arc<Mutex<CommittingMap>>,
+    /// Unified deadlock detector + stall watchdog over every shard
+    /// (`None` when disabled via [`DglConfig::global_detector`]).
+    detector: Option<GlobalDetector>,
     /// Coordinator decision log (`None` when durability is off — then
     /// multi-shard commits are atomic only in the absence of failures,
     /// exactly as in-memory single-tree commits are).
@@ -265,29 +275,28 @@ impl std::fmt::Debug for ShardedDglRTree {
     }
 }
 
-/// Fallback lock-wait bound applied when the caller sets none. Each
-/// shard's deadlock detector only sees its own wait-for graph, so a
-/// cycle spanning two shards (T1 holds S on shard A and waits on shard
-/// B, T2 the reverse) is invisible to both — the classic distributed
-/// deadlock. Bounded waits are the standard resolution: the victim
-/// times out, the router aborts its other participants, and the caller
-/// retries. Without this bound such cycles would stall for the lock
-/// manager's 10-second default. The bound is deliberately tight —
-/// roughly 1000× a typical transaction, so false victims under
-/// scheduler noise are rare, while a genuine cross-shard deadlock
-/// costs 50 ms instead of 10 s.
-const CROSS_SHARD_WAIT: std::time::Duration = std::time::Duration::from_millis(50);
-
+/// Per-shard configuration derived from the router's. Cross-shard
+/// deadlock cycles (T1 holds a granule on shard A and waits on shard B,
+/// T2 the reverse) are invisible to each shard's own detector; the
+/// historical remedy was a tight 50 ms per-shard wait timeout injected
+/// here, which also aborted innocently slow waiters — the timeout
+/// convoy the throughput experiments measured. The router now runs a
+/// [`GlobalDetector`] over the union of every shard's wait-for graph
+/// instead: genuine cross-shard cycles are wounded within a few
+/// milliseconds, slow-but-innocent waits are merely flagged by the
+/// stall watchdog, and the lock manager's 10-second default stays as
+/// the backstop of last resort. The shards' own single-tree detectors
+/// are kept for purely local cycles; their gate detectors are disabled
+/// (the router's unified detector covers gate edges too).
 fn shard_config(mut config: DglConfig) -> DglConfig {
-    if config.wait_timeout.is_none() {
-        config.wait_timeout = Some(CROSS_SHARD_WAIT);
-    }
+    config.global_detector = false;
     config
 }
 
 impl ShardedDglRTree {
     /// Creates an empty in-memory sharded index (no durability).
     pub fn new(config: DglConfig, sharding: ShardingConfig) -> Self {
+        let detect = config.global_detector;
         let config = shard_config(config);
         let n = sharding.shards.max(1);
         let clock = Arc::new(CommitClock::new());
@@ -299,7 +308,7 @@ impl ShardedDglRTree {
         } else {
             Registry::disabled()
         });
-        Self::assemble(shards, config.world, &sharding, None, obs, 1, clock)
+        Self::assemble(shards, config.world, &sharding, None, obs, 1, clock, detect)
     }
 
     /// Opens (or crash-recovers) a sharded index from `dir`.
@@ -317,6 +326,7 @@ impl ShardedDglRTree {
         sharding: ShardingConfig,
     ) -> Result<Self, RecoverError> {
         let dir = dir.as_ref();
+        let detect = config.global_detector;
         let config = shard_config(config);
         let n = sharding.shards.max(1);
         std::fs::create_dir_all(dir)?;
@@ -334,7 +344,7 @@ impl ShardedDglRTree {
             let (decisions, max_gen, any) = read_decisions(&coord_dir)?;
             // A fresh generation per open: the previous segment may have
             // a torn tail; decisions already read stay where they are
-            // (the log is append-only and never pruned).
+            // until the next checkpoint prunes the resolved ones.
             let gen = if any { max_gen + 1 } else { 0 };
             let wal = Wal::create(
                 &coord_dir,
@@ -377,9 +387,11 @@ impl ShardedDglRTree {
             obs,
             next,
             clock,
+            detect,
         ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         shards: Vec<DglRTree>,
         world: Rect2,
@@ -388,13 +400,26 @@ impl ShardedDglRTree {
         obs: Arc<Registry>,
         next_gtxn: u64,
         clock: Arc<CommitClock>,
+        detect: bool,
     ) -> Self {
+        let sessions: Arc<Mutex<SessionMap>> = Arc::new(Mutex::new(HashMap::new()));
+        let committing: Arc<Mutex<CommittingMap>> = Arc::new(Mutex::new(HashMap::new()));
+        let detector = detect.then(|| {
+            GlobalDetector::spawn_sharded(
+                shards.iter().map(|s| Arc::clone(&s.core)).collect(),
+                Arc::clone(&sessions),
+                Arc::clone(&committing),
+                Arc::clone(&obs),
+            )
+        });
         Self {
             grid: GridDirectory::new(world, shards.len(), sharding.max_object_extent),
             shards,
             clock,
             next_gtxn: AtomicU64::new(next_gtxn),
-            sessions: Mutex::new(HashMap::new()),
+            sessions,
+            committing,
+            detector,
             coord,
             obs,
             stats: OpStats::default(),
@@ -510,9 +535,7 @@ impl ShardedDglRTree {
                 }
             }
             self.stamp_parts(&staged);
-            for &(s, t) in &staged {
-                self.shards[s].commit_finish(t, start);
-            }
+            self.finish_parts(&staged, start);
             return match failure {
                 Some(e) => Err(e),
                 None => Ok(()),
@@ -569,10 +592,27 @@ impl ShardedDglRTree {
             }
         }
         self.stamp_parts(&staged);
-        for &(s, t) in &staged {
-            self.shards[s].commit_finish(t, start);
-        }
+        self.finish_parts(&staged, start);
         result
+    }
+
+    /// Finishes committed participants in two sweeps: release **every**
+    /// shard's locks first, then dispatch deferred maintenance. A single
+    /// sweep of per-shard `commit_finish` calls would run one shard's
+    /// inline deferred deletion (a lock-taking system operation) while a
+    /// sibling participant still held its commit-duration locks —
+    /// scanners blocked on that sibling convoy behind the system
+    /// operation's lock waits and the commit deadlocks against its own
+    /// still-locked shards (a cycle the global detector cannot even see,
+    /// since the system operation runs inside the committing call).
+    fn finish_parts(&self, staged: &[(usize, TxnId)], start: Instant) {
+        let released: Vec<_> = staged
+            .iter()
+            .map(|&(s, t)| (s, self.shards[s].commit_release(t)))
+            .collect();
+        for (s, deferred) in released {
+            self.shards[s].commit_maintenance(deferred, start);
+        }
     }
 
     // --- testing / operational hooks -----------------------------------
@@ -588,11 +628,72 @@ impl ShardedDglRTree {
         }
     }
 
-    /// Checkpoints every shard (snapshot + log truncation). The
-    /// coordinator log is append-only and keeps its full history.
+    /// Checkpoints every shard (snapshot + log truncation), then prunes
+    /// the coordinator decision log: only decisions some shard still
+    /// holds a prepared-undecided participant for (plus the highest
+    /// decision, for gtxn monotonicity across reopens) survive into a
+    /// fresh segment; the rest — decisions for globally-resolved
+    /// transactions no recovery will ever consult — are dropped with
+    /// the old segments.
     pub fn checkpoint(&self) -> Result<(), TxnError> {
         for s in &self.shards {
             s.checkpoint()?;
+        }
+        self.prune_coord_log()
+    }
+
+    /// The coordinator-log pruning half of [`Self::checkpoint`].
+    fn prune_coord_log(&self) -> Result<(), TxnError> {
+        let Some(coord) = &self.coord else {
+            return Ok(());
+        };
+        let gen = coord.current_gen() + 1;
+        let info = coord
+            .rotate(&WalRecord::Checkpoint {
+                gen,
+                undo: Vec::new(),
+                prepared: Vec::new(),
+            })
+            .map_err(|_| TxnError::Durability)?;
+        // Every decision on disk (sealed segments + the fresh one — a
+        // decision racing the rotation lands in the fresh segment and is
+        // at worst re-appended, which is harmless: decisions are a set).
+        let (decisions, _, _) =
+            read_decisions(coord.dir()).map_err(|_| TxnError::Durability)?;
+        // In-doubt: gtxns some shard prepared but has not locally
+        // finished. Prepare strictly precedes the decision append, so
+        // any decided-but-incomplete 2PC is captured here.
+        let mut in_doubt: HashSet<u64> = HashSet::new();
+        for s in &self.shards {
+            in_doubt.extend(s.core.wal_prepared.lock().values().copied());
+        }
+        let mut keep: Vec<u64> = decisions
+            .iter()
+            .copied()
+            .filter(|g| in_doubt.contains(g))
+            .collect();
+        if let Some(max) = decisions.iter().max().copied() {
+            if !keep.contains(&max) {
+                keep.push(max);
+            }
+        }
+        keep.sort_unstable();
+        let mut last = info.cut_lsn;
+        for g in keep {
+            last = coord
+                .append(&WalRecord::Commit { txn: g })
+                .map_err(|_| TxnError::Durability)?;
+        }
+        coord.sync_to(last).map_err(|_| TxnError::Durability)?;
+        // Old generations are now redundant; deletion is best-effort (a
+        // leftover segment only re-supplies decisions already carried or
+        // resolved).
+        if let Ok(listing) = scan_dir(coord.dir()) {
+            for g in listing.segments {
+                if g < info.gen {
+                    let _ = std::fs::remove_file(segment_path(coord.dir(), g));
+                }
+            }
         }
         Ok(())
     }
@@ -608,6 +709,11 @@ impl ShardedDglRTree {
     /// Whether the index is durably backed (coordinator log attached).
     pub fn is_durable(&self) -> bool {
         self.coord.is_some()
+    }
+
+    /// Whether the unified deadlock detector is running.
+    pub fn detector_active(&self) -> bool {
+        self.detector.is_some()
     }
 
     // --- merged exports -------------------------------------------------
@@ -654,6 +760,22 @@ impl ShardedDglRTree {
     /// Renders the merged registry as a Prometheus text dump.
     pub fn prometheus_dump(&self) -> String {
         dgl_obs::prometheus_text(&self.obs_snapshot())
+    }
+
+    /// Renders the unioned cross-shard wait state the global deadlock
+    /// detector reasons over: every shard's lock table, wait-for edges,
+    /// gate state, and the global-session identity map (the shell's
+    /// `locktable --merged`, and the stall watchdog's dump format).
+    pub fn merged_locktable_dump(&self) -> String {
+        deadlock_global::render_merged(
+            &self
+                .shards
+                .iter()
+                .map(|s| Arc::clone(&s.core))
+                .collect::<Vec<_>>(),
+            self.sessions.lock().clone(),
+            self.committing.lock().clone(),
+        )
     }
 
     // --- MVCC snapshot reads --------------------------------------------
@@ -747,7 +869,13 @@ impl TransactionalRTree for ShardedDglRTree {
                 .filter_map(|(s, t)| t.map(|t| (s, t)))
                 .collect()
         };
-        self.commit_parts(txn.0, &parts)?;
+        // Keep the session's identity union visible to the deadlock
+        // detector while the participants run their commit phases (they
+        // still hold — and may wait for — locks in there).
+        self.committing.lock().insert(txn.0, parts.clone());
+        let result = self.commit_parts(txn.0, &parts);
+        self.committing.lock().remove(&txn.0);
+        result?;
         let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         OpStats::bump(&self.stats.commits);
         OpStats::add(&self.stats.commit_nanos, nanos);

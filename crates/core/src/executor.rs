@@ -31,6 +31,14 @@ pub struct RetryPolicy {
     /// stream from it, so equal seeds give reproducible *schedules* per
     /// executor while different executors still decorrelate.
     pub jitter_seed: u64,
+    /// Timeout aborts that may be retried **without** consuming the
+    /// `max_attempts` budget. A `Timeout` no longer signals a probable
+    /// deadlock (the global detector wounds genuine cycles as
+    /// `Deadlock`); it means the backstop expired under load — burning
+    /// budget on it turns one slow resource into spurious
+    /// [`ExecError::RetriesExhausted`] failures. The pool is finite so
+    /// a pathologically wedged system still surfaces as a giveup.
+    pub timeout_free_retries: u32,
     /// Catch panics that unwind out of the transaction body, roll the
     /// transaction back and retry (the panic is counted in
     /// [`OpStats`] as `exec_panics`). Disable to let panics propagate —
@@ -45,6 +53,7 @@ impl Default for RetryPolicy {
             base_backoff: Duration::from_micros(200),
             max_backoff: Duration::from_millis(20),
             jitter_seed: 0x5EED_CAFE,
+            timeout_free_retries: 64,
             catch_panics: true,
         }
     }
@@ -58,7 +67,8 @@ pub enum ExecError {
     Fatal(TxnError),
     /// Every attempt ended in a retryable abort and the budget ran out.
     RetriesExhausted {
-        /// Attempts made (== the policy's `max_attempts`).
+        /// Total attempts made — the policy's `max_attempts` plus any
+        /// budget-free timeout retries taken along the way.
         attempts: u32,
         /// The error from the final attempt.
         last: TxnError,
@@ -151,6 +161,8 @@ impl<'a> TxnExecutor<'a> {
         mut body: impl FnMut(TxnId) -> Result<T, TxnError>,
     ) -> Result<T, ExecError> {
         let mut attempt = 0u32;
+        let mut budgeted = 0u32;
+        let mut timeout_free = self.policy.timeout_free_retries;
         loop {
             attempt += 1;
             self.bump(|s| &s.exec_attempts);
@@ -197,12 +209,21 @@ impl<'a> TxnExecutor<'a> {
             if !err.is_retryable() {
                 return Err(ExecError::Fatal(err));
             }
-            if attempt >= self.policy.max_attempts {
-                self.bump(|s| &s.exec_giveups);
-                return Err(ExecError::RetriesExhausted {
-                    attempts: attempt,
-                    last: err,
-                });
+            // Timeouts draw on their own free pool first: a backstop
+            // expiry under load is not evidence the body is doomed, so
+            // it should not march the run toward a giveup the way a
+            // deadlock or injected fault does.
+            if matches!(err, TxnError::Timeout) && timeout_free > 0 {
+                timeout_free -= 1;
+            } else {
+                budgeted += 1;
+                if budgeted >= self.policy.max_attempts {
+                    self.bump(|s| &s.exec_giveups);
+                    return Err(ExecError::RetriesExhausted {
+                        attempts: attempt,
+                        last: err,
+                    });
+                }
             }
             self.bump(|s| &s.exec_retries);
             if let Some(obs) = self.obs {
@@ -333,8 +354,61 @@ mod tests {
         let exec = TxnExecutor::new(&db, fast_policy());
         let out: Result<(), _> = exec.run(|txn| {
             db.abort(txn)?;
+            Err(TxnError::Deadlock)
+        });
+        assert_eq!(
+            out,
+            Err(ExecError::RetriesExhausted {
+                attempts: 5,
+                last: TxnError::Deadlock
+            })
+        );
+        let s = db.stats().snapshot();
+        assert_eq!(s.exec_attempts, 5);
+        assert_eq!(s.exec_retries, 4);
+        assert_eq!(s.exec_giveups, 1);
+    }
+
+    #[test]
+    fn timeouts_do_not_consume_the_retry_budget() {
+        let db = DglRTree::new(DglConfig::default());
+        let exec = TxnExecutor::new(&db, fast_policy());
+        let tries = AtomicU32::new(0);
+        // 8 timeouts in a row — more than max_attempts (5) — then
+        // success: the free pool absorbs them all.
+        exec.run(|txn| {
+            if tries.fetch_add(1, Ordering::Relaxed) < 8 {
+                db.abort(txn)?;
+                return Err(TxnError::Timeout);
+            }
+            db.insert(txn, ObjectId(2), r(0.2))
+        })
+        .unwrap();
+        assert_eq!(tries.load(Ordering::Relaxed), 9);
+        assert_eq!(db.len(), 1);
+        let s = db.stats().snapshot();
+        assert_eq!(s.exec_attempts, 9);
+        assert_eq!(s.exec_giveups, 0);
+    }
+
+    #[test]
+    fn timeout_free_pool_is_finite() {
+        let db = DglRTree::new(DglConfig::default());
+        let exec = TxnExecutor::new(
+            &db,
+            RetryPolicy {
+                max_attempts: 2,
+                timeout_free_retries: 3,
+                base_backoff: Duration::from_micros(10),
+                max_backoff: Duration::from_micros(40),
+                ..RetryPolicy::default()
+            },
+        );
+        let out: Result<(), _> = exec.run(|txn| {
+            db.abort(txn)?;
             Err(TxnError::Timeout)
         });
+        // 3 free timeout retries + 2 budgeted attempts = 5 total.
         assert_eq!(
             out,
             Err(ExecError::RetriesExhausted {
@@ -342,10 +416,7 @@ mod tests {
                 last: TxnError::Timeout
             })
         );
-        let s = db.stats().snapshot();
-        assert_eq!(s.exec_attempts, 5);
-        assert_eq!(s.exec_retries, 4);
-        assert_eq!(s.exec_giveups, 1);
+        assert_eq!(db.stats().snapshot().exec_giveups, 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod trace;
 
 pub use manager::{
     obs_res, GrantEntry, LockManager, LockManagerConfig, LockOutcome, ResourceTableEntry,
-    WaiterEntry,
+    WaitEdge, WaiterEntry,
 };
 pub use mode::LockMode;
 pub use resource::{LockDuration, RequestKind, ResourceId, TxnId};

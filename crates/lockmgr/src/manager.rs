@@ -199,6 +199,26 @@ pub struct WaiterEntry {
     pub conversion: bool,
 }
 
+/// One blocking edge in a [`LockManager::wait_edges`] snapshot: `waiter`
+/// is queued behind `holder` on `res`. The same waiter appears once per
+/// transaction it waits behind (incompatible grant holders plus waiters
+/// queued ahead of it under the FIFO grant policy).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitEdge {
+    /// The blocked transaction.
+    pub waiter: TxnId,
+    /// A transaction it cannot be granted before.
+    pub holder: TxnId,
+    /// The contended resource.
+    pub res: ResourceId,
+    /// Whether the waiter is a system transaction (exempt from victim
+    /// selection).
+    pub waiter_system: bool,
+    /// How long the waiter has been blocked (its wait start is recorded
+    /// when the unconditional request parks).
+    pub waited: Duration,
+}
+
 /// Lock state of one resource in a [`LockManager::table_snapshot`].
 #[derive(Debug, Clone)]
 pub struct ResourceTableEntry {
@@ -237,9 +257,17 @@ pub struct ResourceTableEntry {
 pub struct LockManager {
     shards: Vec<Mutex<HashMap<ResourceId, ResourceState>>>,
     txn_index: Mutex<HashMap<TxnId, HashSet<ResourceId>>>,
-    /// Which resource each blocked transaction is waiting on (victim
-    /// cancellation needs to find the wait to cancel).
-    waiting_on: Mutex<HashMap<TxnId, ResourceId>>,
+    /// Which resource each blocked transaction is waiting on, and since
+    /// when (victim cancellation needs to find the wait to cancel; the
+    /// global detector's stall watchdog needs the wait's age).
+    waiting_on: Mutex<HashMap<TxnId, (ResourceId, Instant)>>,
+    /// Transactions wounded by [`LockManager::cancel_and_poison`] whose
+    /// deadlock verdict has not yet been consumed. A poisoned
+    /// transaction's next unconditional `lock()` call returns
+    /// [`LockOutcome::Deadlock`] without waiting; callers with waits the
+    /// lock manager cannot see (the deferred-gate poll) consume the mark
+    /// through [`LockManager::take_poison`]. Cleared on `release_all`.
+    poisoned: Mutex<HashSet<TxnId>>,
     /// Transactions exempt from deadlock victim selection (the protocol's
     /// post-commit deferred-deletion system operations, which cannot be
     /// rolled back).
@@ -282,6 +310,7 @@ impl LockManager {
                 .collect(),
             txn_index: Mutex::new(HashMap::new()),
             waiting_on: Mutex::new(HashMap::new()),
+            poisoned: Mutex::new(HashSet::new()),
             system_txns: Mutex::new(HashSet::new()),
             stats: LockStats::default(),
             trace: if config.trace {
@@ -358,6 +387,16 @@ impl LockManager {
             LockDuration::Short => Ctr::LockReqShort,
             LockDuration::Commit => Ctr::LockReqCommit,
         });
+        // A remotely wounded transaction must not enter (or re-enter) a
+        // wait: consume the poison and deliver the deadlock verdict.
+        // Conditional requests never wait, so they cannot extend a cycle
+        // and are left to fail or succeed on their own.
+        if kind == RequestKind::Unconditional && self.take_poison(txn) {
+            LockStats::bump(&self.stats.deadlocks);
+            self.obs.incr(Ctr::LockDeadlocks);
+            self.record(txn, res, mode, dur, TraceEventKind::Aborted);
+            return LockOutcome::Deadlock;
+        }
         let cell;
         {
             let mut shard = self.shard(&res).lock();
@@ -445,8 +484,8 @@ impl LockManager {
             }
         }
         LockStats::bump(&self.stats.waits);
-        self.waiting_on.lock().insert(txn, res);
         let wait_start = Instant::now();
+        self.waiting_on.lock().insert(txn, (res, wait_start));
         let finish_wait = |granted: bool| {
             let nanos = wait_start.elapsed().as_nanos() as u64;
             self.obs.record(Hist::LockWait, nanos);
@@ -467,12 +506,26 @@ impl LockManager {
             }
         };
 
+        // A wound (cancel_and_poison) may have landed between the poison
+        // check at the top and enqueuing the waiter — its cancel found no
+        // waiter to cancel. Re-check now that the waiter is visible.
+        if self.is_poisoned(txn) && self.cancel_waiter(res, txn) {
+            self.take_poison(txn);
+            self.waiting_on.lock().remove(&txn);
+            LockStats::bump(&self.stats.deadlocks);
+            self.obs.incr(Ctr::LockDeadlocks);
+            self.record(txn, res, mode, dur, TraceEventKind::Aborted);
+            finish_wait(false);
+            return LockOutcome::Deadlock;
+        }
+
         // About to block: if this wait closes a cycle, abort the youngest
         // non-system member. If that is us, give up; otherwise cancel the
         // victim's wait and block.
         if self.resolve_deadlocks(txn) && self.cancel_waiter(res, txn) {
             self.waiting_on.lock().remove(&txn);
             LockStats::bump(&self.stats.deadlocks);
+            self.obs.incr(Ctr::LockDeadlocks);
             self.record(txn, res, mode, dur, TraceEventKind::Aborted);
             finish_wait(false);
             return LockOutcome::Deadlock;
@@ -486,6 +539,7 @@ impl LockManager {
         if dgl_faults::fired!("lockmgr/timeout") && self.cancel_waiter(res, txn) {
             self.waiting_on.lock().remove(&txn);
             LockStats::bump(&self.stats.timeouts);
+            self.obs.incr(Ctr::LockTimeouts);
             self.record(txn, res, mode, dur, TraceEventKind::Aborted);
             finish_wait(false);
             return LockOutcome::Timeout;
@@ -505,8 +559,12 @@ impl LockManager {
                 }
                 Some(WaitVerdict::Cancelled) => {
                     drop(guard);
+                    // The verdict is being delivered; a poison mark left
+                    // by a remote wound is consumed with it.
+                    self.take_poison(txn);
                     self.waiting_on.lock().remove(&txn);
                     LockStats::bump(&self.stats.deadlocks);
+                    self.obs.incr(Ctr::LockDeadlocks);
                     self.record(txn, res, mode, dur, TraceEventKind::Aborted);
                     finish_wait(false);
                     return LockOutcome::Deadlock;
@@ -517,6 +575,7 @@ impl LockManager {
                         if self.cancel_waiter(res, txn) {
                             self.waiting_on.lock().remove(&txn);
                             LockStats::bump(&self.stats.timeouts);
+                            self.obs.incr(Ctr::LockTimeouts);
                             self.record(txn, res, mode, dur, TraceEventKind::Aborted);
                             finish_wait(false);
                             return LockOutcome::Timeout;
@@ -586,6 +645,9 @@ impl LockManager {
 
     /// Releases every lock of `txn` (transaction commit or rollback).
     pub fn release_all(&self, txn: TxnId) {
+        // A wound that raced the transaction's own abort is moot; drop
+        // the mark so a recycled slot in the poison set cannot linger.
+        self.poisoned.lock().remove(&txn);
         let resources: Vec<ResourceId> = self
             .txn_index
             .lock()
@@ -689,6 +751,98 @@ impl LockManager {
         }
         out.sort_by_key(|e| e.res);
         out
+    }
+
+    /// Number of transactions currently blocked in an unconditional
+    /// wait. Cheap (one mutex, no shard walk) — the global detector
+    /// polls this to skip graph building while nothing waits.
+    pub fn waiter_count(&self) -> usize {
+        self.waiting_on.lock().len()
+    }
+
+    /// A cheap flat snapshot of every blocking edge in the lock table:
+    /// waiter → each transaction it cannot be granted before, with the
+    /// waiter's system flag and how long it has been blocked. This is
+    /// the per-manager contribution to the global (cross-shard + gate)
+    /// wait-for graph; each shard of the lock table is read under its
+    /// own mutex, so the snapshot is per-resource consistent, like
+    /// [`LockManager::table_snapshot`].
+    pub fn wait_edges(&self) -> Vec<WaitEdge> {
+        let started: HashMap<TxnId, Instant> = self
+            .waiting_on
+            .lock()
+            .iter()
+            .map(|(t, (_, at))| (*t, *at))
+            .collect();
+        let system = self.system_txns.lock().clone();
+        let now = Instant::now();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (res, state) in shard.iter() {
+                for (i, w) in state.waiters.iter().enumerate() {
+                    let waited = started
+                        .get(&w.txn)
+                        .map(|at| now.saturating_duration_since(*at))
+                        .unwrap_or_default();
+                    let waiter_system = system.contains(&w.txn);
+                    let mut push = |holder: TxnId| {
+                        out.push(WaitEdge {
+                            waiter: w.txn,
+                            holder,
+                            res: *res,
+                            waiter_system,
+                            waited,
+                        });
+                    };
+                    for g in &state.grants {
+                        if g.txn != w.txn && !w.want.compatible(g.mode()) {
+                            push(g.txn);
+                        }
+                    }
+                    if !w.conversion {
+                        for ahead in state.waiters.iter().take(i) {
+                            if ahead.txn != w.txn {
+                                push(ahead.txn);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Wounds `txn` from outside its own thread: marks it poisoned and
+    /// cancels its blocked unconditional wait (if any), making that
+    /// `lock()` call return [`LockOutcome::Deadlock`] remotely. If the
+    /// victim is not currently parked in this manager (it may be polling
+    /// the deferred gate, or between retries), the poison mark alone
+    /// guarantees its next unconditional request — or its next
+    /// [`LockManager::take_poison`] probe — delivers the verdict.
+    /// Returns `true` if a parked wait was cancelled right here.
+    ///
+    /// The mark is cleared by `release_all` (the victim's rollback), so
+    /// a wound can never leak onto a later transaction.
+    pub fn cancel_and_poison(&self, txn: TxnId) -> bool {
+        self.poisoned.lock().insert(txn);
+        let waiting = self.waiting_on.lock().get(&txn).map(|(r, _)| *r);
+        match waiting {
+            Some(res) => self.cancel_waiter(res, txn),
+            None => false,
+        }
+    }
+
+    /// Consumes `txn`'s poison mark, returning whether one was set.
+    /// Callers that wait outside the lock table (the MVCC deferred-gate
+    /// poll) probe this to pick up a remote wound.
+    pub fn take_poison(&self, txn: TxnId) -> bool {
+        self.poisoned.lock().remove(&txn)
+    }
+
+    /// Whether `txn` is marked poisoned (without consuming the mark).
+    pub fn is_poisoned(&self, txn: TxnId) -> bool {
+        self.poisoned.lock().contains(&txn)
     }
 
     /// Renders the entire lock table (grants and wait queues) for hang
@@ -858,7 +1012,7 @@ impl LockManager {
             // re-examine.
             // Cancel the victim's wait (a no-op if it raced to a grant or
             // is no longer waiting — the next loop pass re-examines).
-            let waiting = self.waiting_on.lock().get(&victim).copied();
+            let waiting = self.waiting_on.lock().get(&victim).map(|(r, _)| *r);
             if let Some(res) = waiting {
                 if self.cancel_waiter_with_verdict(res, victim, WaitVerdict::Cancelled) {
                     LockStats::bump(&self.stats.deadlocks);

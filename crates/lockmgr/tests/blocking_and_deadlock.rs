@@ -326,6 +326,93 @@ fn youngest_transaction_is_chosen_as_victim() {
 }
 
 #[test]
+fn wait_edges_expose_blocked_waiters_with_age_and_system_flag() {
+    let m = mgr_with_timeout(10_000);
+    m.set_system(TxnId(7));
+    assert_eq!(
+        m.lock(TxnId(1), page(1), X, Commit, Unconditional),
+        LockOutcome::Granted
+    );
+    assert!(m.wait_edges().is_empty(), "no waiters, no edges");
+    assert_eq!(m.waiter_count(), 0);
+    crossbeam::scope(|s| {
+        let m2 = Arc::clone(&m);
+        let h2 = s.spawn(move |_| m2.lock(TxnId(2), page(1), S, Commit, Unconditional));
+        let m7 = Arc::clone(&m);
+        let h7 = s.spawn(move |_| m7.lock(TxnId(7), page(1), X, Commit, Unconditional));
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(m.waiter_count(), 2);
+        let edges = m.wait_edges();
+        // Both waiters block on the holder; whichever queued second also
+        // blocks on the one ahead of it (FIFO).
+        let on_holder: Vec<_> = edges.iter().filter(|e| e.holder == TxnId(1)).collect();
+        assert_eq!(on_holder.len(), 2, "both waiters edge to the X holder");
+        for e in &edges {
+            assert_eq!(e.res, page(1));
+            assert_eq!(e.waiter_system, e.waiter == TxnId(7));
+            assert!(e.waited >= Duration::from_millis(50), "wait age recorded");
+        }
+        m.release_all(TxnId(1));
+        assert_eq!(h2.join().unwrap(), LockOutcome::Granted);
+        m.release_all(TxnId(2));
+        assert_eq!(h7.join().unwrap(), LockOutcome::Granted);
+        m.release_all(TxnId(7));
+        m.clear_system(TxnId(7));
+    })
+    .unwrap();
+    assert!(m.wait_edges().is_empty());
+}
+
+#[test]
+fn cancel_and_poison_aborts_a_parked_wait_remotely() {
+    let m = mgr_with_timeout(10_000);
+    assert_eq!(
+        m.lock(TxnId(1), page(1), X, Commit, Unconditional),
+        LockOutcome::Granted
+    );
+    crossbeam::scope(|s| {
+        let m2 = Arc::clone(&m);
+        let h2 = s.spawn(move |_| m2.lock(TxnId(2), page(1), X, Commit, Unconditional));
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(m.cancel_and_poison(TxnId(2)), "wait was parked; cancelled");
+        assert_eq!(
+            h2.join().unwrap(),
+            LockOutcome::Deadlock,
+            "the wounded waiter sees a deadlock verdict, not a timeout"
+        );
+    })
+    .unwrap();
+    // The verdict consumed the poison: after rollback the id is clean.
+    m.release_all(TxnId(2));
+    assert!(!m.is_poisoned(TxnId(2)));
+    m.release_all(TxnId(1));
+    assert_eq!(m.resource_count(), 0);
+}
+
+#[test]
+fn poison_is_delivered_on_the_next_unconditional_request() {
+    // The victim is not parked when wounded (it is, say, polling the
+    // deferred gate); the mark must surface on its next blocking-capable
+    // request even if that request could have been granted.
+    let m = mgr_with_timeout(10_000);
+    assert!(!m.cancel_and_poison(TxnId(5)), "nothing parked to cancel");
+    assert!(m.is_poisoned(TxnId(5)));
+    assert_eq!(
+        m.lock(TxnId(5), page(3), S, Commit, Unconditional),
+        LockOutcome::Deadlock
+    );
+    assert!(!m.is_poisoned(TxnId(5)), "verdict consumed the mark");
+    // A rollback clears any unconsumed mark.
+    assert!(!m.cancel_and_poison(TxnId(6)));
+    m.release_all(TxnId(6));
+    assert!(!m.is_poisoned(TxnId(6)));
+    // take_poison consumes the mark for out-of-band waiters.
+    m.cancel_and_poison(TxnId(8));
+    assert!(m.take_poison(TxnId(8)));
+    assert!(!m.take_poison(TxnId(8)));
+}
+
+#[test]
 fn system_transactions_are_spared() {
     // T2 is a system txn (young id 9 would normally die); victim selection
     // must pick the non-system member even though it is older.

@@ -79,6 +79,28 @@ pub enum Event {
         /// Span duration in nanoseconds.
         nanos: u64,
     },
+    /// The global deadlock detector found a cycle and wounded `txn`.
+    DeadlockVictim {
+        /// The wounded transaction (global id for cross-shard cycles,
+        /// local id otherwise).
+        txn: u64,
+        /// Every cycle member, rendered as stable diagnostic labels
+        /// (`"g:<gtxn>"` / `"s<shard>:<txn>"`).
+        cycle: Vec<String>,
+        /// Whether the cycle crossed a deferred-gate edge (vs pure
+        /// lock-table edges).
+        gate: bool,
+    },
+    /// The stall watchdog flagged a wait past the threshold with no
+    /// deadlock cycle found. Diagnostic only — nothing is aborted.
+    WatchdogStall {
+        /// The stalled (waiting) transaction.
+        txn: u64,
+        /// The contended resource.
+        res: Res,
+        /// Nanoseconds the wait had lasted when flagged.
+        wait_nanos: u64,
+    },
 }
 
 impl Event {
@@ -88,7 +110,9 @@ impl Event {
             Event::LockGranted { txn, .. }
             | Event::LockBlocked { txn, .. }
             | Event::LockWaitEnd { txn, .. }
-            | Event::Span { txn, .. } => *txn,
+            | Event::Span { txn, .. }
+            | Event::DeadlockVictim { txn, .. }
+            | Event::WatchdogStall { txn, .. } => *txn,
         }
     }
 }

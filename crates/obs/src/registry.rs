@@ -123,11 +123,22 @@ pub enum Ctr {
     SnapshotPointReads,
     /// Object versions reclaimed by the epoch-based version GC.
     VersionsReclaimed,
+    /// Cycles resolved by the global (cross-shard + gate) deadlock
+    /// detector: one per wounded victim.
+    GlobalDeadlocks,
+    /// Stall-watchdog firings: a wait exceeded the stall threshold with
+    /// no deadlock cycle found (diagnostic, never an abort).
+    WatchdogStalls,
+    /// Lock waits resolved as a deadlock verdict: the waiter was chosen
+    /// as a victim (locally or by the global detector) and must abort.
+    LockDeadlocks,
+    /// Lock waits resolved by the wait-timeout backstop.
+    LockTimeouts,
 }
 
 impl Ctr {
     /// All counters, in export order.
-    pub const ALL: [Ctr; 15] = [
+    pub const ALL: [Ctr; 19] = [
         Ctr::LockReqShort,
         Ctr::LockReqCommit,
         Ctr::LockConditionalFail,
@@ -143,6 +154,10 @@ impl Ctr {
         Ctr::SnapshotScans,
         Ctr::SnapshotPointReads,
         Ctr::VersionsReclaimed,
+        Ctr::GlobalDeadlocks,
+        Ctr::WatchdogStalls,
+        Ctr::LockDeadlocks,
+        Ctr::LockTimeouts,
     ];
 
     /// Stable metric name (exported as `dgl_<name>_total`).
@@ -163,6 +178,10 @@ impl Ctr {
             Ctr::SnapshotScans => "snapshot_scans",
             Ctr::SnapshotPointReads => "snapshot_point_reads",
             Ctr::VersionsReclaimed => "versions_reclaimed",
+            Ctr::GlobalDeadlocks => "global_deadlocks",
+            Ctr::WatchdogStalls => "watchdog_stalls",
+            Ctr::LockDeadlocks => "lock_deadlocks",
+            Ctr::LockTimeouts => "lock_timeouts",
         }
     }
 

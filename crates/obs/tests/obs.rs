@@ -95,6 +95,13 @@ fn prometheus_text_matches_golden() {
     reg.add(Ctr::WalGroupCommitCommits, 4);
     reg.add(Ctr::WalRecords, 9);
     reg.add(Ctr::WalAppendedBytes, 413);
+    // Deadlock metrics: one global-detector wound, one watchdog stall
+    // flag, and the per-shard lock-manager verdicts — pins the
+    // deadlock exporter names the CI deadlock job greps for.
+    reg.incr(Ctr::GlobalDeadlocks);
+    reg.incr(Ctr::WatchdogStalls);
+    reg.add(Ctr::LockDeadlocks, 2);
+    reg.add(Ctr::LockTimeouts, 5);
 
     let got = prometheus_text(&reg.snapshot());
     let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/prometheus_golden.txt");
@@ -143,6 +150,39 @@ fn wal_metrics_export_with_stable_names() {
     assert_eq!(delta.ctr(Ctr::WalFsyncs), 3);
     assert_eq!(delta.ctr(Ctr::WalGroupCommitCommits), 12);
     assert_eq!(delta.ctr(Ctr::WalRecords), 0);
+}
+
+/// The deadlock-detection metrics keep stable exporter names: the CI
+/// deadlock job and dashboards grep for these exact series.
+#[test]
+fn deadlock_metrics_export_with_stable_names() {
+    let reg = Registry::new();
+    reg.add(Ctr::GlobalDeadlocks, 3);
+    reg.add(Ctr::WatchdogStalls, 2);
+    reg.add(Ctr::LockDeadlocks, 4);
+    reg.add(Ctr::LockTimeouts, 6);
+
+    let text = prometheus_text(&reg.snapshot());
+    for needle in [
+        "# TYPE dgl_global_deadlocks_total counter",
+        "# TYPE dgl_watchdog_stalls_total counter",
+        "dgl_global_deadlocks_total 3",
+        "dgl_watchdog_stalls_total 2",
+        "dgl_lock_deadlocks_total 4",
+        "dgl_lock_timeouts_total 6",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // Phase deltas work for the verdict counters too — the bench's
+    // timeout/deadlock abort columns are built on exactly this.
+    let before = reg.snapshot();
+    reg.incr(Ctr::GlobalDeadlocks);
+    reg.add(Ctr::LockTimeouts, 2);
+    let delta = reg.snapshot().since(&before);
+    assert_eq!(delta.ctr(Ctr::GlobalDeadlocks), 1);
+    assert_eq!(delta.ctr(Ctr::LockTimeouts), 2);
+    assert_eq!(delta.ctr(Ctr::LockDeadlocks), 0);
 }
 
 #[test]

@@ -320,6 +320,17 @@ fn run_command(
             db.checkpoint().map_err(|e| e.to_string())?;
             Ok(Some("ok (snapshot written, log truncated)".into()))
         }
+        "locktable" if parts.get(1) == Some(&"--merged") => {
+            // The global detector's view: lock-manager wait edges plus
+            // the deferred-deletion gate edge, annotated. On the sharded
+            // router the same dump unions every shard's graph; here it
+            // is the single shard's slice of that picture.
+            let dump = db.merged_locktable_dump();
+            if dump.trim().is_empty() {
+                return Ok(Some("(no wait edges)".into()));
+            }
+            Ok(Some(dump.trim_end().into()))
+        }
         "locktable" => {
             let table = db.lock_manager().table_snapshot();
             if table.is_empty() {
@@ -373,6 +384,8 @@ commands:
   stats | tree | granules                introspection
   stats --histograms                     latency histograms + obs counters
   locktable                              live lock table (grants and waiters)
+  locktable --merged                     detector's merged wait-for graph
+                                         (lock waits + gate edges annotated)
   quiesce                                drain the background maintenance queue
   save <path> | load <path>              snapshot persistence (no log)
   open <dir>                             durable index: WAL + checkpoints in <dir>

@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use dgl_core::{
     DglConfig, DglRTree, InsertPolicy, MaintenanceConfig, MaintenanceMode, Rect2, RetryPolicy,
-    TransactionalRTree,
+    ShardedDglRTree, ShardingConfig, TransactionalRTree,
 };
 use dgl_faults::FaultSpec;
 use dgl_rtree::RTreeConfig;
@@ -158,7 +158,7 @@ fn chaos_run(seed: u64) {
             base_backoff: Duration::from_micros(200),
             max_backoff: Duration::from_millis(10),
             jitter_seed: seed,
-            catch_panics: true,
+            ..RetryPolicy::default()
         },
         oracle: true,
     };
@@ -258,9 +258,165 @@ fn chaos_run(seed: u64) {
     }
 }
 
+/// Multi-shard chaos leg with the global deadlock detector armed and
+/// *sabotaged*: the `deadlock/detector-stall` failpoint delays or skips
+/// detection passes mid-storm. The invariants are the wound protocol's:
+///
+/// * **no lost victims** — every wounded transaction observes its
+///   `Deadlock` verdict and rolls back (a lost victim would leave a
+///   live transaction or a held lock behind after quiesce, or wedge the
+///   run into the watchdog);
+/// * **no double-aborts** — every driven transaction is accounted for
+///   exactly once as a commit or a giveup, and nothing surfaces as a
+///   non-retryable error (a second abort of an already-dead victim
+///   would turn into `NotActive`, which is fatal to the executor);
+/// * the repeatable-read oracle still sees zero phantoms across shards.
+fn chaos_sharded_run(seed: u64) {
+    let _serial = CHAOS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _watchdog = Watchdog::arm(&format!("chaos sharded seed {seed:#x}"));
+
+    let db = ShardedDglRTree::new(
+        DglConfig {
+            rtree: RTreeConfig::with_fanout(5),
+            policy: InsertPolicy::Modified,
+            // Backstop only: genuine cross-shard cycles are wounded by
+            // the detector in milliseconds; this bound exists so a
+            // stalled detector (the failpoint below) cannot wedge the
+            // storm. Timeout retries are budget-free in the executor.
+            wait_timeout: Some(Duration::from_millis(250)),
+            maintenance: MaintenanceConfig {
+                mode: MaintenanceMode::Background,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ShardingConfig {
+            shards: 4,
+            max_object_extent: 0.05,
+        },
+    );
+    assert!(db.detector_active(), "detector armed for this leg");
+
+    let fires_before = dgl_faults::total_fires();
+    let mut schedule = arm_schedule(seed);
+    // Sabotage the detector itself: most passes run normally, some are
+    // delayed (waits age past the stall threshold), some are skipped
+    // outright. Victims must never be lost either way.
+    schedule.push(dgl_faults::register(
+        "deadlock/detector-stall",
+        FaultSpec::delay(Duration::from_millis(20)).one_in(4, seed ^ 0xB1),
+    ));
+
+    let drive_cfg = DriveConfig {
+        txns: TXNS_PER_THREAD,
+        ops_per_txn: OPS_PER_TXN,
+        policy: RetryPolicy {
+            max_attempts: 30,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(10),
+            jitter_seed: seed,
+            ..RetryPolicy::default()
+        },
+        oracle: true,
+    };
+
+    let (report, live): (DriveReport, BTreeSet<u64>) = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let db = &db;
+            let cfg = drive_cfg;
+            handles.push(s.spawn(move || {
+                let mut stream = OpStream::new(OpMix::balanced(), 100 + tid, seed);
+                let report = drive(db, &mut stream, &cfg);
+                let live: BTreeSet<u64> = stream.live_objects().iter().map(|(o, _)| o.0).collect();
+                (report, live)
+            }));
+        }
+        let mut total = DriveReport::default();
+        let mut live = BTreeSet::new();
+        for h in handles {
+            let (r, l) = h.join().expect("worker thread survives chaos");
+            total.ops += r.ops;
+            total.commits += r.commits;
+            total.retries += r.retries;
+            total.giveups += r.giveups;
+            total.duplicates += r.duplicates;
+            total.oracle_failures += r.oracle_failures;
+            total.fatal += r.fatal;
+            live.extend(l);
+        }
+        (total, live)
+    });
+    drop(schedule);
+
+    let fires = dgl_faults::total_fires() - fires_before;
+    let obs = db.obs_snapshot();
+    let victims = obs.ctr(dgl_obs::Ctr::GlobalDeadlocks);
+    let watchdog_fires = obs.ctr(dgl_obs::Ctr::WatchdogStalls);
+    eprintln!(
+        "chaos sharded seed {seed:#x}: {} commits, {} retries, {} giveups, \
+         {fires} injected faults, {victims} detector victims, \
+         {watchdog_fires} watchdog stalls",
+        report.commits, report.retries, report.giveups,
+    );
+
+    // No double-aborts: a wound landing on an already-dead transaction
+    // surfaces as fatal `NotActive`; exact once-each accounting below.
+    assert_eq!(report.fatal, 0, "seed {seed:#x}: non-retryable error");
+    assert_eq!(
+        report.oracle_failures, 0,
+        "seed {seed:#x}: repeatable-read oracle saw a phantom across shards"
+    );
+    assert!(
+        report.commits + report.giveups == THREADS * (TXNS_PER_THREAD as u64),
+        "seed {seed:#x}: every transaction accounted for exactly once"
+    );
+    assert!(fires > 0, "seed {seed:#x}: the schedule never fired");
+
+    // No lost victims: every wound was observed and rolled back — a
+    // victim that never saw its verdict would still be live (or still
+    // hold locks) here.
+    db.quiesce()
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: quiesce failed: {e}"));
+    for (i, shard) in db.shard_handles().iter().enumerate() {
+        assert_eq!(
+            shard.txn_manager().active_count(),
+            0,
+            "seed {seed:#x}: shard {i} has live transactions after the storm"
+        );
+        assert_eq!(
+            shard.lock_manager().resource_count(),
+            0,
+            "seed {seed:#x}: shard {i} lock table not empty after the storm"
+        );
+    }
+
+    let txn = db.begin();
+    let seen: BTreeSet<u64> = db
+        .read_scan(txn, Rect2::unit())
+        .expect("final scan")
+        .iter()
+        .map(|h| h.oid.0)
+        .collect();
+    db.commit(txn).expect("final commit");
+    assert_eq!(
+        seen, live,
+        "seed {seed:#x}: sharded index diverged from the committed set"
+    );
+    db.validate()
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: validation failed: {e}"));
+}
+
 #[test]
 fn chaos_seed_c0ffee() {
     chaos_run(0xC0FFEE);
+}
+
+#[test]
+fn chaos_sharded_detector_seed_d1ce() {
+    chaos_sharded_run(0xD1CE);
 }
 
 #[test]

@@ -978,7 +978,8 @@ fn run_2pc_cell(failpoint: &'static str, survives: bool, sync: SyncPolicy) {
     drop(recovered);
 
     // Idempotence: resolving the same in-doubt state again changes
-    // nothing (decisions are append-only and never pruned).
+    // nothing (decisions survive until a checkpoint proves them
+    // globally resolved).
     let again = ShardedDglRTree::open(dir.path(), config, sharding).expect("second recover");
     assert_eq!(
         sharded_contents(&again),
@@ -1114,4 +1115,113 @@ fn matrix_2pc_seeded_workload_in_doubt_atomicity() {
             seen.len()
         );
     }
+}
+
+/// Decision (`Commit`) records currently on disk in the coordinator
+/// log, across all its segments.
+fn coord_decisions(dir: &Path) -> Vec<u64> {
+    let coord = dir.join("coord");
+    let listing = dgl_wal::scan_dir(&coord).expect("scan coord dir");
+    let mut out = Vec::new();
+    for g in listing.segments {
+        let seg = dgl_wal::read_segment(&dgl_wal::segment_path(&coord, g)).expect("read segment");
+        for rec in &seg.records {
+            if let dgl_wal::WalRecord::Commit { txn } = rec {
+                out.push(*txn);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Checkpoint-time coordinator-log pruning: decisions for globally
+/// resolved 2PC transactions are dropped, while a decision some shard
+/// still holds a prepared-undecided participant for must survive the
+/// prune — recovery after a crash in that window resolves the
+/// participant from the pruned log.
+#[test]
+fn coord_log_prune_keeps_in_doubt_decisions() {
+    let _serial = serialize();
+    let _watchdog = Watchdog::arm("coord-prune");
+    let dir = TempDir::new("coord-prune");
+    let config = durable_config(SyncPolicy::Immediate, MaintenanceMode::Inline, None);
+    let sharding = ShardingConfig {
+        shards: 4,
+        max_object_extent: 0.05,
+    };
+    let db =
+        ShardedDglRTree::open(dir.path(), config.clone(), sharding.clone()).expect("open fresh");
+
+    // Several clean cross-shard 2PC commits: one decision each.
+    let mut oracle = BTreeMap::new();
+    for i in 0..5u64 {
+        let txn = db.begin();
+        for (oid, (cx, cy)) in [(10 * i + 1, (0.25, 0.25)), (10 * i + 2, (0.75, 0.75))] {
+            let rect = rect_at(cx + i as f64 * 0.002, cy + i as f64 * 0.002);
+            db.insert(txn, ObjectId(oid), rect).expect("insert");
+            oracle.insert(oid, rect);
+        }
+        db.commit(txn).expect("cross-shard commit");
+    }
+    let before = coord_decisions(dir.path());
+    assert!(before.len() >= 5, "five 2PC decisions logged: {before:?}");
+
+    // All five are globally resolved, so a checkpoint prunes them down
+    // to just the highest (kept so reopened ids stay monotone).
+    db.checkpoint().expect("checkpoint");
+    let after = coord_decisions(dir.path());
+    assert_eq!(
+        after,
+        vec![*before.last().expect("nonempty")],
+        "resolved decisions pruned, max decision carried"
+    );
+
+    // A 2PC held between its decision record and its participant
+    // commits (Delay failpoint): while it sleeps, its gtxn is exactly
+    // the in-doubt state a prune must preserve.
+    let doomed = [(101u64, rect_at(0.25, 0.35)), (102u64, rect_at(0.75, 0.65))];
+    let guard = dgl_faults::register(
+        "shard/2pc-after-decision",
+        FaultSpec::delay(Duration::from_millis(600)),
+    );
+    let commit_res = std::thread::scope(|s| {
+        let handle = s.spawn(|| {
+            let txn = db.begin();
+            for (oid, rect) in &doomed {
+                db.insert(txn, ObjectId(*oid), *rect).expect("doomed insert");
+            }
+            db.commit(txn)
+        });
+        // Inside the delay window: decision durable, both participants
+        // prepared and undecided. Prune now — the decision must ride
+        // into the fresh segment.
+        std::thread::sleep(Duration::from_millis(200));
+        db.checkpoint().expect("checkpoint during 2PC window");
+        let mid = coord_decisions(dir.path());
+        assert_eq!(mid.len(), 1, "only the in-doubt decision survives: {mid:?}");
+        // Crash before the participants complete: they stay prepared on
+        // disk, resolvable only through the surviving decision.
+        db.crash_all_wals();
+        handle.join().expect("commit thread")
+    });
+    drop(guard);
+    assert!(
+        commit_res.is_err(),
+        "crashed participant commits must not ack: {commit_res:?}"
+    );
+    drop(db);
+
+    let recovered = ShardedDglRTree::open(dir.path(), config, sharding).expect("recover");
+    let mut expected = oracle.clone();
+    for (oid, rect) in &doomed {
+        expected.insert(*oid, *rect);
+    }
+    assert_eq!(
+        sharded_contents(&recovered),
+        expected,
+        "in-doubt participants must commit from the pruned decision log"
+    );
+    recovered.validate().expect("validate");
 }
