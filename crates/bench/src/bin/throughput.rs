@@ -5,7 +5,8 @@
 //! Usage:
 //! ```text
 //! throughput [--smoke] [--chaos [SEED]] [--out PATH] [--prom PATH] \
-//!            [--obs-off] [--threads N,N,..] [--txns N] [--shards N,N,..]
+//!            [--obs-off] [--threads N,N,..] [--txns N] [--shards N,N,..] \
+//!            [--net] [--connections N,N,..]
 //! ```
 //! Writes `BENCH_throughput.json` (or PATH) and prints a markdown table
 //! plus the headline read-heavy speedup. `--smoke` runs a seconds-scale
@@ -16,13 +17,18 @@
 //! writes a Prometheus-format dump of every DGL contender's
 //! observability registry. `--obs-off` disables registry recording
 //! (percentile columns read 0) — diff ops/sec against a default run to
-//! measure the observability overhead.
+//! measure the observability overhead. `--net` adds the loopback
+//! `dgl-net` contender: real `dgl-client` connections driving a
+//! `dgl-server` over the wire protocol, swept over the connection
+//! count (`--connections`, default 8,64,256,1000; smoke 4,16). Net
+//! rows land in the same JSON with the `connections` column set.
 
-use dgl_bench::experiments::throughput;
+use dgl_bench::experiments::{net, throughput};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let with_net = args.iter().any(|a| a == "--net");
     let chaos = args.iter().position(|a| a == "--chaos");
     let out_path = args
         .iter()
@@ -93,7 +99,32 @@ fn main() {
         cfg.txns_per_thread,
         if smoke { "smoke" } else { "full" }
     );
-    let (rows, prom) = throughput::run_sweep_with_dump(&cfg);
+    let (mut rows, mut prom) = throughput::run_sweep_with_dump(&cfg);
+
+    if with_net {
+        let mut net_cfg = if smoke {
+            net::NetConfig::smoke()
+        } else {
+            net::NetConfig::default()
+        };
+        if let Some(list) = args
+            .iter()
+            .position(|a| a == "--connections")
+            .and_then(|i| args.get(i + 1))
+        {
+            net_cfg.connections = list
+                .split(',')
+                .map(|s| s.parse().expect("--connections takes e.g. 8,64,1000"))
+                .collect();
+        }
+        eprintln!(
+            "running net sweep over loopback: connections {:?}",
+            net_cfg.connections
+        );
+        let (net_rows, net_prom) = net::run_net_sweep_with_dump(&net_cfg);
+        rows.extend(net_rows);
+        prom.push_str(&net_prom);
+    }
 
     println!("## Aggregate throughput — optimistic vs pessimistic write path\n");
     println!("{}", throughput::render(&rows));
@@ -126,6 +157,18 @@ fn main() {
         println!(
             "headline: {shards}-shard router = {ratio:.2}x single-tree aggregate ops/sec \
              (read-heavy 90/10 mix, {max_threads} threads; target ≥ 1.5x with cores ≥ threads)"
+        );
+    }
+    if let Some(r) = rows
+        .iter()
+        .filter(|r| r.connections.is_some())
+        .max_by_key(|r| r.connections)
+    {
+        println!(
+            "net: {} concurrent connections sustained at {:.0} ops/sec over \
+             loopback, zero non-retryable protocol errors",
+            r.connections.unwrap_or(0),
+            r.ops_per_sec
         );
     }
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());

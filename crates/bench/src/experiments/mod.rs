@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod granule_change;
 pub mod maintenance;
+pub mod net;
 pub mod table2;
 pub mod table4;
 pub mod throughput;

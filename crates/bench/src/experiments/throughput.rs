@@ -304,6 +304,9 @@ pub struct ThroughputRow {
     pub threads: u64,
     /// Shard count (1 for single-tree contenders).
     pub shards: u64,
+    /// Concurrent client connections (`dgl-net` rows only; the
+    /// in-process contenders have no wire and emit `null`).
+    pub connections: Option<u64>,
     /// Aggregate successful operations per second across all threads.
     pub ops_per_sec: f64,
     /// Committed transactions (all passes of the cell).
@@ -556,6 +559,7 @@ fn run_point(
         mix: mix_label.to_string(),
         threads,
         shards: c.shards,
+        connections: None,
         ops_per_sec: ops as f64 / elapsed,
         commits,
         aborts,
@@ -638,11 +642,12 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"timeout_aborts\": {}, \"deadlock_aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"lock_wait_scan_count\": {}, \"lock_wait_scan_p95_nanos\": {}, \"lock_wait_point_count\": {}, \"lock_wait_point_p95_nanos\": {}, \"lock_wait_write_count\": {}, \"lock_wait_write_p95_nanos\": {}, \"snapshot_scans\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \"connections\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"timeout_aborts\": {}, \"deadlock_aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"lock_wait_scan_count\": {}, \"lock_wait_scan_p95_nanos\": {}, \"lock_wait_point_count\": {}, \"lock_wait_point_p95_nanos\": {}, \"lock_wait_write_count\": {}, \"lock_wait_write_p95_nanos\": {}, \"snapshot_scans\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
             r.protocol,
             r.mix,
             r.threads,
             r.shards,
+            json_opt(r.connections),
             r.ops_per_sec,
             r.commits,
             r.aborts,
@@ -697,6 +702,8 @@ pub fn render(rows: &[ThroughputRow]) -> String {
                 r.protocol.clone(),
                 r.threads.to_string(),
                 r.shards.to_string(),
+                r.connections
+                    .map_or_else(|| "-".to_string(), |v| v.to_string()),
                 format!("{:.0}", r.ops_per_sec),
                 r.commits.to_string(),
                 r.aborts.to_string(),
@@ -734,6 +741,7 @@ pub fn render(rows: &[ThroughputRow]) -> String {
             "Protocol",
             "Threads",
             "Shards",
+            "Conns",
             "Ops/s",
             "Commits",
             "Aborts",
@@ -954,6 +962,8 @@ mod tests {
         assert!(json.contains("dgl-pessimistic"));
         assert!(json.contains("dgl-sharded-2"));
         assert!(json.contains("\"shards\": 2"));
+        // In-process rows have no wire: the connections column is null.
+        assert!(json.contains("\"connections\": null"));
         assert!(json.contains("x_latch_total_nanos"));
         assert!(json.contains("lock_wait_p95_nanos"));
         assert!(json.contains("timeout_aborts"));

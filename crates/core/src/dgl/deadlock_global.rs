@@ -260,9 +260,10 @@ fn run_pass(shared: &Shared, state: &mut PassState) {
         .retain(|_, at| now.saturating_duration_since(*at) < WOUND_QUIET);
 
     // Cheap skip: nothing is waiting anywhere.
-    let busy = shared.cores.iter().any(|c| {
-        c.lm.waiter_count() > 0 || !c.gate_waiters.lock().is_empty()
-    });
+    let busy = shared
+        .cores
+        .iter()
+        .any(|c| c.lm.waiter_count() > 0 || !c.gate_waiters.lock().is_empty());
     if !busy {
         state.stall_flagged.clear();
         return;
@@ -372,7 +373,10 @@ fn run_pass(shared: &Shared, state: &mut PassState) {
 #[allow(clippy::type_complexity)]
 fn session_identity(
     shared: &Shared,
-) -> (HashMap<(usize, TxnId), u64>, HashMap<u64, Vec<(usize, TxnId)>>) {
+) -> (
+    HashMap<(usize, TxnId), u64>,
+    HashMap<u64, Vec<(usize, TxnId)>>,
+) {
     let mut alias = HashMap::new();
     let mut parts_of: HashMap<u64, Vec<(usize, TxnId)>> = HashMap::new();
     if let Some(sessions) = &shared.sessions {

@@ -658,8 +658,7 @@ impl ShardedDglRTree {
         // Every decision on disk (sealed segments + the fresh one — a
         // decision racing the rotation lands in the fresh segment and is
         // at worst re-appended, which is harmless: decisions are a set).
-        let (decisions, _, _) =
-            read_decisions(coord.dir()).map_err(|_| TxnError::Durability)?;
+        let (decisions, _, _) = read_decisions(coord.dir()).map_err(|_| TxnError::Durability)?;
         // In-doubt: gtxns some shard prepared but has not locally
         // finished. Prepare strictly precedes the decision append, so
         // any decided-but-incomplete 2PC is captured here.

@@ -26,8 +26,8 @@ mod stats;
 mod trace;
 
 pub use manager::{
-    obs_res, GrantEntry, LockManager, LockManagerConfig, LockOutcome, ResourceTableEntry,
-    WaitEdge, WaiterEntry,
+    obs_res, GrantEntry, LockManager, LockManagerConfig, LockOutcome, ResourceTableEntry, WaitEdge,
+    WaiterEntry,
 };
 pub use mode::LockMode;
 pub use resource::{LockDuration, RequestKind, ResourceId, TxnId};

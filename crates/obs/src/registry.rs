@@ -46,11 +46,23 @@ pub enum Hist {
     /// Lock-wait nanoseconds attributed to write operations
     /// ([`OpKind::Write`]).
     LockWaitWrite,
+    /// Server-side nanoseconds per network scan request
+    /// (Search/UpdateScan/SnapshotScan), decode to reply enqueued.
+    NetReqScan,
+    /// Server-side nanoseconds per network point request
+    /// (ReadSingle/SnapshotRead/Count).
+    NetReqPoint,
+    /// Server-side nanoseconds per network write request
+    /// (Insert/Delete/Update).
+    NetReqWrite,
+    /// Server-side nanoseconds per network transaction-control request
+    /// (Begin/Commit/Abort/BeginSnapshot/EndSnapshot).
+    NetReqTxn,
 }
 
 impl Hist {
     /// All histograms, in export order.
-    pub const ALL: [Hist; 11] = [
+    pub const ALL: [Hist; 15] = [
         Hist::LockWait,
         Hist::LatchHold,
         Hist::PlanPhase,
@@ -62,6 +74,10 @@ impl Hist {
         Hist::LockWaitScan,
         Hist::LockWaitPoint,
         Hist::LockWaitWrite,
+        Hist::NetReqScan,
+        Hist::NetReqPoint,
+        Hist::NetReqWrite,
+        Hist::NetReqTxn,
     ];
 
     /// Stable metric name (also the Prometheus/JSON key, prefixed
@@ -79,6 +95,10 @@ impl Hist {
             Hist::LockWaitScan => "lock_wait_scan_nanos",
             Hist::LockWaitPoint => "lock_wait_point_nanos",
             Hist::LockWaitWrite => "lock_wait_write_nanos",
+            Hist::NetReqScan => "net_request_scan_nanos",
+            Hist::NetReqPoint => "net_request_point_nanos",
+            Hist::NetReqWrite => "net_request_write_nanos",
+            Hist::NetReqTxn => "net_request_txn_nanos",
         }
     }
 
@@ -134,11 +154,20 @@ pub enum Ctr {
     LockDeadlocks,
     /// Lock waits resolved by the wait-timeout backstop.
     LockTimeouts,
+    /// Requests decoded and dispatched by the network server.
+    NetRequests,
+    /// Bytes read from client connections (frames incl. length prefix).
+    NetBytesIn,
+    /// Bytes written to client connections (frames incl. length prefix).
+    NetBytesOut,
+    /// Transactions aborted server-side because their session died or
+    /// timed out (connection drop, idle/txn timeout, drain force-close).
+    SessionAborts,
 }
 
 impl Ctr {
     /// All counters, in export order.
-    pub const ALL: [Ctr; 19] = [
+    pub const ALL: [Ctr; 23] = [
         Ctr::LockReqShort,
         Ctr::LockReqCommit,
         Ctr::LockConditionalFail,
@@ -158,6 +187,10 @@ impl Ctr {
         Ctr::WatchdogStalls,
         Ctr::LockDeadlocks,
         Ctr::LockTimeouts,
+        Ctr::NetRequests,
+        Ctr::NetBytesIn,
+        Ctr::NetBytesOut,
+        Ctr::SessionAborts,
     ];
 
     /// Stable metric name (exported as `dgl_<name>_total`).
@@ -182,6 +215,10 @@ impl Ctr {
             Ctr::WatchdogStalls => "watchdog_stalls",
             Ctr::LockDeadlocks => "lock_deadlocks",
             Ctr::LockTimeouts => "lock_timeouts",
+            Ctr::NetRequests => "net_requests",
+            Ctr::NetBytesIn => "net_bytes_in",
+            Ctr::NetBytesOut => "net_bytes_out",
+            Ctr::SessionAborts => "session_aborts",
         }
     }
 

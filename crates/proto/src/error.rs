@@ -1,0 +1,176 @@
+//! Typed protocol error codes.
+
+use std::fmt;
+
+use dgl_core::TxnError;
+
+/// Every error a server can put in a `Response::Error` frame.
+///
+/// The low range (1–15) mirrors [`TxnError`] — a transaction outcome
+/// that travels to the client with its retry classification intact.
+/// The high range (16+) is session/protocol state the embedded library
+/// has no notion of: handshake, framing, ownership and drain errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// [`TxnError::Deadlock`]: wounded as a deadlock victim; retryable.
+    Deadlock = 1,
+    /// [`TxnError::Timeout`]: lock-wait backstop expired; retryable.
+    Timeout = 2,
+    /// [`TxnError::NotActive`]: the id names no active transaction.
+    NotActive = 3,
+    /// [`TxnError::DuplicateObject`]: the object id is still reserved.
+    DuplicateObject = 4,
+    /// [`TxnError::Injected`]: a fault-injection site fired; retryable.
+    Injected = 5,
+    /// [`TxnError::MaintenanceFailed`]: deferred deletions wedged.
+    MaintenanceFailed = 6,
+    /// [`TxnError::Durability`]: the WAL could not make the commit
+    /// durable.
+    Durability = 7,
+
+    /// The frame body failed to decode (see the message for the
+    /// [`crate::WireError`]). The framing itself was sound, so the
+    /// connection survives.
+    BadFrame = 16,
+    /// The opcode byte names no request this server knows.
+    UnknownOpcode = 17,
+    /// The request's length prefix exceeded [`crate::MAX_REQUEST_FRAME`].
+    /// The stream can no longer be trusted; the server closes it after
+    /// this reply.
+    FrameTooLarge = 18,
+    /// The first request was not a `Hello`, or its protocol version is
+    /// not spoken here.
+    BadHandshake = 19,
+    /// An operation named a transaction but the session has none open.
+    NotInTransaction = 20,
+    /// An operation named a transaction this session does not own.
+    TxnMismatch = 21,
+    /// `Begin` while the session already owns an open transaction
+    /// (sessions are single-transaction by design).
+    TxnAlreadyOpen = 22,
+    /// The server is draining: no new transactions or connections.
+    Draining = 23,
+    /// The session's transaction idled past the server's transaction
+    /// timeout and was aborted server-side; retryable with a fresh
+    /// `Begin`.
+    TxnTimedOut = 24,
+    /// A snapshot operation named an unknown snapshot id.
+    UnknownSnapshot = 25,
+    /// The session hit its concurrent-snapshot cap.
+    SnapshotLimit = 26,
+    /// The response would exceed [`crate::MAX_RESPONSE_FRAME`] (scan
+    /// result too large to frame).
+    ResponseTooLarge = 27,
+    /// The request panicked inside the server and was contained; the
+    /// transaction (if any) was rolled back. Retryable.
+    Internal = 28,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        use ErrorCode::*;
+        Some(match b {
+            1 => Deadlock,
+            2 => Timeout,
+            3 => NotActive,
+            4 => DuplicateObject,
+            5 => Injected,
+            6 => MaintenanceFailed,
+            7 => Durability,
+            16 => BadFrame,
+            17 => UnknownOpcode,
+            18 => FrameTooLarge,
+            19 => BadHandshake,
+            20 => NotInTransaction,
+            21 => TxnMismatch,
+            22 => TxnAlreadyOpen,
+            23 => Draining,
+            24 => TxnTimedOut,
+            25 => UnknownSnapshot,
+            26 => SnapshotLimit,
+            27 => ResponseTooLarge,
+            28 => Internal,
+            _ => return None,
+        })
+    }
+
+    /// Whether a fresh transaction retrying the same work can be
+    /// expected to succeed — the wire extension of
+    /// [`TxnError::is_retryable`]. `TxnTimedOut` joins the retryable
+    /// set (the server aborted an abandoned transaction; a fresh one is
+    /// fine) and so does `Internal` (a contained panic is transient by
+    /// the same argument as an injected fault).
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Deadlock
+                | ErrorCode::Timeout
+                | ErrorCode::Injected
+                | ErrorCode::TxnTimedOut
+                | ErrorCode::Internal
+        )
+    }
+
+    /// The embedded-library error this code mirrors, when there is one.
+    /// Protocol/session codes return `None`.
+    pub fn to_txn_error(self) -> Option<TxnError> {
+        Some(match self {
+            ErrorCode::Deadlock => TxnError::Deadlock,
+            ErrorCode::Timeout => TxnError::Timeout,
+            ErrorCode::NotActive => TxnError::NotActive,
+            ErrorCode::DuplicateObject => TxnError::DuplicateObject,
+            ErrorCode::Injected => TxnError::Injected,
+            ErrorCode::MaintenanceFailed => TxnError::MaintenanceFailed,
+            ErrorCode::Durability => TxnError::Durability,
+            _ => return None,
+        })
+    }
+}
+
+impl From<TxnError> for ErrorCode {
+    fn from(e: TxnError) -> Self {
+        match e {
+            TxnError::Deadlock => ErrorCode::Deadlock,
+            TxnError::Timeout => ErrorCode::Timeout,
+            TxnError::NotActive => ErrorCode::NotActive,
+            TxnError::DuplicateObject => ErrorCode::DuplicateObject,
+            TxnError::Injected => ErrorCode::Injected,
+            TxnError::MaintenanceFailed => ErrorCode::MaintenanceFailed,
+            TxnError::Durability => ErrorCode::Durability,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_byte_roundtrip_and_txn_mirror() {
+        for b in 0..=255u8 {
+            if let Some(code) = ErrorCode::from_u8(b) {
+                assert_eq!(code as u8, b);
+                if let Some(txn) = code.to_txn_error() {
+                    assert_eq!(ErrorCode::from(txn), code);
+                    // The wire classification never *loses* retryability.
+                    assert_eq!(txn.is_retryable(), code.is_retryable());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_bytes_decode_to_none() {
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(8), None);
+        assert_eq!(ErrorCode::from_u8(255), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Length-prefixed framing over any byte stream.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Bytes of the length prefix (`u32` little-endian).
+pub const LEN_PREFIX: usize = 4;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (includes mid-frame EOF, surfaced
+    /// as [`io::ErrorKind::UnexpectedEof`]).
+    Io(io::Error),
+    /// The length prefix exceeds the caller's cap. The stream is no
+    /// longer trustworthy — the only safe response is to drop it.
+    TooLarge {
+        /// Declared body length.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame: length prefix + body. No flush — callers batch.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len()).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidInput, "frame body exceeds u32 length")
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Reads one frame body, enforcing `max` *before* allocating.
+///
+/// Returns `Ok(None)` on clean EOF (the peer closed between frames);
+/// EOF mid-frame is an [`io::ErrorKind::UnexpectedEof`] error. A
+/// `TooLarge` length is reported without consuming the body — the
+/// caller must treat the stream as dead.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    // Hand-rolled read_exact so EOF *before the first byte* is a clean
+    // end-of-stream, not an error.
+    let mut filled = 0;
+    while filled < LEN_PREFIX {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur, 64).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur, 64).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cur, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        match read_frame(&mut Cursor::new(buf), 1024) {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_prefix_and_mid_body_are_errors() {
+        for cut in 1..=4usize {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, b"abcdef").unwrap();
+            buf.truncate(cut.min(buf.len()));
+            let err = read_frame(&mut Cursor::new(buf), 64).unwrap_err();
+            assert!(matches!(err, FrameError::Io(_)), "cut at {cut}");
+        }
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        buf.truncate(7); // prefix + 3 of 6 body bytes
+        let err = read_frame(&mut Cursor::new(buf), 64).unwrap_err();
+        match err {
+            FrameError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("{other:?}"),
+        }
+    }
+}

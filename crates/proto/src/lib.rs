@@ -1,0 +1,58 @@
+//! Wire protocol for the dgl network front-end.
+//!
+//! `dgl-server` and `dgl-client` speak a small length-prefixed binary
+//! protocol over TCP. Every message travels in one **frame**:
+//!
+//! ```text
+//! +----------------+---------------------------------------------+
+//! | u32 LE length  | body (exactly `length` bytes)               |
+//! +----------------+---------------------------------------------+
+//! body = [ u8 opcode | u32 LE request id | opcode-specific payload ]
+//! ```
+//!
+//! The request id is chosen by the client and echoed verbatim in the
+//! response, so a pipelined client can issue many requests before
+//! reading any response and correlate the (in-order) replies. The
+//! server processes each connection's requests strictly in order.
+//!
+//! Integers are little-endian; `f64` travels as its IEEE-754 bit
+//! pattern (little-endian); strings are `u16` length + UTF-8 bytes
+//! (the `Stats` payload alone uses a `u32` length — Prometheus dumps
+//! outgrow 64 KiB); rectangles are four `f64`s (`lo.x lo.y hi.x hi.y`);
+//! scan hits are `oid u64 | rect | version u64` (48 bytes).
+//!
+//! Framing is the trust boundary: a reader enforces a maximum frame
+//! length *before* allocating ([`read_frame`]), and every decoder is
+//! total — arbitrary bytes produce a typed [`WireError`], never a panic
+//! and never an over-allocation. The conformance suite in
+//! `tests/conformance.rs` pins golden bytes for every frame kind and
+//! fuzzes the decoders with random, truncated and oversized input.
+//!
+//! Version negotiation: the first request on a connection must be
+//! [`Request::Hello`] carrying [`PROTO_VERSION`]; the server rejects
+//! anything else with [`ErrorCode::BadHandshake`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod frame;
+mod msg;
+mod wire;
+
+pub use error::ErrorCode;
+pub use frame::{read_frame, write_frame, FrameError, LEN_PREFIX};
+pub use msg::{Request, Response};
+pub use wire::{Reader, WireError};
+
+/// Protocol version spoken by this build. Bumped on any wire change.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Largest request frame a server accepts. Requests are small and
+/// fixed-shape; anything larger is a corrupt or hostile stream.
+pub const MAX_REQUEST_FRAME: usize = 64 * 1024;
+
+/// Largest response frame a client accepts. Scans and stats dumps are
+/// unbounded in principle; the server chunks nothing, so this is the
+/// practical result-set ceiling (~350k scan hits).
+pub const MAX_RESPONSE_FRAME: usize = 16 * 1024 * 1024;

@@ -1,0 +1,445 @@
+//! Request and response messages with their wire encodings.
+
+use dgl_core::ScanHit;
+use dgl_geom::Rect2;
+use dgl_rtree::ObjectId;
+
+use crate::error::ErrorCode;
+use crate::wire::{
+    put_bool, put_long_string, put_rect, put_string, put_u16, put_u32, put_u64, Reader, WireError,
+};
+
+// Request opcodes.
+const OP_HELLO: u8 = 0x01;
+const OP_BEGIN: u8 = 0x02;
+const OP_INSERT: u8 = 0x03;
+const OP_DELETE: u8 = 0x04;
+const OP_UPDATE: u8 = 0x05;
+const OP_SEARCH: u8 = 0x06;
+const OP_READ_SINGLE: u8 = 0x07;
+const OP_UPDATE_SCAN: u8 = 0x08;
+const OP_COMMIT: u8 = 0x09;
+const OP_ABORT: u8 = 0x0A;
+const OP_BEGIN_SNAPSHOT: u8 = 0x0B;
+const OP_SNAPSHOT_SCAN: u8 = 0x0C;
+const OP_SNAPSHOT_READ: u8 = 0x0D;
+const OP_END_SNAPSHOT: u8 = 0x0E;
+const OP_STATS: u8 = 0x0F;
+const OP_COUNT: u8 = 0x10;
+
+// Response opcodes (high bit set).
+const OP_HELLO_OK: u8 = 0x81;
+const OP_TXN_BEGUN: u8 = 0x82;
+const OP_DONE: u8 = 0x83;
+const OP_EXISTED: u8 = 0x84;
+const OP_VERSION: u8 = 0x85;
+const OP_HITS: u8 = 0x86;
+const OP_SNAPSHOT_BEGUN: u8 = 0x87;
+const OP_STATS_TEXT: u8 = 0x88;
+const OP_COUNT_IS: u8 = 0x89;
+const OP_ERROR: u8 = 0xFF;
+
+/// Bytes of one encoded scan hit (`oid | rect | version`).
+const HIT_BYTES: usize = 8 + 32 + 8;
+
+/// A client→server message. See the crate docs for the frame layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Mandatory first request: protocol version + client name.
+    Hello {
+        /// [`crate::PROTO_VERSION`] the client speaks.
+        version: u16,
+        /// Free-form client identification (logs/diagnostics).
+        client: String,
+    },
+    /// Starts the session's transaction (sessions own at most one).
+    Begin,
+    /// `insert(txn, oid, rect)`.
+    Insert {
+        /// Session transaction id (must match the open one).
+        txn: u64,
+        /// Object id.
+        oid: u64,
+        /// Object rectangle.
+        rect: Rect2,
+    },
+    /// `delete(txn, oid, rect)`.
+    Delete {
+        /// Session transaction id.
+        txn: u64,
+        /// Object id.
+        oid: u64,
+        /// Object rectangle.
+        rect: Rect2,
+    },
+    /// `update_single(txn, oid, rect)`.
+    Update {
+        /// Session transaction id.
+        txn: u64,
+        /// Object id.
+        oid: u64,
+        /// Object rectangle.
+        rect: Rect2,
+    },
+    /// `read_scan(txn, query)` — the paper's phantom-protected region
+    /// scan.
+    Search {
+        /// Session transaction id.
+        txn: u64,
+        /// Query region.
+        query: Rect2,
+    },
+    /// `read_single(txn, oid, rect)`.
+    ReadSingle {
+        /// Session transaction id.
+        txn: u64,
+        /// Object id.
+        oid: u64,
+        /// Object rectangle.
+        rect: Rect2,
+    },
+    /// `update_scan(txn, query)`.
+    UpdateScan {
+        /// Session transaction id.
+        txn: u64,
+        /// Query region.
+        query: Rect2,
+    },
+    /// Commits the session's transaction.
+    Commit {
+        /// Session transaction id.
+        txn: u64,
+    },
+    /// Aborts the session's transaction.
+    Abort {
+        /// Session transaction id.
+        txn: u64,
+    },
+    /// Registers an MVCC snapshot (zero-lock reads).
+    BeginSnapshot,
+    /// Snapshot region scan.
+    SnapshotScan {
+        /// Session snapshot id from `SnapshotBegun`.
+        snap: u64,
+        /// Query region.
+        query: Rect2,
+    },
+    /// Snapshot point read.
+    SnapshotRead {
+        /// Session snapshot id.
+        snap: u64,
+        /// Object id.
+        oid: u64,
+    },
+    /// Drops a snapshot (unpins its versions for GC).
+    EndSnapshot {
+        /// Session snapshot id.
+        snap: u64,
+    },
+    /// Returns the server's Prometheus-format metrics dump.
+    Stats,
+    /// Returns the physically-present object count (testing aid, like
+    /// [`dgl_core::TransactionalRTree::len`]).
+    Count,
+}
+
+impl Request {
+    /// Encodes into a frame body carrying `req_id`.
+    pub fn encode(&self, req_id: u32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        let op = self.opcode();
+        out.push(op);
+        put_u32(&mut out, req_id);
+        match self {
+            Request::Hello { version, client } => {
+                put_u16(&mut out, *version);
+                put_string(&mut out, client);
+            }
+            Request::Begin | Request::BeginSnapshot | Request::Stats | Request::Count => {}
+            Request::Insert { txn, oid, rect }
+            | Request::Delete { txn, oid, rect }
+            | Request::Update { txn, oid, rect }
+            | Request::ReadSingle { txn, oid, rect } => {
+                put_u64(&mut out, *txn);
+                put_u64(&mut out, *oid);
+                put_rect(&mut out, rect);
+            }
+            Request::Search { txn, query } | Request::UpdateScan { txn, query } => {
+                put_u64(&mut out, *txn);
+                put_rect(&mut out, query);
+            }
+            Request::Commit { txn } | Request::Abort { txn } => put_u64(&mut out, *txn),
+            Request::SnapshotScan { snap, query } => {
+                put_u64(&mut out, *snap);
+                put_rect(&mut out, query);
+            }
+            Request::SnapshotRead { snap, oid } => {
+                put_u64(&mut out, *snap);
+                put_u64(&mut out, *oid);
+            }
+            Request::EndSnapshot { snap } => put_u64(&mut out, *snap),
+        }
+        out
+    }
+
+    fn opcode(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => OP_HELLO,
+            Request::Begin => OP_BEGIN,
+            Request::Insert { .. } => OP_INSERT,
+            Request::Delete { .. } => OP_DELETE,
+            Request::Update { .. } => OP_UPDATE,
+            Request::Search { .. } => OP_SEARCH,
+            Request::ReadSingle { .. } => OP_READ_SINGLE,
+            Request::UpdateScan { .. } => OP_UPDATE_SCAN,
+            Request::Commit { .. } => OP_COMMIT,
+            Request::Abort { .. } => OP_ABORT,
+            Request::BeginSnapshot => OP_BEGIN_SNAPSHOT,
+            Request::SnapshotScan { .. } => OP_SNAPSHOT_SCAN,
+            Request::SnapshotRead { .. } => OP_SNAPSHOT_READ,
+            Request::EndSnapshot { .. } => OP_END_SNAPSHOT,
+            Request::Stats => OP_STATS,
+            Request::Count => OP_COUNT,
+        }
+    }
+
+    /// Decodes a frame body into `(req_id, request)`.
+    pub fn decode(body: &[u8]) -> Result<(u32, Request), WireError> {
+        let mut r = Reader::new(body);
+        let op = r.u8().map_err(|_| WireError::Empty)?;
+        let req_id = r.u32()?;
+        let req = match op {
+            OP_HELLO => Request::Hello {
+                version: r.u16()?,
+                client: r.string()?,
+            },
+            OP_BEGIN => Request::Begin,
+            OP_INSERT | OP_DELETE | OP_UPDATE | OP_READ_SINGLE => {
+                let (txn, oid, rect) = (r.u64()?, r.u64()?, r.rect()?);
+                match op {
+                    OP_INSERT => Request::Insert { txn, oid, rect },
+                    OP_DELETE => Request::Delete { txn, oid, rect },
+                    OP_UPDATE => Request::Update { txn, oid, rect },
+                    _ => Request::ReadSingle { txn, oid, rect },
+                }
+            }
+            OP_SEARCH => Request::Search {
+                txn: r.u64()?,
+                query: r.rect()?,
+            },
+            OP_UPDATE_SCAN => Request::UpdateScan {
+                txn: r.u64()?,
+                query: r.rect()?,
+            },
+            OP_COMMIT => Request::Commit { txn: r.u64()? },
+            OP_ABORT => Request::Abort { txn: r.u64()? },
+            OP_BEGIN_SNAPSHOT => Request::BeginSnapshot,
+            OP_SNAPSHOT_SCAN => Request::SnapshotScan {
+                snap: r.u64()?,
+                query: r.rect()?,
+            },
+            OP_SNAPSHOT_READ => Request::SnapshotRead {
+                snap: r.u64()?,
+                oid: r.u64()?,
+            },
+            OP_END_SNAPSHOT => Request::EndSnapshot { snap: r.u64()? },
+            OP_STATS => Request::Stats,
+            OP_COUNT => Request::Count,
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        r.finish()?;
+        Ok((req_id, req))
+    }
+}
+
+/// A server→client message; every request gets exactly one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloOk {
+        /// Version the server will speak (== the client's).
+        version: u16,
+        /// Server identification string.
+        server: String,
+    },
+    /// `Begin` succeeded.
+    TxnBegun {
+        /// The transaction id the session now owns.
+        txn: u64,
+    },
+    /// Success with no payload (insert, commit, abort, end-snapshot).
+    Done,
+    /// Delete/update outcome.
+    Existed {
+        /// Whether the object existed.
+        existed: bool,
+    },
+    /// Read outcome: the payload version, if visible.
+    Version {
+        /// `None` when absent/invisible.
+        version: Option<u64>,
+    },
+    /// Scan results.
+    Hits {
+        /// Qualifying objects.
+        hits: Vec<ScanHit>,
+    },
+    /// `BeginSnapshot` succeeded.
+    SnapshotBegun {
+        /// Session snapshot id for subsequent snapshot ops.
+        snap: u64,
+        /// The commit timestamp the snapshot reads at.
+        ts: u64,
+    },
+    /// Metrics dump.
+    StatsText {
+        /// Prometheus text exposition.
+        text: String,
+    },
+    /// Object count.
+    CountIs {
+        /// Physically-present objects.
+        count: u64,
+    },
+    /// The request failed; the code carries the retry classification.
+    Error {
+        /// Typed error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes into a frame body echoing `req_id`.
+    pub fn encode(&self, req_id: u32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Response::HelloOk { version, server } => {
+                out.push(OP_HELLO_OK);
+                put_u32(&mut out, req_id);
+                put_u16(&mut out, *version);
+                put_string(&mut out, server);
+            }
+            Response::TxnBegun { txn } => {
+                out.push(OP_TXN_BEGUN);
+                put_u32(&mut out, req_id);
+                put_u64(&mut out, *txn);
+            }
+            Response::Done => {
+                out.push(OP_DONE);
+                put_u32(&mut out, req_id);
+            }
+            Response::Existed { existed } => {
+                out.push(OP_EXISTED);
+                put_u32(&mut out, req_id);
+                put_bool(&mut out, *existed);
+            }
+            Response::Version { version } => {
+                out.push(OP_VERSION);
+                put_u32(&mut out, req_id);
+                match version {
+                    Some(v) => {
+                        put_bool(&mut out, true);
+                        put_u64(&mut out, *v);
+                    }
+                    None => put_bool(&mut out, false),
+                }
+            }
+            Response::Hits { hits } => {
+                out.reserve(4 + hits.len() * HIT_BYTES);
+                out.push(OP_HITS);
+                put_u32(&mut out, req_id);
+                put_u32(
+                    &mut out,
+                    u32::try_from(hits.len()).expect("hit count over u32"),
+                );
+                for h in hits {
+                    put_u64(&mut out, h.oid.0);
+                    put_rect(&mut out, &h.rect);
+                    put_u64(&mut out, h.version);
+                }
+            }
+            Response::SnapshotBegun { snap, ts } => {
+                out.push(OP_SNAPSHOT_BEGUN);
+                put_u32(&mut out, req_id);
+                put_u64(&mut out, *snap);
+                put_u64(&mut out, *ts);
+            }
+            Response::StatsText { text } => {
+                out.push(OP_STATS_TEXT);
+                put_u32(&mut out, req_id);
+                put_long_string(&mut out, text);
+            }
+            Response::CountIs { count } => {
+                out.push(OP_COUNT_IS);
+                put_u32(&mut out, req_id);
+                put_u64(&mut out, *count);
+            }
+            Response::Error { code, message } => {
+                out.push(OP_ERROR);
+                put_u32(&mut out, req_id);
+                out.push(*code as u8);
+                put_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame body into `(req_id, response)`.
+    pub fn decode(body: &[u8]) -> Result<(u32, Response), WireError> {
+        let mut r = Reader::new(body);
+        let op = r.u8().map_err(|_| WireError::Empty)?;
+        let req_id = r.u32()?;
+        let resp = match op {
+            OP_HELLO_OK => Response::HelloOk {
+                version: r.u16()?,
+                server: r.string()?,
+            },
+            OP_TXN_BEGUN => Response::TxnBegun { txn: r.u64()? },
+            OP_DONE => Response::Done,
+            OP_EXISTED => Response::Existed {
+                existed: r.boolean()?,
+            },
+            OP_VERSION => Response::Version {
+                version: if r.boolean()? { Some(r.u64()?) } else { None },
+            },
+            OP_HITS => {
+                let n = r.u32()? as usize;
+                if n.saturating_mul(HIT_BYTES) > r.remaining() {
+                    return Err(WireError::BadLength {
+                        declared: n,
+                        have: r.remaining(),
+                    });
+                }
+                let mut hits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    hits.push(ScanHit {
+                        oid: ObjectId(r.u64()?),
+                        rect: r.rect()?,
+                        version: r.u64()?,
+                    });
+                }
+                Response::Hits { hits }
+            }
+            OP_SNAPSHOT_BEGUN => Response::SnapshotBegun {
+                snap: r.u64()?,
+                ts: r.u64()?,
+            },
+            OP_STATS_TEXT => Response::StatsText {
+                text: r.long_string()?,
+            },
+            OP_COUNT_IS => Response::CountIs { count: r.u64()? },
+            OP_ERROR => {
+                let raw = r.u8()?;
+                Response::Error {
+                    code: ErrorCode::from_u8(raw).ok_or(WireError::BadErrorCode(raw))?,
+                    message: r.string()?,
+                }
+            }
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        r.finish()?;
+        Ok((req_id, resp))
+    }
+}

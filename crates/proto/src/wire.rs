@@ -1,0 +1,215 @@
+//! Primitive encode/decode helpers. Every decoder is total: arbitrary
+//! input yields `Err(WireError)`, never a panic or an allocation sized
+//! by untrusted bytes beyond the (already length-capped) frame body.
+
+use std::fmt;
+
+use dgl_geom::Rect2;
+
+/// A malformed frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before a field was complete.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes remaining in the body.
+        have: usize,
+    },
+    /// The body continued past the end of the message.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+    /// The opcode byte names no known message.
+    BadOpcode(u8),
+    /// A string field was not valid UTF-8.
+    BadString,
+    /// A boolean field held something other than 0 or 1.
+    BadBool(u8),
+    /// An error-code byte names no known [`crate::ErrorCode`].
+    BadErrorCode(u8),
+    /// A collection length field exceeds what the body could hold.
+    BadLength {
+        /// Declared element count.
+        declared: usize,
+        /// Bytes remaining in the body.
+        have: usize,
+    },
+    /// The frame body was empty (no opcode byte).
+    Empty,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated field: needed {needed} bytes, have {have}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after message end")
+            }
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadString => write!(f, "string field is not valid UTF-8"),
+            WireError::BadBool(b) => write!(f, "boolean field holds {b}"),
+            WireError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+            WireError::BadLength { declared, have } => {
+                write!(
+                    f,
+                    "declared length {declared} exceeds remaining body ({have} bytes)"
+                )
+            }
+            WireError::Empty => write!(f, "empty frame body"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A bounds-checked cursor over a frame body.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the whole body was consumed — decoders call this
+    /// last so a frame carrying extra bytes is rejected, not silently
+    /// half-read.
+    pub fn finish(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            extra => Err(WireError::TrailingBytes { extra }),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a boolean byte (strictly 0 or 1).
+    pub fn boolean(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+
+    /// Reads a `u16`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadString)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string (stats dumps).
+    pub fn long_string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            // Explicit pre-check so a hostile length never reaches the
+            // allocator as a capacity hint.
+            return Err(WireError::BadLength {
+                declared: len,
+                have: self.remaining(),
+            });
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadString)
+    }
+
+    /// Reads a rectangle (`lo.x lo.y hi.x hi.y`).
+    pub fn rect(&mut self) -> Result<Rect2, WireError> {
+        Ok(Rect2 {
+            lo: [self.f64()?, self.f64()?],
+            hi: [self.f64()?, self.f64()?],
+        })
+    }
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+/// Panics when the string exceeds the u16 length field — message
+/// constructors only pass short, server-controlled names.
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("short string field over 64 KiB");
+    put_u16(out, len);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_long_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(
+        out,
+        u32::try_from(s.len()).expect("stats payload over 4 GiB"),
+    );
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_rect(out: &mut Vec<u8>, r: &Rect2) {
+    put_f64(out, r.lo[0]);
+    put_f64(out, r.lo[1]);
+    put_f64(out, r.hi[0]);
+    put_f64(out, r.hi[1]);
+}

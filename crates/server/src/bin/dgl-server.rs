@@ -1,0 +1,91 @@
+//! Standalone network server: `dgl-server [--addr HOST:PORT]
+//! [--shards N] [--preload N] [--txn-timeout-ms N] [--idle-timeout-ms N]`.
+//!
+//! Serves the dgl-proto protocol over a fresh in-memory DGL R-tree
+//! (single-tree by default, space-partitioned when `--shards` > 1)
+//! until terminated.
+
+use std::time::Duration;
+
+use dgl_core::{DglConfig, DglRTree, ShardedDglRTree, ShardingConfig};
+use dgl_geom::Rect2;
+use dgl_rtree::ObjectId;
+use dgl_server::{Backend, Server, ServerConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut shards = 1usize;
+    let mut preload = 0usize;
+    let mut cfg = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = val("--addr"),
+            "--shards" => shards = val("--shards").parse().expect("--shards: usize"),
+            "--preload" => preload = val("--preload").parse().expect("--preload: usize"),
+            "--txn-timeout-ms" => {
+                cfg.txn_timeout =
+                    Duration::from_millis(val("--txn-timeout-ms").parse().expect("ms"))
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout =
+                    Duration::from_millis(val("--idle-timeout-ms").parse().expect("ms"))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: dgl-server [--addr HOST:PORT] [--shards N] [--preload N] \
+                     [--txn-timeout-ms N] [--idle-timeout-ms N]"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let backend = if shards > 1 {
+        Backend::Sharded(ShardedDglRTree::new(
+            DglConfig::default(),
+            ShardingConfig {
+                shards,
+                ..ShardingConfig::default()
+            },
+        ))
+    } else {
+        Backend::Single(DglRTree::new(DglConfig::default()))
+    };
+
+    if preload > 0 {
+        let tree = backend.tree();
+        let txn = tree.begin();
+        for i in 0..preload {
+            // Low-discrepancy-ish scatter of small boxes in the unit square.
+            let x = (i as f64 * 0.754_877_666_7) % 0.98;
+            let y = (i as f64 * 0.569_840_290_998) % 0.98;
+            tree.insert(
+                txn,
+                ObjectId(i as u64),
+                Rect2::new([x, y], [x + 0.01, y + 0.01]),
+            )
+            .expect("preload insert");
+        }
+        tree.commit(txn).expect("preload commit");
+        eprintln!("preloaded {preload} objects");
+    }
+
+    let server = Server::start(backend, cfg, &addr[..]).expect("bind");
+    eprintln!(
+        "dgl-server listening on {} ({shards} shard(s))",
+        server.addr()
+    );
+    // Serve until killed; the process exit path drains via Drop when
+    // the main thread is interrupted by a panic, never otherwise — so
+    // just park forever.
+    loop {
+        std::thread::park();
+    }
+}

@@ -27,6 +27,13 @@
 //! single-threaded shell: inline, a commit whose physical deletion
 //! conflicts with another session's scan locks stalls the prompt until
 //! that scanner finishes — which, with only one prompt, is never.
+//!
+//! With `connect <addr>` the shell becomes a network client: the same
+//! transaction commands travel over the dgl-server wire protocol to a
+//! remote (or loopback) server, plus snapshot reads (`snapshot` /
+//! `snap-scan` / `snap-read` / `snap-end`) and server-side `stats` /
+//! `count`. Two shells connected to one server make the lock protocol
+//! observable across real session boundaries.
 
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -54,7 +61,16 @@ fn config(mode: MaintenanceMode) -> DglConfig {
 }
 
 fn main() {
-    let mode = if std::env::args().any(|a| a == "--background") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "connect") {
+        let addr = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+        run_remote(&addr);
+        return;
+    }
+    let mode = if args.iter().any(|a| a == "--background") {
         MaintenanceMode::Background
     } else {
         MaintenanceMode::Inline
@@ -81,6 +97,206 @@ fn main() {
         }
     }
 }
+
+/// Network client mode: the REPL talks the wire protocol to a running
+/// `dgl-server` instead of owning a tree. Retryable verdicts (deadlock,
+/// timeout) print as errors but the connection — and the prompt — stay
+/// alive; the server has already rolled the transaction back.
+fn run_remote(addr: &str) {
+    let mut client = match dgl_client::Client::connect_as(addr, "dgl-shell") {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "connected to {} at {addr} — type `help`",
+        client.server_name()
+    );
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("dgl@{addr}> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.is_empty() {
+            continue;
+        }
+        match run_remote_command(&mut client, &parts) {
+            Ok(Some(msg)) => println!("{msg}"),
+            Ok(None) => break,
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+}
+
+fn parse_id(s: &str, prefix: char, what: &str) -> Result<u64, String> {
+    s.trim_start_matches(prefix)
+        .parse::<u64>()
+        .map_err(|_| format!("bad {what} id {s:?} (expected e.g. {prefix}3)"))
+}
+
+fn render_hits(hits: &[granular_rtree::core::ScanHit]) -> String {
+    if hits.is_empty() {
+        return "(empty)".into();
+    }
+    let mut msg = String::new();
+    for h in hits {
+        msg.push_str(&format!(
+            "{} [{:.3},{:.3}]-[{:.3},{:.3}] v{}\n",
+            h.oid, h.rect.lo[0], h.rect.lo[1], h.rect.hi[0], h.rect.hi[1], h.version
+        ));
+    }
+    msg.push_str(&format!("{} objects", hits.len()));
+    msg
+}
+
+fn run_remote_command(
+    c: &mut dgl_client::Client,
+    parts: &[&str],
+) -> Result<Option<String>, String> {
+    let client_err = |e: dgl_client::ClientError| {
+        if e.is_retryable() {
+            format!("{e} — transaction rolled back, connection still good")
+        } else {
+            e.to_string()
+        }
+    };
+    match parts[0] {
+        "help" => Ok(Some(REMOTE_HELP.trim().into())),
+        "quit" | "exit" => Ok(None),
+        "begin" => c.begin().map(|t| Some(format!("T{t}"))).map_err(client_err),
+        "commit" | "abort" => {
+            let txn = parse_id(
+                parts.get(1).ok_or("usage: commit <txn>")?,
+                'T',
+                "transaction",
+            )?;
+            let r = if parts[0] == "commit" {
+                c.commit(txn)
+            } else {
+                c.abort(txn)
+            };
+            r.map(|()| Some("ok".into())).map_err(client_err)
+        }
+        "insert" | "delete" | "read" | "update" => {
+            if parts.len() < 3 {
+                return Err(format!("usage: {} <txn> <oid> x0 y0 x1 y1", parts[0]));
+            }
+            let txn = parse_id(parts[1], 'T', "transaction")?;
+            let oid = parse_id(parts[2], 'O', "object")?;
+            let rect = parse_rect(&parts[3..])?;
+            match parts[0] {
+                "insert" => c
+                    .insert(txn, oid, rect)
+                    .map(|()| Some("ok".into()))
+                    .map_err(client_err),
+                "delete" => c
+                    .delete(txn, oid, rect)
+                    .map(|found| Some(if found { "deleted" } else { "not found" }.into()))
+                    .map_err(client_err),
+                "read" => c
+                    .read_single(txn, oid, rect)
+                    .map(|v| {
+                        Some(match v {
+                            Some(version) => format!("version {version}"),
+                            None => "not found".into(),
+                        })
+                    })
+                    .map_err(client_err),
+                _ => c
+                    .update(txn, oid, rect)
+                    .map(|found| Some(if found { "updated" } else { "not found" }.into()))
+                    .map_err(client_err),
+            }
+        }
+        "scan" | "update-scan" => {
+            if parts.len() != 6 {
+                return Err(format!("usage: {} <txn> x0 y0 x1 y1", parts[0]));
+            }
+            let txn = parse_id(parts[1], 'T', "transaction")?;
+            let rect = parse_rect(&parts[2..])?;
+            let hits = if parts[0] == "scan" {
+                c.search(txn, rect)
+            } else {
+                c.update_scan(txn, rect)
+            }
+            .map_err(client_err)?;
+            Ok(Some(render_hits(&hits)))
+        }
+        "snapshot" => c
+            .begin_snapshot()
+            .map(|(snap, seq)| Some(format!("S{snap} @commit-seq {seq}")))
+            .map_err(client_err),
+        "snap-scan" => {
+            if parts.len() != 6 {
+                return Err("usage: snap-scan <snap> x0 y0 x1 y1".into());
+            }
+            let snap = parse_id(parts[1], 'S', "snapshot")?;
+            let rect = parse_rect(&parts[2..])?;
+            let hits = c.snapshot_scan(snap, rect).map_err(client_err)?;
+            Ok(Some(render_hits(&hits)))
+        }
+        "snap-read" => {
+            if parts.len() != 3 {
+                return Err("usage: snap-read <snap> <oid>".into());
+            }
+            let snap = parse_id(parts[1], 'S', "snapshot")?;
+            let oid = parse_id(parts[2], 'O', "object")?;
+            c.snapshot_read(snap, oid)
+                .map(|v| {
+                    Some(match v {
+                        Some(version) => format!("version {version}"),
+                        None => "not found".into(),
+                    })
+                })
+                .map_err(client_err)
+        }
+        "snap-end" => {
+            let snap = parse_id(
+                parts.get(1).ok_or("usage: snap-end <snap>")?,
+                'S',
+                "snapshot",
+            )?;
+            c.end_snapshot(snap)
+                .map(|()| Some("ok".into()))
+                .map_err(client_err)
+        }
+        "stats" => c.stats().map(Some).map_err(client_err),
+        "count" => c
+            .count()
+            .map(|n| Some(format!("{n} objects")))
+            .map_err(client_err),
+        other => Err(format!("unknown command {other:?}; try `help`")),
+    }
+}
+
+const REMOTE_HELP: &str = r#"
+commands (network mode — every command is a wire-protocol request):
+  begin                                  start a transaction (prints its id)
+  insert <txn> <oid> x0 y0 x1 y1         insert an object
+  delete <txn> <oid> x0 y0 x1 y1         delete (logical until commit)
+  read   <txn> <oid> x0 y0 x1 y1         point read (payload version)
+  update <txn> <oid> x0 y0 x1 y1         bump an object's version
+  scan   <txn> x0 y0 x1 y1               phantom-protected region scan
+  update-scan <txn> x0 y0 x1 y1          scan + update every hit
+  commit <txn> | abort <txn>             finish a transaction
+  snapshot                               open an MVCC snapshot (prints its id)
+  snap-scan <snap> x0 y0 x1 y1           zero-lock scan at the snapshot
+  snap-read <snap> <oid>                 zero-lock point read at the snapshot
+  snap-end <snap>                        release the snapshot
+  stats                                  server-side protocol statistics
+  count                                  objects in the server's index
+  quit
+deadlock/timeout verdicts roll the transaction back server-side; the
+connection and prompt survive. Transactions left open when the shell
+exits are aborted by the server's session teardown.
+"#;
 
 fn parse_txn(s: &str) -> Result<TxnId, String> {
     let digits = s.trim_start_matches('T');
@@ -394,5 +610,6 @@ commands:
   quit
 locks that cannot be granted within 1s roll the transaction back (timeout).
 start with --background to run deferred physical deletions on the
-maintenance worker instead of inline at commit.
+maintenance worker instead of inline at commit, or with
+`connect <addr>` to drive a running dgl-server over the wire instead.
 "#;

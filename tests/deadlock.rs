@@ -16,9 +16,7 @@
 
 use std::time::{Duration, Instant};
 
-use dgl_core::{
-    DglConfig, Rect2, ShardedDglRTree, ShardingConfig, TransactionalRTree, TxnError,
-};
+use dgl_core::{DglConfig, Rect2, ShardedDglRTree, ShardingConfig, TransactionalRTree, TxnError};
 use dgl_obs::Ctr;
 use dgl_rtree::ObjectId;
 

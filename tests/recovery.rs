@@ -1190,7 +1190,8 @@ fn coord_log_prune_keeps_in_doubt_decisions() {
         let handle = s.spawn(|| {
             let txn = db.begin();
             for (oid, rect) in &doomed {
-                db.insert(txn, ObjectId(*oid), *rect).expect("doomed insert");
+                db.insert(txn, ObjectId(*oid), *rect)
+                    .expect("doomed insert");
             }
             db.commit(txn)
         });
