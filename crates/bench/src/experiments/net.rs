@@ -310,6 +310,9 @@ fn run_cell(cfg: &NetConfig, conns: u64, dump: Option<&mut String>) -> Throughpu
         lock_wait_write_count: None,
         lock_wait_write_p95_nanos: None,
         snapshot_scans: None,
+        hash_hits: None,
+        hash_misses: None,
+        hash_hit_rate: None,
         x_latch_p50_nanos: None,
         x_latch_p95_nanos: None,
         x_latch_p99_nanos: None,

@@ -114,6 +114,7 @@ pub fn mixes() -> Vec<(&'static str, OpMix)> {
         ("balanced", OpMix::balanced()),
         ("write-heavy", OpMix::write_heavy()),
         ("scan-heavy", OpMix::scan_heavy()),
+        ("point-heavy", OpMix::point_heavy()),
     ]
 }
 
@@ -202,6 +203,16 @@ fn contenders(cfg: &ThroughputConfig) -> Vec<Contender> {
     let snapshot = Arc::new(SnapshotReadRTree::new(DglRTree::new(base_config(
         WritePathMode::Optimistic,
     ))));
+    // The hash-index pair: identical optimistic protocol, differing only
+    // in whether point reads consult the object→leaf hash index
+    // (`hash_reads`). The dup-probe and index maintenance run on both
+    // (the index IS the payload table), so the delta isolates exactly
+    // what the read-path fast path buys.
+    let hash_on = dgl_with(WritePathMode::Optimistic);
+    let hash_off = Arc::new(DglRTree::new(DglConfig {
+        hash_reads: false,
+        ..base_config(WritePathMode::Optimistic)
+    }));
     let mut out = vec![
         Contender {
             label: "dgl-optimistic".to_string(),
@@ -261,6 +272,24 @@ fn contenders(cfg: &ThroughputConfig) -> Vec<Contender> {
             db: Arc::<SnapshotReadRTree>::clone(&snapshot) as Arc<dyn TransactionalRTree>,
             dgl: None,
             snap: Some(snapshot),
+            sharded: None,
+            shards: 1,
+            _dir: None,
+        },
+        Contender {
+            label: "dgl-hash".to_string(),
+            db: Arc::<DglRTree>::clone(&hash_on) as Arc<dyn TransactionalRTree>,
+            dgl: Some(hash_on),
+            snap: None,
+            sharded: None,
+            shards: 1,
+            _dir: None,
+        },
+        Contender {
+            label: "dgl-hash-off".to_string(),
+            db: Arc::<DglRTree>::clone(&hash_off) as Arc<dyn TransactionalRTree>,
+            dgl: Some(hash_off),
+            snap: None,
             sharded: None,
             shards: 1,
             _dir: None,
@@ -366,6 +395,17 @@ pub struct ThroughputRow {
     /// Snapshot scans served over the measured interval (MVCC read path;
     /// `0` for the locking contenders).
     pub snapshot_scans: Option<u64>,
+    /// Point lookups the hash index answered without a tree traversal
+    /// over the measured interval. `0` on `dgl-hash-off` rows (the
+    /// read path never consults the index there).
+    pub hash_hits: Option<u64>,
+    /// Point lookups that fell back to a traversal (stale leaf hint) or
+    /// a dead-list consult. After warmup on a point-heavy mix this
+    /// stays ≈ 0: live objects resolve from the index directly.
+    pub hash_misses: Option<u64>,
+    /// `hits / (hits + misses)`; `null` when the cell did no hash
+    /// lookups at all (e.g. the hash-off contender).
+    pub hash_hit_rate: Option<f64>,
     /// Median commit latency, nanoseconds. For the durable contender
     /// this includes the group-commit fsync wait.
     pub commit_p50_nanos: Option<u64>,
@@ -533,27 +573,35 @@ fn run_point(
     // The exclusive-latch histogram only exists for DGL contenders —
     // `tree-lock` has no structure latch, so those columns stay None.
     let is_dgl = dgl_handle(c).is_some() || c.sharded.is_some();
-    let (wait, hold, commit, kinds, snap_scans, verdicts) = match (obs_snapshot(c), obs_before) {
-        (Some(after), Some(before)) => {
-            let delta = after.since(&before);
-            (
-                Some(*delta.hist(Hist::LockWait)),
-                is_dgl.then(|| *delta.hist(Hist::LatchHold)),
-                Some(*delta.hist(Hist::Commit)),
-                Some([
-                    *delta.hist(Hist::LockWaitScan),
-                    *delta.hist(Hist::LockWaitPoint),
-                    *delta.hist(Hist::LockWaitWrite),
-                ]),
-                Some(delta.ctr(Ctr::SnapshotScans)),
-                Some((
-                    delta.ctr(Ctr::LockTimeouts),
-                    delta.ctr(Ctr::LockDeadlocks) + delta.ctr(Ctr::GlobalDeadlocks),
-                )),
-            )
-        }
-        _ => (None, None, None, None, None, None),
-    };
+    let (wait, hold, commit, kinds, snap_scans, verdicts, hash) =
+        match (obs_snapshot(c), obs_before) {
+            (Some(after), Some(before)) => {
+                let delta = after.since(&before);
+                (
+                    Some(*delta.hist(Hist::LockWait)),
+                    is_dgl.then(|| *delta.hist(Hist::LatchHold)),
+                    Some(*delta.hist(Hist::Commit)),
+                    Some([
+                        *delta.hist(Hist::LockWaitScan),
+                        *delta.hist(Hist::LockWaitPoint),
+                        *delta.hist(Hist::LockWaitWrite),
+                    ]),
+                    Some(delta.ctr(Ctr::SnapshotScans)),
+                    Some((
+                        delta.ctr(Ctr::LockTimeouts),
+                        delta.ctr(Ctr::LockDeadlocks) + delta.ctr(Ctr::GlobalDeadlocks),
+                    )),
+                    Some((delta.ctr(Ctr::HashHits), delta.ctr(Ctr::HashMisses))),
+                )
+            }
+            _ => (None, None, None, None, None, None, None),
+        };
+    // hits/(hits+misses): null when the cell issued no hash lookups at
+    // all (hash-off or a write-only interval), never a fake 0 or 1.
+    let hash_hit_rate = hash.and_then(|(h, m)| {
+        let total = h + m;
+        (total > 0).then(|| h as f64 / total as f64)
+    });
     ThroughputRow {
         protocol: c.label.clone(),
         mix: mix_label.to_string(),
@@ -580,6 +628,9 @@ fn run_point(
         lock_wait_write_count: kinds.map(|k| k[2].count),
         lock_wait_write_p95_nanos: kinds.map(|k| k[2].p95()),
         snapshot_scans: snap_scans,
+        hash_hits: hash.map(|(h, _)| h),
+        hash_misses: hash.map(|(_, m)| m),
+        hash_hit_rate,
         x_latch_p50_nanos: hold.map(|h| h.p50()),
         x_latch_p95_nanos: hold.map(|h| h.p95()),
         x_latch_p99_nanos: hold.map(|h| h.p99()),
@@ -631,6 +682,11 @@ fn json_opt(v: Option<u64>) -> String {
     v.map_or_else(|| "null".to_string(), |x| x.to_string())
 }
 
+/// `Option<f64>` → JSON scalar (ratios like the hash hit rate).
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x:.4}"))
+}
+
 /// Hand-rolled JSON (the offline `serde` shim is marker-only).
 pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
     let mut out = String::from("{\n  \"bench\": \"throughput\",\n");
@@ -642,7 +698,7 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \"connections\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"timeout_aborts\": {}, \"deadlock_aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"lock_wait_scan_count\": {}, \"lock_wait_scan_p95_nanos\": {}, \"lock_wait_point_count\": {}, \"lock_wait_point_p95_nanos\": {}, \"lock_wait_write_count\": {}, \"lock_wait_write_p95_nanos\": {}, \"snapshot_scans\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \"connections\": {}, \"ops_per_sec\": {:.1}, \"commits\": {}, \"aborts\": {}, \"timeout_aborts\": {}, \"deadlock_aborts\": {}, \"elapsed_secs\": {:.3}, \"optimistic_replans\": {}, \"plan_validation_failures\": {}, \"avg_x_latch_nanos\": {}, \"x_latch_total_nanos\": {}, \"lock_wait_p50_nanos\": {}, \"lock_wait_p95_nanos\": {}, \"lock_wait_p99_nanos\": {}, \"lock_wait_scan_count\": {}, \"lock_wait_scan_p95_nanos\": {}, \"lock_wait_point_count\": {}, \"lock_wait_point_p95_nanos\": {}, \"lock_wait_write_count\": {}, \"lock_wait_write_p95_nanos\": {}, \"snapshot_scans\": {}, \"hash_hits\": {}, \"hash_misses\": {}, \"hash_hit_rate\": {}, \"x_latch_p50_nanos\": {}, \"x_latch_p95_nanos\": {}, \"x_latch_p99_nanos\": {}, \"commit_p50_nanos\": {}, \"commit_p95_nanos\": {}, \"commit_p99_nanos\": {}}}{}\n",
             r.protocol,
             r.mix,
             r.threads,
@@ -668,6 +724,9 @@ pub fn to_json(cfg: &ThroughputConfig, rows: &[ThroughputRow]) -> String {
             json_opt(r.lock_wait_write_count),
             json_opt(r.lock_wait_write_p95_nanos),
             json_opt(r.snapshot_scans),
+            json_opt(r.hash_hits),
+            json_opt(r.hash_misses),
+            json_opt_f64(r.hash_hit_rate),
             json_opt(r.x_latch_p50_nanos),
             json_opt(r.x_latch_p95_nanos),
             json_opt(r.x_latch_p99_nanos),
@@ -726,6 +785,11 @@ pub fn render(rows: &[ThroughputRow]) -> String {
                     (Some(s), Some(p), Some(w)) => format!("{s}/{p}/{w}"),
                     _ => "-".to_string(),
                 },
+                match (r.hash_hit_rate, r.hash_hits) {
+                    (Some(rate), _) => format!("{:.2}", rate),
+                    (None, Some(_)) => "0 lookups".to_string(),
+                    _ => "-".to_string(),
+                },
                 tri(
                     r.x_latch_p50_nanos,
                     r.x_latch_p95_nanos,
@@ -749,6 +813,7 @@ pub fn render(rows: &[ThroughputRow]) -> String {
             "Replans",
             "Wait µs p50/95/99",
             "Waits scan/pt/wr",
+            "Hash hit-rate",
             "X-latch µs p50/95/99",
             "Commit µs p50/95/99",
         ],
@@ -759,7 +824,13 @@ pub fn render(rows: &[ThroughputRow]) -> String {
 /// The headline ratio: optimistic over pessimistic aggregate ops/sec on
 /// the read-heavy mix at the highest swept thread count.
 pub fn headline_speedup(rows: &[ThroughputRow]) -> Option<f64> {
-    let max_threads = rows.iter().map(|r| r.threads).max()?;
+    // In-process rows only: `dgl-net` rows reuse the threads column for
+    // the connection count, which would otherwise hijack the max.
+    let max_threads = rows
+        .iter()
+        .filter(|r| r.connections.is_none())
+        .map(|r| r.threads)
+        .max()?;
     let pick = |proto: &str| {
         rows.iter()
             .find(|r| {
@@ -779,7 +850,13 @@ pub fn headline_speedup(rows: &[ThroughputRow]) -> Option<f64> {
 /// only converts to throughput once readers can actually run in
 /// parallel).
 pub fn headline_x_latch_reduction(rows: &[ThroughputRow]) -> Option<f64> {
-    let max_threads = rows.iter().map(|r| r.threads).max()?;
+    // In-process rows only: `dgl-net` rows reuse the threads column for
+    // the connection count, which would otherwise hijack the max.
+    let max_threads = rows
+        .iter()
+        .filter(|r| r.connections.is_none())
+        .map(|r| r.threads)
+        .max()?;
     let pick = |proto: &str| {
         rows.iter()
             .find(|r| {
@@ -825,7 +902,13 @@ pub fn headline_durability_tax(rows: &[ThroughputRow]) -> Option<f64> {
 /// workload built to show it. Like the other throughput ratios it only
 /// reflects parallelism when cores ≥ threads.
 pub fn headline_snapshot_speedup(rows: &[ThroughputRow]) -> Option<f64> {
-    let max_threads = rows.iter().map(|r| r.threads).max()?;
+    // In-process rows only: `dgl-net` rows reuse the threads column for
+    // the connection count, which would otherwise hijack the max.
+    let max_threads = rows
+        .iter()
+        .filter(|r| r.connections.is_none())
+        .map(|r| r.threads)
+        .max()?;
     let pick = |proto: &str| {
         rows.iter()
             .find(|r| r.protocol == proto && r.mix == "scan-heavy" && r.threads == max_threads)
@@ -838,13 +921,46 @@ pub fn headline_snapshot_speedup(rows: &[ThroughputRow]) -> Option<f64> {
     Some(pick("dgl-snapshot")? / base)
 }
 
+/// Hash-index headline: `dgl-hash` over `dgl-hash-off` aggregate ops/sec
+/// on the point-heavy mix at the highest swept thread count. Both
+/// contenders maintain the index (it IS the payload table) and run the
+/// O(1) duplicate probe; the ratio isolates what consulting it on point
+/// reads buys — no granule descent, no page latches, no traversal. Like
+/// the other throughput ratios it understates the win when the harness
+/// has fewer cores than threads.
+pub fn headline_hash_speedup(rows: &[ThroughputRow]) -> Option<f64> {
+    // In-process rows only: `dgl-net` rows reuse the threads column for
+    // the connection count, which would otherwise hijack the max.
+    let max_threads = rows
+        .iter()
+        .filter(|r| r.connections.is_none())
+        .map(|r| r.threads)
+        .max()?;
+    let pick = |proto: &str| {
+        rows.iter()
+            .find(|r| r.protocol == proto && r.mix == "point-heavy" && r.threads == max_threads)
+            .map(|r| r.ops_per_sec)
+    };
+    let base = pick("dgl-hash-off")?;
+    if base == 0.0 {
+        return None;
+    }
+    Some(pick("dgl-hash")? / base)
+}
+
 /// Sharded scaling headline: the best sharded contender's aggregate
 /// ops/sec over the single-tree optimistic contender, read-heavy mix at
 /// the highest swept thread count. Returns `(shard_count, ratio)`.
 /// Caveat: the ratio only reflects parallelism when cores ≥ threads — on
 /// a saturated single core the router's fan-out cost makes it ≤ 1.
 pub fn headline_shard_scaling(rows: &[ThroughputRow]) -> Option<(u64, f64)> {
-    let max_threads = rows.iter().map(|r| r.threads).max()?;
+    // In-process rows only: `dgl-net` rows reuse the threads column for
+    // the connection count, which would otherwise hijack the max.
+    let max_threads = rows
+        .iter()
+        .filter(|r| r.connections.is_none())
+        .map(|r| r.threads)
+        .max()?;
     let base = rows
         .iter()
         .find(|r| {
@@ -871,8 +987,8 @@ mod tests {
         // Deliberately tiny: timing-based tests (table4, maintenance)
         // share this test binary and must not be starved of cores. The
         // 30ms floor still exercises the repeat-until-floor machinery
-        // (and keeps the total measured time flat as the sweep grows
-        // cells — 56 × 30ms here ≈ the historical 36 × 50ms).
+        // (and keeps the total measured time bounded as the sweep grows
+        // cells — 90 × 30ms here is still only a few seconds).
         let cfg = ThroughputConfig {
             threads: vec![1, 2],
             txns_per_thread: 5,
@@ -885,8 +1001,8 @@ mod tests {
             min_cell_secs: 0.03,
         };
         let (rows, prom) = run_sweep_with_dump(&cfg);
-        // 4 mixes × 7 contenders × 2 thread counts.
-        assert_eq!(rows.len(), 56);
+        // 5 mixes × 9 contenders × 2 thread counts.
+        assert_eq!(rows.len(), 90);
         let base = cfg.txns_per_thread;
         for r in &rows {
             assert!(r.ops_per_sec > 0.0, "{r:?}");
@@ -941,6 +1057,21 @@ mod tests {
         for r in rows.iter().filter(|r| r.protocol == "dgl-optimistic") {
             assert_eq!(r.snapshot_scans, Some(0), "{r:?}");
         }
+        // Hash-index pair: with the read path consulting the index,
+        // point reads on a point-heavy cell resolve from it (hits > 0,
+        // near-perfect hit rate — misses only from races with deferred
+        // deletion); with `hash_reads` off, the index is never consulted
+        // and the rate column is null (0 lookups), not a fake 0.0.
+        for r in rows.iter().filter(|r| r.protocol == "dgl-hash") {
+            if r.mix == "point-heavy" {
+                assert!(r.hash_hits.expect("hash ctr") > 0, "{r:?}");
+                assert!(r.hash_hit_rate.expect("hash rate") > 0.9, "{r:?}");
+            }
+        }
+        for r in rows.iter().filter(|r| r.protocol == "dgl-hash-off") {
+            assert_eq!(r.hash_hits, Some(0), "{r:?}");
+            assert!(r.hash_hit_rate.is_none(), "{r:?}");
+        }
         // The sharded contender reports its shard count on every row.
         assert!(rows
             .iter()
@@ -974,6 +1105,13 @@ mod tests {
         assert!(json.contains("\"mix\": \"scan-heavy\""));
         assert!(json.contains("lock_wait_scan_count"));
         assert!(json.contains("\"snapshot_scans\": 0"));
+        assert!(json.contains("\"mix\": \"point-heavy\""));
+        assert!(json.contains("hash_hit_rate"));
+        // Zero-lookup cells (hash-off rows) serialize the rate as null.
+        assert!(json.contains("\"hash_hit_rate\": null"));
+        assert!(prom.contains("# contender dgl-hash mix point-heavy"));
+        assert!(prom.contains("dgl_hash_hits_total"));
+        assert!(headline_hash_speedup(&rows).unwrap() > 0.0);
         assert!(prom.contains("# contender dgl-optimistic mix read-heavy-90-10"));
         assert!(prom.contains("# contender dgl-snapshot mix scan-heavy"));
         assert!(prom.contains("# contender dgl-sharded-2 mix balanced"));

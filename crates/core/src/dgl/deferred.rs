@@ -138,31 +138,45 @@ impl DglCore {
                         continue;
                     };
                     let result = apply.apply_delete(&plan);
-                    // Tree entry and payload entry vanish atomically under
+                    // Tree entry and index slot vanish atomically under
                     // the exclusive latch — the latchless duplicate probe
                     // in `insert_op` depends on this. If an active snapshot
-                    // predates the delete, the version chain moves to the
-                    // dead-object side table (still under the latch, so a
-                    // snapshot scan holding the shared latch sees the
-                    // object in exactly one of the two places); otherwise
-                    // it is dropped outright. Recovery-fed tombstones have
-                    // only a bootstrap version (timestamp 0), so they can
-                    // never be retired — no snapshot predates them.
-                    // (The guard drops at the statement end — the clock
-                    // probe below must not run while the payload table is
-                    // held; the clock mutex sits above it.)
-                    let chain = self.payload_table().remove(&d.oid);
-                    if let Some(chain) = chain {
-                        let retire = self
-                            .clock
-                            .min_active()
-                            .is_some_and(|min| min < chain.latest_ts());
+                    // predates the delete, the version chain is *cloned*
+                    // to the dead-object side table BEFORE the slot is
+                    // removed: the latchless snapshot point read consults
+                    // the index first and the dead list second, so this
+                    // ordering guarantees it finds the chain in at least
+                    // one of the two places (the double-visible window is
+                    // benign — both copies answer identically). Recovery-
+                    // fed tombstones have only a bootstrap version
+                    // (timestamp 0), so they can never be retired — no
+                    // snapshot predates them. No stripe is held during the
+                    // clock probe or the dead push: the clock mutex and
+                    // the dead mutex both sit above the stripes.
+                    let latest = self.payloads.get(&d.oid, |slot| slot.chain.latest_ts());
+                    if let Some(latest) = latest {
+                        let retire = self.clock.min_active().is_some_and(|min| min < latest);
                         if retire {
+                            let chain = self
+                                .payloads
+                                .get(&d.oid, |slot| slot.chain.clone())
+                                .expect("slot cannot vanish under the exclusive latch");
                             self.dead.lock().push(super::mvcc::DeadObject {
                                 oid: d.oid,
                                 rect: d.rect,
                                 chain,
                             });
+                        }
+                        self.payloads.remove(&d.oid);
+                    }
+                    // Root shrink absorbs the only child's entries *into*
+                    // the root page — no split record, no orphans. When
+                    // the absorbed child was a leaf, every one of its
+                    // objects changed page: refresh their leaf hints.
+                    if result.root_shrank {
+                        let root = apply.root();
+                        if apply.peek_node(root).is_leaf() {
+                            self.reindex_leaf(&apply, root);
                         }
                     }
                     drop(apply);
@@ -261,7 +275,18 @@ impl DglCore {
                     let Some(mut apply) = self.upgrade(latch) else {
                         continue;
                     };
-                    apply.apply_reinsert(&plan, orphan.entry);
+                    // An object orphan moves to a (possibly) different
+                    // leaf — refresh its index leaf hint, plus every
+                    // entry displaced by splits the re-insertion caused.
+                    let orphan_oid = match &orphan.entry {
+                        Entry::Object { oid, .. } => Some(*oid),
+                        Entry::Child { .. } => None,
+                    };
+                    let result = apply.apply_reinsert(&plan, orphan.entry);
+                    if let Some(oid) = orphan_oid {
+                        self.payloads.update(&oid, |slot| slot.leaf = result.home);
+                    }
+                    self.reindex_splits(&apply, &result);
                     return;
                 }
                 Err((res, mode, dur)) => {

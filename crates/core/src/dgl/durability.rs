@@ -783,7 +783,7 @@ impl DglRTree {
             Some(pages) => RTree2::with_buffer(config.rtree, config.world, pages),
             None => RTree2::new(config.rtree, config.world),
         };
-        Self::build(tree, std::collections::HashMap::new(), config, clock)
+        Self::build(tree, dgl_hashidx::StripedMap::new(), config, clock)
     }
 
     /// Publishes the current tree as generation `gen` (snapshot + fresh

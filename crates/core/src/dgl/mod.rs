@@ -51,14 +51,25 @@
 //!
 //! ## Latch → `payloads` ordering
 //!
-//! The payload table (`DglCore::payloads`) is a leaf lock: a thread may
-//! acquire it while holding the tree latch (either mode), but must never
-//! acquire or wait for the tree latch while holding it. All latch and
-//! payload-table accesses go through `DglCore`'s helpers, which enforce
-//! the ordering with a debug assertion. The MVCC commit clock's internal
-//! mutex sits *above* the payload table (commit stamping holds the clock
-//! while touching `payloads`); never touch the clock while holding the
-//! payload table.
+//! The payload table (`DglCore::payloads`) is a striped hash index
+//! ([`dgl_hashidx::StripedMap`]) whose stripes are leaf locks: a thread
+//! may take a stripe while holding the tree latch (either mode), but
+//! must never acquire or wait for the tree latch while inside a stripe
+//! closure. The closure-scoped `StripedMap` API makes escaping a stripe
+//! guard impossible, and the latch helpers debug-assert
+//! `dgl_hashidx::stripes_held() == 0` to enforce the ordering. The MVCC
+//! commit clock's internal mutex sits *above* the stripes (commit
+//! stamping holds the clock while touching `payloads`); never touch the
+//! clock from inside a stripe closure.
+//!
+//! The same table doubles as the exact-match hash index (ROADMAP item 4,
+//! the Griffin-style hybrid): each entry carries the object's leaf page
+//! hint and rectangle next to its version chain, maintained write-through
+//! under the commit-duration object X lock. Point reads
+//! (`read_single_op`, `Snapshot::read_single`) and the insert dup-probe
+//! answer from the index in O(1) without traversing the tree — phantom
+//! protection is unaffected because exact-match access locks the object
+//! resource itself, exactly as the tree path would.
 
 mod deadlock_global;
 mod deferred;
@@ -78,16 +89,16 @@ use deadlock_global::GlobalDetector;
 use maintenance::MaintenanceHandle;
 use mvcc::{DeadObject, VersionChain};
 
-use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use dgl_hashidx::StripedMap;
 use dgl_wal::Wal;
 
-use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dgl_geom::Rect2;
 use dgl_lockmgr::{
@@ -98,7 +109,7 @@ use dgl_pager::PageId;
 use dgl_rtree::{ObjectId, RTree2, RTreeConfig};
 use dgl_txn::{CommitClock, Journal, TxnManager};
 
-use dgl_obs::{Hist, Registry};
+use dgl_obs::{Ctr, Hist, Registry};
 
 use crate::locks::LockList;
 use crate::stats::OpStats;
@@ -187,6 +198,15 @@ pub struct DglConfig {
     /// as a hot spot. Strictly coarser than per-node external granules, so
     /// still sound; measurably less concurrent.
     pub coarse_external_granule: bool,
+    /// Consult the hash index on the point-access read paths
+    /// (`read_single`, snapshot point reads, and the leaf-locate step of
+    /// `delete`/`update_single`): a hit answers in O(1) with no tree
+    /// traversal. On by default; off is the measured ablation
+    /// (`dgl-hash-off` in the benchmarks) — reads fall back to the
+    /// latched tree traversal, while writes keep maintaining the index
+    /// (it *is* the payload table, so the duplicate probe always uses
+    /// it).
+    pub hash_reads: bool,
     /// TESTING ONLY — deliberately omit the §3.3 growth-compensation
     /// locks (the short IX on granules overlapping the grown region).
     /// This recreates exactly the Figure 2(a) phantom and exists so the
@@ -223,6 +243,7 @@ impl Default for DglConfig {
             obs_recording: true,
             global_detector: true,
             coarse_external_granule: false,
+            hash_reads: true,
             testing_skip_growth_compensation: false,
         }
     }
@@ -246,6 +267,25 @@ pub(crate) struct DeferredDelete {
     pub rect: Rect2,
 }
 
+/// One entry of the payload table / hash index: everything exact-match
+/// access needs without touching the tree.
+///
+/// `leaf` is a *hint*: it is updated by the structural paths that move
+/// entries (splits, condensation re-inserts) under the exclusive latch,
+/// but readers verify it against the tree before trusting it — a stale
+/// hint after an unanticipated move degrades to the traversal fallback,
+/// never to a wrong answer. `rect` and `chain` are authoritative: they
+/// are only ever written under the commit-duration object X lock.
+#[derive(Debug)]
+pub(crate) struct PayloadSlot {
+    /// Leaf page currently believed to hold the object's entry.
+    pub leaf: PageId,
+    /// The object's bounding rectangle (the exact-match key check).
+    pub rect: Rect2,
+    /// MVCC version chain; the head is what the locking paths read/bump.
+    pub chain: VersionChain,
+}
+
 /// The protocol state and implementation, shared between the public
 /// [`DglRTree`] facade and the background maintenance worker (which holds
 /// its own `Arc` so deferred system operations can run off-thread).
@@ -255,10 +295,12 @@ pub(crate) struct DglCore {
     pub(crate) tm: TxnManager,
     pub(crate) undo: Journal<UndoRecord>,
     pub(crate) deferred: Journal<DeferredDelete>,
-    /// Version chains of live objects (also the duplicate-oid check).
-    /// The chain head's value is the payload version the locking paths
-    /// read and bump; older entries exist only for MVCC snapshots.
-    pub(crate) payloads: Mutex<HashMap<ObjectId, VersionChain>>,
+    /// The payload table *and* exact-match hash index: striped map from
+    /// object id to leaf hint + rect + version chain (also the
+    /// duplicate-oid check). The chain head's value is the payload
+    /// version the locking paths read and bump; older entries exist only
+    /// for MVCC snapshots. Stripes are leaf locks (see module docs).
+    pub(crate) payloads: StripedMap<ObjectId, PayloadSlot>,
     /// Physically removed objects whose versions an active snapshot can
     /// still see (pruned by the version GC). A leaf lock like
     /// `payloads`; taken after it, never before.
@@ -293,6 +335,7 @@ pub(crate) struct DglCore {
     pub(crate) policy: InsertPolicy,
     pub(crate) write_path: WritePathMode,
     pub(crate) coarse_external: bool,
+    pub(crate) hash_reads: bool,
     pub(crate) skip_growth_compensation: bool,
     pub(crate) stats: OpStats,
     /// Shared observability registry — the same instance the lock manager
@@ -330,40 +373,6 @@ pub(crate) struct DglCore {
     /// Bytes appended since the last checkpoint that trigger an automatic
     /// one (`None` disables auto-checkpointing).
     pub(crate) checkpoint_threshold: Option<u64>,
-}
-
-thread_local! {
-    /// Number of payload-table guards this thread currently holds. The
-    /// latch helpers assert (debug builds) that it is zero, enforcing the
-    /// latch → `payloads` ordering documented in the module docs.
-    static PAYLOADS_HELD: Cell<u32> = const { Cell::new(0) };
-}
-
-/// RAII guard over the payload table that maintains the thread-local
-/// ordering counter behind the latch → `payloads` debug assertion.
-/// Obtained via [`DglCore::payload_table`] — never lock
-/// `DglCore::payloads` directly.
-pub(crate) struct PayloadsGuard<'a> {
-    inner: MutexGuard<'a, HashMap<ObjectId, VersionChain>>,
-}
-
-impl Deref for PayloadsGuard<'_> {
-    type Target = HashMap<ObjectId, VersionChain>;
-    fn deref(&self) -> &Self::Target {
-        &self.inner
-    }
-}
-
-impl DerefMut for PayloadsGuard<'_> {
-    fn deref_mut(&mut self) -> &mut Self::Target {
-        &mut self.inner
-    }
-}
-
-impl Drop for PayloadsGuard<'_> {
-    fn drop(&mut self) {
-        PAYLOADS_HELD.with(|c| c.set(c.get() - 1));
-    }
 }
 
 /// The latch a write operation holds while planning. In optimistic mode
@@ -517,10 +526,10 @@ impl std::fmt::Debug for DglRTree {
 
 impl DglRTree {
     /// Assembles a core + maintenance handle around an existing tree and
-    /// payload map (shared tail of every constructor).
+    /// payload table (shared tail of every constructor).
     fn build(
         tree: RTree2,
-        payloads: HashMap<ObjectId, VersionChain>,
+        payloads: StripedMap<ObjectId, PayloadSlot>,
         config: &DglConfig,
         clock: Arc<CommitClock>,
     ) -> Self {
@@ -536,7 +545,7 @@ impl DglRTree {
             lm,
             undo: Journal::new(),
             deferred: Journal::new(),
-            payloads: Mutex::new(payloads),
+            payloads,
             dead: Mutex::new(Vec::new()),
             clock,
             gc_pending: AtomicBool::new(false),
@@ -547,6 +556,7 @@ impl DglRTree {
             policy: config.policy,
             write_path: config.write_path,
             coarse_external: config.coarse_external_granule,
+            hash_reads: config.hash_reads,
             skip_growth_compensation: config.testing_skip_growth_compensation,
             stats: OpStats::default(),
             obs,
@@ -592,7 +602,7 @@ impl DglRTree {
             Some(pages) => RTree2::with_buffer(config.rtree, config.world, pages),
             None => RTree2::new(config.rtree, config.world),
         };
-        Self::build(tree, HashMap::new(), &config, clock)
+        Self::build(tree, StripedMap::new(), &config, clock)
     }
 
     /// Rebuilds a transactional index around a tree restored from a
@@ -631,14 +641,31 @@ impl DglRTree {
             .filter(|(_, _, tombstone)| tombstone.is_some())
             .map(|(oid, rect, _)| DeferredDelete { oid, rect })
             .collect();
-        // Restored payload versions restart at 1 as a single bootstrap
-        // version (timestamp 0, visible to every snapshot) — version
-        // history is not part of the snapshot image.
-        let payloads: HashMap<ObjectId, VersionChain> = tree
-            .all_objects()
-            .into_iter()
-            .map(|(oid, ..)| (oid, VersionChain::bootstrap(1)))
-            .collect();
+        // Rebuild the hash index from the tree image: it is derived
+        // state, so recovery seeds one slot per leaf entry (leaf hint =
+        // the page the entry sits on). Restored payload versions restart
+        // at 1 as a single bootstrap version (timestamp 0, visible to
+        // every snapshot) — version history is not part of the snapshot
+        // image.
+        let payloads: StripedMap<ObjectId, PayloadSlot> = StripedMap::new();
+        for (pid, node) in tree.pages().filter(|(_, n)| n.is_leaf()) {
+            for entry in &node.entries {
+                if let dgl_rtree::Entry::Object { mbr, oid, .. } = entry {
+                    payloads.insert(
+                        *oid,
+                        PayloadSlot {
+                            leaf: pid,
+                            rect: *mbr,
+                            chain: VersionChain::bootstrap(1),
+                        },
+                    );
+                }
+            }
+        }
+        // Failpoint: crash mid-rebuild, before the index is wired into a
+        // core — the recovery crash matrix proves a retry rebuilds an
+        // index identical to a fresh build.
+        dgl_faults::failpoint!("hashidx/rebuild");
         let db = Self::build(tree, payloads, &config, clock);
         for d in pending {
             db.maint.dispatch(&db.core, d);
@@ -854,10 +881,10 @@ impl DglCore {
     #[track_caller]
     fn assert_no_payloads_held() {
         debug_assert_eq!(
-            PAYLOADS_HELD.with(|c| c.get()),
+            dgl_hashidx::stripes_held(),
             0,
-            "latch → payloads ordering violated: this thread holds the \
-             payload table while acquiring the tree latch"
+            "latch → payloads ordering violated: this thread is inside a \
+             payload-table stripe closure while acquiring the tree latch"
         );
     }
 
@@ -879,16 +906,6 @@ impl DglCore {
             stats: &self.stats,
             obs: &self.obs,
             start: Instant::now(),
-        }
-    }
-
-    /// The payload table. A leaf lock: fine to take while holding the
-    /// tree latch, never the other way around (debug-asserted by the
-    /// latch helpers).
-    pub(crate) fn payload_table(&self) -> PayloadsGuard<'_> {
-        PAYLOADS_HELD.with(|c| c.set(c.get() + 1));
-        PayloadsGuard {
-            inner: self.payloads.lock(),
         }
     }
 
@@ -1009,14 +1026,13 @@ impl DglCore {
                 None
             };
             let records = self.undo.take_reversed(txn);
-            let mut payloads = self.payload_table();
             for rec in records {
                 match rec {
                     UndoRecord::Insert { oid, rect } => {
                         let tree = tree.as_mut().expect("insert undo latched the tree");
                         let removed = tree.remove_entry_raw(oid, rect);
                         debug_assert!(removed, "undo of insert found no entry");
-                        payloads.remove(&oid);
+                        self.payloads.remove(&oid);
                     }
                     UndoRecord::LogicalDelete { oid, rect } => {
                         let tree = tree.as_mut().expect("delete undo latched the tree");
@@ -1025,16 +1041,22 @@ impl DglCore {
                         // Pop the pending delete marker the logical delete
                         // pushed; the prior committed version becomes the
                         // head again.
-                        let chain = payloads.get_mut(&oid).expect("deleted object has a chain");
-                        let popped = chain.pop_pending();
+                        let popped = self
+                            .payloads
+                            .update(&oid, |slot| slot.chain.pop_pending())
+                            .expect("deleted object has a chain");
                         debug_assert!(popped, "delete-marker pop emptied the chain");
                     }
                     UndoRecord::Update { oid, old_version } => {
-                        let chain = payloads.get_mut(&oid).expect("updated object has a chain");
-                        let popped = chain.pop_pending();
+                        let (popped, current) = self
+                            .payloads
+                            .update(&oid, |slot| {
+                                (slot.chain.pop_pending(), slot.chain.current())
+                            })
+                            .expect("updated object has a chain");
                         debug_assert!(popped, "update pop emptied the chain");
                         debug_assert_eq!(
-                            chain.current(),
+                            current,
                             Some(old_version),
                             "update pop did not restore the prior payload"
                         );
@@ -1064,26 +1086,129 @@ impl DglCore {
     pub(crate) fn object(o: ObjectId) -> ResourceId {
         ResourceId::Object(o.0)
     }
+
+    // --- hash-index maintenance and consultation ------------------------
+
+    /// Refreshes the leaf hints of every object on leaf page `pid`.
+    /// Caller holds the exclusive latch (entries cannot move underneath).
+    pub(crate) fn reindex_leaf(&self, tree: &RTree2, pid: PageId) {
+        let node = tree.peek_node(pid);
+        debug_assert!(node.is_leaf(), "reindex_leaf given a non-leaf page");
+        for e in &node.entries {
+            if let dgl_rtree::Entry::Object { oid, .. } = e {
+                self.payloads.update(oid, |slot| slot.leaf = pid);
+            }
+        }
+    }
+
+    /// Refreshes leaf hints after an insert/re-insert whose apply split
+    /// leaf pages: entries may have moved between each level-0 split's
+    /// `old_page` and `new_page` (a root split at leaf level shows up
+    /// here too — its record names the two fresh halves). Caller holds
+    /// the exclusive latch.
+    pub(crate) fn reindex_splits(&self, tree: &RTree2, result: &dgl_rtree::InsertResult) {
+        for s in result.splits.iter().filter(|s| s.level == 0) {
+            self.reindex_leaf(tree, s.old_page);
+            self.reindex_leaf(tree, s.new_page);
+        }
+    }
+
+    /// Hash-accelerated `locate_leaf`: answers from the slot's leaf hint
+    /// after verifying it against the tree, so the common case is O(1)
+    /// instead of a root descent. A stale hint degrades to the traversal
+    /// fallback; an absent slot is a definitive miss (the table is the
+    /// authority on liveness — entries are published and retired under
+    /// the same latches/locks as the tree entry). With `hash_reads` off
+    /// this is exactly `tree.locate_leaf`. Caller holds a tree latch.
+    pub(crate) fn hash_locate_leaf(
+        &self,
+        tree: &RTree2,
+        oid: ObjectId,
+        rect: Rect2,
+    ) -> Option<PageId> {
+        if !self.hash_reads {
+            return tree.locate_leaf(oid, rect);
+        }
+        match self.payloads.get(&oid, |s| (s.leaf, s.rect)) {
+            None => {
+                debug_assert_eq!(
+                    tree.locate_leaf(oid, rect),
+                    None,
+                    "object {oid} absent from the hash index but present in the tree"
+                );
+                self.obs.incr(Ctr::HashHits);
+                None
+            }
+            Some((_, slot_rect)) if slot_rect != rect => {
+                // The object exists with a different rectangle; the
+                // exact (oid, rect) pair cannot be in the tree.
+                debug_assert_eq!(
+                    tree.locate_leaf(oid, rect),
+                    None,
+                    "hash-index rect mismatch for {oid} but tree has the queried rect"
+                );
+                self.obs.incr(Ctr::HashHits);
+                None
+            }
+            Some((hint, _)) => {
+                if tree.is_live(hint) {
+                    let node = tree.peek_node(hint);
+                    if node.is_leaf()
+                        && node
+                            .position_of_object(oid)
+                            .is_some_and(|i| node.entries[i].mbr() == rect)
+                    {
+                        self.obs.incr(Ctr::HashHits);
+                        return Some(hint);
+                    }
+                }
+                // Stale hint (the entry moved without a reindex — e.g. a
+                // condensation explode); fall back and repair it.
+                self.obs.incr(Ctr::HashMisses);
+                let found = tree.locate_leaf(oid, rect);
+                if let Some(pid) = found {
+                    self.payloads.update(&oid, |slot| slot.leaf = pid);
+                }
+                found
+            }
+        }
+    }
 }
 
 impl DglCore {
-    /// Quiescent-state invariant check (tree shape + payload map).
+    /// Quiescent-state invariant check (tree shape + payload table /
+    /// hash index agreement).
     fn validate_core(&self) -> Result<(), String> {
         let tree = self.latch_shared();
         tree.validate(false).map_err(|e| e.to_string())?;
-        // Payload map must exactly describe the live objects.
-        let payloads = self.payload_table();
+        // The hash index must exactly describe the live objects: same
+        // cardinality, and every slot's rect and leaf hint must agree
+        // with a fresh tree lookup — the differential check every
+        // quiescent suite (chaos, phantom, recovery, the property test)
+        // inherits for free.
         let objects = tree.all_objects();
-        if objects.len() != payloads.len() {
+        if objects.len() != self.payloads.len() {
             return Err(format!(
-                "payload map has {} entries, tree has {} objects",
-                payloads.len(),
+                "hash index has {} entries, tree has {} objects",
+                self.payloads.len(),
                 objects.len()
             ));
         }
-        for (oid, ..) in objects {
-            if !payloads.contains_key(&oid) {
-                return Err(format!("object {oid} has no payload entry"));
+        for (oid, rect, _) in objects {
+            let slot = self.payloads.get(&oid, |s| (s.leaf, s.rect));
+            let Some((leaf, slot_rect)) = slot else {
+                return Err(format!("object {oid} has no hash-index entry"));
+            };
+            if slot_rect != rect {
+                return Err(format!(
+                    "hash-index rect for {oid} is {slot_rect:?}, tree has {rect:?}"
+                ));
+            }
+            if tree.locate_leaf(oid, rect) != Some(leaf) {
+                return Err(format!(
+                    "hash-index leaf hint for {oid} is {leaf:?}, tree locates {:?}",
+                    tree.locate_leaf(oid, rect)
+                ));
             }
         }
         Ok(())

@@ -62,11 +62,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dgl_geom::Rect2;
 use dgl_lockmgr::TxnId;
-use dgl_obs::{Ctr, Registry};
+use dgl_obs::{Ctr, Hist, Registry};
 use dgl_rtree::ObjectId;
 
 use crate::stats::OpStats;
@@ -260,14 +260,16 @@ impl DglCore {
 
     /// Stamps every pending version of `oids` with `ts`. Called inside
     /// [`CommitClock::stamp`](dgl_txn::CommitClock::stamp)'s critical
-    /// section (clock mutex → payload table is the sanctioned order;
-    /// nothing takes the clock while holding the payload table).
+    /// section (clock mutex → payload stripes is the sanctioned order;
+    /// nothing takes the clock while inside a stripe closure). Stamping
+    /// touches one stripe at a time, but the clock critical section is
+    /// what makes the commit all-or-nothing to snapshots: `begin_snapshot`
+    /// takes the same clock mutex, so no snapshot timestamp can be
+    /// allocated between two of these per-key stamps.
     pub(crate) fn stamp_oids(&self, oids: &[ObjectId], ts: u64) {
-        let mut payloads = self.payload_table();
         for oid in oids {
-            if let Some(chain) = payloads.get_mut(oid) {
-                chain.stamp_pending(ts);
-            }
+            self.payloads
+                .update(oid, |slot| slot.chain.stamp_pending(ts));
         }
     }
 
@@ -391,6 +393,11 @@ impl DglCore {
         oid: ObjectId,
         txn: TxnId,
     ) -> Result<Option<u64>, TxnError> {
+        if self.hash_reads {
+            // The hash fast path never touches the gate, so a
+            // lock-holding reader cannot join a gate cycle here.
+            return Ok(self.snapshot_read_single_hash(ts, oid));
+        }
         let _gate = self.gate_read_watched(txn)?;
         Ok(self.snapshot_read_single_gated(ts, oid))
     }
@@ -406,17 +413,21 @@ impl DglCore {
         self.obs.incr(Ctr::SnapshotScans);
         let tree = self.latch_shared();
         let mut hits = Vec::new();
-        {
-            let payloads = self.payload_table();
-            // The tombstone flag is a *locking-path* visibility device
-            // (set at logical delete, before the deleter commits);
-            // snapshot visibility is decided purely by the chain, so a
-            // tombstoned entry is still visible to snapshots that
-            // predate the delete.
-            for (oid, rect, _tombstone) in tree.search(query) {
-                if let Some(version) = payloads.get(&oid).and_then(|c| c.visible_at(ts)) {
-                    hits.push(ScanHit { oid, rect, version });
-                }
+        // The tombstone flag is a *locking-path* visibility device
+        // (set at logical delete, before the deleter commits);
+        // snapshot visibility is decided purely by the chain, so a
+        // tombstoned entry is still visible to snapshots that
+        // predate the delete. Per-key stripe reads are sound here:
+        // the shared latch excludes the structural removals that
+        // retire entries, and commit stamping is atomic against this
+        // snapshot's timestamp via the clock critical section.
+        for (oid, rect, _tombstone) in tree.search(query) {
+            if let Some(version) = self
+                .payloads
+                .get(&oid, |s| s.chain.visible_at(ts))
+                .flatten()
+            {
+                hits.push(ScanHit { oid, rect, version });
             }
         }
         {
@@ -444,23 +455,73 @@ impl DglCore {
 
     /// Point read against snapshot timestamp `ts` — the payload version
     /// visible at `ts`, or `None` if the object did not exist then. No
-    /// lock-manager calls.
+    /// lock-manager calls; with `hash_reads` on, no gate and no latch
+    /// either (see [`Self::snapshot_read_single_hash`]).
     pub(crate) fn snapshot_read_single(&self, ts: u64, oid: ObjectId) -> Option<u64> {
+        if self.hash_reads {
+            return self.snapshot_read_single_hash(ts, oid);
+        }
         let _gate = self.deferred_gate.read();
         self.snapshot_read_single_gated(ts, oid)
     }
 
     /// Bounded-gate-wait variant of [`Self::snapshot_read_single`]; see
     /// [`Self::try_snapshot_scan`] for why lock holders must not block on
-    /// the gate unboundedly. `None` means the gate stayed writer-held.
+    /// the gate unboundedly. `None` means the gate stayed writer-held —
+    /// never returned on the hash fast path, which doesn't touch the gate
+    /// at all (so a lock-holding reader cannot gate-deadlock here).
     pub(crate) fn try_snapshot_read_single(
         &self,
         ts: u64,
         oid: ObjectId,
         patience: Duration,
     ) -> Option<Option<u64>> {
+        if self.hash_reads {
+            return Some(self.snapshot_read_single_hash(ts, oid));
+        }
         let _gate = self.try_gate_read(patience)?;
         Some(self.snapshot_read_single_gated(ts, oid))
+    }
+
+    /// Gateless, latchless snapshot point read off the hash index.
+    ///
+    /// Safe without the system-operation gate or tree latch because it
+    /// never looks at the tree: the slot's version chain (or the dead
+    /// list) fully decides visibility. The one structural transition that
+    /// moves a chain — deferred physical deletion retiring an object —
+    /// pushes the dead-list copy *before* removing the index entry, and
+    /// this reader checks index first, dead list second, so every
+    /// interleaving finds the chain at least once (finding it twice is
+    /// harmless: both copies answer `visible_at(ts)` identically). A
+    /// retired-without-dead-copy object (`retire == false`) is only
+    /// possible when no registered snapshot predates the delete marker,
+    /// so this snapshot's `ts` sees the delete either way.
+    fn snapshot_read_single_hash(&self, ts: u64, oid: ObjectId) -> Option<u64> {
+        assert!(
+            ts <= self.clock.now(),
+            "snapshot read at timestamp {ts} above the commit clock \
+             ({}): future timestamps are not yet stable",
+            self.clock.now()
+        );
+        OpStats::bump(&self.stats.snapshot_point_reads);
+        self.obs.incr(Ctr::SnapshotPointReads);
+        let t0 = Instant::now();
+        let live = self.payloads.get(&oid, |s| s.chain.visible_at(ts));
+        let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.obs.record(Hist::HashLookup, nanos);
+        if let Some(Some(version)) = live {
+            self.obs.incr(Ctr::HashHits);
+            return Some(version);
+        }
+        // Slot absent (physically removed), or present but with nothing
+        // visible at `ts` (e.g. a delete/reinsert cycle whose older
+        // incarnation may still be visible): consult the dead list.
+        self.obs.incr(Ctr::HashMisses);
+        self.dead
+            .lock()
+            .iter()
+            .filter(|d| d.oid == oid)
+            .find_map(|d| d.chain.visible_at(ts))
     }
 
     fn snapshot_read_single_gated(&self, ts: u64, oid: ObjectId) -> Option<u64> {
@@ -474,9 +535,9 @@ impl DglCore {
         self.obs.incr(Ctr::SnapshotPointReads);
         let tree = self.latch_shared();
         let live = self
-            .payload_table()
-            .get(&oid)
-            .and_then(|c| c.visible_at(ts));
+            .payloads
+            .get(&oid, |s| s.chain.visible_at(ts))
+            .flatten();
         if live.is_some() {
             return live;
         }
@@ -512,12 +573,9 @@ impl DglCore {
         // No active snapshot ⇒ everything below "now" is unreachable.
         let watermark = self.clock.min_active().unwrap_or_else(|| self.clock.now());
         let mut reclaimed = 0u64;
-        {
-            let mut payloads = self.payload_table();
-            for chain in payloads.values_mut() {
-                reclaimed += chain.prune_below(watermark);
-            }
-        }
+        self.payloads.for_each_mut(|_, slot| {
+            reclaimed += slot.chain.prune_below(watermark);
+        });
         {
             let mut dead = self.dead.lock();
             dead.retain_mut(|d| {
@@ -598,11 +656,13 @@ impl DglRTree {
     /// Point-in-time MVCC bookkeeping totals.
     pub fn mvcc_stats(&self) -> MvccStats {
         let (live_chains, live_versions) = {
-            let payloads = self.core.payload_table();
-            (
-                payloads.len(),
-                payloads.values().map(VersionChain::len).sum(),
-            )
+            let mut chains = 0usize;
+            let mut versions = 0u64;
+            self.core.payloads.for_each(|_, slot| {
+                chains += 1;
+                versions += slot.chain.len();
+            });
+            (chains, versions)
         };
         let (dead_objects, dead_versions) = {
             let dead = self.core.dead.lock();

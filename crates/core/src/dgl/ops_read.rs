@@ -6,7 +6,7 @@ use dgl_lockmgr::{
     LockMode::{S, SIX, X},
     TxnId,
 };
-use dgl_obs::OpKind;
+use dgl_obs::{Ctr, Hist, OpKind};
 use dgl_rtree::ObjectId;
 
 use crate::granules::overlapping_granules;
@@ -41,13 +41,70 @@ impl DglCore {
             OpStats::bump(&self.stats.op_retries);
             self.wait_or_abort(txn, res, mode, dur)?;
         }
+        if self.hash_reads {
+            // Hash fast path: no latch, no traversal. Under the
+            // commit-duration object S lock the slot is stable — an
+            // inserter publishes the tree entry and the slot together
+            // under its X lock and exclusive latch, a deleter's tombstone
+            // shows up as the chain's delete-marker head, and deferred
+            // physical deletion (which removes the slot) only runs after
+            // the deleter committed, i.e. never while we hold S. The
+            // index is the payload table, so slot-absent is an
+            // authoritative "no such object" — matching rect included:
+            // rects are immutable for a live object, so a rect mismatch
+            // means the exact (oid, rect) pair is not in the tree.
+            let t0 = std::time::Instant::now();
+            let answer = self
+                .payloads
+                .get(&oid, |slot| {
+                    if slot.rect == rect {
+                        slot.chain.current()
+                    } else {
+                        None
+                    }
+                })
+                .flatten();
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.obs.record(Hist::HashLookup, nanos);
+            self.obs.incr(Ctr::HashHits);
+            // Differential check (debug builds): the traversal path must
+            // agree with the index. Only when the deferred gate is free:
+            // a mid-flight physical deletion legitimately has
+            // condensation orphans out of the tree while their slots
+            // remain indexed, so the two paths may diverge spuriously.
+            // `try_read` (not `read`): we hold a commit-duration object
+            // lock here, and a blocking gate wait is invisible to the
+            // deadlock detector — a reader holding S while a system
+            // operation waits on a page lock held by a writer queued on
+            // that same object would wedge.
+            #[cfg(debug_assertions)]
+            if let Some(_gate) = self.deferred_gate.try_read() {
+                let state = {
+                    let tree = self.latch_shared();
+                    tree.lookup(oid, rect)
+                };
+                let via_tree = match state {
+                    Some(None) => self.payloads.get(&oid, |s| s.chain.current()).flatten(),
+                    Some(Some(_)) | None => None,
+                };
+                debug_assert_eq!(
+                    answer, via_tree,
+                    "hash fast path diverged from the tree path for {oid}"
+                );
+            }
+            self.end_op(txn);
+            return Ok(answer);
+        }
         let state = {
             let tree = self.latch_shared();
             tree.lookup(oid, rect)
         };
         self.end_op(txn);
         Ok(match state {
-            Some(None) => self.payload_table().get(&oid).and_then(|c| c.current()),
+            Some(None) => self
+                .payloads
+                .get(&oid, |slot| slot.chain.current())
+                .flatten(),
             // Tombstoned (committed delete pending physical removal) or
             // absent.
             Some(Some(_)) | None => None,
@@ -130,27 +187,30 @@ impl DglCore {
                     // Perform the updates under the latch; granule SIX
                     // locks guarantee the hit set cannot have changed.
                     let mut out = Vec::with_capacity(pre_hits.len());
-                    {
-                        let mut payloads = self.payload_table();
-                        for h in &pre_hits {
-                            let chain = payloads
-                                .entry(h.oid)
-                                .or_insert_with(|| super::mvcc::VersionChain::bootstrap(1));
-                            let old = chain.current().expect("updated object is live");
-                            chain.push_pending(Some(old + 1));
-                            self.undo.push(
-                                txn,
-                                super::UndoRecord::Update {
-                                    oid: h.oid,
-                                    old_version: old,
-                                },
-                            );
-                            out.push(ScanHit {
+                    for h in &pre_hits {
+                        // Every live tree entry has a slot (inserts
+                        // publish both together; recovery seeds every
+                        // restored entry).
+                        let old = self
+                            .payloads
+                            .update(&h.oid, |slot| {
+                                let old = slot.chain.current().expect("updated object is live");
+                                slot.chain.push_pending(Some(old + 1));
+                                old
+                            })
+                            .expect("scanned object has a slot");
+                        self.undo.push(
+                            txn,
+                            super::UndoRecord::Update {
                                 oid: h.oid,
-                                rect: h.rect,
-                                version: old + 1,
-                            });
-                        }
+                                old_version: old,
+                            },
+                        );
+                        out.push(ScanHit {
+                            oid: h.oid,
+                            rect: h.rect,
+                            version: old + 1,
+                        });
                     }
                     drop(tree);
                     self.end_op(txn);
@@ -173,14 +233,17 @@ impl DglCore {
     /// state: 2PL guarantees the head is either committed or this
     /// transaction's own write.
     pub(crate) fn collect_hits(&self, tree: &dgl_rtree::RTree2, query: &Rect2) -> Vec<ScanHit> {
-        let payloads = self.payload_table();
         tree.search(query)
             .into_iter()
             .filter(|(_, _, tombstone)| tombstone.is_none())
             .map(|(oid, rect, _)| ScanHit {
                 oid,
                 rect,
-                version: payloads.get(&oid).and_then(|c| c.current()).unwrap_or(1),
+                version: self
+                    .payloads
+                    .get(&oid, |slot| slot.chain.current())
+                    .flatten()
+                    .unwrap_or(1),
             })
             .collect()
     }

@@ -10,7 +10,7 @@ use dgl_lockmgr::{
 use dgl_pager::PageId;
 use dgl_rtree::{Entry, InsertPlan, ObjectId};
 
-use dgl_obs::{span, Hist, OpKind};
+use dgl_obs::{span, Ctr, Hist, OpKind};
 
 use crate::granules::overlapping_granules;
 use crate::locks::LockList;
@@ -43,7 +43,10 @@ impl DglCore {
             OpStats::bump(&self.stats.op_retries);
             self.wait_or_abort(txn, res, mode, dur)?;
         }
-        if self.payload_table().contains_key(&oid) {
+        // The probe is a striped O(1) membership check on the hash index
+        // — the traversal it replaces is gone on every insert.
+        self.obs.incr(Ctr::DupProbesSkipped);
+        if self.payloads.contains_key(&oid) {
             // Keep the X lock: it makes the duplicate observation
             // repeatable for the rest of this transaction.
             self.end_op(txn);
@@ -118,8 +121,17 @@ impl DglCore {
                     || result.root_split.map(|(a, _)| a) == predicted.last().copied(),
                 "root-half prediction must be exact"
             );
-            self.payload_table()
-                .insert(oid, super::mvcc::VersionChain::pending(1));
+            self.payloads.insert(
+                oid,
+                super::PayloadSlot {
+                    leaf: result.home,
+                    rect,
+                    chain: super::mvcc::VersionChain::pending(1),
+                },
+            );
+            // Splits moved entries between leaf pages; refresh their
+            // hints while the exclusive latch still pins the layout.
+            self.reindex_splits(&apply, &result);
             // Undo entry and log record land while the exclusive latch is
             // still held: a checkpoint captures tree image + undo queues
             // under the shared latch, so this op is either wholly inside
@@ -315,16 +327,18 @@ impl DglCore {
                 TxnError::Injected
             });
             let latch = self.plan_latch();
-            // locate_leaf (not find_path): the entry may sit in a subtree a
-            // system operation holds disconnected mid-condense; it is still
-            // present and its leaf granule is still the right lock target.
+            // Hash-accelerated locate (verified leaf hint; stale hints
+            // fall back to locate_leaf — not find_path, because the entry
+            // may sit in a subtree a system operation holds disconnected
+            // mid-condense; it is still present and its leaf granule is
+            // still the right lock target).
             match span!(
                 self.obs,
                 Hist::PlanPhase,
                 op = "delete",
                 phase = "plan",
                 txn = txn.0,
-                { latch.tree().locate_leaf(oid, rect) }
+                { self.hash_locate_leaf(latch.tree(), oid, rect) }
             ) {
                 Some(leaf) => {
                     let mut locks = LockList::new();
@@ -360,10 +374,9 @@ impl DglCore {
                             // timestamp see the object as gone (snapshot
                             // paths ignore the tombstone flag — the chain
                             // alone decides visibility).
-                            self.payload_table()
-                                .get_mut(&oid)
-                                .expect("live object has a chain")
-                                .push_pending(None);
+                            self.payloads
+                                .update(&oid, |slot| slot.chain.push_pending(None))
+                                .expect("live object has a chain");
                             // Undo + log inside the latch hold (see
                             // insert_op for the checkpoint-cut argument).
                             self.undo.push(txn, UndoRecord::LogicalDelete { oid, rect });
@@ -433,7 +446,7 @@ impl DglCore {
         // has its own mutex.
         loop {
             let latch = self.plan_latch();
-            let Some(leaf) = latch.tree().locate_leaf(oid, rect) else {
+            let Some(leaf) = self.hash_locate_leaf(latch.tree(), oid, rect) else {
                 // Absent object: X on the object name makes the absence
                 // repeatable against inserts of the same oid.
                 let locks = super::single_lock(Self::object(oid), X, Commit);
@@ -462,21 +475,26 @@ impl DglCore {
                         self.end_op(txn);
                         return Ok(false);
                     }
-                    {
-                        let mut payloads = self.payload_table();
-                        let chain = payloads
-                            .entry(oid)
-                            .or_insert_with(|| super::mvcc::VersionChain::bootstrap(1));
-                        let old = chain.current().expect("updated object is live");
-                        chain.push_pending(Some(old + 1));
-                        self.undo.push(
-                            txn,
-                            UndoRecord::Update {
-                                oid,
-                                old_version: old,
-                            },
-                        );
-                    }
+                    let old = self.payloads.update_or_insert_with(
+                        oid,
+                        || super::PayloadSlot {
+                            leaf,
+                            rect,
+                            chain: super::mvcc::VersionChain::bootstrap(1),
+                        },
+                        |slot| {
+                            let old = slot.chain.current().expect("updated object is live");
+                            slot.chain.push_pending(Some(old + 1));
+                            old
+                        },
+                    );
+                    self.undo.push(
+                        txn,
+                        UndoRecord::Update {
+                            oid,
+                            old_version: old,
+                        },
+                    );
                     drop(latch);
                     self.end_op(txn);
                     return Ok(true);

@@ -1,0 +1,306 @@
+//! `dgl-hashidx` — a sharded, latch-striped hash map for exact-match
+//! point access.
+//!
+//! The DGL tree answers *predicate* questions (region scans) with the
+//! paper's granular protocol; this crate answers the *exact-match*
+//! questions — `read_single`, the insert duplicate probe, snapshot point
+//! reads — in O(1) without touching the tree or its latch. The core
+//! keeps one [`StripedMap`] as its payload table: every write publishes
+//! or retires entries under the 2PL object locks it already holds
+//! (Griffin-style precision locking falls out of the commit-duration X
+//! lock), so the map is transactionally consistent with the tree by
+//! construction rather than by invalidation.
+//!
+//! Concurrency model: `STRIPES` independent `parking_lot` mutexes, each
+//! guarding a plain `HashMap` shard. The API is closure-based — a guard
+//! can never escape a call — so a caller cannot hold a stripe across a
+//! latch acquisition. The per-thread [`stripes_held`] counter lets
+//! embedders `debug_assert` that ordering (stripes are leaf locks: take
+//! them *after* any latch, never across one).
+//!
+//! Iteration (`for_each`, `for_each_mut`, `retain`) locks stripes one at
+//! a time: the view is per-stripe consistent, not a global atomic
+//! snapshot. Callers that need cross-stripe atomicity must provide it
+//! externally (the DGL core runs commit-timestamp stamping inside the
+//! commit clock's critical section, and structural removals under the
+//! exclusive tree latch, for exactly this reason).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::Mutex;
+
+/// Number of independent stripes (power of two; the selector masks the
+/// key hash). 16 stripes keep the probability of two of a machine's
+/// threads colliding on one mutex low without bloating the struct.
+pub const STRIPES: usize = 16;
+
+thread_local! {
+    static STRIPES_HELD: Cell<usize> = const { Cell::new(0) };
+}
+
+/// How many stripe locks the current thread is holding (via a closure
+/// currently executing inside a [`StripedMap`] call). Embedders assert
+/// this is zero before acquiring any lock that must order *below* the
+/// stripes (e.g. a tree latch).
+pub fn stripes_held() -> usize {
+    STRIPES_HELD.with(Cell::get)
+}
+
+/// RAII bump of the per-thread held-stripe counter.
+struct HeldGuard;
+
+impl HeldGuard {
+    fn enter() -> Self {
+        STRIPES_HELD.with(|c| c.set(c.get() + 1));
+        HeldGuard
+    }
+}
+
+impl Drop for HeldGuard {
+    fn drop(&mut self) {
+        STRIPES_HELD.with(|c| c.set(c.get() - 1));
+    }
+}
+
+/// A hash map split across [`STRIPES`] independently locked shards.
+///
+/// All access is closure-scoped; see the module docs for the locking
+/// discipline.
+pub struct StripedMap<K, V> {
+    stripes: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq, V> Default for StripedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> std::fmt::Debug for StripedMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripedMap")
+            .field("stripes", &STRIPES)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Hash + Eq, V> StripedMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn stripe(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.stripes[(h.finish() as usize) & (STRIPES - 1)]
+    }
+
+    /// Runs `f` on the value for `key`, if present.
+    pub fn get<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let guard = self.stripe(key).lock();
+        let _held = HeldGuard::enter();
+        guard.get(key).map(f)
+    }
+
+    /// Runs `f` mutably on the value for `key`, if present.
+    pub fn update<R>(&self, key: &K, f: impl FnOnce(&mut V) -> R) -> Option<R> {
+        let mut guard = self.stripe(key).lock();
+        let _held = HeldGuard::enter();
+        guard.get_mut(key).map(f)
+    }
+
+    /// Runs `f` mutably on the value for `key`, inserting
+    /// `default()` first if absent.
+    pub fn update_or_insert_with<R>(
+        &self,
+        key: K,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
+        let mut guard = self.stripe(&key).lock();
+        let _held = HeldGuard::enter();
+        f(guard.entry(key).or_insert_with(default))
+    }
+
+    /// Inserts `value`, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.stripe(&key).lock().insert(key, value)
+    }
+
+    /// Removes and returns the value for `key`.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.stripe(key).lock().remove(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.stripe(key).lock().contains_key(key)
+    }
+
+    /// Total entries across all stripes (per-stripe consistent).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every stripe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Visits every entry, one stripe at a time.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in &self.stripes {
+            let guard = s.lock();
+            let _held = HeldGuard::enter();
+            for (k, v) in guard.iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Visits every entry mutably, one stripe at a time.
+    pub fn for_each_mut(&self, mut f: impl FnMut(&K, &mut V)) {
+        for s in &self.stripes {
+            let mut guard = s.lock();
+            let _held = HeldGuard::enter();
+            for (k, v) in guard.iter_mut() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Keeps only the entries for which `f` returns true, one stripe at
+    /// a time.
+    pub fn retain(&self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        for s in &self.stripes {
+            let mut guard = s.lock();
+            let _held = HeldGuard::enter();
+            guard.retain(|k, v| f(k, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_update_remove_roundtrip() {
+        let m: StripedMap<u64, String> = StripedMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(7, "a".into()), None);
+        assert_eq!(m.insert(7, "b".into()), Some("a".into()));
+        assert!(m.contains_key(&7));
+        assert_eq!(m.get(&7, |v| v.clone()), Some("b".into()));
+        assert_eq!(m.get(&8, |v| v.clone()), None);
+        assert_eq!(m.update(&7, |v| v.push('!')), Some(()));
+        assert_eq!(m.get(&7, |v| v.clone()), Some("b!".into()));
+        assert_eq!(m.update(&8, |_| ()), None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(&7), Some("b!".into()));
+        assert_eq!(m.remove(&7), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn update_or_insert_with_creates_then_updates() {
+        let m: StripedMap<u64, u64> = StripedMap::new();
+        let v = m.update_or_insert_with(
+            3,
+            || 10,
+            |v| {
+                *v += 1;
+                *v
+            },
+        );
+        assert_eq!(v, 11);
+        let v = m.update_or_insert_with(
+            3,
+            || 999,
+            |v| {
+                *v += 1;
+                *v
+            },
+        );
+        assert_eq!(v, 12);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_sees_every_stripe() {
+        let m: StripedMap<u64, u64> = StripedMap::new();
+        // Enough keys that every stripe almost surely gets some.
+        for k in 0..1_000u64 {
+            m.insert(k, k * 2);
+        }
+        assert_eq!(m.len(), 1_000);
+        let mut sum = 0u64;
+        m.for_each(|_, v| sum += *v);
+        assert_eq!(sum, (0..1_000u64).map(|k| k * 2).sum());
+        m.for_each_mut(|_, v| *v += 1);
+        m.retain(|k, _| k % 2 == 0);
+        assert_eq!(m.len(), 500);
+        assert_eq!(m.get(&4, |v| *v), Some(9));
+        assert_eq!(m.get(&5, |v| *v), None);
+    }
+
+    #[test]
+    fn stripes_held_tracks_closure_scope() {
+        let m: StripedMap<u64, u64> = StripedMap::new();
+        m.insert(1, 1);
+        assert_eq!(stripes_held(), 0);
+        m.get(&1, |_| assert_eq!(stripes_held(), 1));
+        m.update(&1, |_| assert_eq!(stripes_held(), 1));
+        m.for_each(|_, _| assert_eq!(stripes_held(), 1));
+        assert_eq!(stripes_held(), 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_never_lose_updates() {
+        let m: StripedMap<u64, u64> = StripedMap::new();
+        let threads = 8u64;
+        let per = 2_000u64;
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let m = &m;
+                s.spawn(move |_| {
+                    for i in 0..per {
+                        let k = t * per + i;
+                        m.insert(k, 0);
+                        m.update(&k, |v| *v += k);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(m.len(), (threads * per) as usize);
+        let mut sum = 0u64;
+        m.for_each(|_, v| sum += *v);
+        assert_eq!(sum, (0..threads * per).sum());
+    }
+
+    #[test]
+    fn concurrent_same_key_read_modify_write_is_atomic_per_call() {
+        let m: StripedMap<u64, u64> = StripedMap::new();
+        m.insert(0, 0);
+        let threads = 8u64;
+        let per = 5_000u64;
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                let m = &m;
+                s.spawn(move |_| {
+                    for _ in 0..per {
+                        m.update(&0, |v| *v += 1);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(m.get(&0, |v| *v), Some(threads * per));
+    }
+}

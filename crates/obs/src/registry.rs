@@ -58,11 +58,15 @@ pub enum Hist {
     /// Server-side nanoseconds per network transaction-control request
     /// (Begin/Commit/Abort/BeginSnapshot/EndSnapshot).
     NetReqTxn,
+    /// Nanoseconds per hash-index point lookup (hit or miss; the O(1)
+    /// path `read_single` and snapshot point reads take instead of a
+    /// tree traversal).
+    HashLookup,
 }
 
 impl Hist {
     /// All histograms, in export order.
-    pub const ALL: [Hist; 15] = [
+    pub const ALL: [Hist; 16] = [
         Hist::LockWait,
         Hist::LatchHold,
         Hist::PlanPhase,
@@ -78,6 +82,7 @@ impl Hist {
         Hist::NetReqPoint,
         Hist::NetReqWrite,
         Hist::NetReqTxn,
+        Hist::HashLookup,
     ];
 
     /// Stable metric name (also the Prometheus/JSON key, prefixed
@@ -99,6 +104,7 @@ impl Hist {
             Hist::NetReqPoint => "net_request_point_nanos",
             Hist::NetReqWrite => "net_request_write_nanos",
             Hist::NetReqTxn => "net_request_txn_nanos",
+            Hist::HashLookup => "hash_lookup_nanos",
         }
     }
 
@@ -163,11 +169,22 @@ pub enum Ctr {
     /// Transactions aborted server-side because their session died or
     /// timed out (connection drop, idle/txn timeout, drain force-close).
     SessionAborts,
+    /// Point accesses answered by the hash index without a tree
+    /// traversal (`read_single`, snapshot point reads, and the verified
+    /// leaf hints of delete/update).
+    HashHits,
+    /// Point accesses that fell back to the tree traversal (stale leaf
+    /// hint, or the hash read path disabled by config).
+    HashMisses,
+    /// Insert duplicate probes answered by the hash index's O(1)
+    /// membership check (every insert; the traversal the probe used to
+    /// cost is gone).
+    DupProbesSkipped,
 }
 
 impl Ctr {
     /// All counters, in export order.
-    pub const ALL: [Ctr; 23] = [
+    pub const ALL: [Ctr; 26] = [
         Ctr::LockReqShort,
         Ctr::LockReqCommit,
         Ctr::LockConditionalFail,
@@ -191,6 +208,9 @@ impl Ctr {
         Ctr::NetBytesIn,
         Ctr::NetBytesOut,
         Ctr::SessionAborts,
+        Ctr::HashHits,
+        Ctr::HashMisses,
+        Ctr::DupProbesSkipped,
     ];
 
     /// Stable metric name (exported as `dgl_<name>_total`).
@@ -219,6 +239,9 @@ impl Ctr {
             Ctr::NetBytesIn => "net_bytes_in",
             Ctr::NetBytesOut => "net_bytes_out",
             Ctr::SessionAborts => "session_aborts",
+            Ctr::HashHits => "hash_hits",
+            Ctr::HashMisses => "hash_misses",
+            Ctr::DupProbesSkipped => "dup_probes_skipped",
         }
     }
 

@@ -102,6 +102,12 @@ fn prometheus_text_matches_golden() {
     reg.incr(Ctr::WatchdogStalls);
     reg.add(Ctr::LockDeadlocks, 2);
     reg.add(Ctr::LockTimeouts, 5);
+    // Hash-index metrics: a point-read fast path mix — pins the hash_*
+    // exporter names the CI hashidx job greps for.
+    reg.record(Hist::HashLookup, 800);
+    reg.add(Ctr::HashHits, 19);
+    reg.incr(Ctr::HashMisses);
+    reg.add(Ctr::DupProbesSkipped, 6);
 
     let got = prometheus_text(&reg.snapshot());
     let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/prometheus_golden.txt");
@@ -183,6 +189,41 @@ fn deadlock_metrics_export_with_stable_names() {
     assert_eq!(delta.ctr(Ctr::GlobalDeadlocks), 1);
     assert_eq!(delta.ctr(Ctr::LockTimeouts), 2);
     assert_eq!(delta.ctr(Ctr::LockDeadlocks), 0);
+}
+
+/// The hash-index metrics keep stable exporter names: the CI hashidx
+/// job greps the Prometheus artifact for these exact series, and the
+/// bench's hash-hit-rate column is built on the snapshot deltas.
+#[test]
+fn hash_metrics_export_with_stable_names() {
+    let reg = Registry::new();
+    reg.record(Hist::HashLookup, 1_500);
+    reg.add(Ctr::HashHits, 42);
+    reg.add(Ctr::HashMisses, 3);
+    reg.add(Ctr::DupProbesSkipped, 17);
+
+    let text = prometheus_text(&reg.snapshot());
+    for needle in [
+        "# TYPE dgl_hash_lookup_nanos histogram",
+        "# TYPE dgl_hash_hits_total counter",
+        "dgl_hash_lookup_nanos_count 1",
+        "dgl_hash_hits_total 42",
+        "dgl_hash_misses_total 3",
+        "dgl_dup_probes_skipped_total 17",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // Deltas isolate a phase: hit-rate columns subtract a warmup
+    // snapshot, so the counters must difference cleanly.
+    let before = reg.snapshot();
+    reg.add(Ctr::HashHits, 8);
+    reg.incr(Ctr::HashMisses);
+    let delta = reg.snapshot().since(&before);
+    assert_eq!(delta.ctr(Ctr::HashHits), 8);
+    assert_eq!(delta.ctr(Ctr::HashMisses), 1);
+    assert_eq!(delta.ctr(Ctr::DupProbesSkipped), 0);
+    assert_eq!(delta.hist(Hist::HashLookup).count, 0);
 }
 
 #[test]

@@ -87,6 +87,24 @@ impl OpMix {
         }
     }
 
+    /// A point-read-dominated mix (key-value-style access over spatial
+    /// data) — the workload the object→leaf hash index exists for: most
+    /// operations are single-object reads and updates of known ids, with
+    /// enough inserts to keep the duplicate probe and index maintenance
+    /// on the hot path and a trickle of scans for granule conflicts.
+    pub fn point_heavy() -> Self {
+        Self {
+            insert: 15,
+            delete: 5,
+            read_scan: 5,
+            update_scan: 0,
+            read_single: 60,
+            update_single: 15,
+            scan_extent: 0.05,
+            object_extent: 0.01,
+        }
+    }
+
     /// A balanced mix.
     pub fn balanced() -> Self {
         Self {

@@ -229,6 +229,23 @@ fn run_remote_command(
             .map_err(client_err)?;
             Ok(Some(render_hits(&hits)))
         }
+        "get" => {
+            // Remote point read on the server's hash-index fast path: a
+            // throwaway snapshot brackets one zero-lock point read.
+            if parts.len() != 2 {
+                return Err("usage: get <oid>".into());
+            }
+            let oid = parse_id(parts[1], 'O', "object")?;
+            let (snap, seq) = c.begin_snapshot().map_err(client_err)?;
+            let read = c.snapshot_read(snap, oid).map_err(client_err);
+            let _ = c.end_snapshot(snap);
+            read.map(|v| {
+                Some(match v {
+                    Some(version) => format!("version {version} @commit-seq {seq}"),
+                    None => "not found".into(),
+                })
+            })
+        }
         "snapshot" => c
             .begin_snapshot()
             .map(|(snap, seq)| Some(format!("S{snap} @commit-seq {seq}")))
@@ -286,6 +303,7 @@ commands (network mode — every command is a wire-protocol request):
   scan   <txn> x0 y0 x1 y1               phantom-protected region scan
   update-scan <txn> x0 y0 x1 y1          scan + update every hit
   commit <txn> | abort <txn>             finish a transaction
+  get <oid>                              hash-index point read (no txn, no rect)
   snapshot                               open an MVCC snapshot (prints its id)
   snap-scan <snap> x0 y0 x1 y1           zero-lock scan at the snapshot
   snap-read <snap> <oid>                 zero-lock point read at the snapshot
@@ -376,6 +394,21 @@ fn run_command(
                     .map(|found| Some(if found { "updated" } else { "not found" }.into()))
                     .map_err(txn_err),
             }
+        }
+        "get" => {
+            // Point read on the hash-index fast path: a throwaway MVCC
+            // snapshot at "now" resolves the object's version chain
+            // directly — no transaction, no locks, no tree traversal,
+            // and no rect needed (the index is keyed by oid alone).
+            if parts.len() != 2 {
+                return Err("usage: get <oid>".into());
+            }
+            let oid = ObjectId(parts[1].parse().map_err(|_| "bad object id")?);
+            let snap = db.begin_snapshot();
+            Ok(Some(match snap.read_single(oid) {
+                Some(version) => format!("version {version} @commit-seq {}", snap.ts()),
+                None => "not found".into(),
+            }))
         }
         "scan" | "update-scan" => {
             if parts.len() != 6 {
@@ -597,6 +630,7 @@ commands:
   scan   <txn> x0 y0 x1 y1               phantom-protected region scan
   update-scan <txn> x0 y0 x1 y1          scan + update every hit
   commit <txn> | abort <txn>             finish a transaction
+  get <oid>                              hash-index point read (no txn, no rect)
   stats | tree | granules                introspection
   stats --histograms                     latency histograms + obs counters
   locktable                              live lock table (grants and waiters)

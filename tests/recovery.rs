@@ -470,6 +470,87 @@ fn matrix_killed_mid_version_gc() {
     );
 }
 
+/// Crash mid-hash-index-rebuild: the object→leaf hash index is derived
+/// state — WAL replay and snapshot load rebuild it by sweeping the
+/// recovered tree's leaves, with no record kinds of its own. A process
+/// that dies halfway through that sweep must leave nothing behind: the
+/// next recovery rebuilds the index from scratch and it matches a fresh
+/// build exactly (`validate()` re-checks it against the tree entry by
+/// entry), and post-recovery inserts still detect duplicates through
+/// the rebuilt index alone.
+#[test]
+fn matrix_killed_mid_hashidx_rebuild() {
+    let _serial = serialize();
+    let label = "cell[hashidx/rebuild]";
+    let _watchdog = Watchdog::arm(label);
+    let dir = TempDir::new("hashidx");
+    let mut rng = XorShift::new(0x4A5B);
+
+    let config = durable_config(SyncPolicy::Immediate, MaintenanceMode::Inline, None);
+    let db = DglRTree::open(dir.path(), config.clone()).expect("open fresh dir");
+    let outcome = drive_until_crash(&db, &mut rng, 100, Some(9));
+    assert!(outcome.in_doubt.is_none(), "no WAL faults armed");
+    assert!(outcome.acked > 30, "workload must do real work");
+    db.crash_wal();
+    drop(db);
+
+    // First recovery dies inside the index rebuild, after replay rebuilt
+    // the tree but before the database was handed out.
+    let guard = dgl_faults::register("hashidx/rebuild", FaultSpec::panic());
+    let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        DglRTree::recover(dir.path(), config.clone())
+    }));
+    assert!(died.is_err(), "{label}: rebuild failpoint must fire");
+    drop(guard);
+
+    // Second recovery rebuilds the index from scratch; the shadow oracle
+    // must match and validate() proves rebuild ≡ fresh build (slot count,
+    // leaf hints, rects, locate_leaf agreement).
+    let seen = recover_and_check(dir.path(), config.clone(), &outcome, label);
+    let recovered = DglRTree::recover(dir.path(), config).expect("recover after rebuild crash");
+
+    // Point reads ride the rebuilt index.
+    let txn = recovered.begin();
+    for (&oid, &rect) in outcome.committed.iter().take(8) {
+        assert_eq!(
+            recovered
+                .read_single(txn, ObjectId(oid), rect)
+                .expect("read_single"),
+            Some(1),
+            "{label}: recovered object O{oid} must be readable via the index"
+        );
+    }
+    recovered.commit(txn).expect("read commit");
+
+    // Duplicate detection is the index's Griffin role: re-inserting a
+    // recovered oid must fail without consulting the tree.
+    let (&dup_oid, &dup_rect) = outcome.committed.iter().next().expect("non-empty");
+    let txn = recovered.begin();
+    assert_eq!(
+        recovered.insert(txn, ObjectId(dup_oid), dup_rect),
+        Err(TxnError::DuplicateObject),
+        "{label}: rebuilt index must still detect duplicates"
+    );
+    recovered.abort(txn).expect("abort duplicate txn");
+
+    // Fresh inserts still work and re-validate cleanly.
+    let txn = recovered.begin();
+    let fresh_oid = outcome.committed.keys().max().expect("non-empty") + 1_000;
+    recovered
+        .insert(txn, ObjectId(fresh_oid), dup_rect)
+        .expect("fresh insert after rebuild");
+    recovered.commit(txn).expect("insert commit");
+    recovered.quiesce().expect("quiesce");
+    recovered
+        .validate()
+        .expect("validate after post-recovery writes");
+    eprintln!(
+        "{label}: {} acked commits, {} live objects after recovery",
+        outcome.acked,
+        seen.len()
+    );
+}
+
 /// A fresh seed per run across all four failpoints; replay a failure
 /// with `CRASH_SEED=<n>`.
 #[test]
